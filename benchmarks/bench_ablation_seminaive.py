@@ -1,0 +1,66 @@
+"""Ablation: semi-naive vs. naive fixpoint evaluation.
+
+Not a paper table, but the substrate choice every result sits on: the
+tables count *semi-naive* derivations.  Naive evaluation re-derives the
+whole relation every iteration; the derivation-count ratio grows with
+the fixpoint depth.
+"""
+
+import pytest
+
+from repro.engine import Database, naive_evaluate, seminaive_evaluate
+from repro.lang.parser import parse_program
+from repro.workloads.graphs import chain_edges
+
+from benchmarks.conftest import record_rows
+
+
+TC = parse_program(
+    """
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Y) :- edge(X, Z), tc(Z, Y).
+    """
+)
+
+
+@pytest.mark.parametrize("length", [8, 16, 32])
+def test_seminaive_vs_naive(benchmark, length):
+    edb = Database.from_ground({"edge": chain_edges(length)})
+
+    def run():
+        semi = seminaive_evaluate(TC, edb, max_iterations=length + 5)
+        naive = naive_evaluate(TC, edb, max_iterations=length + 5)
+        return semi, naive
+
+    semi, naive = benchmark(run)
+    record_rows(
+        benchmark,
+        [
+            {
+                "chain": length,
+                "seminaive_derivations": semi.stats.derivations,
+                "naive_derivations": naive.stats.derivations,
+                "ratio": round(
+                    naive.stats.derivations / semi.stats.derivations, 2
+                ),
+            }
+        ],
+    )
+    assert set(semi.facts("tc")) == set(naive.facts("tc"))
+    assert semi.stats.derivations < naive.stats.derivations
+
+
+def test_ratio_grows_with_depth(benchmark):
+    def run():
+        ratios = []
+        for length in (4, 8, 16):
+            edb = Database.from_ground({"edge": chain_edges(length)})
+            semi = seminaive_evaluate(TC, edb, max_iterations=40)
+            naive = naive_evaluate(TC, edb, max_iterations=40)
+            ratios.append(
+                naive.stats.derivations / semi.stats.derivations
+            )
+        return ratios
+
+    ratios = benchmark(run)
+    assert ratios == sorted(ratios)

@@ -1,0 +1,89 @@
+"""Theorem 7.10: ``P^{pred,qrp,mg}`` is optimal (one-mg sequences).
+
+Enumerates all sensible sequences on both non-confluence programs and
+on a third program with nontrivial predicate constraints, asserting the
+prescribed order always matches the minimum fact count.
+"""
+
+import pytest
+
+from repro.core.pipeline import apply_sequence, evaluate_pipeline
+from repro.engine import Database
+from repro.lang.parser import parse_program, parse_query
+
+from benchmarks.conftest import record_rows
+
+
+SEQUENCES = [
+    ("mg",),
+    ("pred", "mg"),
+    ("qrp", "mg"),
+    ("mg", "qrp"),
+    ("mg", "pred"),
+    ("pred", "qrp", "mg"),
+    ("qrp", "pred", "mg"),
+    ("pred", "mg", "qrp"),
+    ("mg", "pred", "qrp"),
+    ("qrp", "mg", "pred"),
+]
+
+
+def sweep(program, query, edb):
+    totals = {}
+    for sequence in SEQUENCES:
+        pipeline = apply_sequence(program, query, list(sequence))
+        evaluation = evaluate_pipeline(pipeline, edb, query)
+        totals[",".join(sequence)] = evaluation.facts_excluding_edb(edb)
+    return totals
+
+
+def check_optimal(benchmark, program, query, edb):
+    totals = benchmark(lambda: sweep(program, query, edb))
+    record_rows(benchmark, [totals])
+    assert totals["pred,qrp,mg"] == min(totals.values())
+    return totals
+
+
+def test_optimal_on_example_71(
+    benchmark, example_71_program, graph_edb_71
+):
+    check_optimal(
+        benchmark, example_71_program, parse_query("?- q(X, Y)."),
+        graph_edb_71,
+    )
+
+
+def test_optimal_on_example_72(benchmark, example_72_program):
+    edb = Database.from_ground(
+        {
+            "b1": [(7, 100), (2, 0)],
+            "b2": [(100 + i, 101 + i) for i in range(8)] + [(0, 1)],
+        }
+    )
+    check_optimal(
+        benchmark, example_72_program, parse_query("?- q(7, Y)."), edb
+    )
+
+
+def test_optimal_with_predicate_constraints(benchmark):
+    # Example 4.2-style program: pred constraints matter here, so
+    # sequences without "pred" are strictly worse.
+    program = parse_program(
+        """
+        q(X, Y) :- a(X, Y), X <= 10.
+        a(X, Y) :- p(X, Y), Y <= X.
+        a(X, Y) :- a(X, Z), a(Z, Y).
+        """
+    )
+    edb = Database.from_ground(
+        {
+            "p": [
+                (5, 3), (3, 1), (20, 7), (30, 20), (9, 5),
+                (15, 2), (1, 0), (7, 6), (6, 2),
+            ]
+        }
+    )
+    totals = check_optimal(
+        benchmark, program, parse_query("?- q(X, Y)."), edb
+    )
+    assert totals["pred,qrp,mg"] <= totals["qrp,mg"]

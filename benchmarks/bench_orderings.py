@@ -1,0 +1,108 @@
+"""Examples D.1 and D.2: non-confluence of qrp and constraint magic.
+
+D.1 (Example 7.1's program, free query): ``P^{qrp,mg}`` restricts the
+magic rule for ``a2`` with ``X <= 4`` and computes strictly fewer facts
+than ``P^{mg,qrp}``.
+
+D.2 (Example 7.2's program, bound query violating ``X <= 4``):
+``P^{mg,qrp}`` pushes the constraint into the magic rule for ``a1``
+where the query constant kills it, and computes strictly fewer facts
+than ``P^{qrp,mg}``.
+"""
+
+from repro.core.pipeline import (
+    apply_sequence,
+    evaluate_pipeline,
+    query_answers,
+)
+from repro.engine import Database
+from repro.lang.parser import parse_query
+
+from benchmarks.conftest import record_rows
+
+
+def run_both(program, query, edb):
+    first = evaluate_pipeline(
+        apply_sequence(program, query, ["qrp", "mg"]), edb, query
+    )
+    second = evaluate_pipeline(
+        apply_sequence(program, query, ["mg", "qrp"]), edb, query
+    )
+    return first, second
+
+
+def test_d1_qrp_first_wins(benchmark, example_71_program, graph_edb_71):
+    query = parse_query("?- q(X, Y).")
+
+    first, second = benchmark(
+        lambda: run_both(example_71_program, query, graph_edb_71)
+    )
+    qrp_mg = first.facts_excluding_edb(graph_edb_71)
+    mg_qrp = second.facts_excluding_edb(graph_edb_71)
+    record_rows(
+        benchmark,
+        [{"P^{qrp,mg}": qrp_mg, "P^{mg,qrp}": mg_qrp}],
+    )
+    assert qrp_mg < mg_qrp
+    assert query_answers(first, query) == query_answers(second, query)
+
+
+def test_d2_mg_first_wins(benchmark, example_72_program):
+    query = parse_query("?- q(7, Y).")
+    edb = Database.from_ground(
+        {
+            "b1": [(7, 100), (2, 0)],
+            "b2": [(100 + i, 101 + i) for i in range(12)] + [(0, 1)],
+        }
+    )
+
+    first, second = benchmark(
+        lambda: run_both(example_72_program, query, edb)
+    )
+    qrp_mg = first.facts_excluding_edb(edb)
+    mg_qrp = second.facts_excluding_edb(edb)
+    record_rows(
+        benchmark,
+        [{"P^{qrp,mg}": qrp_mg, "P^{mg,qrp}": mg_qrp}],
+    )
+    assert mg_qrp < qrp_mg
+    assert query_answers(first, query) == query_answers(second, query)
+
+
+def test_d1_gap_grows_with_chain_length(
+    benchmark, example_71_program
+):
+    """Parameter sweep: the D.1 gap scales with the pruned chain."""
+
+    def sweep():
+        gaps = []
+        query = parse_query("?- q(X, Y).")
+        for length in (4, 8, 16):
+            edb = Database.from_ground(
+                {
+                    "b1": [(9, 100), (1, 0)],
+                    "b2": [(100 + i, 101 + i) for i in range(length)]
+                    + [(0, 1)],
+                }
+            )
+            first, second = run_both(example_71_program, query, edb)
+            gaps.append(
+                (
+                    length,
+                    first.facts_excluding_edb(edb),
+                    second.facts_excluding_edb(edb),
+                )
+            )
+        return gaps
+
+    gaps = benchmark(sweep)
+    record_rows(
+        benchmark,
+        [
+            {"chain": length, "P^{qrp,mg}": a, "P^{mg,qrp}": b}
+            for length, a, b in gaps
+        ],
+    )
+    differences = [b - a for __, a, b in gaps]
+    assert differences == sorted(differences)
+    assert differences[-1] > differences[0]

@@ -1,0 +1,59 @@
+"""Theorems 7.4-7.6/7.9: repeated rewritings are redundant.
+
+Besides the semantic equality (tested in the integration suite), this
+benchmark shows the *cost* argument: applying pred/qrp twice pays twice
+the transformation cost for an identical program.
+"""
+
+from repro.core.pipeline import apply_sequence, evaluate_pipeline
+from repro.engine import Database
+from repro.lang.parser import parse_query
+
+from benchmarks.conftest import record_rows
+
+
+def totals(program, query, edb, sequence):
+    pipeline = apply_sequence(program, query, sequence)
+    evaluation = evaluate_pipeline(pipeline, edb, query)
+    return evaluation.facts_excluding_edb(edb)
+
+
+def test_single_vs_double_qrp(
+    benchmark, example_71_program, graph_edb_71
+):
+    query = parse_query("?- q(X, Y).")
+
+    def run():
+        once = totals(example_71_program, query, graph_edb_71, ["qrp"])
+        twice = totals(
+            example_71_program, query, graph_edb_71, ["qrp", "qrp"]
+        )
+        return once, twice
+
+    once, twice = benchmark(run)
+    record_rows(benchmark, [{"qrp": once, "qrp,qrp": twice}])
+    assert once == twice
+
+
+def test_full_alternation_vs_minimal(
+    benchmark, example_71_program, graph_edb_71
+):
+    query = parse_query("?- q(X, Y).")
+
+    def run():
+        minimal = totals(
+            example_71_program, query, graph_edb_71,
+            ["pred", "qrp", "mg"],
+        )
+        padded = totals(
+            example_71_program, query, graph_edb_71,
+            ["pred", "qrp", "pred", "qrp", "pred", "mg"],
+        )
+        return minimal, padded
+
+    minimal, padded = benchmark(run)
+    record_rows(
+        benchmark,
+        [{"pred,qrp,mg": minimal, "padded sequence": padded}],
+    )
+    assert minimal == padded

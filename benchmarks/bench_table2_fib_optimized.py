@@ -1,0 +1,62 @@
+"""Table 2: ``P_fib^{mg}_1`` -- predicate constraints make it terminate.
+
+The same query after ``Gen_Prop_predicate_constraints`` pushes
+``$2 >= 1`` into the recursive rule: the evaluation terminates right
+after producing the answer, with the bounded magic constraints the
+paper prints (``V1 >= 1, V1 <= 4`` etc.).
+"""
+
+from repro.engine import evaluate
+from repro.workloads.fib import fib_magic_program
+
+from benchmarks.conftest import record_rows
+
+
+def run_table2():
+    magic = fib_magic_program(5, optimized=True)
+    return evaluate(magic.program, max_iterations=30)
+
+
+def test_table2_regeneration(benchmark):
+    result = benchmark(run_table2)
+    assert result.reached_fixpoint
+    assert result.stats.iterations <= 10
+    rows = [
+        {
+            "iteration": log.number,
+            "derivations": [str(d) for d in log.derivations],
+        }
+        for log in result.iterations
+    ]
+    record_rows(benchmark, rows)
+    assert "$2 >= 1 & $2 <= 4" in rows[1]["derivations"][0]
+    assert any("fib(4, 5)" in d for d in rows[7]["derivations"])
+    # No fib fact beyond the answer (contrast with Table 1's fib(5,8)).
+    assert all("fib(5" not in d for row in rows for d in row["derivations"])
+
+
+def test_table2_no_answer_query_terminates(benchmark):
+    def run():
+        magic = fib_magic_program(6, optimized=True)
+        return evaluate(magic.program, max_iterations=40)
+
+    result = benchmark(run)
+    assert result.reached_fixpoint
+    assert not any(fact.args[1] == 6 for fact in result.facts("fib"))
+
+
+def test_rewrite_cost_itself(benchmark):
+    """How long the transformation (not the evaluation) takes."""
+    from repro.workloads.fib import (
+        fib_predicate_constraint,
+        fib_program,
+    )
+    from repro.core.predconstraints import gen_prop_predicate_constraints
+
+    def transform():
+        return gen_prop_predicate_constraints(
+            fib_program(), given={"fib": fib_predicate_constraint()}
+        )
+
+    program, constraints, __ = benchmark(transform)
+    assert "fib" in constraints

@@ -1,0 +1,115 @@
+"""Shared benchmark fixtures and the paper-row reporting helper.
+
+Every benchmark regenerates one of the paper's tables/figures/examples.
+Absolute timings are machine-dependent; the *shape* assertions (who
+computes fewer facts, what terminates, where the crossover falls) are
+checked inside the benchmarks themselves, and each benchmark attaches
+the regenerated rows to ``benchmark.extra_info`` so
+``pytest benchmarks/ --benchmark-only`` output carries them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Database
+from repro.lang.parser import parse_program, parse_query
+
+
+@pytest.fixture(scope="session")
+def flights_program():
+    from repro.workloads.flights import flights_program as build
+
+    return build()
+
+
+@pytest.fixture(scope="session")
+def example_41_program():
+    return parse_program(
+        """
+        q(X) :- p1(X, Y), p2(Y), X + Y <= 6, X >= 2.
+        p1(X, Y) :- b1(X, Y).
+        p2(X) :- b2(X).
+        """
+    ).relabeled()
+
+
+@pytest.fixture(scope="session")
+def example_51_program():
+    return parse_program(
+        """
+        q(X, Y) :- a(X, Y), X <= 10, Y <= X.
+        a(X, Y) :- p(X, Y), Y <= X.
+        a(X, Y) :- a(X, Z), Z <= X, a(Z, Y), Y <= Z.
+        """
+    ).relabeled()
+
+
+@pytest.fixture(scope="session")
+def example_71_program():
+    return parse_program(
+        """
+        q(X, Y) :- a1(X, Y), X <= 4.
+        a1(X, Y) :- b1(X, Z), a2(Z, Y).
+        a2(X, Y) :- b2(X, Y).
+        a2(X, Y) :- b2(X, Z), a2(Z, Y).
+        """
+    ).relabeled()
+
+
+@pytest.fixture(scope="session")
+def example_72_program():
+    return parse_program(
+        """
+        q(X, Y) :- a1(X, Y).
+        a1(X, Y) :- b1(X, Z), X <= 4, a2(Z, Y).
+        a2(X, Y) :- b2(X, Y).
+        a2(X, Y) :- b2(X, Z), a2(Z, Y).
+        """
+    ).relabeled()
+
+
+@pytest.fixture(scope="session")
+def graph_edb_71():
+    """A b1/b2 EDB where the X <= 4 selection is strongly selective."""
+    b1 = [(9, 100), (8, 200), (1, 0), (3, 300)]
+    chain = [(100 + i, 101 + i) for i in range(12)]
+    chain += [(200 + i, 201 + i) for i in range(12)]
+    chain += [(0, 1), (1, 2), (300, 301)]
+    return Database.from_ground({"b1": b1, "b2": chain})
+
+
+_COLLECTED_ROWS: dict[str, list[dict]] = {}
+
+
+def record_rows(benchmark, rows: list[dict]) -> None:
+    """Attach regenerated table rows to the benchmark report.
+
+    The rows also land in the terminal summary, so running
+    ``pytest benchmarks/ --benchmark-only`` prints the regenerated
+    paper tables alongside the timings.
+    """
+    benchmark.extra_info["rows"] = rows
+    name = getattr(benchmark, "name", None) or "benchmark"
+    _COLLECTED_ROWS[name] = rows
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _COLLECTED_ROWS:
+        return
+    write = terminalreporter.write_line
+    terminalreporter.section("regenerated paper rows")
+    for name in sorted(_COLLECTED_ROWS):
+        write(f"{name}:")
+        for row in _COLLECTED_ROWS[name]:
+            if "derivations" in row and isinstance(
+                row.get("derivations"), list
+            ):
+                write(f"  iteration {row.get('iteration')}:")
+                for entry in row["derivations"]:
+                    write(f"    {entry}")
+            else:
+                rendered = ", ".join(
+                    f"{key}={value}" for key, value in row.items()
+                )
+                write(f"  {rendered}")

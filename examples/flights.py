@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""The flights scenario (Examples 1.1 and 4.3): pruning irrelevant legs.
+
+``cheaporshort`` asks for flights that are short (<= 240 minutes) or
+cheap (<= $150); ``flight`` composes single legs transitively.  Without
+optimization, bottom-up evaluation composes *every* pair of legs --
+including legs that are both slow and expensive and can never matter.
+
+``Constraint_rewrite`` infers the minimum predicate constraints
+(every flight has positive time and cost), then the minimum QRP
+constraints (every query-relevant flight is short or cheap), and pushes
+them into the definition of ``flight``: the rewritten program provably
+never computes a flight with time > 240 *and* cost > 150, while
+computing only ground facts and the same answers (Theorem 4.4).
+
+Run:  python examples/flights.py [n_layers] [width]
+"""
+
+import sys
+
+from repro import constraint_rewrite, evaluate, parse_query
+from repro.engine.query import answers
+from repro.workloads.flights import flight_network, flights_program
+
+
+def main(n_layers: int = 4, width: int = 3) -> None:
+    program = flights_program()
+    print("Original program (Example 1.1):")
+    print(program)
+    print()
+
+    rewrite = constraint_rewrite(program, "cheaporshort")
+    print("Inferred minimum predicate constraint for flight:")
+    print(f"  {rewrite.predicate_constraints['flight']}")
+    print("Inferred minimum QRP constraint for flight:")
+    print(f"  {rewrite.qrp_constraints['flight']}")
+    print()
+    print("Rewritten program (Example 4.3):")
+    print(rewrite.program)
+    print()
+
+    network = flight_network(
+        n_layers=n_layers, width=width, expensive_fraction=0.4, seed=42
+    )
+    print(
+        f"Workload: {n_layers} layers x {width} cities, "
+        f"{len(network.legs)} single legs "
+        f"({sum(1 for leg in network.legs if leg[2] > 240 and leg[3] > 150)}"
+        f" slow-and-expensive)"
+    )
+    original = evaluate(program, network.database, max_iterations=60)
+    optimized = evaluate(
+        rewrite.program, network.database, max_iterations=60
+    )
+
+    def irrelevant(result):
+        return sum(
+            1
+            for fact in result.facts("flight")
+            if fact.args[2] > 240 and fact.args[3] > 150
+        )
+
+    print(f"original : {original.stats.summary()}")
+    print(f"  flight facts: {original.count('flight')}, "
+          f"irrelevant (T>240 & C>150): {irrelevant(original)}")
+    print(f"optimized: {optimized.stats.summary()}")
+    print(f"  flight facts: {optimized.count('flight')}, "
+          f"irrelevant (T>240 & C>150): {irrelevant(optimized)}")
+    assert irrelevant(optimized) == 0
+    assert all(
+        fact.is_ground() for fact in optimized.database.all_facts()
+    )
+
+    query = parse_query(
+        f"?- cheaporshort({network.source}, {network.destination}, T, C)."
+    )
+    original_answers = {
+        str(fact) for fact in answers(original.database, query)
+    }
+    optimized_answers = {
+        str(fact) for fact in answers(optimized.database, query)
+    }
+    assert original_answers == optimized_answers
+    print(f"\nQuery {query}")
+    print(f"answers ({len(optimized_answers)}, identical on both): ")
+    for answer in sorted(optimized_answers):
+        print(f"  {answer}")
+
+
+if __name__ == "__main__":
+    layer_count = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    layer_width = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    main(layer_count, layer_width)

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Ordering constraint propagation and Magic Templates (Section 7).
+
+The two rewritings are *not confluent*: on Example 7.1's program,
+propagating QRP constraints before the magic rewriting
+(``P^{qrp,mg}``) restricts the magic rules and computes fewer facts;
+on Example 7.2's program, the query constant must first flow through
+the magic rewriting before the constraint ``X <= 4`` can reach the
+magic seed rule, so ``P^{mg,qrp}`` wins.  Theorem 7.10 resolves the
+tension: ``pred, qrp, mg`` is optimal among all sequences applying
+magic once -- which this script verifies by enumeration on both
+programs.
+
+Run:  python examples/orderings.py
+"""
+
+from repro import parse_program, parse_query
+from repro.core.pipeline import (
+    apply_sequence,
+    compare_sequences,
+    evaluate_pipeline,
+    query_answers,
+)
+from repro.engine import Database
+from repro.workloads.graphs import random_edges
+
+
+EXAMPLE_71 = """
+q(X, Y) :- a1(X, Y), X <= 4.
+a1(X, Y) :- b1(X, Z), a2(Z, Y).
+a2(X, Y) :- b2(X, Y).
+a2(X, Y) :- b2(X, Z), a2(Z, Y).
+"""
+
+EXAMPLE_72 = """
+q(X, Y) :- a1(X, Y).
+a1(X, Y) :- b1(X, Z), X <= 4, a2(Z, Y).
+a2(X, Y) :- b2(X, Y).
+a2(X, Y) :- b2(X, Z), a2(Z, Y).
+"""
+
+SEQUENCES = [
+    ("mg",),
+    ("qrp", "mg"),
+    ("mg", "qrp"),
+    ("pred", "qrp", "mg"),
+    ("pred", "mg", "qrp"),
+    ("mg", "pred", "qrp"),
+]
+
+
+def run(name: str, text: str, query_text: str, seed: int) -> None:
+    program = parse_program(text)
+    query = parse_query(query_text)
+    edb = Database.from_ground(
+        {
+            "b1": random_edges(18, max_node=10, seed=seed),
+            "b2": random_edges(18, max_node=10, seed=seed + 1),
+        }
+    )
+    print(f"=== {name}, query {query} ===")
+    results = compare_sequences(program, query, SEQUENCES, edb)
+    answer_sets = set()
+    rows = sorted(
+        results.items(),
+        key=lambda item: item[1].facts_excluding_edb(edb),
+    )
+    for sequence, evaluation in rows:
+        answer_sets.add(
+            frozenset(query_answers(evaluation, query))
+        )
+        print(
+            f"  P^{{{','.join(sequence)}}}: "
+            f"{evaluation.facts_excluding_edb(edb):4d} facts, "
+            f"{evaluation.derivations:4d} derivations"
+        )
+    assert len(answer_sets) == 1, "all orderings are query-equivalent"
+    best = rows[0][1].facts_excluding_edb(edb)
+    optimal = results[("pred", "qrp", "mg")].facts_excluding_edb(edb)
+    assert optimal == best, "Theorem 7.10: pred,qrp,mg is optimal"
+    print(f"  -> pred,qrp,mg matches the minimum ({optimal} facts)\n")
+
+
+def main() -> None:
+    # Example 7.1 / D.1: qrp-first wins.
+    run("Example 7.1 (qrp before mg wins)", EXAMPLE_71,
+        "?- q(X, Y).", seed=11)
+    # Example 7.2 / D.2: with a selective query constant, mg-first wins
+    # among the two-step orderings (the constant 7 violates X <= 4, so
+    # the constraint-enriched magic seed prunes everything).
+    run("Example 7.2 (mg before qrp wins)", EXAMPLE_72,
+        "?- q(7, Y).", seed=23)
+
+
+if __name__ == "__main__":
+    main()

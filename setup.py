@@ -1,0 +1,7 @@
+"""Legacy setup shim so ``pip install -e .`` works without the ``wheel``
+package (PEP 660 editable builds require it; ``setup.py develop`` does not).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,131 @@
+"""repro: a reproduction of *Pushing Constraint Selections*.
+
+Srivastava & Ramakrishnan, PODS 1992 (full version JLP 16:361-414, 1993).
+
+The library optimizes constraint-query-language (CQL) programs --
+Datalog with linear arithmetic constraints in rule bodies -- by pushing
+constraint selections through rules so that bottom-up evaluation
+computes only query-relevant facts, and by combining that with Magic
+Templates in the provably-optimal order.
+
+Quick tour::
+
+    from repro import parse_program, constraint_rewrite, evaluate, Database
+
+    program = parse_program('''
+        q(X) :- p1(X, Y), p2(Y), X + Y <= 6, X >= 2.
+        p1(X, Y) :- b1(X, Y).
+        p2(X) :- b2(X).
+    ''')
+    rewritten = constraint_rewrite(program, "q").program
+    result = evaluate(rewritten, Database.from_ground({
+        "b1": [(2, 3), (9, 9)], "b2": [(3,), (9,)],
+    }))
+    print(result.facts("q"))
+
+Subpackages: :mod:`repro.constraints` (exact linear-arithmetic solver),
+:mod:`repro.lang` (CQL AST + parser), :mod:`repro.engine` (bottom-up
+fixpoint over constraint facts), :mod:`repro.transform` (fold/unfold),
+:mod:`repro.magic` (Magic Templates, constraint magic, GMT),
+:mod:`repro.core` (the paper's rewriting procedures),
+:mod:`repro.workloads` (synthetic EDB generators).
+"""
+
+from repro.constraints import (
+    Atom,
+    Conjunction,
+    ConstraintSet,
+    LinearExpr,
+    Op,
+)
+from repro.core.pipeline import (
+    apply_sequence,
+    compare_sequences,
+    evaluate_pipeline,
+)
+from repro.core.predconstraints import (
+    gen_predicate_constraints,
+    gen_prop_predicate_constraints,
+    is_predicate_constraint,
+)
+from repro.core.qrp import gen_prop_qrp_constraints, gen_qrp_constraints
+from repro.core.rewrite import RewriteResult, constraint_rewrite
+from repro.engine import Database, EvaluationResult, evaluate
+from repro.engine.query import answers
+from repro.lang import (
+    Literal,
+    Program,
+    Query,
+    Rule,
+    parse_program,
+    parse_query,
+    parse_rule,
+)
+from repro.core.inspect import describe, render_description
+from repro.core.relevance import relevance_ratio, relevance_report
+from repro.engine.provenance import derivation_tree, explain
+from repro.engine.report import (
+    render_comparison,
+    render_derivation_table,
+)
+from repro.core.widening import (
+    gen_predicate_constraints_widened,
+    gen_prop_predicate_constraints_widened,
+)
+from repro.driver import answer_query, optimize, run_text
+from repro.magic.bcf import bcf_adorn
+from repro.magic.gmt import gmt_transform
+from repro.magic.templates import (
+    constraint_magic,
+    magic_rewrite,
+    magic_templates_full,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "Conjunction",
+    "ConstraintSet",
+    "LinearExpr",
+    "Op",
+    "Literal",
+    "Program",
+    "Query",
+    "Rule",
+    "parse_program",
+    "parse_query",
+    "parse_rule",
+    "Database",
+    "evaluate",
+    "EvaluationResult",
+    "answers",
+    "constraint_rewrite",
+    "RewriteResult",
+    "gen_predicate_constraints",
+    "gen_prop_predicate_constraints",
+    "is_predicate_constraint",
+    "gen_qrp_constraints",
+    "gen_prop_qrp_constraints",
+    "magic_templates_full",
+    "constraint_magic",
+    "magic_rewrite",
+    "apply_sequence",
+    "evaluate_pipeline",
+    "compare_sequences",
+    "relevance_report",
+    "relevance_ratio",
+    "gen_predicate_constraints_widened",
+    "gen_prop_predicate_constraints_widened",
+    "answer_query",
+    "optimize",
+    "run_text",
+    "bcf_adorn",
+    "gmt_transform",
+    "describe",
+    "render_description",
+    "derivation_tree",
+    "explain",
+    "render_derivation_table",
+    "render_comparison",
+]

@@ -1,0 +1,145 @@
+"""Command-line interface: ``python -m repro program.cql``.
+
+The file contains CQL rules, ground facts, and one or more queries::
+
+    % flights.cql
+    cheaporshort(S, D, T, C) :- flight(S, D, T, C), T <= 240.
+    ...
+    singleleg(madison, chicago, 50, 100).
+    ?- cheaporshort(madison, seattle, T, C).
+
+Options select the optimization strategy (Section 7's vocabulary) and
+diagnostics (rewritten program, per-iteration derivation trace,
+evaluation statistics).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.driver import STRATEGIES, run_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Optimize and evaluate constraint-query-language programs "
+            "(Srivastava & Ramakrishnan, 'Pushing Constraint "
+            "Selections', PODS 1992)."
+        ),
+    )
+    parser.add_argument(
+        "file",
+        help="program file with rules, ground facts and ?- queries "
+        "('-' for stdin)",
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="rewrite",
+        help="transformation pipeline to apply (default: rewrite = "
+        "the paper's Constraint_rewrite)",
+    )
+    parser.add_argument(
+        "--max-iterations",
+        type=int,
+        default=50,
+        help="cap for the constraint-inference fixpoints (default 50)",
+    )
+    parser.add_argument(
+        "--eval-iterations",
+        type=int,
+        default=200,
+        help="cap for the bottom-up evaluation (default 200)",
+    )
+    parser.add_argument(
+        "--show-program",
+        action="store_true",
+        help="print the optimized program before evaluating",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the per-iteration derivation log",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print evaluation statistics",
+    )
+    parser.add_argument(
+        "--describe",
+        action="store_true",
+        help="print the static program analysis (SCCs, range "
+        "restriction, inferred constraints) and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    arguments = build_parser().parse_args(argv)
+    if arguments.file == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(arguments.file) as handle:
+                text = handle.read()
+        except OSError as error:
+            print(f"repro: {error}", file=sys.stderr)
+            return 2
+    if arguments.describe:
+        from repro.core.inspect import describe, render_description
+        from repro.driver import split_edb
+        from repro.lang.parser import parse_program_and_queries
+
+        try:
+            program, queries = parse_program_and_queries(text)
+        except ValueError as error:
+            print(f"repro: {error}", file=sys.stderr)
+            return 2
+        rules, __ = split_edb(program)
+        query_pred = (
+            queries[0].literal.pred if queries else None
+        )
+        print(render_description(describe(rules, query_pred)))
+        return 0
+    try:
+        outcomes = run_text(
+            text,
+            strategy=arguments.strategy,
+            max_iterations=arguments.max_iterations,
+            eval_iterations=arguments.eval_iterations,
+        )
+    except ValueError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
+    status = 0
+    for outcome in outcomes:
+        print(f"?- {outcome.query.literal}.")
+        if arguments.show_program:
+            print("-- optimized program "
+                  f"(strategy={outcome.strategy}) --")
+            print(outcome.program)
+            print("--")
+        if arguments.trace:
+            print(outcome.result.trace())
+        for note in outcome.notes:
+            print(f"note: {note}", file=sys.stderr)
+        if outcome.answers:
+            for answer in outcome.answer_strings:
+                print(f"  {answer}")
+        else:
+            print("  no")
+        if arguments.stats:
+            print(f"  [{outcome.result.stats.summary()}]")
+        if not outcome.result.reached_fixpoint:
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Linear arithmetic constraint substrate.
+
+This package implements the constraint domain of the paper: linear
+arithmetic constraints ``a1*X1 + ... + an*Xn op c`` with ``op`` one of
+``<``, ``<=``, ``=``, ``>=``, ``>`` (Definition 2.1), conjunctions of such
+constraints with exact satisfiability and quantifier elimination
+(Gaussian elimination for equalities plus Fourier-Motzkin for
+inequalities), and *constraint sets* -- disjunctions of conjunctions
+(Definition 2.3) -- with the implication test the paper writes
+``C1 (implies) C2``.
+
+All arithmetic is exact (``fractions.Fraction``), which the paper's
+correctness proofs require ("quantifier elimination of linear arithmetic
+constraint sets can be done exactly").
+"""
+
+from repro.constraints.linexpr import LinearExpr
+from repro.constraints.atom import Atom, Op
+from repro.constraints.conjunction import Conjunction
+from repro.constraints.cset import ConstraintSet
+from repro.constraints.project import eliminate_variables
+from repro.constraints.disjoint import make_disjoint
+
+__all__ = [
+    "LinearExpr",
+    "Atom",
+    "Op",
+    "Conjunction",
+    "ConstraintSet",
+    "eliminate_variables",
+    "make_disjoint",
+]

@@ -1,0 +1,235 @@
+"""Atomic linear arithmetic constraints (Definition 2.1).
+
+An :class:`Atom` is a constraint ``expr op 0`` in *normalized* form:
+
+* ``op`` is one of ``<=``, ``<`` or ``=`` (``>=``/``>`` are normalized by
+  negating the expression at construction);
+* the expression's coefficients are scaled to coprime integers with the
+  lexicographically-first variable's coefficient positive (for ``=``) --
+  scaling for inequalities keeps the direction, i.e. only positive
+  factors are applied.
+
+Normalization makes syntactically-different spellings of the same
+constraint (``2X <= 4`` vs ``X <= 2``) compare and hash equal, which the
+fact-dedup machinery of the evaluation engine relies on.
+"""
+
+from __future__ import annotations
+
+import enum
+from fractions import Fraction
+from functools import reduce
+from math import gcd
+from typing import Mapping
+
+from repro.constraints.linexpr import Coefficient, LinearExpr
+
+
+class Op(enum.Enum):
+    """Comparison operator of a normalized atom (``expr op 0``)."""
+
+    LE = "<="
+    LT = "<"
+    EQ = "="
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+_NEGATIONS = {Op.LE: Op.LT, Op.LT: Op.LE}
+
+_INPUT_OPS = {
+    "<=": (Op.LE, False),
+    "<": (Op.LT, False),
+    "=": (Op.EQ, False),
+    "==": (Op.EQ, False),
+    ">=": (Op.LE, True),
+    ">": (Op.LT, True),
+}
+
+
+def _normalize_scale(expr: LinearExpr, op: Op) -> tuple[LinearExpr, Op]:
+    """Scale coefficients to coprime integers; fix sign for equalities."""
+    values = [expr.constant, *expr.coeffs.values()]
+    denominators = [value.denominator for value in values]
+    lcm = reduce(lambda a, b: a * b // gcd(a, b), denominators, 1)
+    scaled = expr * lcm
+    numerators = [
+        abs(value.numerator)
+        for value in (scaled.constant, *scaled.coeffs.values())
+        if value != 0
+    ]
+    if numerators:
+        divisor = reduce(gcd, numerators)
+        if divisor > 1:
+            scaled = scaled * Fraction(1, divisor)
+    if op is Op.EQ:
+        terms = scaled.sorted_terms()
+        if terms and terms[0][1] < 0:
+            scaled = -scaled
+        elif not terms and scaled.constant < 0:
+            scaled = -scaled
+    return scaled, op
+
+
+class Atom:
+    """A normalized linear arithmetic constraint ``expr op 0``."""
+
+    __slots__ = ("_expr", "_op", "_hash")
+
+    def __init__(self, expr: LinearExpr, op: Op) -> None:
+        if not isinstance(op, Op):
+            raise TypeError(f"op must be an Op, got {op!r}")
+        self._expr, self._op = _normalize_scale(expr, op)
+        self._hash: int | None = None
+
+    # -- constructors -------------------------------------------------
+
+    @staticmethod
+    def make(lhs: LinearExpr, op_symbol: str, rhs: LinearExpr) -> "Atom":
+        """Build an atom from ``lhs op rhs`` with any of the five operators."""
+        try:
+            op, flip = _INPUT_OPS[op_symbol]
+        except KeyError:
+            raise ValueError(f"unknown comparison operator {op_symbol!r}")
+        expr = lhs - rhs
+        if flip:
+            expr = -expr
+        return Atom(expr, op)
+
+    @staticmethod
+    def le(lhs: LinearExpr, rhs: LinearExpr) -> "Atom":
+        """Shorthand for ``lhs <= rhs``."""
+        return Atom.make(lhs, "<=", rhs)
+
+    @staticmethod
+    def lt(lhs: LinearExpr, rhs: LinearExpr) -> "Atom":
+        """Shorthand for ``lhs < rhs``."""
+        return Atom.make(lhs, "<", rhs)
+
+    @staticmethod
+    def eq(lhs: LinearExpr, rhs: LinearExpr) -> "Atom":
+        """Shorthand for ``lhs = rhs``."""
+        return Atom.make(lhs, "=", rhs)
+
+    @staticmethod
+    def ge(lhs: LinearExpr, rhs: LinearExpr) -> "Atom":
+        """Shorthand for ``lhs >= rhs``."""
+        return Atom.make(lhs, ">=", rhs)
+
+    @staticmethod
+    def gt(lhs: LinearExpr, rhs: LinearExpr) -> "Atom":
+        """Shorthand for ``lhs > rhs``."""
+        return Atom.make(lhs, ">", rhs)
+
+    # -- inspection ---------------------------------------------------
+
+    @property
+    def expr(self) -> LinearExpr:
+        """The normalized left-hand expression (``expr op 0``)."""
+        return self._expr
+
+    @property
+    def op(self) -> Op:
+        """The normalized comparison operator."""
+        return self._op
+
+    def variables(self) -> frozenset[str]:
+        """The variable names occurring in this object."""
+        return self._expr.variables()
+
+    def is_ground(self) -> bool:
+        """True when the atom mentions no variables."""
+        return self._expr.is_constant()
+
+    def truth_value(self) -> bool | None:
+        """``True``/``False`` for ground atoms, ``None`` otherwise."""
+        if not self.is_ground():
+            return None
+        constant = self._expr.constant
+        if self._op is Op.LE:
+            return constant <= 0
+        if self._op is Op.LT:
+            return constant < 0
+        return constant == 0
+
+    def is_equality(self) -> bool:
+        """Is this an equality atom?"""
+        return self._op is Op.EQ
+
+    # -- logic --------------------------------------------------------
+
+    def negations(self) -> tuple["Atom", ...]:
+        """Atoms whose disjunction is the negation of this atom.
+
+        ``not (e <= 0)`` is ``-e < 0``; ``not (e < 0)`` is ``-e <= 0``;
+        ``not (e = 0)`` is ``e < 0 or -e < 0``.
+        """
+        if self._op is Op.EQ:
+            return (Atom(self._expr, Op.LT), Atom(-self._expr, Op.LT))
+        return (Atom(-self._expr, _NEGATIONS[self._op]),)
+
+    def substitute(self, bindings: Mapping[str, LinearExpr]) -> "Atom":
+        """Substitute expressions for variables."""
+        return Atom(self._expr.substitute(bindings), self._op)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Atom":
+        """Rename variables."""
+        return Atom(self._expr.rename(mapping), self._op)
+
+    def satisfied_by(self, assignment: Mapping[str, Coefficient]) -> bool:
+        """Evaluate the atom under a total assignment."""
+        value = self._expr.evaluate(assignment)
+        if self._op is Op.LE:
+            return value <= 0
+        if self._op is Op.LT:
+            return value < 0
+        return value == 0
+
+    # -- comparisons ----------------------------------------------------
+
+    def _key(self) -> tuple:
+        return (self._op, self._expr)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Atom):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._key())
+        return self._hash
+
+    def sort_key(self) -> tuple:
+        """A deterministic ordering key."""
+        return (
+            self._op.value,
+            tuple(self._expr.sorted_terms()),
+            self._expr.constant,
+        )
+
+    def __repr__(self) -> str:
+        return f"Atom({self})"
+
+    def __str__(self) -> str:
+        terms = self._expr.sorted_terms()
+        op_symbol = self._op.value
+        expr = self._expr
+        if self._op is not Op.EQ and terms and all(
+            coeff < 0 for _, coeff in terms
+        ):
+            # Display "-X < -c" as the friendlier "X > c".
+            expr = -expr
+            op_symbol = ">" if self._op is Op.LT else ">="
+            terms = expr.sorted_terms()
+        lhs = LinearExpr(dict(terms))
+        rhs = -LinearExpr.const(expr.constant)
+        return f"{lhs} {op_symbol} {rhs}"
+
+
+TRUE_ATOM = Atom(LinearExpr.zero(), Op.LE)
+"""A trivially-true atom (``0 <= 0``)."""
+
+FALSE_ATOM = Atom(LinearExpr.const(1), Op.LE)
+"""A trivially-false atom (``1 <= 0``)."""

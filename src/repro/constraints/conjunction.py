@@ -1,0 +1,313 @@
+"""Conjunctions of linear arithmetic constraints.
+
+A :class:`Conjunction` is an immutable set of :class:`~repro.constraints.atom.Atom`
+values interpreted conjunctively.  It supports the operations a CQL
+bottom-up evaluator needs (Section 2 of the paper):
+
+* exact satisfiability,
+* projection onto a variable subset (existential quantifier elimination),
+* implication tests against atoms, conjunctions and DNF constraint sets,
+* extraction of forced ground values (used to recognize when a
+  "constraint fact" is really a ground fact),
+* canonicalization for cheap syntactic deduplication.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+from repro.constraints.atom import FALSE_ATOM, Atom, Op
+from repro.constraints.linexpr import Coefficient, LinearExpr
+from repro.constraints.project import (
+    eliminate_variables,
+    is_satisfiable,
+    prune_parallel,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.constraints.cset import ConstraintSet
+
+
+class Conjunction:
+    """An immutable conjunction of normalized atoms."""
+
+    __slots__ = ("_atoms", "_hash", "_sat")
+
+    def __init__(self, atoms: Iterable[Atom] = ()) -> None:
+        kept = []
+        seen: set[Atom] = set()
+        false = False
+        for atom in atoms:
+            truth = atom.truth_value()
+            if truth is True:
+                continue
+            if truth is False:
+                false = True
+                kept = []
+                break
+            if atom not in seen:
+                seen.add(atom)
+                kept.append(atom)
+        if false:
+            kept = [FALSE_ATOM]
+        self._atoms: tuple[Atom, ...] = tuple(
+            sorted(kept, key=Atom.sort_key)
+        )
+        self._hash: int | None = None
+        self._sat: bool | None = False if false else None
+
+    # -- constructors -------------------------------------------------
+
+    @staticmethod
+    def true() -> "Conjunction":
+        """The trivially-true value."""
+        return _TRUE
+
+    @staticmethod
+    def false() -> "Conjunction":
+        """The trivially-false value."""
+        return _FALSE
+
+    # -- inspection ---------------------------------------------------
+
+    @property
+    def atoms(self) -> tuple[Atom, ...]:
+        """The normalized atoms, deterministically ordered."""
+        return self._atoms
+
+    def variables(self) -> frozenset[str]:
+        """The variable names occurring in this object."""
+        result: set[str] = set()
+        for atom in self._atoms:
+            result |= atom.variables()
+        return frozenset(result)
+
+    def is_true(self) -> bool:
+        """Syntactically true (no atoms)."""
+        return not self._atoms
+
+    def is_satisfiable(self) -> bool:
+        """Exact satisfiability over the rationals (cached)."""
+        if self._sat is None:
+            self._sat = is_satisfiable(self._atoms)
+        return self._sat
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __iter__(self):
+        return iter(self._atoms)
+
+    # -- construction -------------------------------------------------
+
+    def conjoin(self, other: "Conjunction | Iterable[Atom]") -> "Conjunction":
+        """Conjunction with more atoms or another conjunction."""
+        if isinstance(other, Conjunction):
+            extra: Sequence[Atom] = other._atoms
+        else:
+            extra = tuple(other)
+        return Conjunction((*self._atoms, *extra))
+
+    def add(self, atom: Atom) -> "Conjunction":
+        """Conjunction with one more atom."""
+        return Conjunction((*self._atoms, atom))
+
+    def rename(self, mapping: Mapping[str, str]) -> "Conjunction":
+        """Rename variables."""
+        return Conjunction(atom.rename(mapping) for atom in self._atoms)
+
+    def substitute(
+        self, bindings: Mapping[str, LinearExpr]
+    ) -> "Conjunction":
+        """Substitute expressions for variables."""
+        return Conjunction(atom.substitute(bindings) for atom in self._atoms)
+
+    # -- projection ----------------------------------------------------
+
+    def project(self, keep: Iterable[str]) -> "Conjunction":
+        """Project onto ``keep``: exact existential quantifier elimination.
+
+        Returns the *false* conjunction when unsatisfiable.
+        """
+        keep_set = set(keep)
+        elim = self.variables() - keep_set
+        result = eliminate_variables(self._atoms, elim)
+        if result is None:
+            return Conjunction.false()
+        # Note: a non-None result only means no contradiction was *found*
+        # during elimination; the residual atoms over the kept variables
+        # may still be jointly unsatisfiable, so satisfiability stays lazy.
+        return Conjunction(result)
+
+    def eliminate(self, drop: Iterable[str]) -> "Conjunction":
+        """Eliminate exactly the given variables."""
+        return self.project(self.variables() - set(drop))
+
+    # -- implication -----------------------------------------------------
+
+    def implies_atom(self, atom: Atom) -> bool:
+        """Does every solution of ``self`` satisfy ``atom``?
+
+        An unsatisfiable conjunction implies everything.
+        """
+        if not self.is_satisfiable():
+            return True
+        for negated in atom.negations():
+            if is_satisfiable((*self._atoms, negated)):
+                return False
+        return True
+
+    def implies(self, other: "Conjunction") -> bool:
+        """Conjunction-to-conjunction implication."""
+        return all(self.implies_atom(atom) for atom in other._atoms)
+
+    def implies_set(self, cset: "ConstraintSet") -> bool:
+        """Does ``self`` imply the DNF constraint set ``cset``?
+
+        Decided by checking ``self and not(cset)`` unsatisfiable, with the
+        negation expanded disjunct-by-disjunct and pruned eagerly.
+        """
+        if not self.is_satisfiable():
+            return True
+        return not _negation_branches_satisfiable(
+            list(self._atoms), [d.atoms for d in cset.disjuncts]
+        )
+
+    def equivalent(self, other: "Conjunction") -> bool:
+        """Mutual implication."""
+        return self.implies(other) and other.implies(self)
+
+    # -- groundness ------------------------------------------------------
+
+    def bounds(self, var: str) -> tuple[
+        Fraction | None, bool, Fraction | None, bool
+    ]:
+        """Tightest ``(lower, lower_strict, upper, upper_strict)`` on ``var``.
+
+        Requires projecting out the other variables first; ``None`` means
+        unbounded in that direction.  Must only be called on a
+        satisfiable conjunction.
+        """
+        single = self.project({var})
+        lower: Fraction | None = None
+        lower_strict = False
+        upper: Fraction | None = None
+        upper_strict = False
+        for atom in single.atoms:
+            coeff = atom.expr.coeff(var)
+            if coeff == 0:
+                continue
+            bound = -atom.expr.constant / coeff
+            if atom.op is Op.EQ:
+                return (bound, False, bound, False)
+            if coeff > 0:
+                if upper is None or bound < upper:
+                    upper, upper_strict = bound, atom.op is Op.LT
+                elif bound == upper and atom.op is Op.LT:
+                    upper_strict = True
+            else:
+                if lower is None or bound > lower:
+                    lower, lower_strict = bound, atom.op is Op.LT
+                elif bound == lower and atom.op is Op.LT:
+                    lower_strict = True
+        return (lower, lower_strict, upper, upper_strict)
+
+    def forced_value(self, var: str) -> Fraction | None:
+        """The unique value ``var`` must take, if any."""
+        lower, lower_strict, upper, upper_strict = self.bounds(var)
+        if (
+            lower is not None
+            and lower == upper
+            and not lower_strict
+            and not upper_strict
+        ):
+            return lower
+        return None
+
+    def ground_values(
+        self, variables: Iterable[str]
+    ) -> dict[str, Fraction] | None:
+        """Values forced for every listed variable, or ``None``.
+
+        A constraint fact ``p(X̄; C)`` is a *ground* fact exactly when
+        this returns an assignment for all of ``X̄``.
+        """
+        if not self.is_satisfiable():
+            return None
+        values: dict[str, Fraction] = {}
+        for var in variables:
+            value = self.forced_value(var)
+            if value is None:
+                return None
+            values[var] = value
+        return values
+
+    def satisfied_by(self, assignment: Mapping[str, Coefficient]) -> bool:
+        """Evaluate under a total variable assignment."""
+        return all(atom.satisfied_by(assignment) for atom in self._atoms)
+
+    # -- canonicalization -------------------------------------------------
+
+    def canonical(self) -> "Conjunction":
+        """A cheaper-to-compare form: parallel pruning plus full
+        redundant-atom elimination (each atom implied by the others is
+        dropped, scanning in sorted order for determinism)."""
+        if not self.is_satisfiable():
+            return Conjunction.false()
+        atoms = list(prune_parallel(self._atoms))
+        atoms.sort(key=Atom.sort_key)
+        kept: list[Atom] = []
+        for index, atom in enumerate(atoms):
+            others = kept + atoms[index + 1 :]
+            if not Conjunction(others).implies_atom(atom):
+                kept.append(atom)
+        result = Conjunction(kept)
+        result._sat = True
+        return result
+
+    # -- comparisons --------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Conjunction):
+            return NotImplemented
+        return self._atoms == other._atoms
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._atoms)
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Conjunction({self})"
+
+    def __str__(self) -> str:
+        if not self._atoms:
+            return "true"
+        return " & ".join(str(atom) for atom in self._atoms)
+
+
+def _negation_branches_satisfiable(
+    base: list[Atom], disjuncts: list[tuple[Atom, ...]]
+) -> bool:
+    """Is ``base and not(d1 or ... or dn)`` satisfiable?
+
+    ``not(d1 or ...)`` is a conjunction of negated disjuncts; each negated
+    disjunct is a disjunction of negated atoms, so the check branches.
+    Branches are pruned as soon as the accumulated conjunction goes
+    unsatisfiable.
+    """
+    if not is_satisfiable(base):
+        return False
+    if not disjuncts:
+        return True
+    head, *tail = disjuncts
+    for atom in head:
+        for negated in atom.negations():
+            if _negation_branches_satisfiable(base + [negated], tail):
+                return True
+    return False
+
+
+_TRUE = Conjunction(())
+_FALSE = Conjunction((FALSE_ATOM,))

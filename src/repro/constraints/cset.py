@@ -1,0 +1,217 @@
+"""Constraint sets: disjunctions of conjunctions (Definition 2.3).
+
+A :class:`ConstraintSet` is the paper's DNF "constraint set".  The key
+operation is implication (the paper's ``C1 ⫆ C2``): ``C1`` implies ``C2``
+iff every point satisfying some disjunct of ``C1`` satisfies some
+disjunct of ``C2``.  Constraint sets are what predicate constraints and
+QRP constraints are made of, so conjunction, disjunction, projection,
+renaming and simplification are all provided.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.constraints.atom import Atom
+from repro.constraints.conjunction import Conjunction
+from repro.constraints.linexpr import LinearExpr
+
+
+class ConstraintSet:
+    """An immutable disjunction of satisfiable conjunctions.
+
+    The empty disjunction is *false*; a disjunction containing the empty
+    conjunction is *true*.  Unsatisfiable disjuncts are dropped at
+    construction, so ``is_false()`` is a syntactic check.
+    """
+
+    __slots__ = ("_disjuncts", "_hash")
+
+    def __init__(self, disjuncts: Iterable[Conjunction] = ()) -> None:
+        kept: list[Conjunction] = []
+        seen: set[Conjunction] = set()
+        for disjunct in disjuncts:
+            if not disjunct.is_satisfiable():
+                continue
+            if disjunct.is_true():
+                kept = [Conjunction.true()]
+                seen = {Conjunction.true()}
+                break
+            if disjunct not in seen:
+                seen.add(disjunct)
+                kept.append(disjunct)
+        self._disjuncts: tuple[Conjunction, ...] = tuple(
+            sorted(kept, key=lambda c: [a.sort_key() for a in c.atoms])
+        )
+        self._hash: int | None = None
+
+    # -- constructors -------------------------------------------------
+
+    @staticmethod
+    def true() -> "ConstraintSet":
+        """The trivially-true value."""
+        return _TRUE_SET
+
+    @staticmethod
+    def false() -> "ConstraintSet":
+        """The trivially-false value."""
+        return _FALSE_SET
+
+    @staticmethod
+    def of(conjunction: Conjunction) -> "ConstraintSet":
+        """A constraint set with a single disjunct."""
+        return ConstraintSet((conjunction,))
+
+    @staticmethod
+    def of_atoms(atoms: Iterable[Atom]) -> "ConstraintSet":
+        """A single-disjunct constraint set from atoms."""
+        return ConstraintSet((Conjunction(atoms),))
+
+    # -- inspection ---------------------------------------------------
+
+    @property
+    def disjuncts(self) -> tuple[Conjunction, ...]:
+        """The satisfiable disjuncts, deterministically ordered."""
+        return self._disjuncts
+
+    def is_false(self) -> bool:
+        """Is the disjunction empty (unsatisfiable)?"""
+        return not self._disjuncts
+
+    def is_true(self) -> bool:
+        """Syntactically true: a single, empty disjunct.
+
+        A semantically-valid set made of several partial disjuncts (for
+        example ``X <= 0 or X >= 0``) is *not* reported true here; use
+        :meth:`equivalent` against ``ConstraintSet.true()`` for that.
+        """
+        return (
+            len(self._disjuncts) == 1 and self._disjuncts[0].is_true()
+        )
+
+    def variables(self) -> frozenset[str]:
+        """The variable names occurring in this object."""
+        result: set[str] = set()
+        for disjunct in self._disjuncts:
+            result |= disjunct.variables()
+        return frozenset(result)
+
+    def __len__(self) -> int:
+        return len(self._disjuncts)
+
+    def __iter__(self):
+        return iter(self._disjuncts)
+
+    # -- logic ---------------------------------------------------------
+
+    def or_(self, other: "ConstraintSet") -> "ConstraintSet":
+        """Disjunction of two constraint sets."""
+        return ConstraintSet((*self._disjuncts, *other._disjuncts))
+
+    def and_(self, other: "ConstraintSet") -> "ConstraintSet":
+        """Conjunction, distributed back into DNF (Proposition 2.2)."""
+        combined = [
+            mine.conjoin(theirs)
+            for mine in self._disjuncts
+            for theirs in other._disjuncts
+        ]
+        return ConstraintSet(combined)
+
+    def and_conjunction(self, conjunction: Conjunction) -> "ConstraintSet":
+        """Conjoin one conjunction into every disjunct."""
+        return ConstraintSet(
+            disjunct.conjoin(conjunction) for disjunct in self._disjuncts
+        )
+
+    def implies(self, other: "ConstraintSet") -> bool:
+        """The paper's constraint-set implication (Definition 2.3)."""
+        return all(
+            disjunct.implies_set(other) for disjunct in self._disjuncts
+        )
+
+    def equivalent(self, other: "ConstraintSet") -> bool:
+        """Mutual implication."""
+        return self.implies(other) and other.implies(self)
+
+    def is_satisfiable(self) -> bool:
+        """Exact satisfiability over the rationals (cached)."""
+        return bool(self._disjuncts)
+
+    # -- transformation ---------------------------------------------------
+
+    def rename(self, mapping: Mapping[str, str]) -> "ConstraintSet":
+        """Rename variables."""
+        return ConstraintSet(
+            disjunct.rename(mapping) for disjunct in self._disjuncts
+        )
+
+    def substitute(
+        self, bindings: Mapping[str, LinearExpr]
+    ) -> "ConstraintSet":
+        """Substitute expressions for variables."""
+        return ConstraintSet(
+            disjunct.substitute(bindings) for disjunct in self._disjuncts
+        )
+
+    def project(self, keep: Iterable[str]) -> "ConstraintSet":
+        """Project every disjunct onto the kept variables."""
+        keep_set = set(keep)
+        return ConstraintSet(
+            disjunct.project(keep_set) for disjunct in self._disjuncts
+        )
+
+    def simplify(self) -> "ConstraintSet":
+        """Drop disjuncts implied by the remaining ones.
+
+        This is the "eliminate redundant disjuncts" step of procedure
+        ``Gen_QRP_constraints`` (Section 4.2).  Scanning is done in the
+        deterministic disjunct order, largest disjuncts considered for
+        removal first so the surviving representation is small.
+        """
+        disjuncts = sorted(
+            self._disjuncts,
+            key=lambda c: (
+                -len(c.atoms),
+                [atom.sort_key() for atom in c.atoms],
+            ),
+        )
+        kept: list[Conjunction] = []
+        for index, disjunct in enumerate(disjuncts):
+            others = kept + disjuncts[index + 1 :]
+            if not disjunct.implies_set(ConstraintSet(others)):
+                kept.append(disjunct)
+        return ConstraintSet(kept)
+
+    def canonical(self) -> "ConstraintSet":
+        """Simplify and canonicalize every surviving disjunct."""
+        return ConstraintSet(
+            disjunct.canonical() for disjunct in self.simplify()
+        )
+
+    # -- comparisons --------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConstraintSet):
+            return NotImplemented
+        return self._disjuncts == other._disjuncts
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._disjuncts)
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"ConstraintSet({self})"
+
+    def __str__(self) -> str:
+        if not self._disjuncts:
+            return "false"
+        if self.is_true():
+            return "true"
+        return " | ".join(
+            f"({disjunct})" for disjunct in self._disjuncts
+        )
+
+
+_TRUE_SET = ConstraintSet((Conjunction.true(),))
+_FALSE_SET = ConstraintSet(())

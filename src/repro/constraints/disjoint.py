@@ -1,0 +1,86 @@
+"""Rewriting a constraint set with nonoverlapping disjuncts (Section 4.6).
+
+When a propagated QRP constraint has overlapping disjuncts, the rewritten
+program may derive the same fact once per overlapping disjunct (the
+``flight'(madison, chicago, 50, 100)`` example).  The paper's first
+remedy is to re-represent the constraint set so that the intersection of
+no two disjuncts is satisfiable, citing the algorithms of [13]; the cost
+is a possibly-exponential increase in the number of disjuncts.
+
+:func:`make_disjoint` implements the standard splitting scheme: disjunct
+``d_i`` is replaced by the DNF of ``d_i and not(d_1) and ... and
+not(d_{i-1})``, which covers exactly the points of the original set while
+making the pieces pairwise disjoint.
+
+The second remedy -- collapsing to a single (non-minimal) disjunct -- is
+:func:`single_disjunct_relaxation`; it keeps only the atoms common to
+(i.e. implied by) every disjunct, a convex relaxation of the set.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.atom import Atom
+from repro.constraints.conjunction import Conjunction
+from repro.constraints.cset import ConstraintSet
+
+
+def _minus(disjunct: Conjunction, removed: Conjunction) -> list[Conjunction]:
+    """DNF of ``disjunct and not(removed)`` as a list of conjunctions."""
+    pieces: list[Conjunction] = []
+    carried: list[Atom] = []
+    for atom in removed.atoms:
+        for negated in atom.negations():
+            piece = disjunct.conjoin((*carried, negated))
+            if piece.is_satisfiable():
+                pieces.append(piece)
+        # Later pieces assume this atom *holds*, so the split is disjoint.
+        carried.append(atom)
+    return pieces
+
+
+def make_disjoint(cset: ConstraintSet) -> ConstraintSet:
+    """An equivalent constraint set whose disjuncts are pairwise disjoint."""
+    result: list[Conjunction] = []
+    for disjunct in cset.disjuncts:
+        pieces = [disjunct]
+        for previous in result:
+            next_pieces: list[Conjunction] = []
+            for piece in pieces:
+                next_pieces.extend(_minus(piece, previous))
+            pieces = next_pieces
+        result.extend(pieces)
+    return ConstraintSet(result)
+
+
+def are_disjoint(cset: ConstraintSet) -> bool:
+    """Is the intersection of every pair of disjuncts unsatisfiable?"""
+    disjuncts = cset.disjuncts
+    for i, first in enumerate(disjuncts):
+        for second in disjuncts[i + 1 :]:
+            if first.conjoin(second).is_satisfiable():
+                return False
+    return True
+
+
+def single_disjunct_relaxation(cset: ConstraintSet) -> ConstraintSet:
+    """Bound the number of disjuncts to one (Section 4.6, second remedy).
+
+    Keeps each atom of each disjunct that is implied by *every* disjunct;
+    the result is a single-conjunction constraint set implied by the
+    input (a sound but generally non-minimal QRP constraint).
+    """
+    if cset.is_false():
+        return ConstraintSet.false()
+    candidates: list[Atom] = []
+    seen: set[Atom] = set()
+    for disjunct in cset.disjuncts:
+        for atom in disjunct.atoms:
+            if atom not in seen:
+                seen.add(atom)
+                candidates.append(atom)
+    kept = [
+        atom
+        for atom in candidates
+        if all(d.implies_atom(atom) for d in cset.disjuncts)
+    ]
+    return ConstraintSet.of(Conjunction(kept))

@@ -1,0 +1,220 @@
+"""Linear expressions over named variables with exact rational coefficients.
+
+A :class:`LinearExpr` represents ``c0 + c1*X1 + ... + cn*Xn`` where the
+``ci`` are :class:`fractions.Fraction` and the ``Xi`` are variable names
+(plain strings).  Expressions are immutable and hashable; all arithmetic
+is exact.
+
+Variables of the constraint layer are strings on purpose: the language
+layer maps rule variables to their names, and predicate-constraint
+machinery uses argument-position names such as ``"$1"``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping, Union
+
+Coefficient = Union[int, Fraction]
+
+_ZERO = Fraction(0)
+
+
+def _as_fraction(value: Coefficient) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        raise TypeError(
+            "float coefficients are not allowed; use Fraction for exactness"
+        )
+    raise TypeError(f"cannot use {value!r} as a coefficient")
+
+
+class LinearExpr:
+    """An immutable linear expression ``constant + sum(coeff[v] * v)``."""
+
+    __slots__ = ("_coeffs", "_constant", "_hash")
+
+    def __init__(
+        self,
+        coeffs: Mapping[str, Coefficient] | None = None,
+        constant: Coefficient = 0,
+    ) -> None:
+        items = {}
+        if coeffs:
+            for var, coeff in coeffs.items():
+                frac = _as_fraction(coeff)
+                if frac != 0:
+                    items[var] = frac
+        self._coeffs: dict[str, Fraction] = items
+        self._constant = _as_fraction(constant)
+        self._hash: int | None = None
+
+    # -- constructors -------------------------------------------------
+
+    @staticmethod
+    def var(name: str, coeff: Coefficient = 1) -> "LinearExpr":
+        """The expression ``coeff * name``."""
+        return LinearExpr({name: coeff})
+
+    @staticmethod
+    def const(value: Coefficient) -> "LinearExpr":
+        """The constant expression ``value``."""
+        return LinearExpr({}, value)
+
+    @staticmethod
+    def zero() -> "LinearExpr":
+        """The zero expression."""
+        return _ZERO_EXPR
+
+    # -- inspection ---------------------------------------------------
+
+    @property
+    def constant(self) -> Fraction:
+        """The constant term."""
+        return self._constant
+
+    @property
+    def coeffs(self) -> Mapping[str, Fraction]:
+        """A copy of the variable-coefficient mapping."""
+        return dict(self._coeffs)
+
+    def coeff(self, var: str) -> Fraction:
+        """The coefficient of ``var`` (zero when absent)."""
+        return self._coeffs.get(var, _ZERO)
+
+    def variables(self) -> frozenset[str]:
+        """The variable names occurring in this object."""
+        return frozenset(self._coeffs)
+
+    def is_constant(self) -> bool:
+        """Does the object contain no variables?"""
+        return not self._coeffs
+
+    def sorted_terms(self) -> list[tuple[str, Fraction]]:
+        """Variable terms in lexicographic variable order."""
+        return sorted(self._coeffs.items())
+
+    # -- arithmetic ---------------------------------------------------
+
+    def __add__(self, other: "LinearExpr | Coefficient") -> "LinearExpr":
+        if isinstance(other, (int, Fraction)):
+            return LinearExpr(self._coeffs, self._constant + other)
+        if not isinstance(other, LinearExpr):
+            return NotImplemented
+        coeffs = dict(self._coeffs)
+        for var, coeff in other._coeffs.items():
+            coeffs[var] = coeffs.get(var, _ZERO) + coeff
+        return LinearExpr(coeffs, self._constant + other._constant)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "LinearExpr":
+        return LinearExpr(
+            {var: -coeff for var, coeff in self._coeffs.items()},
+            -self._constant,
+        )
+
+    def __sub__(self, other: "LinearExpr | Coefficient") -> "LinearExpr":
+        if isinstance(other, (int, Fraction)):
+            return LinearExpr(self._coeffs, self._constant - other)
+        if not isinstance(other, LinearExpr):
+            return NotImplemented
+        return self + (-other)
+
+    def __rsub__(self, other: Coefficient) -> "LinearExpr":
+        return (-self) + other
+
+    def __mul__(self, scalar: Coefficient) -> "LinearExpr":
+        if not isinstance(scalar, (int, Fraction)):
+            return NotImplemented
+        frac = _as_fraction(scalar)
+        return LinearExpr(
+            {var: coeff * frac for var, coeff in self._coeffs.items()},
+            self._constant * frac,
+        )
+
+    __rmul__ = __mul__
+
+    # -- substitution and evaluation -----------------------------------
+
+    def substitute(self, bindings: Mapping[str, "LinearExpr"]) -> "LinearExpr":
+        """Replace each bound variable by a linear expression."""
+        result = LinearExpr.const(self._constant)
+        for var, coeff in self._coeffs.items():
+            replacement = bindings.get(var)
+            if replacement is None:
+                result = result + LinearExpr.var(var, coeff)
+            else:
+                result = result + replacement * coeff
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> "LinearExpr":
+        """Rename variables; unmapped variables are kept."""
+        coeffs: dict[str, Fraction] = {}
+        for var, coeff in self._coeffs.items():
+            new = mapping.get(var, var)
+            coeffs[new] = coeffs.get(new, _ZERO) + coeff
+        return LinearExpr(coeffs, self._constant)
+
+    def evaluate(self, assignment: Mapping[str, Coefficient]) -> Fraction:
+        """Evaluate under a full assignment of the expression's variables."""
+        total = self._constant
+        for var, coeff in self._coeffs.items():
+            total += coeff * _as_fraction(assignment[var])
+        return total
+
+    # -- comparisons and hashing ---------------------------------------
+
+    def _key(self) -> tuple:
+        return (self._constant, tuple(sorted(self._coeffs.items())))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinearExpr):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._key())
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"LinearExpr({self})"
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for var, coeff in self.sorted_terms():
+            if coeff == 1:
+                term = var
+            elif coeff == -1:
+                term = f"-{var}"
+            else:
+                term = f"{coeff}*{var}"
+            if parts and not term.startswith("-"):
+                parts.append(f"+ {term}")
+            elif parts:
+                parts.append(f"- {term[1:]}")
+            else:
+                parts.append(term)
+        if self._constant != 0 or not parts:
+            const = self._constant
+            if parts:
+                sign = "+" if const >= 0 else "-"
+                parts.append(f"{sign} {abs(const)}")
+            else:
+                parts.append(str(const))
+        return " ".join(parts)
+
+
+_ZERO_EXPR = LinearExpr()
+
+
+def sum_exprs(exprs: Iterable[LinearExpr]) -> LinearExpr:
+    """Sum an iterable of linear expressions."""
+    total = LinearExpr.zero()
+    for expr in exprs:
+        total = total + expr
+    return total

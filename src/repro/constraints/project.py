@@ -1,0 +1,271 @@
+"""Exact quantifier elimination for linear arithmetic constraints.
+
+This is the "projection" operation the paper leans on throughout
+(rule application, Proposition 4.1's literal constraints, Definition 2.8's
+``LTOP``): existentially quantified variables are eliminated from a
+conjunction of atoms by Gaussian elimination (for equalities) followed by
+Fourier-Motzkin elimination (for inequalities).  Lassez and Maher's
+Fourier-based algorithm cited as [8] in the paper is exactly this scheme.
+
+The entry point is :func:`eliminate_variables`, which returns the projected
+atoms or ``None`` when the conjunction is detected to be unsatisfiable.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.constraints.atom import Atom, Op
+from repro.constraints.linexpr import LinearExpr
+
+
+def _fold_ground(atoms: Iterable[Atom]) -> list[Atom] | None:
+    """Drop trivially-true atoms; signal unsatisfiability on a false one."""
+    kept: list[Atom] = []
+    for atom in atoms:
+        truth = atom.truth_value()
+        if truth is None:
+            kept.append(atom)
+        elif truth is False:
+            return None
+    return kept
+
+
+def _direction_scale(atom: Atom) -> Fraction:
+    """The positive-lead coprime scale of the atom's variable terms."""
+    from math import gcd
+
+    terms = atom.expr.sorted_terms()
+    lead = terms[0][1]
+    scale = Fraction(0)
+    for __, coeff in terms:
+        scale = Fraction(
+            gcd(scale.numerator * coeff.denominator,
+                coeff.numerator * scale.denominator),
+            scale.denominator * coeff.denominator,
+        )
+    # Atom normalization makes coefficients coprime integers, so the
+    # gcd above is a positive integer; orient by the leading sign.
+    return scale if lead > 0 else -scale
+
+
+def _direction_key(atom: Atom) -> tuple:
+    """A key identifying atoms bounding the same direction the same way.
+
+    The atom ``k * (a1*X1 + ... + an*Xn) + c op 0`` is keyed by the
+    direction vector scaled to coprime integers with a positive leading
+    coefficient, plus the sign of ``k`` (upper vs. lower bound).
+    """
+    scale = _direction_scale(atom)
+    direction = tuple(
+        (var, coeff / scale) for var, coeff in atom.expr.sorted_terms()
+    )
+    return (direction, 1 if scale > 0 else -1)
+
+
+def _bound_of(atom: Atom) -> Fraction:
+    """Tightness measure among atoms sharing a direction key.
+
+    After dividing by the (signed) direction scale the atoms read
+    ``d·x̄ (op) -c/|k|`` in the same direction, so the larger scaled
+    constant ``c / |k|`` is the tighter constraint.
+    """
+    return atom.expr.constant / abs(_direction_scale(atom))
+
+
+def prune_parallel(atoms: Sequence[Atom]) -> list[Atom]:
+    """Keep only the tightest atom among parallel inequality atoms.
+
+    Equalities are kept as-is (they participate in Gaussian elimination
+    and are rarely redundant against inequalities); among inequalities
+    with the same direction, the largest normalized constant wins, with
+    strictness breaking ties.  This is a cheap, sound redundancy filter
+    applied between Fourier-Motzkin steps to curb the quadratic blowup.
+    """
+    best: dict[tuple, Atom] = {}
+    equalities: list[Atom] = []
+    seen_eq: set[Atom] = set()
+    ground: list[Atom] = []
+    for atom in atoms:
+        if atom.is_ground():
+            ground.append(atom)
+            continue
+        if atom.op is Op.EQ:
+            if atom not in seen_eq:
+                seen_eq.add(atom)
+                equalities.append(atom)
+            continue
+        key = _direction_key(atom)
+        current = best.get(key)
+        if current is None:
+            best[key] = atom
+            continue
+        new_bound = _bound_of(atom)
+        old_bound = _bound_of(current)
+        if new_bound > old_bound:
+            best[key] = atom
+        elif new_bound == old_bound and atom.op is Op.LT:
+            best[key] = atom
+    return ground + equalities + list(best.values())
+
+
+def _solve_equality(atom: Atom, var: str) -> LinearExpr:
+    """Solve the equality atom for ``var``: returns the replacing expr."""
+    coeff = atom.expr.coeff(var)
+    rest = atom.expr - LinearExpr.var(var, coeff)
+    return rest * Fraction(-1, 1) * (1 / coeff)
+
+
+def _substitute_all(
+    atoms: Iterable[Atom], var: str, replacement: LinearExpr
+) -> list[Atom]:
+    bindings = {var: replacement}
+    return [
+        atom.substitute(bindings) if var in atom.variables() else atom
+        for atom in atoms
+    ]
+
+
+def _gaussian_step(
+    atoms: list[Atom], elim_vars: set[str]
+) -> tuple[list[Atom], bool]:
+    """Eliminate one quantified variable via an equality, if possible."""
+    for index, atom in enumerate(atoms):
+        if atom.op is not Op.EQ:
+            continue
+        candidates = sorted(atom.variables() & elim_vars)
+        if not candidates:
+            continue
+        var = candidates[0]
+        replacement = _solve_equality(atom, var)
+        remaining = atoms[:index] + atoms[index + 1 :]
+        substituted = _substitute_all(remaining, var, replacement)
+        elim_vars.discard(var)
+        return substituted, True
+    return atoms, False
+
+
+def _fourier_motzkin_step(atoms: list[Atom], var: str) -> list[Atom] | None:
+    """Eliminate one inequality-only variable by Fourier-Motzkin."""
+    uppers: list[Atom] = []  # positive coefficient of var: v bounded above
+    lowers: list[Atom] = []  # negative coefficient of var: v bounded below
+    equalities: list[Atom] = []
+    rest: list[Atom] = []
+    for atom in atoms:
+        coeff = atom.expr.coeff(var)
+        if coeff == 0:
+            rest.append(atom)
+        elif atom.op is Op.EQ:
+            equalities.append(atom)
+        elif coeff > 0:
+            uppers.append(atom)
+        else:
+            lowers.append(atom)
+    if equalities:
+        # An equality on the variable survived the Gaussian phase only if
+        # the variable was not selected; handle it here for robustness.
+        replacement = _solve_equality(equalities[0], var)
+        survivors = uppers + lowers + equalities[1:] + rest
+        return _fold_ground(_substitute_all(survivors, var, replacement))
+    combined: list[Atom] = []
+    for upper in uppers:
+        a_up = upper.expr.coeff(var)
+        upper_bound = (
+            upper.expr - LinearExpr.var(var, a_up)
+        ) * Fraction(-1, a_up)
+        for lower in lowers:
+            a_lo = lower.expr.coeff(var)
+            lower_bound = (
+                lower.expr - LinearExpr.var(var, a_lo)
+            ) * Fraction(-1, a_lo)
+            op = (
+                Op.LT
+                if Op.LT in (upper.op, lower.op)
+                else Op.LE
+            )
+            combined.append(Atom(lower_bound - upper_bound, op))
+    folded = _fold_ground(combined)
+    if folded is None:
+        return None
+    return rest + folded
+
+
+def _pick_variable(atoms: Sequence[Atom], elim_vars: set[str]) -> str:
+    """Pick the elimination variable minimizing the FM blowup estimate."""
+    best_var = None
+    best_cost = None
+    for var in sorted(elim_vars):
+        uppers = lowers = 0
+        for atom in atoms:
+            coeff = atom.expr.coeff(var)
+            if coeff > 0:
+                uppers += 1
+            elif coeff < 0:
+                lowers += 1
+        cost = uppers * lowers - (uppers + lowers)
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_var = var
+    assert best_var is not None
+    return best_var
+
+
+def eliminate_variables(
+    atoms: Iterable[Atom], elim_vars: Iterable[str]
+) -> list[Atom] | None:
+    """Project a conjunction of atoms onto the non-eliminated variables.
+
+    Returns the projected atoms (mentioning no variable in ``elim_vars``)
+    or ``None`` when the input conjunction is unsatisfiable.  The result
+    is exact: a point over the remaining variables satisfies the result
+    iff it can be extended to a point satisfying the input.
+    """
+    current = _fold_ground(atoms)
+    if current is None:
+        return None
+    remaining = {
+        var
+        for var in elim_vars
+        if any(var in atom.variables() for atom in current)
+    }
+    # Phase 1: Gaussian elimination through equality atoms.
+    progress = True
+    while progress and remaining:
+        current = prune_parallel(current)
+        folded = _fold_ground(current)
+        if folded is None:
+            return None
+        current, progress = _gaussian_step(folded, remaining)
+        remaining = {
+            var
+            for var in remaining
+            if any(var in atom.variables() for atom in current)
+        }
+    # Phase 2: Fourier-Motzkin for the inequality-only variables.
+    while remaining:
+        current = prune_parallel(current)
+        var = _pick_variable(current, remaining)
+        step = _fourier_motzkin_step(current, var)
+        if step is None:
+            return None
+        current = step
+        remaining.discard(var)
+        remaining = {
+            var
+            for var in remaining
+            if any(var in atom.variables() for atom in current)
+        }
+    final = _fold_ground(prune_parallel(current))
+    if final is None:
+        return None
+    return sorted(set(final), key=Atom.sort_key)
+
+
+def is_satisfiable(atoms: Iterable[Atom]) -> bool:
+    """Exact satisfiability over the rationals/reals."""
+    atoms = list(atoms)
+    variables: set[str] = set()
+    for atom in atoms:
+        variables |= atom.variables()
+    return eliminate_variables(atoms, variables) is not None

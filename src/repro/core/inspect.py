@@ -1,0 +1,153 @@
+"""Static program analysis report: what the optimizer will see.
+
+``describe(program, query_pred)`` bundles the paper's static analyses
+into one inspectable report: predicates and arities, EDB/IDB split,
+SCC structure, range restriction, Section 5 terminating-class
+membership (with the Theorem 5.1 iteration bound when applicable),
+inferred minimum predicate constraints, and -- when a query predicate
+is given -- the QRP constraints. ``render_description`` prints it; the
+CLI exposes it as ``--describe``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constraints.cset import ConstraintSet
+from repro.core.predconstraints import gen_predicate_constraints
+from repro.core.qrp import gen_qrp_constraints
+from repro.core.termination import in_terminating_class, iteration_bound
+from repro.lang.ast import Program
+
+
+@dataclass
+class ProgramDescription:
+    """The static-analysis bundle for one program."""
+
+    program: Program
+    arities: dict[str, int]
+    edb_predicates: frozenset[str]
+    derived_predicates: frozenset[str]
+    sccs: list[frozenset[str]]
+    recursive_predicates: frozenset[str]
+    range_restricted: bool
+    in_terminating_class: bool
+    termination_bound: int | None
+    predicate_constraints: dict[str, ConstraintSet] = field(
+        default_factory=dict
+    )
+    predicate_inference_converged: bool = True
+    qrp_constraints: dict[str, ConstraintSet] = field(
+        default_factory=dict
+    )
+    qrp_inference_converged: bool = True
+    query_pred: str | None = None
+
+
+def describe(
+    program: Program,
+    query_pred: str | None = None,
+    max_iterations: int = 30,
+) -> ProgramDescription:
+    """Run every static analysis on the program."""
+    derived = program.derived_predicates()
+    recursive = frozenset(
+        pred
+        for pred in derived
+        if program.recursive_with(pred, pred)
+    )
+    terminating = in_terminating_class(program)
+    bound = iteration_bound(program) if terminating else None
+    constraints, pred_report = gen_predicate_constraints(
+        program, max_iterations=max_iterations
+    )
+    description = ProgramDescription(
+        program=program,
+        arities={
+            pred: program.arity(pred)
+            for pred in sorted(program.predicates())
+        },
+        edb_predicates=program.edb_predicates(),
+        derived_predicates=derived,
+        sccs=program.sccs_topological(),
+        recursive_predicates=recursive,
+        range_restricted=program.is_range_restricted(),
+        in_terminating_class=terminating,
+        termination_bound=bound,
+        predicate_constraints={
+            pred: constraints[pred] for pred in sorted(derived)
+        },
+        predicate_inference_converged=pred_report.converged,
+        query_pred=query_pred,
+    )
+    if query_pred is not None:
+        qrp, qrp_report = gen_qrp_constraints(
+            program, query_pred, max_iterations=max_iterations
+        )
+        description.qrp_constraints = {
+            pred: qrp[pred]
+            for pred in sorted(qrp)
+            if pred in derived or pred in program.edb_predicates()
+        }
+        description.qrp_inference_converged = qrp_report.converged
+    return description
+
+
+def render_description(description: ProgramDescription) -> str:
+    """A human-readable analysis report."""
+    lines = ["Program analysis", "================"]
+    lines.append(
+        f"predicates: "
+        + ", ".join(
+            f"{pred}/{arity}"
+            for pred, arity in description.arities.items()
+        )
+    )
+    lines.append(
+        "EDB: " + (", ".join(sorted(description.edb_predicates)) or "-")
+    )
+    lines.append(
+        "derived: "
+        + (", ".join(sorted(description.derived_predicates)) or "-")
+    )
+    lines.append(
+        "recursive: "
+        + (", ".join(sorted(description.recursive_predicates)) or "-")
+    )
+    scc_text = " > ".join(
+        "{" + ", ".join(sorted(scc)) + "}" for scc in description.sccs
+    )
+    lines.append(f"SCCs (query side first): {scc_text}")
+    lines.append(
+        f"range-restricted: "
+        f"{'yes' if description.range_restricted else 'NO'}"
+    )
+    if description.in_terminating_class:
+        lines.append(
+            "Section 5 class: yes (constraint inference provably "
+            f"terminates; bound {description.termination_bound})"
+        )
+    else:
+        lines.append(
+            "Section 5 class: no (arithmetic functions or scaled "
+            "coefficients present; inference uses caps + widening)"
+        )
+    lines.append("")
+    lines.append("minimum predicate constraints"
+                 + ("" if description.predicate_inference_converged
+                    else " (inference widened; sound, possibly not minimum)")
+                 + ":")
+    for pred, cset in description.predicate_constraints.items():
+        lines.append(f"  {pred}: {cset}")
+    if description.query_pred is not None:
+        lines.append("")
+        lines.append(
+            f"QRP constraints for query predicate "
+            f"{description.query_pred}"
+            + ("" if description.qrp_inference_converged
+               else " (inference widened)")
+            + ":"
+        )
+        for pred, cset in description.qrp_constraints.items():
+            lines.append(f"  {pred}: {cset}")
+    return "\n".join(lines)

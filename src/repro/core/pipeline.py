@@ -1,0 +1,205 @@
+"""Transformation sequences combining constraint propagation and magic.
+
+Section 7 studies programs ``P^{S}`` for sequences ``S`` over the three
+rewritings
+
+* ``pred`` -- ``Gen_Prop_predicate_constraints``,
+* ``qrp``  -- ``Gen_Prop_QRP_constraints``,
+* ``mg``   -- constraint magic rewriting (applied exactly once),
+
+on a bf-adorned program.  This module applies such sequences and
+evaluates the results, which is what the Appendix D examples and the
+Theorem 7.10 optimality benchmark exercise:
+
+* ``qrp`` and ``mg`` are not confluent (Examples 7.1/7.2, D.1/D.2);
+* repeated ``pred``/``qrp`` are redundant (Theorems 7.4-7.6);
+* ``(pred, qrp, mg)`` computes a subset of the facts of every other
+  sequence with one ``mg``, for all EDBs and queries (Theorem 7.10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.predconstraints import gen_prop_predicate_constraints
+from repro.core.qrp import gen_prop_qrp_constraints
+from repro.engine.database import Database
+from repro.engine.fixpoint import EvaluationResult, evaluate
+from repro.engine.query import answers
+from repro.lang.ast import Program, Query
+from repro.magic.adorn import AdornedProgram, adorn_program
+from repro.magic.templates import MagicResult, constraint_magic
+
+
+VALID_STEPS = ("pred", "qrp", "mg")
+
+
+@dataclass
+class PipelineResult:
+    """A program produced by a transformation sequence."""
+
+    program: Program
+    query_pred: str
+    sequence: tuple[str, ...]
+    adorned: AdornedProgram | None = None
+    notes: list[str] = field(default_factory=list)
+
+    def name(self) -> str:
+        """Display name of the sequence (paper notation)."""
+        return "P^{" + ",".join(self.sequence) + "}"
+
+
+def apply_sequence(
+    program: Program,
+    query: Query,
+    sequence: Sequence[str],
+    adorn: bool = True,
+    max_iterations: int = 50,
+    include_constraints: bool = True,
+) -> PipelineResult:
+    """Apply a sequence of rewritings to a (bf-adorned) program.
+
+    ``mg`` may appear at most once (as in Theorem 7.10's class).  With
+    ``adorn`` (default) the program is bf-adorned for the query before
+    any step, as Section 7.5 prescribes.
+    """
+    sequence = tuple(sequence)
+    for step in sequence:
+        if step not in VALID_STEPS:
+            raise ValueError(f"unknown transformation step {step!r}")
+    if sequence.count("mg") > 1:
+        raise ValueError("mg may be applied at most once")
+    adorned: AdornedProgram | None = None
+    if adorn:
+        adorned = adorn_program(program, query)
+        current = adorned.program
+        query_pred = adorned.query_pred
+    else:
+        current = program
+        query_pred = query.literal.pred
+    notes: list[str] = []
+    seed_rule = None
+    for step in sequence:
+        if step in ("pred", "qrp") and seed_rule is not None:
+            # Appendix B creates the magic seed as a runtime *fact*; the
+            # rewriting sequence is query-generic, so post-magic steps
+            # must not specialize the seed (they would otherwise fold
+            # query-constant information into it, which is exactly what
+            # makes Theorem 7.10's optimality claim hold only for
+            # seed-as-fact semantics).
+            current = Program(
+                rule for rule in current if rule != seed_rule
+            )
+        if step == "pred":
+            current, __, report = gen_prop_predicate_constraints(
+                current, max_iterations=max_iterations
+            )
+            if not report.converged:
+                notes.append("pred inference widened")
+        elif step == "qrp":
+            result = gen_prop_qrp_constraints(
+                current, query_pred, max_iterations=max_iterations
+            )
+            current = result.program
+            if not result.report.converged:
+                notes.append("qrp inference widened")
+            if result.unfoldable_occurrences:
+                notes.append(
+                    f"unfoldable: {result.unfoldable_occurrences}"
+                )
+        if step in ("pred", "qrp") and seed_rule is not None:
+            current = current.with_rules([seed_rule])
+        if step == "mg":
+            if adorned is None:
+                raise ValueError(
+                    "mg requires an adorned program (adorn=True)"
+                )
+            magic: MagicResult = constraint_magic(
+                AdornedProgram(
+                    program=current,
+                    query_pred=adorned.query_pred,
+                    original_query_pred=adorned.original_query_pred,
+                    adornments=adorned.adornments,
+                    origin=adorned.origin,
+                ),
+                query,
+                include_constraints=include_constraints,
+            )
+            current = magic.program
+            seed_rule = next(
+                rule for rule in current if rule.label == "seed"
+            )
+    return PipelineResult(
+        program=current.relabeled(),
+        query_pred=query_pred,
+        sequence=sequence,
+        adorned=adorned,
+        notes=notes,
+    )
+
+
+@dataclass
+class PipelineEvaluation:
+    """A pipeline result evaluated over a concrete EDB."""
+
+    pipeline: PipelineResult
+    result: EvaluationResult
+
+    @property
+    def total_facts(self) -> int:
+        """Total facts in the final database."""
+        return self.result.count()
+
+    def facts_excluding_edb(self, edb: Database) -> int:
+        """Facts computed beyond the input EDB."""
+        return self.total_facts - edb.count()
+
+    @property
+    def derivations(self) -> int:
+        """Total derivations attempted."""
+        return self.result.stats.derivations
+
+
+def evaluate_pipeline(
+    pipeline: PipelineResult,
+    edb: Database,
+    query: Query,
+    max_iterations: int = 200,
+) -> PipelineEvaluation:
+    """Evaluate a pipeline's program bottom-up over an EDB."""
+    result = evaluate(
+        pipeline.program, edb, max_iterations=max_iterations
+    )
+    return PipelineEvaluation(pipeline=pipeline, result=result)
+
+
+def query_answers(
+    evaluation: PipelineEvaluation, query: Query
+) -> set[str]:
+    """Answers to the query, name-normalized for cross-program equality."""
+    adorned_query = Query(
+        query.literal.with_pred(evaluation.pipeline.query_pred),
+        query.constraint,
+    )
+    return {
+        str(fact)
+        for fact in answers(evaluation.result.database, adorned_query)
+    }
+
+
+def compare_sequences(
+    program: Program,
+    query: Query,
+    sequences: Iterable[Sequence[str]],
+    edb: Database,
+    max_iterations: int = 200,
+) -> dict[tuple[str, ...], PipelineEvaluation]:
+    """Evaluate several sequences on the same inputs (benchmark helper)."""
+    results: dict[tuple[str, ...], PipelineEvaluation] = {}
+    for sequence in sequences:
+        pipeline = apply_sequence(program, query, sequence)
+        results[tuple(sequence)] = evaluate_pipeline(
+            pipeline, edb, query, max_iterations
+        )
+    return results

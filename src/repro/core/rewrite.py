@@ -1,0 +1,169 @@
+"""Procedure ``Constraint_rewrite`` (Section 4.5, Appendix C).
+
+The combined rewriting: wrap the query predicate in a fresh predicate
+``q1`` (so that query-side constraints and constants participate), run
+``Gen_Prop_predicate_constraints`` to make definition-derived
+constraints explicit in every body, run ``Gen_Prop_QRP_constraints`` to
+push use-derived constraints into definitions, and delete the wrapper.
+When both fixpoints converge, the propagated constraints are the
+*minimum* QRP constraints (Theorem 4.8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.constraints.cset import ConstraintSet
+from repro.core.predconstraints import (
+    InferenceReport,
+    gen_prop_predicate_constraints,
+)
+from repro.core.qrp import QRPPropagation, gen_prop_qrp_constraints
+from repro.lang.ast import Literal, Program, Query, Rule
+from repro.lang.normalize import normalize_program, normalize_query
+from repro.lang.terms import FreshVars
+
+
+WRAPPER_PRED = "q1"
+
+
+@dataclass
+class RewriteResult:
+    """Everything ``Constraint_rewrite`` produced."""
+
+    program: Program
+    predicate_constraints: dict[str, ConstraintSet]
+    qrp_constraints: dict[str, ConstraintSet]
+    predicate_report: InferenceReport
+    qrp_report: InferenceReport
+
+    @property
+    def converged(self) -> bool:
+        """Did both constraint fixpoints converge?"""
+        return (
+            self.predicate_report.converged and self.qrp_report.converged
+        )
+
+
+def wrap_query_predicate(
+    program: Program, query_pred: str, wrapper: str = WRAPPER_PRED
+) -> Program:
+    """Add ``q1(X̄) :- q(X̄)`` with ``q1`` fresh (Section 4.5 step one)."""
+    taken = program.predicates()
+    name = wrapper
+    while name in taken:
+        name += "_"
+    fresh = FreshVars(frozenset(), prefix="Q")
+    args = tuple(
+        fresh.next("Q") for _ in range(program.arity(query_pred))
+    )
+    rule = Rule(
+        Literal(name, args), (Literal(query_pred, args),), label="r0"
+    )
+    return program.with_rules([rule])
+
+
+def constraint_rewrite(
+    program: Program,
+    query_pred: str,
+    query: Query | None = None,
+    edb_constraints: Mapping[str, ConstraintSet] | None = None,
+    given_predicate_constraints: Mapping[str, ConstraintSet] | None = None,
+    max_iterations: int = 50,
+    on_divergence: str = "widen",
+) -> RewriteResult:
+    """Procedure ``Constraint_rewrite`` (Appendix C).
+
+    With a concrete ``query``, its constraints and constants are folded
+    into the wrapper rule, specializing the rewriting to the query (the
+    run-time counterpart; without it the rewriting is query-independent
+    as in the paper's main development).
+    """
+    program = normalize_program(program)
+    if query is None:
+        wrapped = wrap_query_predicate(program, query_pred)
+        wrapper = wrapped.rules[-1].head.pred
+    else:
+        query = normalize_query(query)
+        if query.literal.pred != query_pred:
+            raise ValueError(
+                f"query is about {query.literal.pred}, not {query_pred}"
+            )
+        taken = program.predicates()
+        name = WRAPPER_PRED
+        while name in taken:
+            name += "_"
+        head_args = tuple(
+            arg for arg in query.literal.args
+        )
+        rule = Rule(
+            Literal(name, head_args),
+            (query.literal,),
+            query.constraint,
+            label="r0",
+        )
+        wrapped = program.with_rules([rule])
+        wrapper = name
+    propagated, pred_constraints, pred_report = (
+        gen_prop_predicate_constraints(
+            wrapped,
+            edb_constraints=edb_constraints,
+            given=given_predicate_constraints,
+            max_iterations=max_iterations,
+            on_divergence=on_divergence,
+        )
+    )
+    if not pred_report.converged and given_predicate_constraints is None:
+        # The exact fixpoint diverged (e.g. a fib-like predicate whose
+        # minimum constraint is infinite).  Fall back to the terminating
+        # interval-hull widening, which typically retains useful bounds
+        # (for P_fib: $1 >= 0 & $2 >= 1) instead of widening to true.
+        from repro.core.predconstraints import (
+            attach_constraints_to_bodies,
+        )
+        from repro.core.widening import (
+            gen_predicate_constraints_widened,
+        )
+        from repro.lang.normalize import normalize_program as _norm
+
+        widened, widen_report = gen_predicate_constraints_widened(
+            wrapped, edb_constraints=edb_constraints
+        )
+        nontrivial = any(
+            not cset.is_true() and not cset.is_false()
+            for pred, cset in widened.items()
+            if pred in wrapped.derived_predicates()
+        )
+        if widen_report.verified and nontrivial:
+            pred_constraints = dict(widened)
+            propagated = attach_constraints_to_bodies(
+                _norm(wrapped), widened
+            )
+            pred_report.widened_predicates |= (
+                widen_report.widened_predicates
+            )
+    qrp_result: QRPPropagation = gen_prop_qrp_constraints(
+        propagated,
+        wrapper,
+        max_iterations=max_iterations,
+        on_divergence=on_divergence,
+    )
+    # Delete the wrapper rules; the query predicate is the entry again.
+    final = Program(
+        rule
+        for rule in qrp_result.program
+        if rule.head.pred != wrapper
+    ).restrict_to_reachable([query_pred]).relabeled()
+    qrp_constraints = {
+        pred: cset
+        for pred, cset in qrp_result.constraints.items()
+        if pred != wrapper
+    }
+    return RewriteResult(
+        program=final,
+        predicate_constraints=pred_constraints,
+        qrp_constraints=qrp_constraints,
+        predicate_report=pred_report,
+        qrp_report=qrp_result.report,
+    )

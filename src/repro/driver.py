@@ -1,0 +1,237 @@
+"""One-call optimize-and-answer driver, and the guts of the CLI.
+
+This is the "downstream user" surface: hand it a program text (rules
+plus ground facts plus a query) and a strategy name, and it splits the
+EDB out, applies the chosen transformation pipeline, evaluates
+bottom-up, and returns the answers with full diagnostics.
+
+Strategies (Section 7's vocabulary):
+
+* ``none``           -- evaluate as written;
+* ``pred``           -- ``Gen_Prop_predicate_constraints`` only;
+* ``qrp``            -- ``Gen_Prop_QRP_constraints`` only;
+* ``rewrite``        -- ``Constraint_rewrite`` (pred then qrp);
+* ``magic``          -- bf-adorned constraint magic only;
+* ``optimal``        -- the Theorem 7.10 order: pred, qrp, mg.
+
+When the exact predicate-constraint fixpoint diverges, the driver falls
+back to the widening of :mod:`repro.core.widening` instead of giving up
+(the paper's widen-to-*true* is the fallback of last resort inside
+that module).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.pipeline import apply_sequence
+from repro.core.predconstraints import (
+    attach_constraints_to_bodies,
+    gen_predicate_constraints,
+)
+from repro.core.qrp import gen_prop_qrp_constraints
+from repro.core.rewrite import constraint_rewrite
+from repro.core.widening import gen_predicate_constraints_widened
+from repro.engine import Database, EvaluationResult, evaluate
+from repro.engine.facts import Fact
+from repro.engine.query import answers as raw_answers
+from repro.lang.ast import Program, Query, Rule
+from repro.lang.parser import parse_program_and_queries
+
+
+STRATEGIES = ("none", "pred", "qrp", "rewrite", "magic", "optimal")
+
+
+@dataclass
+class QueryOutcome:
+    """Everything a driver run produced."""
+
+    answers: list[Fact]
+    result: EvaluationResult
+    program: Program                  # the program actually evaluated
+    query: Query
+    strategy: str
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def answer_strings(self) -> list[str]:
+        """Answers rendered as query-variable bindings.
+
+        The synthetic ``_answer`` facts' arguments correspond to the
+        query's variables in sorted name order (see
+        ``repro.lang.normalize.query_as_rule``); non-ground answer
+        positions (constraint answers) render as the position's
+        constraint.
+        """
+        variables = sorted(self.query.variables())
+        rendered = []
+        for fact in self.answers:
+            parts = []
+            for name, value in zip(variables, fact.args):
+                from repro.engine.facts import PENDING
+                from fractions import Fraction
+
+                if value is PENDING:
+                    parts.append(f"{name}: constrained")
+                elif isinstance(value, Fraction):
+                    shown = (
+                        value.numerator
+                        if value.denominator == 1
+                        else value
+                    )
+                    parts.append(f"{name} = {shown}")
+                else:
+                    parts.append(f"{name} = {value.name}")
+            suffix = ""
+            if not fact.constraint.is_true():
+                suffix = f"  [{fact.constraint}]"
+            rendered.append(", ".join(parts) + suffix if parts else "yes")
+        return sorted(rendered)
+
+
+def split_edb(program: Program) -> tuple[Program, Database]:
+    """Separate ground fact rules into an EDB database.
+
+    A rule qualifies as an EDB fact when it has no body, no constraints
+    and a ground head, *and* its predicate has no proper rules.  Other
+    facts (e.g. constraint facts, or facts of an otherwise-derived
+    predicate) stay in the program.
+    """
+    proper_heads = {
+        rule.head.pred for rule in program if not rule.is_fact
+    }
+    edb = Database()
+    kept: list[Rule] = []
+    for rule in program:
+        if (
+            rule.is_fact
+            and rule.constraint.is_true()
+            and not rule.head.variables()
+            and rule.head.pred not in proper_heads
+            and rule.head.is_normalized()
+        ):
+            values = []
+            ground = True
+            for arg in rule.head.args:
+                from repro.lang.terms import NumTerm, Sym
+
+                if isinstance(arg, Sym):
+                    values.append(arg)
+                elif isinstance(arg, NumTerm) and arg.is_constant():
+                    values.append(arg.value)
+                else:  # pragma: no cover - excluded by checks above
+                    ground = False
+                    break
+            if ground:
+                edb.add_ground(rule.head.pred, values)
+                continue
+        kept.append(rule)
+    return Program(kept), edb
+
+
+def _pred_only(program: Program, notes: list[str]) -> Program:
+    constraints, report = gen_predicate_constraints(program)
+    if not report.converged:
+        notes.append(
+            "exact predicate-constraint fixpoint diverged; "
+            "falling back to widening"
+        )
+        constraints, widen_report = gen_predicate_constraints_widened(
+            program
+        )
+        if widen_report.widened_predicates:
+            notes.append(
+                "widened: "
+                + ", ".join(sorted(widen_report.widened_predicates))
+            )
+    return attach_constraints_to_bodies(program, constraints)
+
+
+def optimize(
+    program: Program,
+    query: Query,
+    strategy: str = "rewrite",
+    max_iterations: int = 50,
+) -> tuple[Program, str, list[str]]:
+    """Apply a named strategy; returns (program, query_pred, notes)."""
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; choose from {STRATEGIES}"
+        )
+    notes: list[str] = []
+    query_pred = query.literal.pred
+    if strategy == "none":
+        return program, query_pred, notes
+    if strategy == "pred":
+        return _pred_only(program, notes), query_pred, notes
+    if strategy == "qrp":
+        outcome = gen_prop_qrp_constraints(
+            program, query_pred, max_iterations=max_iterations
+        )
+        if not outcome.report.converged:
+            notes.append("qrp fixpoint diverged; widened to true")
+        return outcome.program, query_pred, notes
+    if strategy == "rewrite":
+        outcome = constraint_rewrite(
+            program, query_pred, max_iterations=max_iterations
+        )
+        if not outcome.converged:
+            notes.append("a constraint fixpoint diverged; widened")
+        return outcome.program, query_pred, notes
+    sequence = ["mg"] if strategy == "magic" else ["pred", "qrp", "mg"]
+    pipeline = apply_sequence(
+        program, query, sequence, max_iterations=max_iterations
+    )
+    notes.extend(pipeline.notes)
+    return pipeline.program, pipeline.query_pred, notes
+
+
+def answer_query(
+    program: Program,
+    query: Query,
+    edb: Database | None = None,
+    strategy: str = "rewrite",
+    max_iterations: int = 50,
+    eval_iterations: int = 200,
+) -> QueryOutcome:
+    """Optimize, evaluate bottom-up, and extract the query's answers."""
+    optimized, query_pred, notes = optimize(
+        program, query, strategy, max_iterations
+    )
+    result = evaluate(optimized, edb, max_iterations=eval_iterations)
+    if not result.reached_fixpoint:
+        notes.append(
+            f"evaluation hit the {eval_iterations}-iteration cap "
+            "without reaching a fixpoint; answers may be incomplete"
+        )
+    effective_query = Query(
+        query.literal.with_pred(query_pred), query.constraint
+    )
+    found = raw_answers(result.database, effective_query)
+    return QueryOutcome(
+        answers=found,
+        result=result,
+        program=optimized,
+        query=query,
+        strategy=strategy,
+        notes=notes,
+    )
+
+
+def run_text(
+    text: str,
+    strategy: str = "rewrite",
+    max_iterations: int = 50,
+    eval_iterations: int = 200,
+) -> list[QueryOutcome]:
+    """Parse a program-with-queries text and answer every query."""
+    program, queries = parse_program_and_queries(text)
+    if not queries:
+        raise ValueError("the program text contains no ?- query")
+    rules, edb = split_edb(program)
+    return [
+        answer_query(
+            rules, query, edb, strategy, max_iterations, eval_iterations
+        )
+        for query in queries
+    ]

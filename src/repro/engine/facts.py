@@ -1,0 +1,253 @@
+"""Facts: ground facts and constraint facts in canonical form.
+
+A :class:`Fact` for an ``n``-ary predicate stores one *value* per
+argument position:
+
+* a :class:`~repro.lang.terms.Sym` -- a symbolic constant,
+* a :class:`fractions.Fraction` -- a fixed numeric value,
+* :data:`PENDING` -- a numerically constrained position, governed by the
+  fact's :class:`~repro.constraints.conjunction.Conjunction` over the
+  position variables ``$1 .. $n``.
+
+Canonicalization performed by :func:`make_fact` guarantees that
+
+* the constraint mentions only PENDING positions,
+* any position whose constraint forces a unique value is turned into a
+  fixed numeric value (so ``is_ground`` is a syntactic check), and
+* the constraint conjunction is satisfiable and redundancy-free,
+
+which makes hash-based deduplication effective and keeps the subsumption
+test (:meth:`Fact.subsumes`) simple.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence, Union
+
+from repro.constraints.atom import Atom
+from repro.constraints.conjunction import Conjunction
+from repro.constraints.linexpr import LinearExpr
+from repro.lang.positions import arg_position
+from repro.lang.terms import Sym
+
+
+class _Pending:
+    """Singleton marker for a constrained (non-fixed) argument position."""
+
+    _instance: "_Pending | None" = None
+
+    def __new__(cls) -> "_Pending":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "PENDING"
+
+
+PENDING = _Pending()
+
+Value = Union[Sym, Fraction, _Pending]
+
+
+def _coerce_value(value: object) -> Value:
+    if isinstance(value, (_Pending, Sym, Fraction)):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("booleans are not CQL values")
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, str):
+        return Sym(value)
+    if value is None:
+        return PENDING
+    raise TypeError(f"cannot use {value!r} as a fact argument")
+
+
+class Fact:
+    """An immutable, canonical (possibly constraint) fact."""
+
+    __slots__ = ("pred", "args", "constraint", "_hash")
+
+    def __init__(
+        self,
+        pred: str,
+        args: tuple[Value, ...],
+        constraint: Conjunction,
+    ) -> None:
+        # Callers should use make_fact / Fact.ground, which canonicalize.
+        self.pred = pred
+        self.args = args
+        self.constraint = constraint
+        self._hash: int | None = None
+
+    # -- constructors -------------------------------------------------
+
+    @staticmethod
+    def ground(pred: str, values: Iterable[object]) -> "Fact":
+        """A ground fact; ints become Fractions, strings become Syms."""
+        args = tuple(_coerce_value(value) for value in values)
+        if any(isinstance(arg, _Pending) for arg in args):
+            raise ValueError("ground facts cannot have pending positions")
+        return Fact(pred, args, Conjunction.true())
+
+    # -- inspection ---------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        """Number of argument positions."""
+        return len(self.args)
+
+    def is_ground(self) -> bool:
+        """Does the object contain no PENDING position?"""
+        return not any(isinstance(arg, _Pending) for arg in self.args)
+
+    def pending_positions(self) -> tuple[int, ...]:
+        """1-based positions still governed by the constraint."""
+        return tuple(
+            index
+            for index, arg in enumerate(self.args, start=1)
+            if isinstance(arg, _Pending)
+        )
+
+    def ground_tuple(self) -> tuple[Sym | Fraction, ...]:
+        """The argument values; raises unless ground."""
+        if not self.is_ground():
+            raise ValueError(f"{self} is not ground")
+        return self.args  # type: ignore[return-value]
+
+    def full_conjunction(self) -> Conjunction:
+        """The fact's meaning over ``$1..$n`` with numeric fixes explicit.
+
+        Symbolic positions carry no arithmetic constraint.
+        """
+        atoms: list[Atom] = list(self.constraint.atoms)
+        for index, arg in enumerate(self.args, start=1):
+            if isinstance(arg, Fraction):
+                atoms.append(
+                    Atom.eq(
+                        LinearExpr.var(arg_position(index)),
+                        LinearExpr.const(arg),
+                    )
+                )
+        return Conjunction(atoms)
+
+    # -- subsumption ----------------------------------------------------
+
+    def subsumes(self, other: "Fact") -> bool:
+        """Does this fact cover every ground instance of ``other``?
+
+        Positions are compared sort-wise: symbolic positions must match
+        exactly; a PENDING position whose constraint does not mention it
+        is a wildcard and covers anything (including symbols); numeric
+        positions reduce to constraint implication.
+        """
+        if self.pred != other.pred or self.arity != other.arity:
+            return False
+        my_vars = self.constraint.variables()
+        for index, (mine, theirs) in enumerate(
+            zip(self.args, other.args), start=1
+        ):
+            position = arg_position(index)
+            if isinstance(mine, Sym):
+                if mine != theirs:
+                    return False
+            elif isinstance(mine, Fraction):
+                if mine != theirs:
+                    return False
+            else:  # mine is PENDING
+                if isinstance(theirs, Sym):
+                    if position in my_vars:
+                        return False
+                # Fraction / PENDING handled by implication below.
+        return other.full_conjunction().implies(self.full_conjunction())
+
+    # -- comparisons ----------------------------------------------------
+
+    def _key(self) -> tuple:
+        return (self.pred, self.args, self.constraint)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Fact):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._key())
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Fact({self})"
+
+    def __str__(self) -> str:
+        rendered: list[str] = []
+        pending_index = 0
+        for index, arg in enumerate(self.args, start=1):
+            if isinstance(arg, _Pending):
+                rendered.append(arg_position(index))
+                pending_index += 1
+            elif isinstance(arg, Fraction):
+                rendered.append(
+                    str(arg) if arg.denominator != 1 else str(arg.numerator)
+                )
+            else:
+                rendered.append(arg.name)
+        inner = ", ".join(rendered)
+        if self.constraint.is_true():
+            return f"{self.pred}({inner})"
+        return f"{self.pred}({inner}; {self.constraint})"
+
+
+def make_fact(
+    pred: str,
+    values: Sequence[object],
+    constraint: Conjunction = Conjunction.true(),
+) -> Fact | None:
+    """Build a canonical fact; ``None`` when the constraint is unsatisfiable.
+
+    ``values`` entries may be Syms, strings, ints, Fractions, or
+    ``None``/:data:`PENDING` for constrained positions.  The constraint
+    is given over ``$1..$n`` and is projected onto the pending positions;
+    positions it forces to a unique value become fixed numeric values.
+    """
+    args = [_coerce_value(value) for value in values]
+    pending_vars = {
+        arg_position(index)
+        for index, arg in enumerate(args, start=1)
+        if isinstance(arg, _Pending)
+    }
+    fixed_atoms: list[Atom] = []
+    for index, arg in enumerate(args, start=1):
+        if isinstance(arg, Fraction) and arg_position(index) in (
+            constraint.variables()
+        ):
+            fixed_atoms.append(
+                Atom.eq(
+                    LinearExpr.var(arg_position(index)),
+                    LinearExpr.const(arg),
+                )
+            )
+    conjunction = constraint.conjoin(fixed_atoms).project(pending_vars)
+    if not conjunction.is_satisfiable():
+        return None
+    # Freeze positions forced to a unique value.
+    changed = True
+    while changed:
+        changed = False
+        for index, arg in enumerate(args, start=1):
+            if not isinstance(arg, _Pending):
+                continue
+            position = arg_position(index)
+            if position not in conjunction.variables():
+                continue
+            forced = conjunction.forced_value(position)
+            if forced is not None:
+                args[index - 1] = forced
+                conjunction = conjunction.substitute(
+                    {position: LinearExpr.const(forced)}
+                )
+                changed = True
+    conjunction = conjunction.canonical()
+    return Fact(pred, tuple(args), conjunction)

@@ -1,0 +1,41 @@
+"""Answer extraction: matching a query against an evaluated database.
+
+A query ``?- C, q(ā)`` is answered by the facts of ``q`` compatible
+with the constants in ``ā`` and the constraint ``C``.  Implementation
+reuses the rule evaluator: the query is turned into the single-rule
+program ``_answer(X̄) :- C, q(ā)`` and applied once to the database.
+"""
+
+from __future__ import annotations
+
+from repro.engine.database import Database
+from repro.engine.facts import Fact
+from repro.engine.ruleeval import RuleEvaluator, database_view
+from repro.lang.ast import Query
+from repro.lang.normalize import normalize_rule, query_as_rule
+
+
+ANSWER_PRED = "_answer"
+
+
+def answers(database: Database, query: Query) -> list[Fact]:
+    """All answer facts for the query over the database.
+
+    Each answer is a fact of the synthetic ``_answer`` predicate whose
+    arguments are the query's variables in sorted name order.
+    """
+    rule = normalize_rule(query_as_rule(query, ANSWER_PRED))
+    evaluator = RuleEvaluator(rule)
+    view = database_view(database)
+    results: list[Fact] = []
+    seen: set[Fact] = set()
+    for fact in evaluator.derive(view):
+        if fact not in seen:
+            seen.add(fact)
+            results.append(fact)
+    return results
+
+
+def has_answer(database: Database, query: Query) -> bool:
+    """Does the query have at least one answer?"""
+    return bool(answers(database, query))

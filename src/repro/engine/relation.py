@@ -1,0 +1,304 @@
+"""Relations: stamped, subsumption-checked fact stores with indexes.
+
+A relation stores the facts of one predicate.  Each fact carries the
+iteration *stamp* at which it was added, which is what the semi-naive
+evaluator filters on (delta vs. old vs. full views).  Insertion rejects
+facts subsumed by an existing fact (the paper's "subsumed facts ... are
+discarded, and are not used to make new derivations").
+
+Two indexes accelerate joins:
+
+* a per-position hash index on fixed (Sym/Fraction) values, and
+* a per-position *ordered* index on numeric values, supporting the
+  range probes that Section 4.6 points out constraint selections
+  enable ("the constraints Cost <= 150 and Time <= 240 could be used
+  to efficiently retrieve (via B trees, etc.) singleleg tuples").
+
+Facts whose value at the probed position is PENDING are kept in a side
+list since they may cover any probed value or range.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from fractions import Fraction
+from typing import Iterable, Iterator
+
+from repro.engine.facts import Fact, PENDING, Value
+from repro.lang.terms import Sym
+
+
+class Range:
+    """A (possibly half-open) numeric interval used for index probes."""
+
+    __slots__ = ("lower", "lower_strict", "upper", "upper_strict")
+
+    def __init__(
+        self,
+        lower: Fraction | None = None,
+        lower_strict: bool = False,
+        upper: Fraction | None = None,
+        upper_strict: bool = False,
+    ) -> None:
+        self.lower = lower
+        self.lower_strict = lower_strict
+        self.upper = upper
+        self.upper_strict = upper_strict
+
+    def admits(self, value: Fraction) -> bool:
+        """Is the value inside the range?"""
+        if self.lower is not None:
+            if value < self.lower:
+                return False
+            if self.lower_strict and value == self.lower:
+                return False
+        if self.upper is not None:
+            if value > self.upper:
+                return False
+            if self.upper_strict and value == self.upper:
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        left = "(" if self.lower_strict else "["
+        right = ")" if self.upper_strict else "]"
+        return f"Range{left}{self.lower}, {self.upper}{right}"
+
+
+class InsertOutcome(enum.Enum):
+    """What happened when a fact was inserted."""
+    NEW = "new"
+    DUPLICATE = "duplicate"
+    SUBSUMED = "subsumed"
+
+
+class Relation:
+    """The stamped fact store of a single predicate."""
+
+    def __init__(self, pred: str, arity: int) -> None:
+        self.pred = pred
+        self.arity = arity
+        self._facts: list[Fact] = []
+        self._stamps: dict[Fact, int] = {}
+        # _fixed[pos][value] -> facts with that fixed value at pos;
+        # _pending[pos] -> facts with PENDING at pos;
+        # _ordered[pos] -> (numeric value, insertion seq, fact), sorted.
+        self._fixed: list[dict[Value, list[Fact]]] = [
+            {} for _ in range(arity)
+        ]
+        self._pending: list[list[Fact]] = [[] for _ in range(arity)]
+        self._ordered: list[list[tuple[Fraction, int, Fact]]] = [
+            [] for _ in range(arity)
+        ]
+
+    # -- inspection ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def __contains__(self, fact: Fact) -> bool:
+        return fact in self._stamps
+
+    @property
+    def facts(self) -> tuple[Fact, ...]:
+        """The stored facts of a predicate."""
+        return tuple(self._facts)
+
+    def stamp(self, fact: Fact) -> int:
+        """The iteration stamp a fact was inserted at."""
+        return self._stamps[fact]
+
+    # -- modification ---------------------------------------------------
+
+    def insert(self, fact: Fact, stamp: int = 0) -> InsertOutcome:
+        """Insert unless a syntactic duplicate or semantically subsumed."""
+        if fact.pred != self.pred or fact.arity != self.arity:
+            raise ValueError(
+                f"fact {fact} does not belong to relation "
+                f"{self.pred}/{self.arity}"
+            )
+        if fact in self._stamps:
+            return InsertOutcome.DUPLICATE
+        for existing in self._candidate_subsumers(fact):
+            if existing.subsumes(fact):
+                return InsertOutcome.SUBSUMED
+        self._facts.append(fact)
+        self._stamps[fact] = stamp
+        for position in range(self.arity):
+            value = fact.args[position]
+            if value is PENDING:
+                self._pending[position].append(fact)
+            else:
+                self._fixed[position].setdefault(value, []).append(fact)
+                if isinstance(value, Fraction):
+                    bisect.insort(
+                        self._ordered[position],
+                        (value, len(self._facts), fact),
+                    )
+        return InsertOutcome.NEW
+
+    def remove(self, fact: Fact) -> None:
+        """Remove a stored fact (backward-subsumption support)."""
+        if fact not in self._stamps:
+            raise KeyError(f"{fact} is not stored")
+        self._facts.remove(fact)
+        del self._stamps[fact]
+        for position in range(self.arity):
+            value = fact.args[position]
+            if value is PENDING:
+                self._pending[position].remove(fact)
+            else:
+                bucket = self._fixed[position][value]
+                bucket.remove(fact)
+                if not bucket:
+                    del self._fixed[position][value]
+                if isinstance(value, Fraction):
+                    ordered = self._ordered[position]
+                    index = bisect.bisect_left(ordered, (value,))
+                    while ordered[index][2] != fact:
+                        index += 1
+                    ordered.pop(index)
+
+    def sweep_subsumed_by(self, fact: Fact) -> list[Fact]:
+        """Remove stored facts the given (stored) fact subsumes.
+
+        Returns the removed facts.  Used by the evaluator's backward-
+        subsumption pass: a newly derived, more general fact covers all
+        future uses of the facts it subsumes (it carries an equal or
+        newer stamp, so semi-naive deltas still see it).
+        """
+        bound = {
+            position: value
+            for position, value in enumerate(fact.args)
+            if value is not PENDING
+        }
+        removed = []
+        for candidate in list(self.matching(bound or None)):
+            if candidate is fact:
+                continue
+            if fact.subsumes(candidate):
+                self.remove(candidate)
+                removed.append(candidate)
+        return removed
+
+    def _candidate_subsumers(self, fact: Fact) -> Iterable[Fact]:
+        """Facts that could subsume ``fact`` (index-pruned superset)."""
+        best: Iterable[Fact] | None = None
+        best_size: int | None = None
+        for position in range(self.arity):
+            value = fact.args[position]
+            if value is PENDING:
+                continue
+            bucket = self._fixed[position].get(value, [])
+            candidates_size = len(bucket) + len(self._pending[position])
+            if best_size is None or candidates_size < best_size:
+                best_size = candidates_size
+                best = [*bucket, *self._pending[position]]
+        if best is None:
+            return list(self._facts)
+        return best
+
+    # -- lookups ----------------------------------------------------------
+
+    def _range_candidates(
+        self, position: int, probe: Range
+    ) -> list[Fact]:
+        """Ordered-index scan of a position for a numeric range."""
+        ordered = self._ordered[position]
+        low = 0
+        high = len(ordered)
+        if probe.lower is not None:
+            low = bisect.bisect_left(ordered, (probe.lower,))
+        if probe.upper is not None:
+            # (value, seq, fact) tuples: a sentinel beyond any seq.
+            high = bisect.bisect_right(
+                ordered, (probe.upper, float("inf"))
+            )
+        selected = [
+            fact
+            for value, __, fact in ordered[low:high]
+            if probe.admits(value)
+        ]
+        return selected + self._pending[position]
+
+    def matching(
+        self,
+        bound: dict[int, Sym | Fraction] | None = None,
+        max_stamp: int | None = None,
+        exact_stamp: int | None = None,
+        ranges: dict[int, Range] | None = None,
+    ) -> Iterator[Fact]:
+        """Facts compatible with fixed values / ranges at 0-based positions.
+
+        A fact is *compatible* when each bound position holds either the
+        same fixed value or PENDING (the constraint may still rule the
+        value out; the join's satisfiability check decides that), and
+        each ranged position holds a value inside the range or PENDING.
+        Stamp filters select the semi-naive views.  The probe uses
+        whichever single index (hash bucket or ordered range) promises
+        the fewest candidates; remaining conditions filter.
+        """
+        candidates: Iterable[Fact] | None = None
+        best_size: int | None = None
+        if bound:
+            position, value = min(
+                bound.items(),
+                key=lambda item: len(
+                    self._fixed[item[0]].get(item[1], [])
+                )
+                + len(self._pending[item[0]]),
+            )
+            candidates = [
+                *self._fixed[position].get(value, []),
+                *self._pending[position],
+            ]
+            best_size = len(candidates)  # type: ignore[arg-type]
+        if ranges:
+            for position, probe in ranges.items():
+                if bound and position in bound:
+                    continue
+                scanned = self._range_candidates(position, probe)
+                if best_size is None or len(scanned) < best_size:
+                    candidates = scanned
+                    best_size = len(scanned)
+        if candidates is None:
+            candidates = self._facts
+        for fact in candidates:
+            stamp = self._stamps[fact]
+            if max_stamp is not None and stamp > max_stamp:
+                continue
+            if exact_stamp is not None and stamp != exact_stamp:
+                continue
+            if bound and not _compatible(fact, bound):
+                continue
+            if ranges and not _in_ranges(fact, ranges):
+                continue
+            yield fact
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(fact) for fact in self._facts)
+        return f"{{{inner}}}"
+
+
+def _compatible(fact: Fact, bound: dict[int, Sym | Fraction]) -> bool:
+    for position, value in bound.items():
+        actual = fact.args[position]
+        if actual is PENDING:
+            continue
+        if actual != value:
+            return False
+    return True
+
+
+def _in_ranges(fact: Fact, ranges: dict[int, Range]) -> bool:
+    for position, probe in ranges.items():
+        actual = fact.args[position]
+        if actual is PENDING or isinstance(actual, Sym):
+            continue  # pending may qualify; symbols fail later in unify
+        if not probe.admits(actual):
+            return False
+    return True

@@ -1,0 +1,468 @@
+"""Single-rule application: the basic step of bottom-up evaluation.
+
+Section 2 describes a derivation with rule ``r`` as: choose a fact for
+each body literal so that the conjunction of the facts' constraints, the
+argument equalities and the rule's constraints is satisfiable, then
+eliminate the non-head variables by exact quantifier elimination.
+
+This module implements that step over a database of (possibly
+constraint) facts.  Symbolic constants are handled by syntactic
+unification; numeric structure goes through the constraint solver.  Two
+optimizations keep the common all-ground case fast:
+
+* equalities between already-known constants are checked directly
+  instead of being accumulated as constraint atoms;
+* rule constraint atoms are evaluated as soon as all their variables
+  hold known constants, pruning the join early (this is the very
+  "selection pushing" effect the paper studies, applied at the tuple
+  level inside one rule application).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Iterable, Iterator
+
+from repro.constraints.atom import Atom, Op
+from repro.constraints.conjunction import Conjunction
+from repro.constraints.linexpr import LinearExpr
+from repro.engine.database import Database
+from repro.engine.facts import Fact, PENDING, make_fact
+from repro.engine.relation import Range
+from repro.lang.ast import Literal, Rule
+from repro.lang.positions import arg_position
+from repro.lang.terms import NumTerm, Sym, Var
+
+
+class SortConflictError(TypeError):
+    """A variable was used both symbolically and in arithmetic."""
+
+
+@dataclass
+class _State:
+    """Mutable join state threaded through the body literals."""
+
+    sym_bind: dict[str, Sym]
+    num_bind: dict[str, LinearExpr]
+    atoms: list[Atom]
+
+    def copy(self) -> "_State":
+        """An independent copy."""
+        return _State(
+            dict(self.sym_bind), dict(self.num_bind), list(self.atoms)
+        )
+
+    def constant_of(self, name: str) -> Fraction | None:
+        """The constant a variable is bound to, if any."""
+        expr = self.num_bind.get(name)
+        if expr is not None and expr.is_constant():
+            return expr.constant
+        return None
+
+
+FactView = Callable[
+    [Literal, dict[int, Sym | Fraction], int, "dict[int, Range] | None"],
+    Iterable[Fact],
+]
+"""Produces candidate facts for a body literal: (literal, bound
+positions with fixed values, body index, static range probes) -> facts."""
+
+
+class RuleEvaluator:
+    """Pre-analyzed applier for one normalized rule.
+
+    ``use_ranges`` enables pushing the rule's single-variable constraint
+    atoms into index range probes (Section 4.6's "effective indexing"):
+    a body literal argument ``T`` constrained by ``T <= 240`` probes the
+    relation's ordered index with that range instead of scanning.
+    """
+
+    def __init__(self, rule: Rule, use_ranges: bool = True) -> None:
+        if not rule.is_normalized():
+            raise ValueError(f"rule is not normalized: {rule}")
+        self.rule = rule
+        self.probes = 0
+        self._ranges: list[dict[int, Range]] = [
+            self._static_ranges(literal) if use_ranges else {}
+            for literal in rule.body
+        ]
+        self._head_positions = [
+            arg_position(index) for index in range(1, rule.head.arity + 1)
+        ]
+        # Static schedule: constraint atoms checkable after body literal i
+        # (all their variables are bound by literals 0..i, assuming ground
+        # bindings; non-ground cases fall through to the final conjoin).
+        bound_after: list[set[str]] = []
+        seen: set[str] = set()
+        for literal in rule.body:
+            seen |= literal.variables()
+            bound_after.append(set(seen))
+        pending_atoms = list(rule.constraint.atoms)
+        self._checks: list[list[Atom]] = []
+        for bound in bound_after:
+            here = [
+                atom
+                for atom in pending_atoms
+                if atom.variables() <= bound
+            ]
+            pending_atoms = [
+                atom for atom in pending_atoms if atom not in here
+            ]
+            self._checks.append(here)
+        self._deferred_atoms = pending_atoms
+
+    def _static_ranges(self, literal: Literal) -> dict[int, Range]:
+        """Range probes derivable from single-variable constraint atoms."""
+        ranges: dict[int, Range] = {}
+        for position, arg in enumerate(literal.args):
+            if not isinstance(arg, Var):
+                continue
+            lower = upper = None
+            lower_strict = upper_strict = False
+            for atom in self.rule.constraint.atoms:
+                if atom.variables() != {arg.name}:
+                    continue
+                coeff = atom.expr.coeff(arg.name)
+                value = -atom.expr.constant / coeff
+                if atom.op is Op.EQ:
+                    lower = upper = value
+                    lower_strict = upper_strict = False
+                    break
+                strict = atom.op is Op.LT
+                if coeff > 0:  # upper bound
+                    if upper is None or value < upper:
+                        upper, upper_strict = value, strict
+                else:  # lower bound
+                    if lower is None or value > lower:
+                        lower, lower_strict = value, strict
+            if lower is not None or upper is not None:
+                ranges[position] = Range(
+                    lower, lower_strict, upper, upper_strict
+                )
+        return ranges
+
+    # -- the join -----------------------------------------------------
+
+    def derive(self, view: FactView) -> Iterator[Fact]:
+        """All facts derivable with one application of the rule."""
+        for fact, __ in self.derive_with_parents(view):
+            yield fact
+
+    def derive_with_parents(
+        self, view: FactView
+    ) -> Iterator[tuple[Fact, tuple[Fact, ...]]]:
+        """Derivations with the body facts used (for provenance)."""
+        state = _State({}, {}, [])
+        counter = [0]
+        yield from self._join(0, state, counter, view, ())
+
+    def _join(
+        self,
+        index: int,
+        state: _State,
+        counter: list[int],
+        view: FactView,
+        parents: tuple[Fact, ...],
+    ) -> Iterator[tuple[Fact, tuple[Fact, ...]]]:
+        if index == len(self.rule.body):
+            fact = self._finish(state)
+            if fact is not None:
+                yield fact, parents
+            return
+        literal = self.rule.body[index]
+        bound = self._bound_positions(literal, state)
+        ranges = self._ranges[index] or None
+        for fact in view(literal, bound, index, ranges):
+            self.probes += 1
+            branch = state.copy()
+            if not self._unify(literal, fact, branch, counter):
+                continue
+            if not self._early_checks(index, branch):
+                continue
+            yield from self._join(
+                index + 1, branch, counter, view, (*parents, fact)
+            )
+
+    def _bound_positions(
+        self, literal: Literal, state: _State
+    ) -> dict[int, Sym | Fraction]:
+        bound: dict[int, Sym | Fraction] = {}
+        for position, arg in enumerate(literal.args):
+            if isinstance(arg, Sym):
+                bound[position] = arg
+            elif isinstance(arg, NumTerm):
+                bound[position] = arg.value
+            elif isinstance(arg, Var):
+                symbol = state.sym_bind.get(arg.name)
+                if symbol is not None:
+                    bound[position] = symbol
+                    continue
+                constant = state.constant_of(arg.name)
+                if constant is not None:
+                    bound[position] = constant
+        return bound
+
+    def _unify(
+        self,
+        literal: Literal,
+        fact: Fact,
+        state: _State,
+        counter: list[int],
+    ) -> bool:
+        """Unify literal arguments with a fact; extend the state."""
+        counter[0] += 1
+        instance = counter[0]
+        fact_vars = fact.constraint.variables()
+        rename: dict[str, str] = {}
+
+        def fact_expr(position: int) -> LinearExpr:
+            """The renamed-apart expression for a PENDING fact position."""
+            original = arg_position(position + 1)
+            fresh = rename.setdefault(original, f"!{instance}_{position + 1}")
+            return LinearExpr.var(fresh)
+
+        for position, arg in enumerate(literal.args):
+            value = fact.args[position]
+            if isinstance(arg, Sym):
+                if isinstance(value, Sym):
+                    if value != arg:
+                        return False
+                elif value is PENDING:
+                    if arg_position(position + 1) in fact_vars:
+                        return False
+                else:
+                    return False
+            elif isinstance(arg, NumTerm):
+                constant = arg.value
+                if isinstance(value, Fraction):
+                    if value != constant:
+                        return False
+                elif value is PENDING:
+                    state.atoms.append(
+                        Atom.eq(fact_expr(position), LinearExpr.const(constant))
+                    )
+                else:
+                    return False
+            else:  # Var
+                name = arg.name
+                symbol = state.sym_bind.get(name)
+                if symbol is not None:
+                    if isinstance(value, Sym):
+                        if value != symbol:
+                            return False
+                    elif value is PENDING:
+                        if arg_position(position + 1) in fact_vars:
+                            return False
+                    else:
+                        return False
+                    continue
+                known = state.num_bind.get(name)
+                if known is not None:
+                    if isinstance(value, Sym):
+                        return False
+                    if isinstance(value, Fraction):
+                        if known.is_constant():
+                            if known.constant != value:
+                                return False
+                        else:
+                            state.atoms.append(
+                                Atom.eq(known, LinearExpr.const(value))
+                            )
+                    else:
+                        state.atoms.append(
+                            Atom.eq(known, fact_expr(position))
+                        )
+                    continue
+                # Unbound variable.
+                if isinstance(value, Sym):
+                    state.sym_bind[name] = value
+                elif isinstance(value, Fraction):
+                    state.num_bind[name] = LinearExpr.const(value)
+                else:
+                    state.num_bind[name] = fact_expr(position)
+        if rename and fact.constraint.atoms:
+            renamed = fact.constraint.rename(rename)
+            state.atoms.extend(renamed.atoms)
+        return True
+
+    def _early_checks(self, index: int, state: _State) -> bool:
+        """Evaluate rule constraints whose variables are known constants."""
+        for atom in self._checks[index]:
+            substituted = self._substitute_atom(atom, state)
+            if substituted is None:
+                return False
+            truth = substituted.truth_value()
+            if truth is False:
+                return False
+            if truth is None:
+                state.atoms.append(substituted)
+        return True
+
+    def _substitute_atom(self, atom: Atom, state: _State) -> Atom | None:
+        """Apply bindings to a rule-constraint atom; None on sort conflict."""
+        bindings: dict[str, LinearExpr] = {}
+        for name in atom.variables():
+            if name in state.sym_bind:
+                # A symbol flowed into an arithmetic comparison: no
+                # number equals a symbol, so the derivation fails.
+                return None
+            expr = state.num_bind.get(name)
+            if expr is not None:
+                bindings[name] = expr
+        if not bindings:
+            return atom
+        return atom.substitute(bindings)
+
+    def _finish(self, state: _State) -> Fact | None:
+        """Assemble the head fact: substitute, conjoin, project."""
+        atoms = list(state.atoms)
+        for atom in self._deferred_atoms:
+            substituted = self._substitute_atom(atom, state)
+            if substituted is None:
+                return None
+            truth = substituted.truth_value()
+            if truth is False:
+                return None
+            if truth is None:
+                atoms.append(substituted)
+        # Cheap constant propagation through single-variable equalities
+        # (e.g. ``T = T1 + T2 + 30`` with ground T1, T2) so the common
+        # all-ground case never reaches the quantifier-elimination path.
+        propagated = _propagate_constants(atoms)
+        if propagated is None:
+            return None
+        solved, atoms = propagated
+        if solved:
+            bindings = {
+                name: LinearExpr.const(value)
+                for name, value in solved.items()
+            }
+            for name, expr in state.num_bind.items():
+                if expr.variables() & solved.keys():
+                    state.num_bind[name] = expr.substitute(bindings)
+            for name in solved:
+                state.num_bind.setdefault(
+                    name, LinearExpr.const(solved[name])
+                )
+        values: list[object] = []
+        head_atoms: list[Atom] = []
+        for position, arg in enumerate(self.rule.head.args, start=1):
+            if isinstance(arg, Sym):
+                values.append(arg)
+            elif isinstance(arg, NumTerm):
+                values.append(arg.value)
+            else:  # Var
+                name = arg.name
+                symbol = state.sym_bind.get(name)
+                if symbol is not None:
+                    values.append(symbol)
+                    continue
+                expr = state.num_bind.get(name)
+                if expr is None:
+                    expr = LinearExpr.var(name)
+                if expr.is_constant() and not any(
+                    name in atom.variables() for atom in atoms
+                ):
+                    values.append(expr.constant)
+                    continue
+                values.append(PENDING)
+                head_atoms.append(
+                    Atom.eq(LinearExpr.var(arg_position(position)), expr)
+                )
+        if not atoms and not head_atoms:
+            return make_fact(self.rule.head.pred, values)
+        return make_fact(
+            self.rule.head.pred,
+            values,
+            Conjunction((*atoms, *head_atoms)),
+        )
+
+
+def _propagate_constants(
+    atoms: list[Atom],
+) -> tuple[dict[str, Fraction], list[Atom]] | None:
+    """Solve single-variable equalities; ``None`` when contradictory.
+
+    Returns the solved assignments and the residual atoms.  Only a cheap
+    syntactic pass: repeatedly pick an equality ``a*X + c = 0``, bind
+    ``X = -c/a``, substitute, and fold ground atoms.
+    """
+    solved: dict[str, Fraction] = {}
+    residual = atoms
+    progress = True
+    while progress:
+        progress = False
+        next_residual: list[Atom] = []
+        binding: tuple[str, Fraction] | None = None
+        for position, atom in enumerate(residual):
+            variables = atom.variables()
+            if atom.op is Op.EQ and len(variables) == 1:
+                (name,) = variables
+                coeff = atom.expr.coeff(name)
+                value = -atom.expr.constant / coeff
+                binding = (name, value)
+                next_residual.extend(residual[position + 1 :])
+                break
+            next_residual.append(atom)
+        if binding is None:
+            break
+        name, value = binding
+        solved[name] = value
+        substitution = {name: LinearExpr.const(value)}
+        folded: list[Atom] = []
+        for atom in next_residual:
+            if name in atom.variables():
+                atom = atom.substitute(substitution)
+            truth = atom.truth_value()
+            if truth is False:
+                return None
+            if truth is None:
+                folded.append(atom)
+        residual = folded
+        progress = True
+    return solved, residual
+
+
+def database_view(
+    database: Database,
+    max_stamp: int | None = None,
+    exact_stamp_index: int | None = None,
+    exact_stamp: int | None = None,
+    old_stamp: int | None = None,
+) -> FactView:
+    """A fact view over a database with semi-naive stamp filtering.
+
+    With ``exact_stamp_index`` set, the literal at that body index sees
+    only facts stamped ``exact_stamp`` (the delta), literals before it
+    see facts up to ``max_stamp``, and literals after it see facts up to
+    ``old_stamp`` (the pre-delta view).
+    """
+
+    def view(
+        literal: Literal,
+        bound: dict[int, Sym | Fraction],
+        index: int,
+        ranges: "dict[int, Range] | None" = None,
+    ) -> Iterable[Fact]:
+        """The stamped fact view for one body literal."""
+        relation = database.get(literal.pred)
+        if relation is None:
+            return ()
+        if exact_stamp_index is None:
+            return relation.matching(
+                bound, max_stamp=max_stamp, ranges=ranges
+            )
+        if index == exact_stamp_index:
+            return relation.matching(
+                bound, exact_stamp=exact_stamp, ranges=ranges
+            )
+        if index < exact_stamp_index:
+            return relation.matching(
+                bound, max_stamp=max_stamp, ranges=ranges
+            )
+        return relation.matching(
+            bound, max_stamp=old_stamp, ranges=ranges
+        )
+
+    return view

@@ -1,0 +1,46 @@
+"""Counters describing a bottom-up evaluation run.
+
+The paper compares rewritten programs by "the number of facts computed"
+and "the set of derivations made" (Theorems 4.4, 4.6, 7.2, ...); these
+are exactly the counters collected here.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EvalStats:
+    """Aggregate counters of one evaluation."""
+
+    derivations: int = 0
+    new_facts: int = 0
+    duplicates: int = 0
+    subsumed: int = 0
+    iterations: int = 0
+    probes: int = 0
+    swept: int = 0
+    facts_by_pred: Counter = field(default_factory=Counter)
+    derivations_by_rule: Counter = field(default_factory=Counter)
+
+    def record(self, rule_label: str | None, pred: str, outcome: str) -> None:
+        """Count one derivation with its insertion outcome."""
+        self.derivations += 1
+        self.derivations_by_rule[rule_label or "?"] += 1
+        if outcome == "new":
+            self.new_facts += 1
+            self.facts_by_pred[pred] += 1
+        elif outcome == "duplicate":
+            self.duplicates += 1
+        else:
+            self.subsumed += 1
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.new_facts} facts in {self.iterations} iterations "
+            f"({self.derivations} derivations, "
+            f"{self.duplicates} duplicates, {self.subsumed} subsumed)"
+        )

@@ -1,0 +1,38 @@
+"""The constraint query language (CQL) substrate.
+
+Programs are finite sets of rules ``p(X̄) :- C, p1(X̄1), ..., pn(X̄n)``
+where ``C`` is a conjunction of linear arithmetic constraints
+(Section 2).  This package provides the term/rule/program AST, a text
+parser, rule normalization (arithmetic terms in literals are flattened
+into equality constraints), the ``PTOL``/``LTOP`` conversions between
+rule variables and predicate argument positions (Definitions 2.7/2.8),
+and a round-trippable pretty printer.
+"""
+
+from repro.lang.terms import NumTerm, Sym, Term, Var, num, sym, var
+from repro.lang.ast import Literal, Program, Query, Rule
+from repro.lang.parser import parse_program, parse_query, parse_rule
+from repro.lang.normalize import normalize_program, normalize_rule
+from repro.lang.positions import arg_position, ltop, ptol
+
+__all__ = [
+    "Term",
+    "Var",
+    "Sym",
+    "NumTerm",
+    "var",
+    "sym",
+    "num",
+    "Literal",
+    "Rule",
+    "Program",
+    "Query",
+    "parse_program",
+    "parse_rule",
+    "parse_query",
+    "normalize_rule",
+    "normalize_program",
+    "ptol",
+    "ltop",
+    "arg_position",
+]

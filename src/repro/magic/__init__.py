@@ -1,0 +1,37 @@
+"""Magic Templates for CQL programs (Appendix B, Sections 6-7).
+
+Three rewritings are provided:
+
+* :func:`repro.magic.templates.magic_templates_full` -- the full CQL
+  Magic Templates of [10], where magic predicates carry *all* arguments
+  and bindings may be constraint facts (this is the transformation that
+  produces ``P_fib^{mg}`` of Example 1.2).
+* :func:`repro.magic.templates.constraint_magic` -- constraint magic
+  rewriting over *bf* (bound-if-ground) adornments (Section 7.2): magic
+  predicates carry only the bound arguments, every magic rule carries
+  all the constraints of the rule it came from, and the evaluation
+  computes only ground facts when the original did.
+* :mod:`repro.magic.gmt` -- Mumick et al.'s GMT over *bcf* adornments,
+  with the grounding step expressed as the fold/unfold sequence of
+  procedure ``Ground_Fold_Unfold`` (Section 6.2, Theorem 6.2).
+"""
+
+from repro.magic.adorn import AdornedProgram, adorn_program
+from repro.magic.bcf import BcfAdornment, bcf_adorn
+from repro.magic.gmt import gmt_transform
+from repro.magic.templates import (
+    MagicResult,
+    constraint_magic,
+    magic_templates_full,
+)
+
+__all__ = [
+    "AdornedProgram",
+    "adorn_program",
+    "BcfAdornment",
+    "bcf_adorn",
+    "gmt_transform",
+    "MagicResult",
+    "constraint_magic",
+    "magic_templates_full",
+]

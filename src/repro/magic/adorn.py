@@ -1,0 +1,140 @@
+"""Adornments and sips (Appendix B).
+
+A *bf* adornment marks each argument position of a derived predicate as
+bound (``b``) or free (``f``).  We implement the *bound-if-ground* rule
+(Sections 1.1 and 7): an argument is bound only when it is a constant or
+all its variables are bound to ground terms -- variables become bound by
+appearing in a bound head position or in *any* position of an earlier
+ordinary body literal (full left-to-right sips); constraints never bind.
+
+Adorned versions of the derived predicates are created on demand from
+the query's adornment (Definition B.2); EDB predicates are not adorned.
+The *bcf* adornments of Mumick et al. (Section 6) are built on top of
+this module by :mod:`repro.magic.gmt`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.ast import Literal, Program, Query, Rule
+from repro.lang.terms import NumTerm, Sym, term_variables
+
+
+def adorned_name(pred: str, adornment: str) -> str:
+    """The suffixed predicate name ``pred_adornment``."""
+    return f"{pred}_{adornment}" if adornment else pred
+
+
+def query_adornment(query: Query) -> str:
+    """The adornment of the query literal: constants are bound."""
+    letters = []
+    for arg in query.literal.args:
+        if isinstance(arg, Sym):
+            letters.append("b")
+        elif isinstance(arg, NumTerm) and arg.is_constant():
+            letters.append("b")
+        else:
+            letters.append("f")
+    return "".join(letters)
+
+
+@dataclass
+class AdornedProgram:
+    """An adorned program plus the bookkeeping the magic rewrite needs."""
+
+    program: Program
+    query_pred: str           # adorned name of the query predicate
+    original_query_pred: str
+    adornments: dict[str, str] = field(default_factory=dict)
+    # adorned name -> (original name, adornment string)
+    origin: dict[str, tuple[str, str]] = field(default_factory=dict)
+
+    def bound_positions(self, adorned_pred: str) -> list[int]:
+        """0-based bound positions of an adorned predicate."""
+        __, adornment = self.origin[adorned_pred]
+        return [
+            index
+            for index, letter in enumerate(adornment)
+            if letter == "b"
+        ]
+
+
+def _literal_adornment(literal: Literal, bound_vars: set[str]) -> str:
+    letters = []
+    for arg in literal.args:
+        if isinstance(arg, Sym):
+            letters.append("b")
+        elif isinstance(arg, NumTerm) and arg.is_constant():
+            letters.append("b")
+        else:
+            variables = term_variables(arg)
+            letters.append(
+                "b" if variables and variables <= bound_vars else "f"
+            )
+    return "".join(letters)
+
+
+def adorn_program(program: Program, query: Query) -> AdornedProgram:
+    """Adorned version of the program for the query (Definition B.2).
+
+    Uses full left-to-right sips with the bound-if-ground rule.  Only
+    adorned predicates reachable from the query's adornment are
+    produced; EDB predicates keep their names.
+    """
+    derived = program.derived_predicates()
+    query_pred = query.literal.pred
+    if query_pred not in derived:
+        raise ValueError(f"{query_pred} is not defined by the program")
+    seed = (query_pred, query_adornment(query))
+    worklist = [seed]
+    done: set[tuple[str, str]] = set()
+    rules: list[Rule] = []
+    origin: dict[str, tuple[str, str]] = {}
+    adornments: dict[str, str] = {}
+    while worklist:
+        pred, adornment = worklist.pop()
+        if (pred, adornment) in done:
+            continue
+        done.add((pred, adornment))
+        new_name = adorned_name(pred, adornment)
+        origin[new_name] = (pred, adornment)
+        adornments.setdefault(pred, adornment)
+        for rule in program.rules_for(pred):
+            bound_vars: set[str] = set()
+            for index, letter in enumerate(adornment):
+                if letter == "b":
+                    bound_vars |= term_variables(rule.head.args[index])
+            body: list[Literal] = []
+            for literal in rule.body:
+                if literal.pred in derived:
+                    body_adornment = _literal_adornment(
+                        literal, bound_vars
+                    )
+                    target = (literal.pred, body_adornment)
+                    if target not in done:
+                        worklist.append(target)
+                    body.append(
+                        literal.with_pred(
+                            adorned_name(literal.pred, body_adornment)
+                        )
+                    )
+                else:
+                    body.append(literal)
+                bound_vars |= literal.variables()
+            rules.append(
+                Rule(
+                    rule.head.with_pred(new_name),
+                    tuple(body),
+                    rule.constraint,
+                    rule.label,
+                )
+            )
+    adorned = Program(rules)
+    return AdornedProgram(
+        program=adorned,
+        query_pred=adorned_name(*seed),
+        original_query_pred=query_pred,
+        adornments=adornments,
+        origin=origin,
+    )

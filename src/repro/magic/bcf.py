@@ -1,0 +1,229 @@
+"""Automatic bcf adornment (Section 6.2 / Mumick et al.).
+
+Mumick et al. generalize bound/free adornments with a *condition* (c)
+adornment "that describes selections involving arithmetic inequalities",
+passing conditions -- not just bindings -- sideways. The paper presents
+Example 6.1's program already adorned; this module computes the
+adornment from a plain program and a query, producing the suffixed
+predicate names (``p_cf``) the GMT machinery consumes.
+
+An argument position of a body literal is classified, under full
+left-to-right sips with the bound-if-ground rule, as
+
+* ``b`` -- a constant, or all its variables ground-bound (appearing in
+  a bound head position or any earlier ordinary body literal);
+* ``c`` -- not bound, but *conditioned*: some variable of the argument
+  is constrained by a rule-constraint atom whose remaining variables
+  are all bound or conditioned head variables (conditions flow from
+  the head and from the constraints, never from later literals);
+* ``f`` -- otherwise.
+
+The query's constraint conditions its non-constant arguments the same
+way (Example 6.1's ``?- X > 10, p(X, Y)`` gives ``p^cf``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.conjunction import Conjunction
+from repro.lang.ast import Literal, Program, Query, Rule
+from repro.lang.terms import NumTerm, Sym, term_variables
+from repro.magic.gmt import GmtProgram
+
+
+def adorned_name(pred: str, adornment: str) -> str:
+    """The suffixed predicate name ``pred_adornment``."""
+    return f"{pred}_{adornment}" if adornment else pred
+
+
+def _conditioned_vars(
+    constraint: Conjunction, bound: set[str], seed: set[str]
+) -> set[str]:
+    """Variables conditioned by the constraint, to a fixpoint.
+
+    A variable is conditioned when it occurs in a constraint atom whose
+    other variables are all bound or already conditioned. ``seed``
+    starts the propagation (e.g. the conditioned head variables).
+    """
+    conditioned = set(seed)
+    changed = True
+    while changed:
+        changed = False
+        for atom in constraint.atoms:
+            names = atom.variables()
+            for name in names:
+                if name in conditioned or name in bound:
+                    continue
+                others = names - {name}
+                if others <= (bound | conditioned):
+                    conditioned.add(name)
+                    changed = True
+    return conditioned
+
+
+def query_bcf_adornment(query: Query) -> str:
+    """The query literal's bcf adornment."""
+    letters = []
+    conditioned = _conditioned_vars(query.constraint, set(), set())
+    for arg in query.literal.args:
+        if isinstance(arg, Sym) or (
+            isinstance(arg, NumTerm) and arg.is_constant()
+        ):
+            letters.append("b")
+        else:
+            variables = term_variables(arg)
+            if variables and variables <= conditioned:
+                letters.append("c")
+            else:
+                letters.append("f")
+    return "".join(letters)
+
+
+def _literal_bcf(
+    literal: Literal, bound: set[str], conditioned: set[str]
+) -> str:
+    letters = []
+    for arg in literal.args:
+        if isinstance(arg, Sym) or (
+            isinstance(arg, NumTerm) and arg.is_constant()
+        ):
+            letters.append("b")
+            continue
+        variables = term_variables(arg)
+        if variables and variables <= bound:
+            letters.append("b")
+        elif variables and variables <= (bound | conditioned):
+            letters.append("c")
+        else:
+            letters.append("f")
+    return "".join(letters)
+
+
+@dataclass
+class BcfAdornment:
+    """A bcf-adorned program ready for :func:`repro.magic.gmt.gmt_transform`."""
+
+    program: Program
+    adornments: dict[str, str]
+    query_pred: str
+    query: Query
+
+    def gmt_program(self) -> GmtProgram:
+        """Package the adornment for the GMT machinery."""
+        return GmtProgram(
+            program=self.program,
+            adornments=self.adornments,
+            query_pred=self.query_pred,
+        )
+
+
+def bcf_adorn(program: Program, query: Query) -> BcfAdornment:
+    """Adorn a plain program with bcf adornments for the query.
+
+    Derived predicates are renamed ``pred_adornment``; EDB predicates
+    are also suffixed (their adornments matter to the groundability
+    analysis, as in the paper's ``u_cf``/``q1_cf``/... spelling of
+    Example 6.1) but keep one canonical adornment per use pattern.
+    The returned object feeds directly into ``gmt_transform`` via
+    :meth:`BcfAdornment.gmt_program`.
+    """
+    derived = program.derived_predicates()
+    query_pred = query.literal.pred
+    if query_pred not in derived:
+        raise ValueError(f"{query_pred} is not defined by the program")
+    seed = (query_pred, query_bcf_adornment(query))
+    worklist = [seed]
+    done: set[tuple[str, str]] = set()
+    rules: list[Rule] = []
+    adornments: dict[str, str] = {}
+    edb_patterns: dict[tuple[str, str], str] = {}
+
+    def register(pred: str, adornment: str) -> str:
+        """Record an adorned name and its adornment."""
+        name = adorned_name(pred, adornment)
+        adornments[name] = adornment
+        return name
+
+    while worklist:
+        pred, adornment = worklist.pop()
+        if (pred, adornment) in done:
+            continue
+        done.add((pred, adornment))
+        new_name = register(pred, adornment)
+        for rule in program.rules_for(pred):
+            bound: set[str] = set()
+            head_conditioned: set[str] = set()
+            for index, letter in enumerate(adornment):
+                variables = term_variables(rule.head.args[index])
+                if letter == "b":
+                    bound |= variables
+                elif letter == "c":
+                    head_conditioned |= variables
+            body: list[Literal] = []
+            for literal in rule.body:
+                # Conditions are recomputed as bindings accumulate:
+                # once an earlier literal grounds V, the constraint
+                # W > V conditions W (Example 6.1's recursive p_cf).
+                conditioned = _conditioned_vars(
+                    rule.constraint, bound, head_conditioned
+                ) - bound
+                body_adornment = _literal_bcf(
+                    literal, bound, conditioned
+                )
+                if literal.pred in derived:
+                    target = (literal.pred, body_adornment)
+                    if target not in done:
+                        worklist.append(target)
+                    body.append(
+                        literal.with_pred(
+                            adorned_name(literal.pred, body_adornment)
+                        )
+                    )
+                else:
+                    key = (literal.pred, body_adornment)
+                    name = edb_patterns.setdefault(
+                        key, register(literal.pred, body_adornment)
+                    )
+                    body.append(literal.with_pred(name))
+                bound |= literal.variables()
+            rules.append(
+                Rule(
+                    rule.head.with_pred(new_name),
+                    tuple(body),
+                    rule.constraint,
+                    rule.label,
+                )
+            )
+    adorned = Program(rules)
+    return BcfAdornment(
+        program=adorned,
+        adornments=adornments,
+        query_pred=adorned_name(*seed),
+        query=query,
+    )
+
+
+def rename_edb_for_adornment(
+    database, adornment: BcfAdornment
+):
+    """Copy an EDB under the adorned predicate names.
+
+    The adorned program refers to ``u_cf`` etc.; this helper mirrors a
+    plain database's relations under every adorned alias so it can be
+    evaluated directly.
+    """
+    from repro.engine.database import Database
+
+    mirrored = Database()
+    alias_map: dict[str, list[str]] = {}
+    for name, adorn in adornment.adornments.items():
+        base = name[: -(len(adorn) + 1)] if adorn else name
+        alias_map.setdefault(base, []).append(name)
+    for pred in database.predicates():
+        for fact in database.facts(pred):
+            for alias in alias_map.get(pred, [pred]):
+                mirrored.insert(
+                    type(fact)(alias, fact.args, fact.constraint)
+                )
+    return mirrored

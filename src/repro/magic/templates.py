@@ -1,0 +1,192 @@
+"""Magic Templates and constraint magic rewriting.
+
+Two flavours (see the package docstring):
+
+* :func:`magic_templates_full` -- magic predicates carry *all*
+  arguments, so bindings may be constraint facts.  Used by the paper's
+  Fibonacci development (Example 1.2, Tables 1/2).
+* :func:`constraint_magic` -- over a *bf*-adorned program, magic
+  predicates carry only the bound arguments.  The rewrite is a
+  *constraint magic rewriting* in the Section 7.2 sense: every magic
+  rule carries all of its source rule's constraints (the conjunction of
+  constraints is in the tail of every sip arc), so
+  ``Π_Ȳ(C_r) = Π_Ȳ(C_mr)``.  With ``include_constraints=False`` the
+  plain variant (Example 1.1's ``mrl'`` choice) is produced instead,
+  for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.conjunction import Conjunction
+from repro.lang.ast import Literal, Program, Query, Rule
+from repro.lang.normalize import normalize_query
+from repro.magic.adorn import AdornedProgram, adorn_program
+
+
+def magic_name(pred: str) -> str:
+    """The magic predicate's name (``m_`` prefix)."""
+    return f"m_{pred}"
+
+
+def _magic_constraint(
+    rule: Rule, literals: list[Literal]
+) -> Conjunction:
+    """``Π_Ȳ(C_r)`` for a magic rule over the given literals.
+
+    Section 7.2 requires the magic rule's constraints to project onto
+    the rule's variables exactly as the source rule's do; projecting
+    ``C_r`` onto the magic rule's variables achieves that while keeping
+    the rule free of dangling constraint-only variables.
+    """
+    keep: set[str] = set()
+    for literal in literals:
+        keep |= literal.variables()
+    return rule.constraint.project(keep)
+
+
+@dataclass
+class MagicResult:
+    """A magic-rewritten program plus how to query/evaluate it."""
+
+    program: Program
+    query_pred: str
+    magic_query_pred: str
+    adorned: AdornedProgram | None = None
+
+
+def magic_templates_full(
+    program: Program,
+    query: Query,
+    include_constraints: bool = True,
+) -> MagicResult:
+    """Full CQL Magic Templates [10] with left-to-right sips.
+
+    Magic predicates keep every argument, so query bindings that are not
+    ground (or conditions such as ``X1 + X2 = 5``) flow as constraint
+    facts.  ``include_constraints`` controls whether rule constraints
+    are copied into magic rules (constraint magic) or dropped.
+    """
+    derived = program.derived_predicates()
+    query_pred = query.literal.pred
+    if query_pred not in derived:
+        raise ValueError(f"{query_pred} is not defined by the program")
+    rules: list[Rule] = []
+    for rule in program:
+        head = rule.head
+        magic_head = Literal(magic_name(head.pred), head.args)
+        rules.append(
+            Rule(
+                head,
+                (magic_head, *rule.body),
+                rule.constraint,
+                rule.label,
+            )
+        )
+        prefix: list[Literal] = [magic_head]
+        for literal in rule.body:
+            if literal.pred in derived:
+                magic_literal = Literal(
+                    magic_name(literal.pred), literal.args
+                )
+                rules.append(
+                    Rule(
+                        magic_literal,
+                        tuple(prefix),
+                        _magic_constraint(
+                            rule, [magic_literal, *prefix]
+                        )
+                        if include_constraints
+                        else Conjunction.true(),
+                        f"m{rule.label}" if rule.label else None,
+                    )
+                )
+            prefix.append(literal)
+    # Seed rule from the query.
+    seed = Rule(
+        Literal(magic_name(query_pred), query.literal.args),
+        (),
+        query.constraint,
+        label="seed",
+    )
+    return MagicResult(
+        program=Program(rules).relabeled().with_rules([seed]),
+        query_pred=query_pred,
+        magic_query_pred=magic_name(query_pred),
+    )
+
+
+def constraint_magic(
+    adorned: AdornedProgram,
+    query: Query,
+    include_constraints: bool = True,
+) -> MagicResult:
+    """Constraint magic rewriting of a bf-adorned program (Section 7.2).
+
+    Magic predicates carry the bound argument positions only.  With full
+    left-to-right sips and the bound-if-ground rule, magic facts are
+    ground whenever the EDB is, so the rewritten program computes only
+    ground facts when the original did (Proposition 7.1).  Constraints
+    mentioning unbound variables simply project away during evaluation.
+    """
+    program = adorned.program
+    derived = program.derived_predicates()
+    rules: list[Rule] = []
+    for rule in program:
+        head = rule.head
+        head_bound = adorned.bound_positions(head.pred)
+        magic_head = Literal(
+            magic_name(head.pred),
+            tuple(head.args[index] for index in head_bound),
+        )
+        rules.append(
+            Rule(head, (magic_head, *rule.body), rule.constraint, rule.label)
+        )
+        prefix: list[Literal] = [magic_head]
+        for literal in rule.body:
+            if literal.pred in derived:
+                bound = adorned.bound_positions(literal.pred)
+                magic_literal = Literal(
+                    magic_name(literal.pred),
+                    tuple(literal.args[index] for index in bound),
+                )
+                rules.append(
+                    Rule(
+                        magic_literal,
+                        tuple(prefix),
+                        _magic_constraint(
+                            rule, [magic_literal, *prefix]
+                        )
+                        if include_constraints
+                        else Conjunction.true(),
+                        f"m{rule.label}" if rule.label else None,
+                    )
+                )
+            prefix.append(literal)
+    # Seed: the bound constants of the (normalized) query literal.
+    normalized = normalize_query(query)
+    bound = adorned.bound_positions(adorned.query_pred)
+    seed_args = tuple(normalized.literal.args[index] for index in bound)
+    seed = Rule(
+        Literal(magic_name(adorned.query_pred), seed_args),
+        (),
+        normalized.constraint,
+        label="seed",
+    )
+    return MagicResult(
+        program=Program(rules).relabeled().with_rules([seed]),
+        query_pred=adorned.query_pred,
+        magic_query_pred=magic_name(adorned.query_pred),
+        adorned=adorned,
+    )
+
+
+def magic_rewrite(
+    program: Program,
+    query: Query,
+    include_constraints: bool = True,
+) -> MagicResult:
+    """Adorn for the query, then constraint-magic rewrite (one call)."""
+    adorned = adorn_program(program, query)
+    return constraint_magic(adorned, query, include_constraints)

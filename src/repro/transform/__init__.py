@@ -1,0 +1,9 @@
+"""Tamaki-Sato fold/unfold transformations for CQL programs (Appendix A)."""
+
+from repro.transform.foldunfold import (
+    FoldUnfold,
+    TransformError,
+    unify_literals,
+)
+
+__all__ = ["FoldUnfold", "TransformError", "unify_literals"]

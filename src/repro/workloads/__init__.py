@@ -1,0 +1,23 @@
+"""Deterministic synthetic EDB generators for examples and benchmarks.
+
+The paper evaluates by construction (worked examples), not on published
+datasets, so workloads here are synthetic but shaped by the paper's
+motivating scenarios: layered flight networks with controllable
+cost/time selectivity (Examples 1.1/4.3), random and chain graphs for
+the transitive-closure style programs (Examples 4.2, 7.1, 7.2), and
+Fibonacci query instances (Examples 1.2/4.4).  All generators take an
+explicit seed, so every benchmark run is reproducible.
+"""
+
+from repro.workloads.flights import flight_network
+from repro.workloads.graphs import chain_edges, layered_edges, random_edges
+from repro.workloads.fib import fib_magic_program, fib_program
+
+__all__ = [
+    "flight_network",
+    "chain_edges",
+    "layered_edges",
+    "random_edges",
+    "fib_program",
+    "fib_magic_program",
+]

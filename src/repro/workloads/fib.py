@@ -1,0 +1,64 @@
+"""The backward-Fibonacci workload (Examples 1.2 and 4.4).
+
+``fib_program`` is the paper's ``P_fib``; ``fib_magic_program`` builds
+``P_fib^{mg}`` -- or, with ``optimized=True``, ``P_fib^{mg}_1`` with the
+predicate constraint ``$2 >= 1`` pushed into the recursive rule first
+(Example 4.4) -- via the library's own transformations rather than by
+pasting the paper's output, so the transformations themselves are under
+test whenever this workload runs.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.atom import Atom
+from repro.constraints.conjunction import Conjunction
+from repro.constraints.cset import ConstraintSet
+from repro.constraints.linexpr import LinearExpr
+from repro.core.predconstraints import gen_prop_predicate_constraints
+from repro.lang.ast import Program, Query
+from repro.lang.parser import parse_program, parse_query
+from repro.magic.templates import MagicResult, magic_templates_full
+
+
+FIB_PROGRAM_TEXT = """
+fib(0, 1).
+fib(1, 1).
+fib(N, X1 + X2) :- N > 1, fib(N - 1, X1), fib(N - 2, X2).
+"""
+
+
+def fib_program() -> Program:
+    """The paper's ``P_fib``."""
+    return parse_program(FIB_PROGRAM_TEXT).relabeled()
+
+
+def fib_query(value: int = 5) -> Query:
+    """The query ``?- fib(N, value).``."""
+    return parse_query(f"?- fib(N, {value}).")
+
+
+def fib_predicate_constraint() -> ConstraintSet:
+    """``$2 >= 1``: a (non-minimum) predicate constraint for ``fib``.
+
+    The minimum predicate constraint of ``fib`` is an infinite
+    disjunction of points, so the generation fixpoint cannot produce it;
+    the paper asserts ``$2 >= 1`` instead (Example 4.4) and our
+    ``is_predicate_constraint`` verifies it inductively.
+    """
+    return ConstraintSet.of(
+        Conjunction(
+            [Atom.ge(LinearExpr.var("$2"), LinearExpr.const(1))]
+        )
+    )
+
+
+def fib_magic_program(
+    value: int = 5, optimized: bool = False
+) -> MagicResult:
+    """``P_fib^{mg}`` (Table 1) or ``P_fib^{mg}_1`` (Table 2)."""
+    program = fib_program()
+    if optimized:
+        program, __, __ = gen_prop_predicate_constraints(
+            program, given={"fib": fib_predicate_constraint()}
+        )
+    return magic_templates_full(program, fib_query(value))

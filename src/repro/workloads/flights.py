@@ -1,0 +1,92 @@
+"""Layered flight networks for the Examples 1.1/4.3 program.
+
+The flight program composes legs transitively, so a cyclic leg relation
+makes the *original* (unoptimized) program non-terminating -- the very
+behaviour the paper's optimization addresses but which would make an
+"original vs. rewritten" comparison a hang rather than a number.  The
+generator therefore produces *layered* (acyclic) networks: cities are
+arranged in layers and legs go only forward, bounding path lengths by
+the layer count while still composing multi-leg flights.
+
+``expensive_fraction`` controls how many legs are both slow (> 240
+minutes) and expensive (> $150): exactly the legs the paper's Example
+4.3 proves the rewritten program never looks at.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.engine.database import Database
+from repro.lang.ast import Program
+from repro.lang.parser import parse_program
+
+
+FLIGHTS_PROGRAM_TEXT = """
+cheaporshort(S, D, T, C) :- flight(S, D, T, C), T <= 240.
+cheaporshort(S, D, T, C) :- flight(S, D, T, C), C <= 150.
+flight(Src, Dst, Time, Cost) :- singleleg(Src, Dst, Time, Cost),
+                                Cost > 0, Time > 0.
+flight(S, D, T, C) :- flight(S, D1, T1, C1), flight(D1, D, T2, C2),
+                      T = T1 + T2 + 30, C = C1 + C2.
+"""
+
+
+def flights_program() -> Program:
+    """The Example 1.1 program, query predicate ``cheaporshort``."""
+    return parse_program(FLIGHTS_PROGRAM_TEXT).relabeled()
+
+
+@dataclass(frozen=True)
+class FlightNetwork:
+    """A generated single-leg relation plus its shape parameters."""
+
+    database: Database
+    legs: tuple[tuple[str, str, int, int], ...]
+    layers: tuple[tuple[str, ...], ...]
+
+    @property
+    def source(self) -> str:
+        """A canonical source city (first layer)."""
+        return self.layers[0][0]
+
+    @property
+    def destination(self) -> str:
+        """A canonical destination city (last layer)."""
+        return self.layers[-1][0]
+
+
+def flight_network(
+    n_layers: int = 4,
+    width: int = 3,
+    expensive_fraction: float = 0.4,
+    seed: int = 0,
+) -> FlightNetwork:
+    """A layered network with a controllable share of irrelevant legs.
+
+    Cheap/short legs have time in [20, 110] and cost in [10, 70] so that
+    two- or three-leg compositions stay near the 240-minute / $150
+    thresholds; "irrelevant" legs have time > 240 *and* cost > 150 and
+    can never appear in a query-relevant flight.
+    """
+    rng = random.Random(seed)
+    layers = tuple(
+        tuple(f"city_{level}_{index}" for index in range(width))
+        for level in range(n_layers)
+    )
+    legs: list[tuple[str, str, int, int]] = []
+    for level in range(n_layers - 1):
+        for src in layers[level]:
+            for dst in layers[level + 1]:
+                if rng.random() < expensive_fraction:
+                    time = rng.randint(241, 500)
+                    cost = rng.randint(151, 400)
+                else:
+                    time = rng.randint(20, 110)
+                    cost = rng.randint(10, 70)
+                legs.append((src, dst, time, cost))
+    database = Database.from_ground({"singleleg": legs})
+    return FlightNetwork(
+        database=database, legs=tuple(legs), layers=layers
+    )

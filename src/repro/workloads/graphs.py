@@ -1,0 +1,60 @@
+"""Graph-shaped EDB generators for the Section 4/7 example programs.
+
+The transitive-closure style programs (Examples 4.2, 7.1, 7.2) take
+binary relations over numbers; these generators produce them with
+controllable size and value range so that constraint selections such as
+``X <= 4`` have a predictable selectivity.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.engine.database import Database
+
+
+def chain_edges(length: int, start: int = 0) -> list[tuple[int, int]]:
+    """A simple chain ``start -> start+1 -> ...`` of the given length."""
+    return [(start + i, start + i + 1) for i in range(length)]
+
+
+def random_edges(
+    n_edges: int,
+    max_node: int = 10,
+    seed: int = 0,
+) -> list[tuple[int, int]]:
+    """Random directed edges over ``{0..max_node}`` (duplicates dropped)."""
+    rng = random.Random(seed)
+    edges = {
+        (rng.randint(0, max_node), rng.randint(0, max_node))
+        for _ in range(n_edges)
+    }
+    return sorted(edges)
+
+
+def layered_edges(
+    n_layers: int,
+    width: int,
+    seed: int = 0,
+    fanout: int = 2,
+) -> list[tuple[int, int]]:
+    """Acyclic layered edges; node ids encode ``layer * width + index``."""
+    rng = random.Random(seed)
+    edges: set[tuple[int, int]] = set()
+    for layer in range(n_layers - 1):
+        for index in range(width):
+            src = layer * width + index
+            for __ in range(fanout):
+                dst = (layer + 1) * width + rng.randrange(width)
+                edges.add((src, dst))
+    return sorted(edges)
+
+
+def graph_database(
+    relations: dict[str, Iterable[tuple[int, int]]],
+) -> Database:
+    """Bundle edge lists into a Database."""
+    return Database.from_ground(
+        {name: list(edges) for name, edges in relations.items()}
+    )

@@ -1,0 +1,135 @@
+"""Shared fixtures: the paper's example programs and small helpers."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints import Atom, Conjunction, ConstraintSet, LinearExpr
+from repro.lang import parse_program, parse_query
+
+
+def expr(text: str) -> LinearExpr:
+    """Parse a linear expression via a dummy constraint."""
+    from repro.lang.parser import parse_rule
+
+    rule = parse_rule(f"dummy(X) :- {text} <= 0.")
+    (atom,) = rule.constraint.atoms
+    return atom.expr
+
+
+def atoms(*specs: str) -> list[Atom]:
+    """Parse constraint atoms from '<lhs> <op> <rhs>' strings."""
+    from repro.lang.parser import parse_rule
+
+    parsed = []
+    for spec in specs:
+        rule = parse_rule(f"dummy(X) :- {spec}.")
+        parsed.extend(rule.constraint.atoms)
+    return parsed
+
+
+def conj(*specs: str) -> Conjunction:
+    return Conjunction(atoms(*specs))
+
+
+def cset(*disjunct_specs: tuple[str, ...] | str) -> ConstraintSet:
+    disjuncts = []
+    for spec in disjunct_specs:
+        if isinstance(spec, str):
+            spec = (spec,)
+        disjuncts.append(conj(*spec))
+    return ConstraintSet(disjuncts)
+
+
+@pytest.fixture
+def flights_program():
+    return parse_program(
+        """
+        cheaporshort(S, D, T, C) :- flight(S, D, T, C), T <= 240.
+        cheaporshort(S, D, T, C) :- flight(S, D, T, C), C <= 150.
+        flight(Src, Dst, Time, Cost) :- singleleg(Src, Dst, Time, Cost),
+                                        Cost > 0, Time > 0.
+        flight(S, D, T, C) :- flight(S, D1, T1, C1), flight(D1, D, T2, C2),
+                              T = T1 + T2 + 30, C = C1 + C2.
+        """
+    ).relabeled()
+
+
+@pytest.fixture
+def example_41_program():
+    return parse_program(
+        """
+        q(X) :- p1(X, Y), p2(Y), X + Y <= 6, X >= 2.
+        p1(X, Y) :- b1(X, Y).
+        p2(X) :- b2(X).
+        """
+    ).relabeled()
+
+
+@pytest.fixture
+def example_42_program():
+    return parse_program(
+        """
+        q(X, Y) :- a(X, Y), X <= 10.
+        a(X, Y) :- p(X, Y), Y <= X.
+        a(X, Y) :- a(X, Z), a(Z, Y).
+        """
+    ).relabeled()
+
+
+@pytest.fixture
+def example_51_program():
+    """Example 4.2's P1: predicate constraints made explicit."""
+    return parse_program(
+        """
+        q(X, Y) :- a(X, Y), X <= 10, Y <= X.
+        a(X, Y) :- p(X, Y), Y <= X.
+        a(X, Y) :- a(X, Z), Z <= X, a(Z, Y), Y <= Z.
+        """
+    ).relabeled()
+
+
+@pytest.fixture
+def example_71_program():
+    return parse_program(
+        """
+        q(X, Y) :- a1(X, Y), X <= 4.
+        a1(X, Y) :- b1(X, Z), a2(Z, Y).
+        a2(X, Y) :- b2(X, Y).
+        a2(X, Y) :- b2(X, Z), a2(Z, Y).
+        """
+    ).relabeled()
+
+
+@pytest.fixture
+def example_72_program():
+    return parse_program(
+        """
+        q(X, Y) :- a1(X, Y).
+        a1(X, Y) :- b1(X, Z), X <= 4, a2(Z, Y).
+        a2(X, Y) :- b2(X, Y).
+        a2(X, Y) :- b2(X, Z), a2(Z, Y).
+        """
+    ).relabeled()
+
+
+@pytest.fixture
+def example_61_program():
+    return parse_program(
+        """
+        p_cf(X, Y) :- U > 10, q_ccf(X, U, V), W > V, p_cf(W, Y).
+        p_cf(X, Y) :- u_cf(X, Y).
+        q_ccf(X, Y, Z) :- q1_cf(X, U), q2_fc(W, Y), q3_bbf(U, W, Z).
+        """
+    ).relabeled()
+
+
+@pytest.fixture
+def query_cheaporshort():
+    return parse_query("?- cheaporshort(madison, seattle, T, C).")
+
+
+def frac(numerator: int, denominator: int = 1) -> Fraction:
+    return Fraction(numerator, denominator)

@@ -1,0 +1,103 @@
+"""Integration: Examples 4.1, 4.2 and 5.1 end to end."""
+
+from repro.constraints.atom import Atom
+from repro.constraints.linexpr import LinearExpr
+from repro.core.predconstraints import gen_prop_predicate_constraints
+from repro.core.qrp import gen_prop_qrp_constraints, gen_qrp_constraints
+from repro.core.rewrite import constraint_rewrite
+from repro.engine import Database, evaluate
+
+
+def pos(i):
+    return LinearExpr.var(f"${i}")
+
+
+c = LinearExpr.const
+
+
+class TestExample41:
+    def test_rewritten_program_shape(self, example_41_program):
+        result = gen_prop_qrp_constraints(example_41_program, "q")
+        program = result.program
+        # P' of Example 4.1: one rule each for q, p1', p2'.
+        assert len(program) == 3
+        (p1_rule,) = program.rules_for("p1")
+        assert p1_rule.body[0].pred == "b1"
+        (p2_rule,) = program.rules_for("p2")
+        assert p2_rule.body[0].pred == "b2"
+
+    def test_minimum_qrp_constraints(self, example_41_program):
+        constraints, __ = gen_qrp_constraints(example_41_program, "q")
+        assert constraints["p1"].equivalent(
+            constraints["b1"]
+        )
+        assert str(constraints["p2"]) == "($1 <= 4)"
+
+    def test_behavioural_difference(self, example_41_program):
+        result = gen_prop_qrp_constraints(example_41_program, "q")
+        edb = Database.from_ground(
+            {
+                # b2 values above 4 must not be computed into p2.
+                "b1": [(2, 4), (3, 3)],
+                "b2": [(4,), (3,), (5,), (6,), (9,)],
+            }
+        )
+        optimized = evaluate(result.program, edb)
+        p2_values = {fact.args[0] for fact in optimized.facts("p2")}
+        assert p2_values == {4, 3}
+
+
+class TestExample42:
+    def test_vanilla_qrp_insufficient(self, example_42_program):
+        constraints, __ = gen_qrp_constraints(example_42_program, "q")
+        assert constraints["a"].is_true()
+
+    def test_pred_constraints_unlock_qrp(self, example_42_program):
+        # Gen_Prop_predicate_constraints turns P into P1 (constraints
+        # made explicit); QRP then finds ($1 <= 10) & ($2 <= $1).
+        rewritten, pred_constraints, __ = gen_prop_predicate_constraints(
+            example_42_program
+        )
+        assert str(pred_constraints["a"]) == "(-$1 + $2 <= 0)"
+        constraints, __ = gen_qrp_constraints(rewritten, "q")
+        assert constraints["a"].equivalent(
+            constraints["a"]
+        )
+        expected_atoms = {
+            Atom.le(pos(1), c(10)),
+            Atom.le(pos(2), pos(1)),
+        }
+        (disjunct,) = constraints["a"].disjuncts
+        assert set(disjunct.atoms) == expected_atoms
+
+    def test_full_rewrite_reduces_facts(self, example_42_program):
+        result = constraint_rewrite(example_42_program, "q")
+        edb = Database.from_ground(
+            {
+                "p": [
+                    (5, 3), (3, 1), (20, 7), (30, 20),
+                    (9, 5), (15, 2), (1, 0),
+                ]
+            }
+        )
+        before = evaluate(example_42_program, edb, max_iterations=30)
+        after = evaluate(result.program, edb, max_iterations=30)
+        assert set(after.facts("q")) == set(before.facts("q"))
+        assert after.count("a") < before.count("a")
+
+
+class TestExample51:
+    def test_two_iteration_convergence(self, example_51_program):
+        __, report = gen_qrp_constraints(example_51_program, "q")
+        assert report.converged
+        assert report.iterations <= 3
+
+    def test_propagated_program_equivalent(self, example_51_program):
+        result = gen_prop_qrp_constraints(example_51_program, "q")
+        edb = Database.from_ground(
+            {"p": [(5, 3), (9, 9), (3, 1), (20, 2), (8, 11), (10, 4)]}
+        )
+        before = evaluate(example_51_program, edb, max_iterations=30)
+        after = evaluate(result.program, edb, max_iterations=30)
+        assert set(after.facts("q")) == set(before.facts("q"))
+        assert set(after.facts("a")) <= set(before.facts("a"))

@@ -1,0 +1,127 @@
+"""Integration: Tables 1 and 2 (Examples 1.2 and 4.4).
+
+Regenerates the paper's two derivation tables and checks their
+characteristic content: the magic-only program answers at iteration 7
+but never terminates; after pushing the predicate constraint
+``$2 >= 1`` it terminates right after the answer, with the exact magic
+constraint shapes the paper prints.
+"""
+
+import pytest
+
+from repro.engine import evaluate
+from repro.engine.facts import PENDING
+from repro.workloads.fib import fib_magic_program
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return evaluate(fib_magic_program(5).program, max_iterations=9)
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return evaluate(
+        fib_magic_program(5, optimized=True).program, max_iterations=30
+    )
+
+
+class TestTable1:
+    def test_does_not_terminate(self, table1):
+        assert not table1.reached_fixpoint
+
+    def test_iteration0_seed(self, table1):
+        facts = table1.iterations[0].new_facts()
+        assert len(facts) == 1
+        (seed,) = facts
+        assert seed.pred == "m_fib"
+        assert seed.args[1] == 5
+        assert seed.args[0] is PENDING
+
+    def test_iteration1_weakened_magic_fact(self, table1):
+        # m_fib(N1, V1; N1 > 0)
+        facts = table1.iterations[1].new_facts()
+        assert len(facts) == 1
+        (fact,) = facts
+        assert fact.pred == "m_fib"
+        assert fact.pending_positions() == (1, 2)
+        assert str(fact.constraint) == "$1 > 0"
+
+    def test_answer_found_at_iteration_7(self, table1):
+        facts = table1.iterations[7].new_facts()
+        assert any(
+            fact.pred == "fib" and fact.args == (4, 5) for fact in facts
+        )
+
+    def test_fib_facts_keep_growing(self, table1):
+        values = {
+            fact.args[0]
+            for fact in table1.facts("fib")
+        }
+        # Beyond the answer: fib(5, 8) was derived in iteration 8.
+        assert max(values) >= 5
+
+    def test_subsumed_facts_discarded(self, table1):
+        from repro.engine.relation import InsertOutcome
+
+        discarded = [
+            derivation
+            for log in table1.iterations
+            for derivation in log.derivations
+            if derivation.outcome is not InsertOutcome.NEW
+        ]
+        assert discarded  # boldface entries exist
+
+    def test_constraint_facts_computed(self, table1):
+        assert any(
+            not fact.is_ground() for fact in table1.facts("m_fib")
+        )
+
+
+class TestTable2:
+    def test_terminates(self, table2):
+        assert table2.reached_fixpoint
+        # Paper: "the evaluation terminates after the eighth iteration".
+        assert table2.stats.iterations <= 10
+
+    def test_iteration1_bounded_magic_fact(self, table2):
+        # m_fib(N1, V1; N1 > 0, V1 >= 1, V1 <= 4)
+        (fact,) = table2.iterations[1].new_facts()
+        assert str(fact.constraint) == "$1 > 0 & $2 >= 1 & $2 <= 4"
+
+    def test_answer_found_at_iteration_7(self, table2):
+        facts = table2.iterations[7].new_facts()
+        assert any(
+            fact.pred == "fib" and fact.args == (4, 5) for fact in facts
+        )
+
+    def test_no_fib_beyond_answer(self, table2):
+        values = {fact.args[0] for fact in table2.facts("fib")}
+        assert max(values) == 4
+
+    def test_same_answers_as_table1(self, table1, table2):
+        answer = lambda result: {
+            fact.args
+            for fact in result.facts("fib")
+            if fact.args[1] == 5
+        }
+        assert answer(table1) == answer(table2) == {(4, 5)}
+
+
+class TestNoAnswerQuery:
+    def test_fib_6_terminates_with_no(self):
+        result = evaluate(
+            fib_magic_program(6, optimized=True).program,
+            max_iterations=40,
+        )
+        assert result.reached_fixpoint
+        assert not any(
+            fact.args[1] == 6 for fact in result.facts("fib")
+        )
+
+    def test_fib_6_unoptimized_does_not_terminate(self):
+        result = evaluate(
+            fib_magic_program(6, optimized=False).program,
+            max_iterations=12,
+        )
+        assert not result.reached_fixpoint

@@ -1,0 +1,47 @@
+"""The README's quickstart snippet must actually run as printed."""
+
+from repro import (
+    Database,
+    constraint_rewrite,
+    evaluate,
+    gen_qrp_constraints,
+    parse_program,
+)
+
+
+def test_readme_quickstart():
+    program = parse_program(
+        """
+        q(X) :- p1(X, Y), p2(Y), X + Y <= 6, X >= 2.
+        p1(X, Y) :- b1(X, Y).
+        p2(X) :- b2(X).
+        """
+    )
+    qrp, _ = gen_qrp_constraints(program, "q")
+    assert str(qrp["p2"]) == "($1 <= 4)"
+    rewritten = constraint_rewrite(program, "q").program
+    edb = Database.from_ground(
+        {"b1": [(2, 3), (9, 9)], "b2": [(3,), (9,)]}
+    )
+    result = evaluate(rewritten, edb)
+    assert [fact.args for fact in result.facts("q")] == [(2,)]
+
+
+def test_readme_cli_program_text():
+    """The README's CLI snippet, run through the driver."""
+    from repro.driver import run_text
+
+    text = """
+    cheaporshort(S, D, T, C) :- flight(S, D, T, C), T <= 240.
+    cheaporshort(S, D, T, C) :- flight(S, D, T, C), C <= 150.
+    flight(Src, Dst, Time, Cost) :- singleleg(Src, Dst, Time, Cost),
+                                    Cost > 0, Time > 0.
+    flight(S, D, T, C) :- flight(S, D1, T1, C1), flight(D1, D, T2, C2),
+                          T = T1 + T2 + 30, C = C1 + C2.
+    singleleg(madison, chicago, 50, 100).
+    singleleg(chicago, seattle, 150, 40).
+    ?- cheaporshort(madison, seattle, T, C).
+    """
+    for strategy in ("rewrite", "optimal"):
+        (outcome,) = run_text(text, strategy=strategy)
+        assert outcome.answer_strings == ["C = 140, T = 230"]

@@ -1,0 +1,122 @@
+"""Integration: Theorems 7.3-7.6, 7.9 -- redundancy of repeated steps."""
+
+import pytest
+
+from repro.core.pipeline import apply_sequence, evaluate_pipeline
+from repro.engine import Database
+from repro.lang.parser import parse_query
+
+
+@pytest.fixture
+def setting(example_71_program):
+    query = parse_query("?- q(X, Y).")
+    edb = Database.from_ground(
+        {
+            "b1": [(1, 10), (2, 20), (9, 30), (4, 10)],
+            "b2": [(10, 11), (11, 12), (20, 21), (30, 31), (12, 20)],
+        }
+    )
+    return example_71_program, query, edb
+
+
+def facts_of(program, query, edb, sequence):
+    pipeline = apply_sequence(program, query, sequence)
+    evaluation = evaluate_pipeline(pipeline, edb, query)
+    counts = {}
+    for pred in sorted(evaluation.result.database.predicates()):
+        counts[pred] = evaluation.result.count(pred)
+    return counts
+
+
+class TestRepetitionRedundancy:
+    def test_pred_pred_equals_pred(self, setting):
+        """Theorem 7.4."""
+        program, query, edb = setting
+        once = facts_of(program, query, edb, ["pred"])
+        twice = facts_of(program, query, edb, ["pred", "pred"])
+        assert once == twice
+
+    def test_qrp_qrp_equals_qrp(self, setting):
+        """Theorem 7.5."""
+        program, query, edb = setting
+        once = facts_of(program, query, edb, ["qrp"])
+        twice = facts_of(program, query, edb, ["qrp", "qrp"])
+        assert once == twice
+
+    def test_pred_qrp_pred_qrp_equals_pred_qrp(self, setting):
+        """Corollary 7.7."""
+        program, query, edb = setting
+        short = facts_of(program, query, edb, ["pred", "qrp"])
+        long = facts_of(
+            program, query, edb, ["pred", "qrp", "pred", "qrp"]
+        )
+        assert short == long
+
+    def test_pred_before_mg_redundant_after_pred_qrp(self, setting):
+        """Theorem 7.9: {pred,qrp,pred,mg} == {pred,qrp,mg}."""
+        program, query, edb = setting
+        short = facts_of(program, query, edb, ["pred", "qrp", "mg"])
+        long = facts_of(
+            program, query, edb, ["pred", "qrp", "pred", "mg"]
+        )
+        assert short == long
+
+
+class TestOrderingTheorems:
+    def test_pred_qrp_subset_of_qrp_pred(self, setting):
+        """Theorem 7.3 (on total computed facts)."""
+        program, query, edb = setting
+        first = facts_of(program, query, edb, ["pred", "qrp"])
+        second = facts_of(program, query, edb, ["qrp", "pred"])
+        assert sum(first.values()) <= sum(second.values())
+
+    def test_pred_qrp_mg_subset_of_mg_pred_qrp(self, setting):
+        """Theorem 7.8."""
+        program, query, edb = setting
+        optimal = facts_of(program, query, edb, ["pred", "qrp", "mg"])
+        other = facts_of(program, query, edb, ["mg", "pred", "qrp"])
+        assert sum(optimal.values()) <= sum(other.values())
+
+
+class TestTheorem710:
+    SEQUENCES = [
+        ("mg",),
+        ("qrp", "mg"),
+        ("mg", "qrp"),
+        ("pred", "mg"),
+        ("mg", "pred"),
+        ("pred", "qrp", "mg"),
+        ("qrp", "pred", "mg"),
+        ("pred", "mg", "qrp"),
+        ("mg", "pred", "qrp"),
+        ("qrp", "mg", "pred"),
+        ("qrp", "mg", "qrp"),
+    ]
+
+    def test_optimality_on_71(self, setting):
+        program, query, edb = setting
+        totals = {
+            sequence: sum(
+                facts_of(program, query, edb, list(sequence)).values()
+            )
+            for sequence in self.SEQUENCES
+        }
+        assert totals[("pred", "qrp", "mg")] == min(totals.values())
+
+    def test_optimality_on_72(self, example_72_program):
+        query = parse_query("?- q(7, Y).")
+        edb = Database.from_ground(
+            {
+                "b1": [(7, 100), (2, 0)],
+                "b2": [(100, 101), (101, 102), (0, 1)],
+            }
+        )
+        totals = {
+            sequence: sum(
+                facts_of(
+                    example_72_program, query, edb, list(sequence)
+                ).values()
+            )
+            for sequence in self.SEQUENCES
+        }
+        assert totals[("pred", "qrp", "mg")] == min(totals.values())

@@ -1,0 +1,215 @@
+"""Property-based tests of the constraint solver.
+
+The core invariants the paper's proofs rely on:
+
+* satisfiability decisions agree with an independent oracle (sympy);
+* Fourier-Motzkin projection is *exact*: a point satisfies the
+  projection iff it extends to a solution of the original;
+* implication is sound (witness points transfer) and reflexive;
+* atom normalization never changes an atom's solutions.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints.atom import Atom, Op
+from repro.constraints.conjunction import Conjunction
+from repro.constraints.cset import ConstraintSet
+from repro.constraints.linexpr import LinearExpr
+from repro.constraints.disjoint import are_disjoint, make_disjoint
+from repro.constraints.project import eliminate_variables, is_satisfiable
+
+
+VARS = ["X", "Y", "Z"]
+
+coefficients = st.integers(min_value=-4, max_value=4)
+constants = st.integers(min_value=-6, max_value=6)
+operators = st.sampled_from(["<=", "<", ">=", ">", "="])
+
+
+@st.composite
+def linear_exprs(draw, n_vars: int = 3):
+    coeffs = {
+        var: Fraction(draw(coefficients))
+        for var in VARS[:n_vars]
+    }
+    return LinearExpr(coeffs, Fraction(draw(constants)))
+
+
+@st.composite
+def random_atoms(draw):
+    expr = draw(linear_exprs())
+    op = draw(operators)
+    return Atom.make(expr, op, LinearExpr.const(draw(constants)))
+
+
+@st.composite
+def random_conjunctions(draw, max_atoms: int = 4):
+    n = draw(st.integers(min_value=0, max_value=max_atoms))
+    return Conjunction([draw(random_atoms()) for _ in range(n)])
+
+
+@st.composite
+def rational_points(draw):
+    return {
+        var: Fraction(
+            draw(st.integers(min_value=-8, max_value=8)),
+            draw(st.integers(min_value=1, max_value=3)),
+        )
+        for var in VARS
+    }
+
+
+class TestSatisfiability:
+    @given(random_conjunctions())
+    @settings(max_examples=200, deadline=None)
+    def test_witness_point_implies_satisfiable(self, conjunction):
+        # Soundness direction via random witnesses: if any sampled
+        # point satisfies all atoms, the solver must say satisfiable.
+        for x in (-3, 0, 2):
+            point = {
+                "X": Fraction(x), "Y": Fraction(x + 1), "Z": Fraction(-x)
+            }
+            if conjunction.satisfied_by(point):
+                assert conjunction.is_satisfiable()
+                return
+
+    @given(random_conjunctions(max_atoms=3))
+    @settings(max_examples=100, deadline=None)
+    def test_agrees_with_sympy_on_single_var(self, conjunction):
+        single = Conjunction(
+            atom
+            for atom in conjunction.atoms
+            if atom.variables() <= {"X"}
+        )
+        import sympy
+
+        symbols = sympy.Symbol("X", real=True)
+        relations = []
+        for atom in single.atoms:
+            expr = sympy.Rational(atom.expr.constant) + sympy.Rational(
+                atom.expr.coeff("X")
+            ) * symbols
+            if atom.op is Op.LE:
+                relations.append(expr <= 0)
+            elif atom.op is Op.LT:
+                relations.append(expr < 0)
+            else:
+                relations.append(sympy.Eq(expr, 0))
+        if not relations:
+            return
+        solset = sympy.solvers.inequalities.reduce_rational_inequalities(
+            [relations], symbols, relational=False
+        )
+        assert single.is_satisfiable() == (
+            solset is not sympy.S.EmptySet and solset != sympy.S.EmptySet
+        )
+
+
+class TestProjectionExactness:
+    @given(random_conjunctions(), rational_points())
+    @settings(max_examples=200, deadline=None)
+    def test_solution_survives_projection(self, conjunction, point):
+        # Any solution of the original, restricted to the kept
+        # variables, satisfies the projection (soundness).
+        if not conjunction.satisfied_by(point):
+            return
+        projected = conjunction.project({"X"})
+        assert projected.satisfied_by({"X": point["X"]})
+
+    @given(random_conjunctions())
+    @settings(max_examples=200, deadline=None)
+    def test_projection_preserves_satisfiability(self, conjunction):
+        projected = conjunction.project({"X"})
+        assert projected.is_satisfiable() == conjunction.is_satisfiable()
+
+    @given(random_conjunctions())
+    @settings(max_examples=100, deadline=None)
+    def test_projection_variables_restricted(self, conjunction):
+        assert conjunction.project({"X"}).variables() <= {"X"}
+
+
+class TestImplication:
+    @given(random_conjunctions())
+    @settings(max_examples=100, deadline=None)
+    def test_reflexive(self, conjunction):
+        assert conjunction.implies(conjunction)
+
+    @given(random_conjunctions(), random_atoms(), rational_points())
+    @settings(max_examples=200, deadline=None)
+    def test_sound_on_witnesses(self, conjunction, atom, point):
+        if conjunction.implies_atom(atom):
+            if conjunction.satisfied_by(point):
+                assert atom.satisfied_by(point)
+
+    @given(random_conjunctions(), random_conjunctions())
+    @settings(max_examples=100, deadline=None)
+    def test_conjoin_implies_both(self, first, second):
+        combined = first.conjoin(second)
+        if combined.is_satisfiable():
+            assert combined.implies(first)
+            assert combined.implies(second)
+
+
+class TestAtomNormalization:
+    @given(
+        linear_exprs(), operators, constants, rational_points()
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_normalization_preserves_solutions(
+        self, lhs, op, rhs, point
+    ):
+        atom = Atom.make(lhs, op, LinearExpr.const(rhs))
+        value = lhs.evaluate(point) - rhs
+        if op in ("<=",):
+            expected = value <= 0
+        elif op == "<":
+            expected = value < 0
+        elif op == ">=":
+            expected = value >= 0
+        elif op == ">":
+            expected = value > 0
+        else:
+            expected = value == 0
+        assert atom.satisfied_by(point) == expected
+
+
+class TestConstraintSets:
+    @given(
+        st.lists(random_conjunctions(max_atoms=2), max_size=3),
+        rational_points(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_simplify_preserves_points(self, disjuncts, point):
+        cset = ConstraintSet(disjuncts)
+        simplified = cset.simplify()
+        held = any(d.satisfied_by(point) for d in cset.disjuncts)
+        held_after = any(
+            d.satisfied_by(point) for d in simplified.disjuncts
+        )
+        assert held == held_after
+
+    @given(st.lists(random_conjunctions(max_atoms=2), max_size=3))
+    @settings(max_examples=75, deadline=None)
+    def test_make_disjoint_equivalent_and_disjoint(self, disjuncts):
+        cset = ConstraintSet(disjuncts)
+        split = make_disjoint(cset)
+        assert are_disjoint(split)
+        assert split.equivalent(cset)
+
+    @given(
+        st.lists(random_conjunctions(max_atoms=2), max_size=2),
+        st.lists(random_conjunctions(max_atoms=2), max_size=2),
+        rational_points(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_set_implication_sound_on_witnesses(
+        self, first, second, point
+    ):
+        a = ConstraintSet(first)
+        b = ConstraintSet(second)
+        if a.implies(b):
+            if any(d.satisfied_by(point) for d in a.disjuncts):
+                assert any(d.satisfied_by(point) for d in b.disjuncts)

@@ -1,0 +1,99 @@
+"""Property-based tests for fact canonicalization and subsumption."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints.atom import Atom
+from repro.constraints.conjunction import Conjunction
+from repro.constraints.linexpr import LinearExpr
+from repro.engine.facts import make_fact
+from repro.engine.relation import InsertOutcome, Relation
+
+
+def pos(i):
+    return LinearExpr.var(f"${i}")
+
+
+@st.composite
+def interval_facts(draw):
+    """Facts p($1; lo ? $1 ? hi) with random bounds and strictness."""
+    lower = draw(st.integers(min_value=-5, max_value=5))
+    width = draw(st.integers(min_value=0, max_value=6))
+    strict_low = draw(st.booleans())
+    strict_high = draw(st.booleans())
+    atoms = []
+    low = Atom.lt if strict_low else Atom.le
+    high = Atom.lt if strict_high else Atom.le
+    atoms.append(low(LinearExpr.const(lower), pos(1)))
+    atoms.append(high(pos(1), LinearExpr.const(lower + width)))
+    return make_fact("p", [None], Conjunction(atoms))
+
+
+class TestCanonicalization:
+    @given(interval_facts())
+    @settings(max_examples=150, deadline=None)
+    def test_make_fact_idempotent(self, fact):
+        if fact is None:
+            return
+        again = make_fact("p", list(fact.args), fact.constraint)
+        assert again == fact
+
+    @given(interval_facts())
+    @settings(max_examples=150, deadline=None)
+    def test_degenerate_interval_becomes_ground(self, fact):
+        if fact is None:
+            return
+        if fact.is_ground():
+            assert fact.constraint.is_true()
+
+    @given(interval_facts())
+    @settings(max_examples=100, deadline=None)
+    def test_subsumes_reflexive(self, fact):
+        if fact is not None:
+            assert fact.subsumes(fact)
+
+
+class TestSubsumptionOrder:
+    @given(interval_facts(), interval_facts(), interval_facts())
+    @settings(max_examples=100, deadline=None)
+    def test_transitive(self, a, b, c):
+        if a is None or b is None or c is None:
+            return
+        if a.subsumes(b) and b.subsumes(c):
+            assert a.subsumes(c)
+
+    @given(interval_facts(), interval_facts())
+    @settings(max_examples=150, deadline=None)
+    def test_antisymmetric_up_to_canonical_equality(self, a, b):
+        if a is None or b is None:
+            return
+        if a.subsumes(b) and b.subsumes(a):
+            # Mutually subsuming canonical facts denote the same set;
+            # intervals canonicalize uniquely, so they must be equal.
+            assert a == b
+
+    @given(interval_facts(), st.integers(min_value=-12, max_value=12))
+    @settings(max_examples=200, deadline=None)
+    def test_point_membership_consistent(self, fact, value):
+        if fact is None:
+            return
+        point = make_fact("p", [Fraction(value)])
+        member = fact.constraint.satisfied_by(
+            {"$1": Fraction(value)}
+        ) if not fact.is_ground() else fact.args[0] == value
+        assert fact.subsumes(point) == member
+
+
+class TestRelationInvariant:
+    @given(st.lists(interval_facts(), max_size=8))
+    @settings(max_examples=75, deadline=None)
+    def test_no_stored_fact_subsumed_by_earlier_one(self, facts):
+        relation = Relation("p", 1)
+        for fact in facts:
+            if fact is not None:
+                relation.insert(fact)
+        stored = list(relation)
+        for index, later in enumerate(stored):
+            for earlier in stored[:index]:
+                assert not earlier.subsumes(later)

@@ -1,0 +1,104 @@
+"""Property: every optimization strategy answers every query the same.
+
+The strongest executable statement of the paper's correctness theorems
+(4.3, 4.6, 6.2, 7.x): on random programs, EDBs and queries, all
+transformation pipelines are query-equivalent, compute only ground
+facts, and the constraint-propagating ones never compute more facts
+than the original.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.driver import answer_query
+from repro.engine import Database, evaluate
+from repro.lang.parser import parse_program, parse_query
+
+
+bound_values = st.integers(min_value=0, max_value=8)
+edges = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=0, max_value=6),
+    ),
+    min_size=0,
+    max_size=10,
+)
+
+
+@st.composite
+def settings_(draw):
+    k1 = draw(bound_values)
+    k2 = draw(bound_values)
+    program = parse_program(
+        f"""
+        q(X, Y) :- t(X, Y), X <= {k1}.
+        t(X, Y) :- e(X, Y), Y >= {k2 - 3}.
+        t(X, Y) :- e(X, Z), t(Z, Y).
+        """
+    )
+    edb = Database.from_ground({"e": set(draw(edges))})
+    constant = draw(st.integers(min_value=0, max_value=6))
+    query = parse_query(f"?- q({constant}, Y).")
+    return program, edb, query
+
+
+STRATEGIES = ("none", "pred", "qrp", "rewrite", "magic", "optimal")
+
+
+class TestStrategyEquivalence:
+    @given(settings_())
+    @settings(max_examples=25, deadline=None)
+    def test_all_strategies_same_answers(self, setting):
+        program, edb, query = setting
+        outcomes = {
+            strategy: answer_query(
+                program, query, edb, strategy=strategy,
+                eval_iterations=60,
+            )
+            for strategy in STRATEGIES
+        }
+        answer_sets = {
+            strategy: frozenset(outcome.answer_strings)
+            for strategy, outcome in outcomes.items()
+        }
+        assert len(set(answer_sets.values())) == 1, answer_sets
+
+    @given(settings_())
+    @settings(max_examples=25, deadline=None)
+    def test_ground_everywhere(self, setting):
+        program, edb, query = setting
+        for strategy in STRATEGIES:
+            outcome = answer_query(
+                program, query, edb, strategy=strategy,
+                eval_iterations=60,
+            )
+            assert all(
+                fact.is_ground()
+                for fact in outcome.result.database.all_facts()
+            ), strategy
+
+    @given(settings_())
+    @settings(max_examples=25, deadline=None)
+    def test_rewrite_never_computes_more(self, setting):
+        program, edb, query = setting
+        baseline = evaluate(program, edb, max_iterations=60)
+        outcome = answer_query(
+            program, query, edb, strategy="rewrite",
+            eval_iterations=60,
+        )
+        assert outcome.result.count() <= baseline.count()
+
+    @given(settings_())
+    @settings(max_examples=15, deadline=None)
+    def test_optimal_not_worse_than_magic(self, setting):
+        program, edb, query = setting
+        magic = answer_query(
+            program, query, edb, strategy="magic", eval_iterations=60
+        )
+        optimal = answer_query(
+            program, query, edb, strategy="optimal", eval_iterations=60
+        )
+        assert (
+            optimal.result.count() - edb.count()
+            <= magic.result.count() - edb.count()
+        )

@@ -1,0 +1,121 @@
+"""Property tests for PTOL/LTOP and the fold/unfold machinery."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints.atom import Atom
+from repro.constraints.conjunction import Conjunction
+from repro.constraints.cset import ConstraintSet
+from repro.constraints.linexpr import LinearExpr
+from repro.engine import Database, evaluate
+from repro.lang.ast import Literal
+from repro.lang.parser import parse_program
+from repro.lang.positions import ltop, ptol
+from repro.lang.terms import var
+from repro.transform.foldunfold import FoldUnfold
+
+
+def pos(i):
+    return LinearExpr.var(f"${i}")
+
+
+position_atoms = st.builds(
+    lambda i, op, c: Atom.make(pos(i), op, LinearExpr.const(c)),
+    st.integers(min_value=1, max_value=2),
+    st.sampled_from(["<=", "<", ">=", ">", "="]),
+    st.integers(min_value=-5, max_value=5),
+)
+
+position_csets = st.lists(
+    st.lists(position_atoms, max_size=3).map(Conjunction),
+    max_size=3,
+).map(ConstraintSet)
+
+
+class TestPtolLtopProperties:
+    @given(position_csets)
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip_on_distinct_vars(self, cset):
+        literal = Literal("p", (var("A"), var("B")))
+        assert ltop(literal, ptol(literal, cset)).equivalent(cset)
+
+    @given(position_csets)
+    @settings(max_examples=100, deadline=None)
+    def test_ltop_of_ptol_weakens_never_strengthens_repeated(
+        self, cset
+    ):
+        # With repeated variables the roundtrip may strengthen the
+        # representation with implied equalities but must stay implied
+        # in the sound direction: ptol(ltop-result) is implied by the
+        # original restricted to the diagonal.
+        literal = Literal("p", (var("A"), var("A")))
+        down = ptol(literal, cset)
+        back = ltop(literal, down)
+        again = ptol(literal, back)
+        assert down.equivalent(again)
+
+    def test_false_maps_to_false(self):
+        literal = Literal("p", (var("A"), var("B")))
+        assert ptol(literal, ConstraintSet.false()).is_false()
+        assert ltop(literal, ConstraintSet.false()).is_false()
+
+
+bound_values = st.integers(min_value=0, max_value=6)
+edb_values = st.lists(
+    st.integers(min_value=0, max_value=9), min_size=0, max_size=10
+)
+
+
+class TestFoldUnfoldSemantics:
+    @given(bound_values, bound_values, edb_values)
+    @settings(max_examples=50, deadline=None)
+    def test_define_unfold_fold_preserves_query(self, k1, k2, values):
+        program = parse_program(
+            f"""
+            q(X) :- p(X), X <= {k1}.
+            p(X) :- b(X).
+            p(X) :- c(X), X >= {k2}.
+            """
+        ).relabeled()
+        state = FoldUnfold(program)
+        constraint = Conjunction(
+            [Atom.le(LinearExpr.var("A"), LinearExpr.const(k1))]
+        )
+        state = state.define("p1", Literal("p", (var("A"),)), [constraint])
+        definition = state.definitions[0]
+        state = state.unfold(definition, 0)
+        state = state.fold_everywhere(definition)
+        transformed = state.program.restrict_to_reachable(["q"])
+        edb = Database.from_ground(
+            {
+                "b": [(v,) for v in values],
+                "c": [(v + 1,) for v in values],
+            }
+        )
+        before = evaluate(program, edb)
+        after = evaluate(transformed, edb)
+        assert set(before.facts("q")) == set(after.facts("q"))
+        assert after.count() <= before.count()
+
+    @given(bound_values, edb_values)
+    @settings(max_examples=50, deadline=None)
+    def test_unfold_alone_preserves_everything(self, k, values):
+        program = parse_program(
+            f"""
+            q(X) :- p(X), X <= {k}.
+            p(X) :- b(X).
+            p(X) :- c(X).
+            """
+        )
+        state = FoldUnfold(program)
+        state = state.unfold(program.rules_for("q")[0], 0)
+        edb = Database.from_ground(
+            {
+                "b": [(v,) for v in values],
+                "c": [(v * 2,) for v in values],
+            }
+        )
+        before = evaluate(program, edb)
+        after = evaluate(state.program, edb)
+        assert set(before.facts("q")) == set(after.facts("q"))

@@ -1,0 +1,98 @@
+"""Unit tests for bf adornments with the bound-if-ground rule."""
+
+import pytest
+
+from repro.lang.parser import parse_program, parse_query
+from repro.magic.adorn import adorn_program, query_adornment
+
+
+class TestQueryAdornment:
+    def test_constants_bound(self):
+        query = parse_query("?- q(madison, Y).")
+        assert query_adornment(query) == "bf"
+
+    def test_numeric_constants_bound(self):
+        assert query_adornment(parse_query("?- q(3, Y, 4).")) == "bfb"
+
+    def test_all_free(self):
+        assert query_adornment(parse_query("?- q(X, Y).")) == "ff"
+
+    def test_constrained_vars_stay_free(self):
+        # bound-if-ground: a constraint does not bind.
+        assert query_adornment(parse_query("?- X > 3, q(X).")) == "f"
+
+
+class TestAdornProgram:
+    def test_simple_chain(self):
+        program = parse_program(
+            """
+            q(X, Y) :- a(X, Y).
+            a(X, Y) :- b(X, Z), a2(Z, Y).
+            a2(X, Y) :- e(X, Y).
+            """
+        )
+        adorned = adorn_program(program, parse_query("?- q(1, Y)."))
+        assert adorned.query_pred == "q_bf"
+        preds = adorned.program.derived_predicates()
+        assert "a_bf" in preds
+        assert "a2_bf" in preds
+
+    def test_free_query(self):
+        program = parse_program(
+            """
+            q(X, Y) :- a1(X, Y), X <= 4.
+            a1(X, Y) :- b1(X, Z), a2(Z, Y).
+            a2(X, Y) :- b2(X, Y).
+            a2(X, Y) :- b2(X, Z), a2(Z, Y).
+            """
+        )
+        adorned = adorn_program(program, parse_query("?- q(X, Y)."))
+        preds = adorned.program.derived_predicates()
+        # X is never ground, so a1 is ff; Z is ground after b1, so a2
+        # is bf (Example 7.1's adornments).
+        assert "a1_ff" in preds
+        assert "a2_bf" in preds
+
+    def test_edb_predicates_not_adorned(self):
+        program = parse_program("q(X) :- e(X).")
+        adorned = adorn_program(program, parse_query("?- q(1)."))
+        (rule,) = adorned.program.rules
+        assert rule.body[0].pred == "e"
+
+    def test_multiple_adornments_of_one_predicate(self):
+        program = parse_program(
+            """
+            q(X, Y) :- a(1, X), a(Y, 2).
+            a(X, Y) :- e(X, Y).
+            """
+        )
+        adorned = adorn_program(program, parse_query("?- q(X, Y)."))
+        preds = adorned.program.derived_predicates()
+        assert "a_bf" in preds
+        # After a(1, X) runs, X is ground; Y is still free in a(Y, 2):
+        # second position constant, first free.
+        assert "a_fb" in preds
+
+    def test_bound_positions(self):
+        program = parse_program("q(X, Y) :- e(X, Y).")
+        adorned = adorn_program(program, parse_query("?- q(3, Y)."))
+        assert adorned.bound_positions("q_bf") == [0]
+
+    def test_unknown_query_pred(self):
+        program = parse_program("q(X) :- e(X).")
+        with pytest.raises(ValueError):
+            adorn_program(program, parse_query("?- nope(X)."))
+
+    def test_unreachable_adornments_absent(self):
+        program = parse_program(
+            """
+            q(X) :- a(X).
+            a(X) :- e(X).
+            other(X) :- a(X).
+            """
+        )
+        adorned = adorn_program(program, parse_query("?- q(1)."))
+        assert "other" not in {
+            pred.rsplit("_", 1)[0]
+            for pred in adorned.program.derived_predicates()
+        }

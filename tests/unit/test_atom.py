@@ -1,0 +1,104 @@
+"""Unit tests for atomic constraints: normalization, negation, truth."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.atom import Atom, FALSE_ATOM, Op, TRUE_ATOM
+from repro.constraints.linexpr import LinearExpr
+
+
+X = LinearExpr.var("X")
+Y = LinearExpr.var("Y")
+c = LinearExpr.const
+
+
+class TestNormalization:
+    def test_ge_becomes_le(self):
+        atom = Atom.ge(X, c(2))
+        assert atom.op is Op.LE
+        assert atom == Atom.le(-X, c(-2))
+
+    def test_gt_becomes_lt(self):
+        assert Atom.gt(X, c(0)).op is Op.LT
+
+    def test_scaling_to_coprime_integers(self):
+        assert Atom.le(2 * X, c(4)) == Atom.le(X, c(2))
+        assert Atom.le(X * Fraction(1, 3), c(1)) == Atom.le(X, c(3))
+
+    def test_scaling_preserves_direction(self):
+        # -2X <= 4 is X >= -2, NOT X <= -2.
+        atom = Atom.le(-2 * X, c(4))
+        assert atom.satisfied_by({"X": 0})
+        assert not atom.satisfied_by({"X": -3})
+
+    def test_equality_sign_canonical(self):
+        assert Atom.eq(X - Y, c(0)) == Atom.eq(Y - X, c(0))
+
+    def test_make_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            Atom.make(X, "!=", c(0))
+
+
+class TestTruth:
+    def test_ground_true(self):
+        assert Atom.le(c(1), c(2)).truth_value() is True
+        assert Atom.eq(c(3), c(3)).truth_value() is True
+
+    def test_ground_false(self):
+        assert Atom.lt(c(2), c(2)).truth_value() is False
+        assert Atom.eq(c(1), c(2)).truth_value() is False
+
+    def test_nonground_unknown(self):
+        assert Atom.le(X, c(2)).truth_value() is None
+
+    def test_constants(self):
+        assert TRUE_ATOM.truth_value() is True
+        assert FALSE_ATOM.truth_value() is False
+
+
+class TestNegation:
+    def test_negate_le(self):
+        (negated,) = Atom.le(X, c(2)).negations()
+        assert negated.satisfied_by({"X": 3})
+        assert not negated.satisfied_by({"X": 2})
+
+    def test_negate_lt(self):
+        (negated,) = Atom.lt(X, c(2)).negations()
+        assert negated.satisfied_by({"X": 2})
+        assert not negated.satisfied_by({"X": 1})
+
+    def test_negate_eq_gives_two_branches(self):
+        branches = Atom.eq(X, c(2)).negations()
+        assert len(branches) == 2
+        satisfied = [b.satisfied_by({"X": 1}) for b in branches]
+        assert any(satisfied)
+        satisfied_at_2 = [b.satisfied_by({"X": 2}) for b in branches]
+        assert not any(satisfied_at_2)
+
+
+class TestSubstitution:
+    def test_substitute(self):
+        atom = Atom.le(X + Y, c(6)).substitute({"Y": c(4)})
+        assert atom == Atom.le(X, c(2))
+
+    def test_rename(self):
+        atom = Atom.le(X, c(2)).rename({"X": "Z"})
+        assert atom.variables() == {"Z"}
+
+    def test_satisfied_by_fraction(self):
+        atom = Atom.lt(2 * X, c(1))
+        assert atom.satisfied_by({"X": Fraction(1, 3)})
+        assert not atom.satisfied_by({"X": Fraction(1, 2)})
+
+
+class TestDisplay:
+    def test_simple(self):
+        assert str(Atom.le(X, c(2))) == "X <= 2"
+
+    def test_negative_direction_flipped_for_display(self):
+        assert str(Atom.gt(X, c(0))) == "X > 0"
+        assert str(Atom.ge(X, c(1))) == "X >= 1"
+
+    def test_multivariable(self):
+        assert str(Atom.le(X + Y, c(6))) == "X + Y <= 6"

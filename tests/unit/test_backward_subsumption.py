@@ -1,0 +1,131 @@
+"""Unit tests for backward subsumption (store minimization)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.atom import Atom
+from repro.constraints.conjunction import Conjunction
+from repro.constraints.linexpr import LinearExpr
+from repro.engine import Database, evaluate
+from repro.engine.facts import Fact, make_fact
+from repro.engine.relation import Relation
+from repro.lang.parser import parse_program
+from repro.workloads.fib import fib_magic_program
+
+
+def pos(i):
+    return LinearExpr.var(f"${i}")
+
+
+class TestRelationRemoval:
+    def test_remove_updates_indexes(self):
+        relation = Relation("p", 2)
+        fact = Fact.ground("p", (1, 2))
+        relation.insert(fact)
+        relation.insert(Fact.ground("p", (1, 3)))
+        relation.remove(fact)
+        assert len(relation) == 1
+        assert fact not in relation
+        assert list(relation.matching({0: Fraction(1)})) == [
+            Fact.ground("p", (1, 3))
+        ]
+
+    def test_remove_missing_raises(self):
+        relation = Relation("p", 1)
+        with pytest.raises(KeyError):
+            relation.remove(Fact.ground("p", (1,)))
+
+    def test_remove_pending_fact(self):
+        relation = Relation("p", 1)
+        wide = make_fact(
+            "p", [None], Conjunction([Atom.gt(pos(1), LinearExpr.const(0))])
+        )
+        relation.insert(wide)
+        relation.remove(wide)
+        assert len(relation) == 0
+
+    def test_sweep_removes_covered_points(self):
+        relation = Relation("p", 1)
+        for value in (-1, 1, 2, 3):
+            relation.insert(Fact.ground("p", (value,)))
+        wide = make_fact(
+            "p", [None], Conjunction([Atom.gt(pos(1), LinearExpr.const(0))])
+        )
+        # Insert the general fact bypassing forward subsumption order:
+        # points first, then the generalization.
+        assert relation.insert(wide).value == "new"
+        removed = relation.sweep_subsumed_by(wide)
+        assert {fact.args[0] for fact in removed} == {1, 2, 3}
+        assert len(relation) == 2  # wide + p(-1)
+
+    def test_sweep_respects_symbolic_positions(self):
+        relation = Relation("p", 2)
+        relation.insert(Fact.ground("p", ("a", 1)))
+        relation.insert(Fact.ground("p", ("b", 1)))
+        wide = make_fact(
+            "p",
+            ["a", None],
+            Conjunction([Atom.ge(pos(2), LinearExpr.const(0))]),
+        )
+        relation.insert(wide)
+        removed = relation.sweep_subsumed_by(wide)
+        assert [fact.args[0].name for fact in removed] == ["a"]
+
+
+class TestEvaluationWithSweeping:
+    def test_results_identical(self):
+        program = parse_program(
+            """
+            tc(X, Y) :- edge(X, Y).
+            tc(X, Y) :- edge(X, Z), tc(Z, Y).
+            """
+        )
+        edb = Database.from_ground(
+            {"edge": [(1, 2), (2, 3), (3, 1), (3, 4)]}
+        )
+        plain = evaluate(program, edb)
+        swept = evaluate(program, edb, backward_subsumption=True)
+        assert set(plain.facts("tc")) == set(swept.facts("tc"))
+
+    def test_generalizing_fact_sweeps_points(self):
+        # Points arrive at iteration 0; the general constraint fact
+        # p($1; $1 >= 0) arrives at iteration 1 and covers them.
+        program = parse_program(
+            """
+            p(X) :- e(X).
+            go(Y) :- e(Y), Y = 1.
+            p(X) :- go(Y), X >= 0.
+            """
+        )
+        edb = Database.from_ground({"e": [(1,), (2,), (3,)]})
+        plain = evaluate(program, edb)
+        swept = evaluate(program, edb, backward_subsumption=True)
+        assert plain.count("p") == 4
+        assert swept.count("p") == 1
+        assert swept.stats.swept == 3
+        (general,) = swept.facts("p")
+        assert not general.is_ground()
+
+    def test_fib_magic_answers_unchanged(self):
+        magic = fib_magic_program(5, optimized=True)
+        plain = evaluate(magic.program, max_iterations=30)
+        swept = evaluate(
+            magic.program, max_iterations=30,
+            backward_subsumption=True,
+        )
+        assert swept.reached_fixpoint
+        answer = lambda result: {
+            fact.args
+            for fact in result.facts("fib")
+            if fact.args[1] == 5
+        }
+        assert answer(plain) == answer(swept) == {(4, 5)}
+
+    def test_table1_unbounded_growth_still_detected(self):
+        magic = fib_magic_program(5, optimized=False)
+        result = evaluate(
+            magic.program, max_iterations=9,
+            backward_subsumption=True,
+        )
+        assert not result.reached_fixpoint

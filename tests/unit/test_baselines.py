@@ -1,0 +1,96 @@
+"""Unit tests for the Balbin et al. C-transformation baseline (Sec 6.1)."""
+
+from repro.constraints.atom import Atom
+from repro.constraints.conjunction import Conjunction
+from repro.constraints.cset import ConstraintSet
+from repro.constraints.linexpr import LinearExpr
+from repro.core.baselines import c_transform, gen_qrp_constraints_syntactic
+from repro.core.qrp import gen_qrp_constraints
+from repro.engine import Database, evaluate
+
+
+def pos(i):
+    return LinearExpr.var(f"${i}")
+
+
+c = LinearExpr.const
+
+
+class TestSyntacticGeneration:
+    def test_example_41_p2_missed(self, example_41_program):
+        # The paper's headline limitation: no explicit constraining
+        # literal on Y means nothing reaches p2.
+        constraints, __ = gen_qrp_constraints_syntactic(
+            example_41_program, "q"
+        )
+        assert constraints["p2"].is_true()
+
+    def test_example_41_p1_partial(self, example_41_program):
+        # X >= 2 is a single-variable constraint on X and passes, but
+        # the multi-variable X + Y <= 6 cannot be projected.
+        constraints, __ = gen_qrp_constraints_syntactic(
+            example_41_program, "q"
+        )
+        semantic, __ = gen_qrp_constraints(example_41_program, "q")
+        assert constraints["p1"].equivalent(
+            ConstraintSet.of(
+                Conjunction(
+                    [
+                        Atom.ge(pos(1), c(2)),
+                        Atom.le(pos(1) + pos(2), c(6)),
+                    ]
+                )
+            )
+        ) or semantic["p1"].implies(constraints["p1"])
+
+    def test_single_variable_constraints_propagate(self):
+        from repro.lang.parser import parse_program
+
+        program = parse_program(
+            """
+            q(X) :- p(X), X >= 10.
+            p(X) :- e(X).
+            """
+        )
+        constraints, __ = gen_qrp_constraints_syntactic(program, "q")
+        assert constraints["p"].equivalent(
+            ConstraintSet.of(Conjunction([Atom.ge(pos(1), c(10))]))
+        )
+
+    def test_weaker_than_semantic(self, example_41_program):
+        syntactic, __ = gen_qrp_constraints_syntactic(
+            example_41_program, "q"
+        )
+        semantic, __ = gen_qrp_constraints(example_41_program, "q")
+        for pred in ("p1", "p2", "b1", "b2"):
+            assert semantic[pred].implies(syntactic[pred])
+
+
+class TestCTransform:
+    def test_preserves_answers(self, example_41_program):
+        result = c_transform(example_41_program, "q")
+        edb = Database.from_ground(
+            {
+                "b1": [(2, 3), (3, 1), (5, 9), (0, 0)],
+                "b2": [(3,), (1,), (9,)],
+            }
+        )
+        before = evaluate(example_41_program, edb)
+        after = evaluate(result.program, edb)
+        assert set(before.facts("q")) == set(after.facts("q"))
+
+    def test_computes_more_than_semantic(self, example_41_program):
+        from repro.core.qrp import gen_prop_qrp_constraints
+
+        baseline = c_transform(example_41_program, "q")
+        semantic = gen_prop_qrp_constraints(example_41_program, "q")
+        edb = Database.from_ground(
+            {
+                "b1": [(2, 3), (3, 1), (5, 9), (0, 0), (2, 9)],
+                "b2": [(3,), (1,), (9,), (0,), (5,)],
+            }
+        )
+        base_result = evaluate(baseline.program, edb)
+        semantic_result = evaluate(semantic.program, edb)
+        # Section 4.1: our technique restricts p2, Balbin's cannot.
+        assert semantic_result.count("p2") < base_result.count("p2")

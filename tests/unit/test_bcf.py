@@ -1,0 +1,138 @@
+"""Unit tests for automatic bcf adornment (Section 6.2)."""
+
+import pytest
+
+from repro.engine import Database, evaluate
+from repro.lang.parser import parse_program, parse_query
+from repro.magic.bcf import (
+    bcf_adorn,
+    query_bcf_adornment,
+    rename_edb_for_adornment,
+)
+from repro.magic.gmt import gmt_transform, is_groundable
+
+
+PLAIN_61 = """
+p(X, Y) :- U > 10, q(X, U, V), W > V, p(W, Y).
+p(X, Y) :- u(X, Y).
+q(X, Y, Z) :- q1(X, U), q2(W, Y), q3(U, W, Z).
+"""
+
+
+class TestQueryAdornment:
+    def test_condition_marks_c(self):
+        assert query_bcf_adornment(
+            parse_query("?- X > 10, p(X, Y).")
+        ) == "cf"
+
+    def test_constant_marks_b(self):
+        assert query_bcf_adornment(parse_query("?- p(3, Y).")) == "bf"
+
+    def test_plain_free(self):
+        assert query_bcf_adornment(parse_query("?- p(X, Y).")) == "ff"
+
+    def test_transitive_conditioning(self):
+        # X conditioned via Y: X <= Y and Y <= 5.
+        assert query_bcf_adornment(
+            parse_query("?- X <= Y, Y <= 5, p(X).")
+        ) == "c"
+
+
+class TestBcfAdorn:
+    def test_example_61_adornments_recovered(self):
+        adorned = bcf_adorn(
+            parse_program(PLAIN_61), parse_query("?- X > 10, p(X, Y).")
+        )
+        assert adorned.adornments == {
+            "p_cf": "cf",
+            "q_ccf": "ccf",
+            "q1_cf": "cf",
+            "q2_fc": "fc",
+            "q3_bbf": "bbf",
+            "u_cf": "cf",
+        }
+
+    def test_recursive_literal_conditioned_via_bound_var(self):
+        # W is conditioned by W > V only after q grounds V.
+        adorned = bcf_adorn(
+            parse_program(PLAIN_61), parse_query("?- X > 10, p(X, Y).")
+        )
+        recursive = [
+            rule
+            for rule in adorned.program.rules_for("p_cf")
+            if rule.body and rule.body[-1].pred.startswith("p")
+        ]
+        assert recursive
+        assert recursive[0].body[-1].pred == "p_cf"
+
+    def test_groundable_and_gmt_ready(self):
+        adorned = bcf_adorn(
+            parse_program(PLAIN_61), parse_query("?- X > 10, p(X, Y).")
+        )
+        assert is_groundable(adorned.gmt_program())
+
+    def test_unknown_query_pred(self):
+        with pytest.raises(ValueError):
+            bcf_adorn(
+                parse_program("p(X) :- e(X)."),
+                parse_query("?- nope(X)."),
+            )
+
+    def test_free_query_gives_plain_adornment(self):
+        adorned = bcf_adorn(
+            parse_program("p(X) :- e(X)."), parse_query("?- p(X).")
+        )
+        assert adorned.query_pred == "p_f"
+
+
+class TestEndToEnd:
+    def test_full_pipeline_from_plain_program(self):
+        plain = parse_program(PLAIN_61)
+        query = parse_query("?- X > 10, p(X, Y).")
+        adorned = bcf_adorn(plain, query)
+        adorned_query = parse_query(
+            f"?- X > 10, {adorned.query_pred}(X, Y)."
+        )
+        grounded = gmt_transform(
+            adorned.program, adorned_query, adorned.adornments
+        )
+        assert grounded.is_range_restricted()
+        assert len(grounded) == 9  # the paper's rule count
+        edb = Database.from_ground(
+            {
+                "u": [(11, 100), (12, 200), (5, 300)],
+                "q1": [(11, 20), (20, 30)],
+                "q2": [(12, 11), (4, 5)],
+                "q3": [(20, 12, 7), (30, 4, 8)],
+            }
+        )
+        mirrored = rename_edb_for_adornment(edb, adorned)
+        result = evaluate(grounded, mirrored, max_iterations=40)
+        assert result.reached_fixpoint
+        assert all(
+            fact.is_ground() for fact in result.database.all_facts()
+        )
+        plain_result = evaluate(plain, edb, max_iterations=40)
+        want = {
+            fact.ground_tuple()
+            for fact in plain_result.facts("p")
+            if fact.args[0] > 10
+        }
+        got = {
+            fact.ground_tuple()
+            for fact in result.facts(adorned.query_pred)
+        }
+        assert got == want
+
+    def test_mirrored_edb_covers_every_alias(self):
+        plain = parse_program(
+            """
+            p(X, Y) :- e(X, Z), p(Z, Y).
+            p(X, Y) :- e(X, Y).
+            """
+        )
+        adorned = bcf_adorn(plain, parse_query("?- p(1, Y)."))
+        edb = Database.from_ground({"e": [(1, 2), (2, 3)]})
+        mirrored = rename_edb_for_adornment(edb, adorned)
+        for pred in mirrored.predicates():
+            assert mirrored.count(pred) == 2

@@ -1,0 +1,161 @@
+"""Unit tests for conjunctions: satisfiability, implication, groundness."""
+
+from fractions import Fraction
+
+from repro.constraints.atom import Atom
+from repro.constraints.conjunction import Conjunction
+from repro.constraints.cset import ConstraintSet
+from repro.constraints.linexpr import LinearExpr
+
+
+X = LinearExpr.var("X")
+Y = LinearExpr.var("Y")
+c = LinearExpr.const
+
+
+def conj(*atoms):
+    return Conjunction(atoms)
+
+
+class TestConstruction:
+    def test_true(self):
+        assert Conjunction.true().is_true()
+        assert Conjunction.true().is_satisfiable()
+
+    def test_false(self):
+        assert not Conjunction.false().is_satisfiable()
+        assert not Conjunction.false().is_true()
+
+    def test_trivially_true_atoms_dropped(self):
+        assert conj(Atom.le(c(0), c(1))).is_true()
+
+    def test_trivially_false_atom_collapses(self):
+        conjunction = conj(Atom.le(X, c(1)), Atom.lt(c(2), c(1)))
+        assert not conjunction.is_satisfiable()
+        assert conjunction == Conjunction.false()
+
+    def test_duplicate_atoms_dropped(self):
+        conjunction = conj(Atom.le(X, c(1)), Atom.le(2 * X, c(2)))
+        assert len(conjunction) == 1
+
+    def test_sorted_deterministic(self):
+        a1 = conj(Atom.le(X, c(1)), Atom.le(Y, c(2)))
+        a2 = conj(Atom.le(Y, c(2)), Atom.le(X, c(1)))
+        assert a1 == a2
+        assert hash(a1) == hash(a2)
+
+
+class TestImplication:
+    def test_implies_atom_from_paper(self):
+        # Definition 2.3's example: (X+Y <= 4) & (X >= 2) implies Y <= 2.
+        conjunction = conj(Atom.le(X + Y, c(4)), Atom.ge(X, c(2)))
+        assert conjunction.implies_atom(Atom.le(Y, c(2)))
+        assert not conjunction.implies_atom(Atom.le(Y, c(1)))
+
+    def test_unsatisfiable_implies_everything(self):
+        assert Conjunction.false().implies_atom(Atom.le(X, c(-99)))
+
+    def test_implies_conjunction(self):
+        stronger = conj(Atom.eq(X, c(1)), Atom.eq(Y, c(2)))
+        weaker = conj(Atom.le(X + Y, c(3)))
+        assert stronger.implies(weaker)
+        assert not weaker.implies(stronger)
+
+    def test_implies_set_disjunctive(self):
+        # X = 3 implies (X <= 0) | (X >= 1).
+        point = conj(Atom.eq(X, c(3)))
+        split = ConstraintSet(
+            [conj(Atom.le(X, c(0))), conj(Atom.ge(X, c(1)))]
+        )
+        assert point.implies_set(split)
+
+    def test_implies_set_needs_cover(self):
+        # X in [0,1] does not imply (X < 0) | (X > 1/2).
+        interval = conj(Atom.ge(X, c(0)), Atom.le(X, c(1)))
+        split = ConstraintSet(
+            [
+                conj(Atom.lt(X, c(0))),
+                conj(Atom.gt(X, c(Fraction(1, 2)))),
+            ]
+        )
+        assert not interval.implies_set(split)
+
+    def test_equivalent(self):
+        a = conj(Atom.le(X, c(2)), Atom.le(X, c(4)))
+        b = conj(Atom.le(X, c(2)))
+        assert a.equivalent(b)
+
+
+class TestProjection:
+    def test_project_keeps_only_requested(self):
+        conjunction = conj(Atom.le(X + Y, c(6)), Atom.ge(X, c(2)))
+        projected = conjunction.project({"Y"})
+        assert projected.variables() <= {"Y"}
+        assert projected.implies_atom(Atom.le(Y, c(4)))
+
+    def test_project_unsat_residue_detected_lazily(self):
+        # Projection that eliminates nothing must not mark the result
+        # satisfiable (regression: unsat facts leaked into relations).
+        conjunction = conj(Atom.ge(X, c(1)), Atom.le(X, c(-1)))
+        projected = conjunction.project({"X"})
+        assert not projected.is_satisfiable()
+
+    def test_eliminate(self):
+        conjunction = conj(Atom.eq(X, Y + 1), Atom.le(Y, c(1)))
+        result = conjunction.eliminate({"Y"})
+        assert result.implies_atom(Atom.le(X, c(2)))
+
+
+class TestGroundness:
+    def test_bounds(self):
+        conjunction = conj(Atom.ge(X, c(1)), Atom.lt(X, c(5)))
+        lower, lower_strict, upper, upper_strict = conjunction.bounds("X")
+        assert (lower, lower_strict) == (1, False)
+        assert (upper, upper_strict) == (5, True)
+
+    def test_unbounded(self):
+        conjunction = conj(Atom.ge(X, c(0)))
+        __, __, upper, __ = conjunction.bounds("X")
+        assert upper is None
+
+    def test_forced_value_from_equality(self):
+        assert conj(Atom.eq(X, c(3))).forced_value("X") == 3
+
+    def test_forced_value_from_pinching(self):
+        conjunction = conj(Atom.le(X, c(2)), Atom.ge(X, c(2)))
+        assert conjunction.forced_value("X") == 2
+
+    def test_no_forced_value_when_strict(self):
+        conjunction = conj(Atom.lt(X, c(2)), Atom.ge(X, c(1)))
+        assert conjunction.forced_value("X") is None
+
+    def test_ground_values_through_equalities(self):
+        conjunction = conj(Atom.eq(X, c(3)), Atom.eq(Y, X + 1))
+        assert conjunction.ground_values(["X", "Y"]) == {
+            "X": 3,
+            "Y": 4,
+        }
+
+    def test_ground_values_partial_is_none(self):
+        conjunction = conj(Atom.eq(X, c(3)), Atom.le(Y, c(1)))
+        assert conjunction.ground_values(["X", "Y"]) is None
+
+
+class TestCanonical:
+    def test_redundant_atom_removed(self):
+        conjunction = conj(
+            Atom.le(X, c(2)), Atom.le(X, c(5)), Atom.le(X + Y, c(99))
+        )
+        canonical = conjunction.canonical()
+        assert Atom.le(X, c(5)) not in canonical.atoms
+        assert Atom.le(X, c(2)) in canonical.atoms
+
+    def test_canonical_of_unsat_is_false(self):
+        conjunction = conj(Atom.lt(X, c(0)), Atom.gt(X, c(0)))
+        assert conjunction.canonical() == Conjunction.false()
+
+    def test_canonical_preserves_meaning(self):
+        conjunction = conj(
+            Atom.le(X + Y, c(6)), Atom.ge(X, c(2)), Atom.le(Y, c(4))
+        )
+        assert conjunction.canonical().equivalent(conjunction)

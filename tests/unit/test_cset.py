@@ -1,0 +1,145 @@
+"""Unit tests for DNF constraint sets (Definition 2.3)."""
+
+from repro.constraints.atom import Atom
+from repro.constraints.conjunction import Conjunction
+from repro.constraints.cset import ConstraintSet
+from repro.constraints.linexpr import LinearExpr
+
+
+X = LinearExpr.var("X")
+Y = LinearExpr.var("Y")
+c = LinearExpr.const
+
+
+def conj(*atoms):
+    return Conjunction(atoms)
+
+
+class TestConstruction:
+    def test_false_is_empty(self):
+        assert ConstraintSet.false().is_false()
+        assert len(ConstraintSet.false()) == 0
+
+    def test_true(self):
+        assert ConstraintSet.true().is_true()
+
+    def test_unsat_disjuncts_dropped(self):
+        cset = ConstraintSet(
+            [conj(Atom.lt(X, c(0)), Atom.gt(X, c(0))), conj(Atom.le(X, c(1)))]
+        )
+        assert len(cset) == 1
+
+    def test_true_disjunct_absorbs(self):
+        cset = ConstraintSet([conj(Atom.le(X, c(1))), Conjunction.true()])
+        assert cset.is_true()
+
+    def test_duplicate_disjuncts_dropped(self):
+        cset = ConstraintSet([conj(Atom.le(X, c(1)))] * 3)
+        assert len(cset) == 1
+
+
+class TestLogic:
+    def test_or(self):
+        cset = ConstraintSet.of(conj(Atom.le(X, c(1)))).or_(
+            ConstraintSet.of(conj(Atom.ge(X, c(5))))
+        )
+        assert len(cset) == 2
+
+    def test_and_distributes(self):
+        left = ConstraintSet(
+            [conj(Atom.le(X, c(1))), conj(Atom.ge(X, c(5)))]
+        )
+        right = ConstraintSet(
+            [conj(Atom.le(Y, c(0))), conj(Atom.ge(Y, c(9)))]
+        )
+        assert len(left.and_(right)) == 4
+
+    def test_and_drops_unsat_combinations(self):
+        left = ConstraintSet.of(conj(Atom.le(X, c(1))))
+        right = ConstraintSet(
+            [conj(Atom.ge(X, c(5))), conj(Atom.ge(X, c(0)))]
+        )
+        combined = left.and_(right)
+        assert len(combined) == 1
+
+    def test_implication_paper_example(self):
+        # Proposition 2.2 context: conjunction of predicate constraints.
+        strong = ConstraintSet.of(
+            conj(Atom.gt(X, c(0)), Atom.le(X, c(240)))
+        )
+        weak = ConstraintSet.of(conj(Atom.gt(X, c(0))))
+        assert strong.implies(weak)
+        assert not weak.implies(strong)
+
+    def test_implication_disjunct_coverage(self):
+        split = ConstraintSet(
+            [conj(Atom.le(X, c(0))), conj(Atom.gt(X, c(0)))]
+        )
+        assert ConstraintSet.true().implies(split)
+        assert split.implies(ConstraintSet.true())
+
+    def test_false_implies_everything(self):
+        assert ConstraintSet.false().implies(ConstraintSet.false())
+
+    def test_equivalent(self):
+        a = ConstraintSet(
+            [conj(Atom.le(X, c(2))), conj(Atom.le(X, c(5)))]
+        )
+        b = ConstraintSet.of(conj(Atom.le(X, c(5))))
+        assert a.equivalent(b)
+
+
+class TestSimplify:
+    def test_subsumed_disjunct_removed(self):
+        cset = ConstraintSet(
+            [conj(Atom.le(X, c(2))), conj(Atom.le(X, c(5)))]
+        ).simplify()
+        assert len(cset) == 1
+        (disjunct,) = cset.disjuncts
+        assert disjunct == conj(Atom.le(X, c(5)))
+
+    def test_disjunct_covered_by_union_removed(self):
+        # [0, 10] is covered by [0,6] | [4,10].
+        covered = conj(Atom.ge(X, c(0)), Atom.le(X, c(10)))
+        left = conj(Atom.ge(X, c(0)), Atom.le(X, c(6)))
+        right = conj(Atom.ge(X, c(4)), Atom.le(X, c(10)))
+        cset = ConstraintSet([covered, left, right]).simplify()
+        assert covered not in cset.disjuncts
+        assert len(cset) == 2
+
+    def test_simplify_preserves_meaning(self):
+        original = ConstraintSet(
+            [
+                conj(Atom.le(X, c(2))),
+                conj(Atom.le(X, c(5))),
+                conj(Atom.ge(X, c(4))),
+            ]
+        )
+        assert original.simplify().equivalent(original)
+
+
+class TestTransforms:
+    def test_rename(self):
+        cset = ConstraintSet.of(conj(Atom.le(X, c(1)))).rename({"X": "Z"})
+        assert cset.variables() == {"Z"}
+
+    def test_project_per_disjunct(self):
+        cset = ConstraintSet(
+            [
+                conj(Atom.le(X + Y, c(6)), Atom.ge(X, c(2))),
+                conj(Atom.eq(Y, c(9))),
+            ]
+        ).project({"Y"})
+        assert cset.variables() <= {"Y"}
+        assert len(cset) == 2
+
+    def test_substitute(self):
+        cset = ConstraintSet.of(conj(Atom.le(X + Y, c(6)))).substitute(
+            {"X": c(2)}
+        )
+        (disjunct,) = cset.disjuncts
+        assert disjunct == conj(Atom.le(Y, c(4)))
+
+    def test_str(self):
+        assert str(ConstraintSet.false()) == "false"
+        assert str(ConstraintSet.true()) == "true"

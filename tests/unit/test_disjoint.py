@@ -1,0 +1,89 @@
+"""Unit tests for nonoverlapping-disjunct rewriting (Section 4.6)."""
+
+from repro.constraints.atom import Atom
+from repro.constraints.conjunction import Conjunction
+from repro.constraints.cset import ConstraintSet
+from repro.constraints.disjoint import (
+    are_disjoint,
+    make_disjoint,
+    single_disjunct_relaxation,
+)
+from repro.constraints.linexpr import LinearExpr
+
+
+T = LinearExpr.var("T")
+C = LinearExpr.var("C")
+const = LinearExpr.const
+
+
+def flight_qrp() -> ConstraintSet:
+    """The Example 4.3 QRP constraint for flight (over two variables)."""
+    short = Conjunction(
+        [Atom.gt(T, const(0)), Atom.le(T, const(240)), Atom.gt(C, const(0))]
+    )
+    cheap = Conjunction(
+        [Atom.gt(T, const(0)), Atom.gt(C, const(0)), Atom.le(C, const(150))]
+    )
+    return ConstraintSet([short, cheap])
+
+
+class TestMakeDisjoint:
+    def test_overlapping_input_detected(self):
+        assert not are_disjoint(flight_qrp())
+
+    def test_result_is_disjoint(self):
+        assert are_disjoint(make_disjoint(flight_qrp()))
+
+    def test_result_is_equivalent(self):
+        cset = flight_qrp()
+        assert make_disjoint(cset).equivalent(cset)
+
+    def test_piece_count_bounded(self):
+        # Section 4.6 lists three nonoverlapping pieces for this set
+        # (short&cheap, short&expensive, long&cheap); our splitter finds
+        # an equivalent decomposition with two (cheap, short&expensive).
+        assert len(make_disjoint(flight_qrp())) in (2, 3)
+
+    def test_already_disjoint_unchanged_semantically(self):
+        cset = ConstraintSet(
+            [
+                Conjunction([Atom.le(T, const(0))]),
+                Conjunction([Atom.gt(T, const(5))]),
+            ]
+        )
+        result = make_disjoint(cset)
+        assert are_disjoint(result)
+        assert result.equivalent(cset)
+
+    def test_false_stays_false(self):
+        assert make_disjoint(ConstraintSet.false()).is_false()
+
+    def test_single_disjunct_identity(self):
+        cset = ConstraintSet.of(Conjunction([Atom.le(T, const(3))]))
+        assert make_disjoint(cset) == cset
+
+
+class TestSingleDisjunctRelaxation:
+    def test_keeps_common_atoms_only(self):
+        # Example 4.6: collapsing flight's QRP constraint to one
+        # disjunct yields ($3 > 0) & ($4 > 0).
+        relaxed = single_disjunct_relaxation(flight_qrp())
+        assert len(relaxed) == 1
+        (disjunct,) = relaxed.disjuncts
+        assert set(disjunct.atoms) == {
+            Atom.gt(T, const(0)),
+            Atom.gt(C, const(0)),
+        }
+
+    def test_relaxation_is_implied(self):
+        cset = flight_qrp()
+        assert cset.implies(single_disjunct_relaxation(cset))
+
+    def test_false_input(self):
+        assert single_disjunct_relaxation(ConstraintSet.false()).is_false()
+
+    def test_single_input_unchanged(self):
+        cset = ConstraintSet.of(
+            Conjunction([Atom.le(T, const(3)), Atom.gt(C, const(0))])
+        )
+        assert single_disjunct_relaxation(cset).equivalent(cset)

@@ -1,0 +1,158 @@
+"""Unit tests for the one-call driver and the CLI."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.driver import (
+    STRATEGIES,
+    answer_query,
+    optimize,
+    run_text,
+    split_edb,
+)
+from repro.lang.parser import parse_program, parse_query
+
+
+FLIGHTS_TEXT = """
+cheaporshort(S, D, T, C) :- flight(S, D, T, C), T <= 240.
+cheaporshort(S, D, T, C) :- flight(S, D, T, C), C <= 150.
+flight(Src, Dst, Time, Cost) :- singleleg(Src, Dst, Time, Cost),
+                                Cost > 0, Time > 0.
+flight(S, D, T, C) :- flight(S, D1, T1, C1), flight(D1, D, T2, C2),
+                      T = T1 + T2 + 30, C = C1 + C2.
+singleleg(madison, chicago, 50, 100).
+singleleg(chicago, seattle, 150, 40).
+singleleg(madison, denver, 300, 400).
+singleleg(denver, seattle, 120, 60).
+?- cheaporshort(madison, seattle, T, C).
+"""
+
+
+class TestSplitEdb:
+    def test_ground_facts_extracted(self):
+        program = parse_program(
+            "p(X) :- e(X).\ne(1).\ne(2).\n"
+        )
+        rules, edb = split_edb(program)
+        assert len(rules) == 1
+        assert edb.count("e") == 2
+
+    def test_facts_of_derived_preds_stay(self):
+        program = parse_program("p(0).\np(X) :- e(X).")
+        rules, edb = split_edb(program)
+        assert len(rules) == 2
+        assert edb.count() == 0
+
+    def test_constraint_facts_stay(self):
+        program = parse_program("m(N, 5).")
+        rules, edb = split_edb(program)
+        assert len(rules) == 1
+        assert edb.count() == 0
+
+
+class TestOptimize:
+    def test_unknown_strategy(self):
+        program = parse_program("q(X) :- e(X).")
+        with pytest.raises(ValueError):
+            optimize(program, parse_query("?- q(X)."), "bogus")
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_all_strategies_answer_identically(self, strategy):
+        outcomes = run_text(FLIGHTS_TEXT, strategy=strategy)
+        (outcome,) = outcomes
+        assert outcome.answer_strings == ["C = 140, T = 230"]
+
+    def test_none_is_identity(self):
+        program = parse_program("q(X) :- e(X).")
+        optimized, pred, notes = optimize(
+            program, parse_query("?- q(X)."), "none"
+        )
+        assert optimized is program
+        assert pred == "q"
+        assert not notes
+
+    def test_rewrite_notes_divergence(self):
+        text = """
+        fib(0, 1).
+        fib(1, 1).
+        fib(N, X1 + X2) :- N > 1, fib(N - 1, X1), fib(N - 2, X2).
+        top(N, X) :- fib(N, X), X <= 5.
+        ?- top(N, 5).
+        """
+        (outcome,) = run_text(text, strategy="rewrite",
+                              eval_iterations=40)
+        assert outcome.result.reached_fixpoint
+        assert outcome.answer_strings == ["N = 4"]
+        assert any("diverged" in note for note in outcome.notes)
+
+
+class TestAnswerQuery:
+    def test_no_answer_renders_empty(self):
+        program = parse_program("q(X) :- e(X), X > 100.")
+        from repro.engine import Database
+
+        outcome = answer_query(
+            program,
+            parse_query("?- q(X)."),
+            Database.from_ground({"e": [(1,)]}),
+        )
+        assert outcome.answers == []
+
+    def test_zero_variable_query(self):
+        program = parse_program("q(X) :- e(X).")
+        from repro.engine import Database
+
+        outcome = answer_query(
+            program,
+            parse_query("?- q(1)."),
+            Database.from_ground({"e": [(1,)]}),
+            strategy="none",
+        )
+        assert outcome.answer_strings == ["yes"]
+
+
+class TestCli:
+    def run_cli(self, text, *flags):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "-", *flags],
+            input=text,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+
+    def test_basic_run(self):
+        completed = self.run_cli(FLIGHTS_TEXT)
+        assert completed.returncode == 0, completed.stderr
+        assert "C = 140, T = 230" in completed.stdout
+
+    def test_show_program_and_stats(self):
+        completed = self.run_cli(
+            FLIGHTS_TEXT, "--show-program", "--stats",
+            "--strategy", "optimal",
+        )
+        assert completed.returncode == 0
+        assert "optimized program" in completed.stdout
+        assert "facts in" in completed.stdout
+
+    def test_no_query_is_an_error(self):
+        completed = self.run_cli("p(X) :- e(X).\n")
+        assert completed.returncode == 2
+        assert "no ?- query" in completed.stderr
+
+    def test_missing_file(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "/nonexistent.cql"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert completed.returncode == 2
+
+    def test_no_answer_prints_no(self):
+        text = "q(X) :- e(X), X > 5.\ne(1).\n?- q(X).\n"
+        completed = self.run_cli(text)
+        assert completed.returncode == 0
+        assert "no" in completed.stdout

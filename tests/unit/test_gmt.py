@@ -1,0 +1,150 @@
+"""Unit tests for the GMT machinery (Section 6)."""
+
+import pytest
+
+from repro.lang.parser import parse_program, parse_query
+from repro.magic.gmt import (
+    GmtProgram,
+    NotGroundableError,
+    carried_positions,
+    conditioned_positions,
+    gmt_magic,
+    gmt_transform,
+    ground_fold_unfold,
+    infer_adornment_map,
+    is_groundable,
+)
+
+
+@pytest.fixture
+def example_61():
+    program = parse_program(
+        """
+        p_cf(X, Y) :- U > 10, q_ccf(X, U, V), W > V, p_cf(W, Y).
+        p_cf(X, Y) :- u_cf(X, Y).
+        q_ccf(X, Y, Z) :- q1_cf(X, U), q2_fc(W, Y), q3_bbf(U, W, Z).
+        """
+    ).relabeled()
+    query = parse_query("?- X > 10, p_cf(X, Y).")
+    return program, query
+
+
+class TestAdornmentInference:
+    def test_suffix_parsed(self, example_61):
+        program, __ = example_61
+        adornments = infer_adornment_map(program)
+        assert adornments["p_cf"] == "cf"
+        assert adornments["q_ccf"] == "ccf"
+        assert adornments["q3_bbf"] == "bbf"
+
+    def test_no_suffix_defaults_to_free(self):
+        program = parse_program("p(X) :- e(X).")
+        adornments = infer_adornment_map(program)
+        assert adornments["p"] == "f"
+
+    def test_positions(self):
+        assert conditioned_positions("ccf") == [0, 1]
+        assert carried_positions("bcf") == [0, 1]
+
+
+class TestGroundable:
+    def test_example_61_groundable(self, example_61):
+        program, __ = example_61
+        gmt = GmtProgram(program, infer_adornment_map(program), "p_cf")
+        assert is_groundable(gmt)
+
+    def test_not_groundable_when_var_only_in_recursive_literal(self):
+        program = parse_program(
+            """
+            p_cf(X, Y) :- p_cf(X, Z), e(Z, Y).
+            p_cf(X, Y) :- u_cf(X, Y).
+            """
+        )
+        gmt = GmtProgram(program, infer_adornment_map(program), "p_cf")
+        assert not is_groundable(gmt)
+
+
+class TestGmtMagic:
+    def test_magic_carries_conditioned_args(self, example_61):
+        program, query = example_61
+        gmt = GmtProgram(program, infer_adornment_map(program), "p_cf")
+        magic = gmt_magic(gmt, query)
+        assert magic.arity("m_p_cf") == 1
+        assert magic.arity("m_q_ccf") == 2
+
+    def test_seed_keeps_query_condition(self, example_61):
+        program, query = example_61
+        gmt = GmtProgram(program, infer_adornment_map(program), "p_cf")
+        magic = gmt_magic(gmt, query)
+        seed = next(rule for rule in magic if rule.label == "seed")
+        assert len(seed.constraint) == 1  # X > 10
+
+    def test_magic_rules_may_be_non_range_restricted(self, example_61):
+        program, query = example_61
+        gmt = GmtProgram(program, infer_adornment_map(program), "p_cf")
+        magic = gmt_magic(gmt, query)
+        assert not magic.is_range_restricted()
+
+
+class TestGroundFoldUnfold:
+    def test_result_range_restricted(self, example_61):
+        program, query = example_61
+        result = gmt_transform(program, query)
+        assert result.is_range_restricted()
+
+    def test_no_magic_predicates_remain(self, example_61):
+        program, query = example_61
+        result = gmt_transform(program, query)
+        assert not any(
+            pred.startswith("m_") for pred in result.predicates()
+        )
+
+    def test_supplementary_predicates_created(self, example_61):
+        program, query = example_61
+        result = gmt_transform(program, query)
+        supplementary = {
+            pred
+            for pred in result.derived_predicates()
+            if pred.startswith("s_")
+        }
+        # One per rule of p_cf plus one for q_ccf (paper: s_1_p,
+        # s_2_p, s_3_q).
+        assert len(supplementary) == 3
+
+    def test_rule_count_matches_paper(self, example_61):
+        # The paper's final program has nine rules:
+        # {r41, r43, r51, r53, r61, r62, r11, r21, r31}.
+        program, query = example_61
+        result = gmt_transform(program, query)
+        assert len(result) == 9
+
+    def test_query_equivalence_on_data(self, example_61):
+        from repro.engine import Database, evaluate
+
+        program, query = example_61
+        result = gmt_transform(program, query)
+        edb = Database.from_ground(
+            {
+                "u_cf": [(11, 100), (12, 200), (5, 300)],
+                "q1_cf": [(11, 20), (20, 30)],
+                "q2_fc": [(12, 11), (4, 5)],
+                "q3_bbf": [(20, 12, 7), (30, 4, 8)],
+            }
+        )
+        grounded = evaluate(result, edb, max_iterations=40)
+        assert grounded.reached_fixpoint
+        assert all(
+            fact.is_ground() for fact in grounded.database.all_facts()
+        )
+        # Compare p answers with the plain (unrewritten) program,
+        # restricted to the query condition X > 10.
+        plain = evaluate(program, edb, max_iterations=40)
+        want = {
+            fact.ground_tuple()
+            for fact in plain.facts("p_cf")
+            if fact.args[0] > 10
+        }
+        got = {
+            fact.ground_tuple() for fact in grounded.facts("p_cf")
+        }
+        assert got == want

@@ -1,0 +1,85 @@
+"""Unit tests for the static program analysis report."""
+
+import subprocess
+import sys
+
+from repro.core.inspect import describe, render_description
+from repro.lang.parser import parse_program
+
+
+class TestDescribe:
+    def test_flights(self, flights_program):
+        description = describe(flights_program, "cheaporshort")
+        assert description.edb_predicates == {"singleleg"}
+        assert description.recursive_predicates == {"flight"}
+        assert description.range_restricted
+        assert not description.in_terminating_class
+        assert str(
+            description.predicate_constraints["flight"]
+        ) == "($3 > 0 & $4 > 0)"
+
+    def test_scc_order_query_first(self, flights_program):
+        description = describe(flights_program, "cheaporshort")
+        assert description.sccs[0] == {"cheaporshort"}
+
+    def test_terminating_class_bound(self, example_51_program):
+        description = describe(example_51_program)
+        assert description.in_terminating_class
+        assert description.termination_bound == 3 * 2**16
+
+    def test_divergence_reported(self):
+        program = parse_program(
+            """
+            fib(0, 1).
+            fib(1, 1).
+            fib(N, X1 + X2) :- N > 1, fib(N - 1, X1), fib(N - 2, X2).
+            """
+        )
+        description = describe(program, max_iterations=8)
+        assert not description.predicate_inference_converged
+
+    def test_no_query_skips_qrp(self, example_41_program):
+        description = describe(example_41_program)
+        assert description.qrp_constraints == {}
+
+
+class TestRender:
+    def test_render_sections(self, flights_program):
+        text = render_description(
+            describe(flights_program, "cheaporshort")
+        )
+        assert "Program analysis" in text
+        assert "SCCs" in text
+        assert "minimum predicate constraints" in text
+        assert "QRP constraints" in text
+        assert "flight: ($3 > 0 & $4 > 0)" in text
+
+    def test_render_widening_note(self):
+        program = parse_program(
+            """
+            fib(0, 1).
+            fib(1, 1).
+            fib(N, X1 + X2) :- N > 1, fib(N - 1, X1), fib(N - 2, X2).
+            """
+        )
+        text = render_description(describe(program, max_iterations=8))
+        assert "widened" in text
+
+
+class TestCliDescribe:
+    def test_describe_flag(self):
+        text = (
+            "q(X) :- e(X), X <= 4.\n"
+            "e(1).\n"
+            "?- q(X).\n"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "-", "--describe"],
+            input=text,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "Program analysis" in completed.stdout
+        assert "q: ($1 <= 4)" in completed.stdout

@@ -1,0 +1,107 @@
+"""Unit tests for linear expressions."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.linexpr import LinearExpr, sum_exprs
+
+
+X = LinearExpr.var("X")
+Y = LinearExpr.var("Y")
+
+
+class TestConstruction:
+    def test_var(self):
+        assert X.coeff("X") == 1
+        assert X.variables() == {"X"}
+        assert X.constant == 0
+
+    def test_var_with_coefficient(self):
+        expr = LinearExpr.var("X", Fraction(3, 2))
+        assert expr.coeff("X") == Fraction(3, 2)
+
+    def test_const(self):
+        expr = LinearExpr.const(7)
+        assert expr.is_constant()
+        assert expr.constant == 7
+
+    def test_zero_coefficients_dropped(self):
+        expr = LinearExpr({"X": 0, "Y": 2})
+        assert expr.variables() == {"Y"}
+
+    def test_float_coefficients_rejected(self):
+        with pytest.raises(TypeError):
+            LinearExpr({"X": 0.5})
+
+    def test_zero(self):
+        assert LinearExpr.zero().is_constant()
+        assert LinearExpr.zero().constant == 0
+
+
+class TestArithmetic:
+    def test_addition(self):
+        expr = X + Y + 3
+        assert expr.coeff("X") == 1
+        assert expr.coeff("Y") == 1
+        assert expr.constant == 3
+
+    def test_addition_cancels(self):
+        assert (X - X).is_constant()
+
+    def test_subtraction(self):
+        expr = X - Y
+        assert expr.coeff("Y") == -1
+
+    def test_right_subtraction(self):
+        expr = 5 - X
+        assert expr.constant == 5
+        assert expr.coeff("X") == -1
+
+    def test_negation(self):
+        expr = -(X + 2)
+        assert expr.coeff("X") == -1
+        assert expr.constant == -2
+
+    def test_scalar_multiplication(self):
+        expr = (X + 1) * Fraction(1, 2)
+        assert expr.coeff("X") == Fraction(1, 2)
+        assert expr.constant == Fraction(1, 2)
+
+    def test_sum_exprs(self):
+        assert sum_exprs([X, Y, LinearExpr.const(1)]) == X + Y + 1
+
+
+class TestSubstitution:
+    def test_substitute_var_with_expr(self):
+        expr = (X + Y).substitute({"X": Y + 1})
+        assert expr.coeff("Y") == 2
+        assert expr.constant == 1
+
+    def test_substitute_missing_is_identity(self):
+        assert X.substitute({"Z": Y}) == X
+
+    def test_rename(self):
+        expr = (X + Y).rename({"X": "Z"})
+        assert expr.variables() == {"Z", "Y"}
+
+    def test_rename_merging(self):
+        expr = (X + Y).rename({"X": "Y"})
+        assert expr.coeff("Y") == 2
+
+    def test_evaluate(self):
+        expr = 2 * X + Y - 3
+        assert expr.evaluate({"X": 5, "Y": 1}) == 8
+
+
+class TestEquality:
+    def test_equal_expressions(self):
+        assert X + Y == Y + X
+        assert hash(X + Y) == hash(Y + X)
+
+    def test_unequal_constant(self):
+        assert X + 1 != X + 2
+
+    def test_str_roundtrip_shape(self):
+        assert str(X - Y + 1) == "X - Y + 1"
+        assert str(LinearExpr.const(0)) == "0"

@@ -1,0 +1,76 @@
+"""Unit tests for rule normalization and query wrapping."""
+
+from repro.engine import Database, evaluate
+from repro.lang.normalize import (
+    normalize_program,
+    normalize_query,
+    normalize_rule,
+    query_as_rule,
+)
+from repro.lang.parser import parse_program, parse_query, parse_rule
+
+
+class TestNormalizeRule:
+    def test_already_normal_unchanged(self):
+        rule = parse_rule("p(X, Y) :- q(X, Y), X <= 2.")
+        assert normalize_rule(rule) is rule
+
+    def test_arith_body_arg_flattened(self):
+        rule = normalize_rule(parse_rule("p(N) :- q(N - 1)."))
+        assert rule.is_normalized()
+        (literal,) = rule.body
+        assert literal.is_normalized()
+        assert len(rule.constraint) == 1
+
+    def test_arith_head_arg_flattened(self):
+        rule = normalize_rule(parse_rule("p(X + Y) :- q(X, Y)."))
+        assert rule.head.is_normalized()
+
+    def test_constants_kept_by_default(self):
+        rule = normalize_rule(parse_rule("p(0, 1)."))
+        assert rule.is_fact
+        assert rule.head.is_normalized()
+        assert len(rule.constraint) == 0
+
+    def test_constants_flattened_on_request(self):
+        rule = normalize_rule(parse_rule("p(0, 1)."), keep_constants=False)
+        assert all(arg.__class__.__name__ == "Var" for arg in rule.head.args)
+        assert len(rule.constraint) == 2
+
+    def test_symbolic_constants_always_kept(self):
+        rule = normalize_rule(
+            parse_rule("p(madison) :- q(madison)."), keep_constants=False
+        )
+        assert rule.head.args[0].name == "madison"
+
+    def test_normalization_preserves_semantics(self):
+        program = parse_program(
+            "s(X + 1) :- e(X), X <= 3.\n"
+        )
+        normalized = normalize_program(program)
+        edb = Database.from_ground({"e": [(1,), (2,), (7,)]})
+        original = evaluate(program, edb)
+        result = evaluate(normalized, edb)
+        assert set(original.facts("s")) == set(result.facts("s"))
+        values = {fact.args[0] for fact in result.facts("s")}
+        assert values == {2, 3}
+
+
+class TestQueryHandling:
+    def test_normalize_query(self):
+        query = normalize_query(parse_query("?- fib(N - 1, 5)."))
+        assert query.literal.is_normalized()
+
+    def test_query_as_rule_arity_is_variable_count(self):
+        # Section 2: the wrapper predicate's arity is the number of
+        # variables in the query.
+        query = parse_query("?- cheaporshort(madison, seattle, T, C).")
+        rule = query_as_rule(query)
+        assert rule.head.arity == 2
+        assert rule.head.pred == "_query"
+
+    def test_query_as_rule_carries_constraint(self):
+        query = parse_query("?- X > 10, p(X, Y).")
+        rule = query_as_rule(query)
+        assert len(rule.constraint) == 1
+        assert rule.head.arity == 2

@@ -1,0 +1,147 @@
+"""Unit tests for the CQL parser."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.atom import Atom
+from repro.constraints.linexpr import LinearExpr
+from repro.lang.ast import Literal
+from repro.lang.parser import (
+    ParseError,
+    parse_program,
+    parse_program_and_queries,
+    parse_query,
+    parse_rule,
+)
+from repro.lang.terms import NumTerm, Sym, Var
+
+
+class TestRules:
+    def test_fact(self):
+        rule = parse_rule("fib(0, 1).")
+        assert rule.is_fact
+        assert rule.head.pred == "fib"
+        assert rule.head.args == (
+            NumTerm(LinearExpr.const(0)),
+            NumTerm(LinearExpr.const(1)),
+        )
+
+    def test_rule_with_body_and_constraints(self):
+        rule = parse_rule("q(X) :- p(X, Y), X + Y <= 6, X >= 2.")
+        assert [lit.pred for lit in rule.body] == ["p"]
+        assert len(rule.constraint) == 2
+
+    def test_symbolic_constants(self):
+        rule = parse_rule("leg(madison, chicago).")
+        assert rule.head.args == (Sym("madison"), Sym("chicago"))
+
+    def test_variables_uppercase(self):
+        rule = parse_rule("p(X, Time, _under).")
+        assert all(isinstance(arg, Var) for arg in rule.head.args)
+
+    def test_arithmetic_argument(self):
+        rule = parse_rule("fib(N, X1 + X2) :- fib(N - 1, X1), fib(N - 2, X2).")
+        head_arg = rule.head.args[1]
+        assert isinstance(head_arg, NumTerm)
+        assert head_arg.expr == (
+            LinearExpr.var("X1") + LinearExpr.var("X2")
+        )
+
+    def test_scalar_multiplication_and_division(self):
+        rule = parse_rule("p(X) :- 2 * X <= 5, X / 2 >= 1.")
+        assert len(rule.constraint) == 2
+
+    def test_decimal_constants_exact(self):
+        rule = parse_rule("p(X) :- X <= 0.5.")
+        (atom,) = rule.constraint.atoms
+        assert atom == Atom.le(
+            LinearExpr.var("X"), LinearExpr.const(Fraction(1, 2))
+        )
+
+    def test_parenthesized_arithmetic(self):
+        rule = parse_rule("p(X, Y) :- X <= 2 * (Y + 1).")
+        (atom,) = rule.constraint.atoms
+        assert atom.satisfied_by({"X": 4, "Y": 1})
+        assert not atom.satisfied_by({"X": 5, "Y": 1})
+
+    def test_zero_arity_literal(self):
+        rule = parse_rule("go :- ready, p(X).")
+        assert rule.head == Literal("go", ())
+        assert rule.body[0] == Literal("ready", ())
+
+    def test_comments_ignored(self):
+        program = parse_program(
+            """
+            % a comment
+            p(X) :- q(X).  # another comment
+            """
+        )
+        assert len(program) == 1
+
+
+class TestQueries:
+    def test_query_with_constants(self):
+        query = parse_query("?- cheaporshort(madison, seattle, T, C).")
+        assert query.literal.pred == "cheaporshort"
+        assert query.literal.args[0] == Sym("madison")
+
+    def test_query_with_constraint(self):
+        query = parse_query("?- X > 10, p(X, Y).")
+        assert len(query.constraint) == 1
+
+    def test_program_and_queries(self):
+        program, queries = parse_program_and_queries(
+            """
+            p(X) :- q(X).
+            ?- p(3).
+            """
+        )
+        assert len(program) == 1
+        assert len(queries) == 1
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_program("p(X) :- q(X) & r(X).")
+
+    def test_uppercase_predicate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("P(X) :- q(X).")
+
+    def test_missing_period(self):
+        with pytest.raises(ParseError):
+            parse_program("p(X) :- q(X)")
+
+    def test_symbol_in_arithmetic_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("p(X) :- X <= madison.")
+
+    def test_nonlinear_multiplication_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("p(X, Y) :- X * Y <= 1.")
+
+    def test_division_by_zero_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("p(X) :- X / 0 <= 1.")
+
+    def test_error_carries_location(self):
+        try:
+            parse_program("p(X) :-\n  q(X) ~ .")
+        except ParseError as error:
+            assert error.line == 2
+        else:  # pragma: no cover
+            raise AssertionError("expected a ParseError")
+
+    def test_query_in_parse_program_rejected(self):
+        with pytest.raises(ValueError):
+            parse_program("?- p(X).")
+
+
+class TestRoundTrip:
+    def test_print_and_reparse(self, flights_program):
+        text = str(flights_program)
+        reparsed = parse_program(text)
+        assert len(reparsed) == len(flights_program)
+        assert reparsed.predicates() == flights_program.predicates()

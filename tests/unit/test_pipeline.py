@@ -1,0 +1,147 @@
+"""Unit tests for transformation sequences (Section 7)."""
+
+import pytest
+
+from repro.core.pipeline import (
+    apply_sequence,
+    compare_sequences,
+    evaluate_pipeline,
+    query_answers,
+)
+from repro.engine import Database
+from repro.lang.parser import parse_program, parse_query
+
+
+@pytest.fixture
+def setup_71(example_71_program):
+    query = parse_query("?- q(X, Y).")
+    edb = Database.from_ground(
+        {
+            "b1": [(1, 10), (2, 20), (9, 30)],
+            "b2": [(10, 11), (11, 12), (20, 21), (30, 31), (31, 32)],
+        }
+    )
+    return example_71_program, query, edb
+
+
+class TestApplySequence:
+    def test_rejects_unknown_step(self, setup_71):
+        program, query, __ = setup_71
+        with pytest.raises(ValueError):
+            apply_sequence(program, query, ["magic"])
+
+    def test_rejects_double_mg(self, setup_71):
+        program, query, __ = setup_71
+        with pytest.raises(ValueError):
+            apply_sequence(program, query, ["mg", "mg"])
+
+    def test_empty_sequence_is_adorned_program(self, setup_71):
+        program, query, __ = setup_71
+        result = apply_sequence(program, query, [])
+        assert result.query_pred == "q_ff"
+        assert len(result.program) == len(program)
+
+    def test_mg_requires_adornment(self, setup_71):
+        program, query, __ = setup_71
+        with pytest.raises(ValueError):
+            apply_sequence(program, query, ["mg"], adorn=False)
+
+    def test_seed_not_specialized_by_later_steps(self, example_72_program):
+        # The Appendix-B seed is a runtime fact; post-mg qrp must leave
+        # it intact even when the query constant violates a constraint.
+        query = parse_query("?- q(7, Y).")
+        result = apply_sequence(example_72_program, query, ["mg", "qrp"])
+        seeds = [rule for rule in result.program if rule.is_fact]
+        assert any("m_q" in rule.head.pred for rule in seeds)
+
+
+class TestEquivalence:
+    SEQUENCES = [
+        ("mg",),
+        ("qrp", "mg"),
+        ("mg", "qrp"),
+        ("pred", "qrp", "mg"),
+        ("pred", "mg", "qrp"),
+        ("mg", "pred", "qrp"),
+    ]
+
+    def test_all_orderings_query_equivalent(self, setup_71):
+        program, query, edb = setup_71
+        results = compare_sequences(program, query, self.SEQUENCES, edb)
+        answer_sets = {
+            frozenset(query_answers(evaluation, query))
+            for evaluation in results.values()
+        }
+        assert len(answer_sets) == 1
+
+    def test_optimal_sequence_minimal(self, setup_71):
+        program, query, edb = setup_71
+        results = compare_sequences(program, query, self.SEQUENCES, edb)
+        best = min(
+            evaluation.facts_excluding_edb(edb)
+            for evaluation in results.values()
+        )
+        optimal = results[("pred", "qrp", "mg")]
+        assert optimal.facts_excluding_edb(edb) == best
+
+    def test_magic_restricts_reachable_part(self, setup_71):
+        # Magic computes no more a2 facts than plain evaluation does.
+        program, query, edb = setup_71
+        from repro.engine import evaluate
+
+        plain = evaluate(program, edb)
+        magic = evaluate_pipeline(
+            apply_sequence(program, query, ["mg"]), edb, query
+        )
+        assert magic.result.count("a2_bf") <= plain.count("a2")
+
+
+class TestNonConfluence:
+    def test_d1_qrp_first_wins(self, example_71_program):
+        # Example D.1: P^{qrp,mg}'s m_a2 rule carries X <= 4; feed it
+        # b1 pairs with X > 4 leading into a long b2 chain.
+        query = parse_query("?- q(X, Y).")
+        edb = Database.from_ground(
+            {
+                "b1": [(9, 100), (1, 0)],
+                "b2": [(100 + i, 101 + i) for i in range(10)]
+                + [(0, 1)],
+            }
+        )
+        first = evaluate_pipeline(
+            apply_sequence(example_71_program, query, ["qrp", "mg"]),
+            edb, query,
+        )
+        second = evaluate_pipeline(
+            apply_sequence(example_71_program, query, ["mg", "qrp"]),
+            edb, query,
+        )
+        assert (
+            first.facts_excluding_edb(edb)
+            < second.facts_excluding_edb(edb)
+        )
+        assert query_answers(first, query) == query_answers(second, query)
+
+    def test_d2_mg_first_wins(self, example_72_program):
+        # Example D.2: only P^{mg,qrp} pushes X <= 4 into the magic
+        # rule for a1, so a query constant violating it prunes all work.
+        query = parse_query("?- q(7, Y).")
+        edb = Database.from_ground(
+            {
+                "b1": [(7, 100)],
+                "b2": [(100 + i, 101 + i) for i in range(10)],
+            }
+        )
+        first = evaluate_pipeline(
+            apply_sequence(example_72_program, query, ["qrp", "mg"]),
+            edb, query,
+        )
+        second = evaluate_pipeline(
+            apply_sequence(example_72_program, query, ["mg", "qrp"]),
+            edb, query,
+        )
+        assert (
+            second.facts_excluding_edb(edb)
+            < first.facts_excluding_edb(edb)
+        )
+        assert query_answers(first, query) == query_answers(second, query)

@@ -1,0 +1,175 @@
+"""Unit tests for PTOL / LTOP (Definitions 2.7 and 2.8)."""
+
+from repro.constraints.atom import Atom
+from repro.constraints.conjunction import Conjunction
+from repro.constraints.cset import ConstraintSet
+from repro.constraints.linexpr import LinearExpr
+from repro.lang.ast import Literal
+from repro.lang.positions import (
+    arg_position,
+    ltop,
+    ltop_conjunction,
+    position_index,
+    ptol,
+    ptol_conjunction,
+)
+from repro.lang.terms import NumTerm, num, sym, var
+
+
+def pos(i):
+    return LinearExpr.var(arg_position(i))
+
+
+def conj(*atoms):
+    return Conjunction(atoms)
+
+
+c = LinearExpr.const
+
+
+class TestPositionNames:
+    def test_roundtrip(self):
+        assert position_index(arg_position(3)) == 3
+
+    def test_reject_non_position(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            position_index("X")
+
+
+class TestPTOL:
+    def test_paper_example(self):
+        # PTOL(flight(S,D,T,C), ($3<=240) | ($4<=150)) = (T<=240)|(C<=150)
+        literal = Literal(
+            "flight", (var("S"), var("D"), var("T"), var("C"))
+        )
+        cset = ConstraintSet(
+            [
+                conj(Atom.le(pos(3), c(240))),
+                conj(Atom.le(pos(4), c(150))),
+            ]
+        )
+        result = ptol(literal, cset)
+        expected = ConstraintSet(
+            [
+                conj(Atom.le(LinearExpr.var("T"), c(240))),
+                conj(Atom.le(LinearExpr.var("C"), c(150))),
+            ]
+        )
+        assert result == expected
+
+    def test_repeated_variable(self):
+        literal = Literal("p", (var("X"), var("X")))
+        cset = ConstraintSet.of(conj(Atom.le(pos(1) + pos(2), c(4))))
+        result = ptol(literal, cset)
+        (disjunct,) = result.disjuncts
+        assert disjunct == conj(Atom.le(2 * LinearExpr.var("X"), c(4)))
+
+    def test_arithmetic_argument(self):
+        literal = Literal("fib", (NumTerm(LinearExpr.var("N") - 1), var("X")))
+        cset = ConstraintSet.of(conj(Atom.gt(pos(1), c(0))))
+        (disjunct,) = ptol(literal, cset).disjuncts
+        assert disjunct == conj(Atom.gt(LinearExpr.var("N"), c(1)))
+
+    def test_constrained_symbolic_position_dropped(self):
+        literal = Literal("p", (sym("a"), var("X")))
+        cset = ConstraintSet(
+            [
+                conj(Atom.le(pos(1), c(0))),   # constrains the symbol
+                conj(Atom.le(pos(2), c(7))),   # fine
+            ]
+        )
+        result = ptol(literal, cset)
+        assert len(result) == 1
+
+    def test_ptol_conjunction_single(self):
+        literal = Literal("p", (var("X"),))
+        result = ptol_conjunction(literal, conj(Atom.le(pos(1), c(3))))
+        assert result == conj(Atom.le(LinearExpr.var("X"), c(3)))
+
+
+class TestLTOP:
+    def test_paper_example(self):
+        literal = Literal(
+            "flight", (var("S"), var("D"), var("T"), var("C"))
+        )
+        cset = ConstraintSet(
+            [
+                conj(Atom.le(LinearExpr.var("T"), c(240))),
+                conj(Atom.le(LinearExpr.var("C"), c(150))),
+            ]
+        )
+        result = ltop(literal, cset)
+        expected = ConstraintSet(
+            [
+                conj(Atom.le(pos(3), c(240))),
+                conj(Atom.le(pos(4), c(150))),
+            ]
+        )
+        assert result == expected
+
+    def test_repeated_variable_produces_equality(self):
+        # Definition 2.8's projection construction.
+        literal = Literal("p", (var("X"), var("X")))
+        cset = ConstraintSet.of(
+            conj(Atom.le(LinearExpr.var("X"), c(3)))
+        )
+        (disjunct,) = ltop(literal, cset).disjuncts
+        assert disjunct.implies_atom(Atom.eq(pos(1), pos(2)))
+        assert disjunct.implies_atom(Atom.le(pos(1), c(3)))
+
+    def test_constants_produce_position_equalities(self):
+        literal = Literal("fib", (var("N"), num(5)))
+        (disjunct,) = ltop(literal, ConstraintSet.true()).disjuncts
+        assert disjunct == conj(Atom.eq(pos(2), c(5)))
+
+    def test_arithmetic_argument(self):
+        literal = Literal(
+            "fib", (NumTerm(LinearExpr.var("N") - 1), var("X1"))
+        )
+        cset = ConstraintSet.of(
+            conj(Atom.gt(LinearExpr.var("N"), c(1)))
+        )
+        (disjunct,) = ltop(literal, cset).disjuncts
+        assert disjunct == conj(Atom.gt(pos(1), c(0)))
+
+    def test_symbolic_positions_unconstrained(self):
+        literal = Literal(
+            "flight", (sym("madison"), var("D"), var("T"), var("C"))
+        )
+        cset = ConstraintSet.of(
+            conj(Atom.le(LinearExpr.var("T"), c(240)))
+        )
+        (disjunct,) = ltop(literal, cset).disjuncts
+        assert disjunct.variables() == {arg_position(3)}
+
+    def test_projection_of_unrelated_vars(self):
+        # Constraint over a variable not in the literal projects away.
+        literal = Literal("p", (var("X"),))
+        cset = ConstraintSet.of(
+            conj(
+                Atom.le(LinearExpr.var("X") + LinearExpr.var("Y"), c(6)),
+                Atom.ge(LinearExpr.var("Y"), c(2)),
+            )
+        )
+        (disjunct,) = ltop(literal, cset).disjuncts
+        assert disjunct == conj(Atom.le(pos(1), c(4)))
+
+    def test_ltop_conjunction_unsat(self):
+        literal = Literal("p", (var("X"),))
+        bad = conj(Atom.lt(LinearExpr.var("X"), c(0)),
+                   Atom.gt(LinearExpr.var("X"), c(0)))
+        assert not ltop_conjunction(literal, bad).is_satisfiable()
+
+
+class TestRoundTrip:
+    def test_ptol_then_ltop_is_identity_for_distinct_vars(self):
+        literal = Literal("p", (var("X"), var("Y")))
+        cset = ConstraintSet(
+            [
+                conj(Atom.le(pos(1) + pos(2), c(6)), Atom.ge(pos(1), c(2))),
+                conj(Atom.eq(pos(2), c(9))),
+            ]
+        )
+        assert ltop(literal, ptol(literal, cset)).equivalent(cset)

@@ -1,0 +1,201 @@
+"""Unit tests for predicate-constraint inference and propagation (Sec 4.4)."""
+
+import pytest
+
+from repro.constraints.atom import Atom
+from repro.constraints.conjunction import Conjunction
+from repro.constraints.cset import ConstraintSet
+from repro.constraints.linexpr import LinearExpr
+from repro.core.predconstraints import (
+    NonTerminationError,
+    attach_constraints_to_bodies,
+    gen_predicate_constraints,
+    gen_prop_predicate_constraints,
+    is_predicate_constraint,
+    single_step,
+)
+from repro.engine import Database, evaluate
+from repro.lang.parser import parse_program
+
+
+def pos(i):
+    return LinearExpr.var(f"${i}")
+
+
+c = LinearExpr.const
+
+
+def cset_of(*atoms):
+    return ConstraintSet.of(Conjunction(atoms))
+
+
+class TestGeneration:
+    def test_flights_flight_constraint(self, flights_program):
+        constraints, report = gen_predicate_constraints(flights_program)
+        assert report.converged
+        expected = cset_of(Atom.gt(pos(3), c(0)), Atom.gt(pos(4), c(0)))
+        assert constraints["flight"].equivalent(expected)
+
+    def test_flights_cheaporshort_constraint(self, flights_program):
+        constraints, __ = gen_predicate_constraints(flights_program)
+        cheap = cset_of(
+            Atom.gt(pos(3), c(0)), Atom.gt(pos(4), c(0)),
+            Atom.le(pos(4), c(150)),
+        )
+        short = cset_of(
+            Atom.gt(pos(3), c(0)), Atom.gt(pos(4), c(0)),
+            Atom.le(pos(3), c(240)),
+        )
+        assert constraints["cheaporshort"].equivalent(short.or_(cheap))
+
+    def test_example_42_a_constraint(self, example_42_program):
+        constraints, __ = gen_predicate_constraints(example_42_program)
+        assert constraints["a"].equivalent(
+            cset_of(Atom.le(pos(2), pos(1)))
+        )
+
+    def test_edb_constraints_flow(self):
+        program = parse_program("p(X) :- e(X).")
+        given = {"e": cset_of(Atom.ge(pos(1), c(0)))}
+        constraints, __ = gen_predicate_constraints(
+            program, edb_constraints=given
+        )
+        assert constraints["p"].equivalent(given["e"])
+
+    def test_unreachable_predicate_is_false(self):
+        program = parse_program("p(X) :- p(X).")
+        constraints, __ = gen_predicate_constraints(program)
+        assert constraints["p"].is_false()
+
+    def test_divergence_widens(self):
+        program = parse_program("p(0).\np(Y) :- p(X), Y = X + 2, X >= 0.")
+        constraints, report = gen_predicate_constraints(
+            program, max_iterations=5
+        )
+        assert not report.converged
+        assert "p" in report.widened_predicates
+        assert constraints["p"].is_true()
+
+    def test_divergence_raises_on_request(self):
+        program = parse_program("p(0).\np(Y) :- p(X), Y = X + 2, X >= 0.")
+        with pytest.raises(NonTerminationError):
+            gen_predicate_constraints(
+                program, max_iterations=5, on_divergence="raise"
+            )
+
+
+class TestSingleStep:
+    def test_pushes_through_rule(self):
+        program = parse_program("p(X) :- e(X), X <= 4.")
+        stepped = single_step(
+            program, {"p": ConstraintSet.false(), "e": ConstraintSet.true()}
+        )
+        assert stepped["p"].equivalent(cset_of(Atom.le(pos(1), c(4))))
+
+    def test_false_body_blocks(self):
+        program = parse_program("p(X) :- d(X).\nd(X) :- e(X).")
+        stepped = single_step(
+            program,
+            {
+                "p": ConstraintSet.false(),
+                "d": ConstraintSet.false(),
+                "e": ConstraintSet.true(),
+            },
+        )
+        assert stepped["p"].is_false()
+        assert not stepped["d"].is_false()
+
+    def test_disjunct_cross_product(self):
+        program = parse_program("p(X, Y) :- d(X), d(Y).")
+        d = ConstraintSet(
+            [
+                Conjunction([Atom.le(pos(1), c(0))]),
+                Conjunction([Atom.ge(pos(1), c(1))]),
+            ]
+        )
+        stepped = single_step(
+            program, {"p": ConstraintSet.false(), "d": d}
+        )
+        assert len(stepped["p"]) == 4
+
+
+class TestVerification:
+    def test_fib_manual_constraint_verifies(self):
+        program = parse_program(
+            """
+            fib(0, 1).
+            fib(1, 1).
+            fib(N, X1 + X2) :- N > 1, fib(N - 1, X1), fib(N - 2, X2).
+            """
+        )
+        good = {"fib": cset_of(Atom.ge(pos(2), c(1)))}
+        assert is_predicate_constraint(program, good)
+        bad = {"fib": cset_of(Atom.ge(pos(2), c(2)))}
+        assert not is_predicate_constraint(program, bad)
+
+    def test_non_inductive_rejected(self):
+        program = parse_program("p(X) :- e(X).")
+        assert not is_predicate_constraint(
+            program, {"p": cset_of(Atom.ge(pos(1), c(0)))}
+        )
+
+
+class TestPropagation:
+    def test_bodies_get_ptol(self, example_42_program):
+        rewritten, constraints, __ = gen_prop_predicate_constraints(
+            example_42_program
+        )
+        # Every body occurrence of a now carries Y <= X.
+        for rule in rewritten:
+            for index, literal in enumerate(rule.body):
+                if literal.pred != "a":
+                    continue
+                x, y = literal.args
+                implied = Atom.le(
+                    LinearExpr.var(y.name), LinearExpr.var(x.name)
+                )
+                assert rule.constraint.implies_atom(implied)
+
+    def test_disjunctive_constraint_multiplies_rules(self, flights_program):
+        from repro.core.rewrite import wrap_query_predicate
+
+        wrapped = wrap_query_predicate(flights_program, "cheaporshort")
+        rewritten, __, __ = gen_prop_predicate_constraints(wrapped)
+        # The wrapper rule has a 2-disjunct body constraint: 2 copies.
+        wrapper_rules = rewritten.rules_for("q1")
+        assert len(wrapper_rules) == 2
+
+    def test_unsatisfiable_copies_dropped(self):
+        program = parse_program(
+            """
+            top(X) :- mid(X), X >= 10.
+            mid(X) :- e(X), X <= 4.
+            """
+        )
+        rewritten, __, __ = gen_prop_predicate_constraints(program)
+        assert len(rewritten.rules_for("top")) == 0
+
+    def test_semantics_preserved(self, example_42_program):
+        rewritten, __, __ = gen_prop_predicate_constraints(
+            example_42_program
+        )
+        edb = Database.from_ground(
+            {"p": [(5, 3), (3, 5), (10, 1), (12, 0)]}
+        )
+        before = evaluate(example_42_program, edb)
+        after = evaluate(rewritten, edb)
+        for pred in ("a", "q"):
+            assert set(before.facts(pred)) == set(after.facts(pred))
+
+    def test_given_constraints_validated(self):
+        program = parse_program("p(X) :- e(X).")
+        with pytest.raises(ValueError):
+            gen_prop_predicate_constraints(
+                program,
+                given={"p": cset_of(Atom.ge(pos(1), c(0)))},
+            )
+
+    def test_attach_skips_missing_preds(self):
+        program = parse_program("p(X) :- e(X).")
+        attached = attach_constraints_to_bodies(program, {})
+        assert attached.rules == program.rules

@@ -1,0 +1,136 @@
+"""Unit tests for Fourier-Motzkin / Gaussian quantifier elimination."""
+
+from repro.constraints.atom import Atom, Op
+from repro.constraints.linexpr import LinearExpr
+from repro.constraints.project import (
+    eliminate_variables,
+    is_satisfiable,
+    prune_parallel,
+)
+
+
+X = LinearExpr.var("X")
+Y = LinearExpr.var("Y")
+Z = LinearExpr.var("Z")
+c = LinearExpr.const
+
+
+class TestSatisfiability:
+    def test_empty_is_satisfiable(self):
+        assert is_satisfiable([])
+
+    def test_simple_bounds(self):
+        assert is_satisfiable([Atom.le(X, c(2)), Atom.ge(X, c(1))])
+
+    def test_contradictory_bounds(self):
+        assert not is_satisfiable([Atom.le(X, c(1)), Atom.ge(X, c(2))])
+
+    def test_strictness_matters(self):
+        assert is_satisfiable([Atom.le(X, c(2)), Atom.ge(X, c(2))])
+        assert not is_satisfiable([Atom.lt(X, c(2)), Atom.ge(X, c(2))])
+
+    def test_equality_chain(self):
+        assert not is_satisfiable(
+            [Atom.eq(X, Y), Atom.eq(Y, Z), Atom.lt(X, Z)]
+        )
+
+    def test_transitive_inequalities(self):
+        assert not is_satisfiable(
+            [Atom.lt(X, Y), Atom.lt(Y, Z), Atom.lt(Z, X)]
+        )
+
+    def test_rational_combination(self):
+        # 2X + 3Y <= 6, X >= 3, Y >= 1 is unsatisfiable.
+        assert not is_satisfiable(
+            [
+                Atom.le(2 * X + 3 * Y, c(6)),
+                Atom.ge(X, c(3)),
+                Atom.ge(Y, c(1)),
+            ]
+        )
+
+
+class TestElimination:
+    def test_eliminating_derives_implied_bound(self):
+        # (X + Y <= 6) & (X >= 2)  projected onto Y gives Y <= 4.
+        result = eliminate_variables(
+            [Atom.le(X + Y, c(6)), Atom.ge(X, c(2))], ["X"]
+        )
+        assert result == [Atom.le(Y, c(4))]
+
+    def test_unbounded_direction_vanishes(self):
+        result = eliminate_variables([Atom.le(X, Y)], ["X"])
+        assert result == []
+
+    def test_unsat_detected(self):
+        result = eliminate_variables(
+            [Atom.lt(X, c(0)), Atom.gt(X, c(0))], ["X"]
+        )
+        assert result is None
+
+    def test_gaussian_substitution(self):
+        # X = Y + 1 & X <= 3  projected onto Y gives Y <= 2.
+        result = eliminate_variables(
+            [Atom.eq(X, Y + 1), Atom.le(X, c(3))], ["X"]
+        )
+        assert result == [Atom.le(Y, c(2))]
+
+    def test_equality_between_kept_vars_survives(self):
+        result = eliminate_variables(
+            [Atom.eq(X, Y), Atom.le(Z, c(1))], ["Z"]
+        )
+        assert result == [Atom.eq(X, Y)]
+
+    def test_strictness_propagates_through_fm(self):
+        # X < Y and Y <= Z imply X < Z.
+        result = eliminate_variables(
+            [Atom.lt(X, Y), Atom.le(Y, Z)], ["Y"]
+        )
+        (atom,) = result
+        assert atom.op is Op.LT
+        assert atom == Atom.lt(X, Z)
+
+    def test_exactness_both_directions(self):
+        # Projection keeps exactly the realizable Y values: with
+        # 1 <= X <= 2 and Y = 2X, Y ranges over [2, 4].
+        result = eliminate_variables(
+            [
+                Atom.ge(X, c(1)),
+                Atom.le(X, c(2)),
+                Atom.eq(Y, 2 * X),
+            ],
+            ["X"],
+        )
+        assert set(result) == {Atom.ge(Y, c(2)), Atom.le(Y, c(4))}
+
+    def test_eliminate_nothing(self):
+        atoms = [Atom.le(X, c(1))]
+        assert eliminate_variables(atoms, []) == atoms
+
+
+class TestPruneParallel:
+    def test_keeps_tighter_upper_bound(self):
+        kept = prune_parallel([Atom.le(X, c(4)), Atom.le(X, c(2))])
+        assert kept == [Atom.le(X, c(2))]
+
+    def test_keeps_tighter_lower_bound(self):
+        kept = prune_parallel([Atom.gt(X, c(0)), Atom.gt(X, c(1))])
+        assert kept == [Atom.gt(X, c(1))]
+
+    def test_strict_wins_ties(self):
+        kept = prune_parallel([Atom.le(X, c(2)), Atom.lt(X, c(2))])
+        assert kept == [Atom.lt(X, c(2))]
+
+    def test_different_directions_kept(self):
+        atoms = [Atom.le(X, c(2)), Atom.ge(X, c(0)), Atom.le(Y, c(1))]
+        assert set(prune_parallel(atoms)) == set(atoms)
+
+    def test_scaled_parallel_atoms_merged(self):
+        # X + Y <= 2 is tighter than 2X + 2Y <= 5.
+        loose = Atom.le(2 * X + 2 * Y, c(5))
+        tight = Atom.le(X + Y, c(2))
+        assert prune_parallel([loose, tight]) == [tight]
+
+    def test_ground_atoms_passed_through(self):
+        ground = Atom.le(c(0), c(1))
+        assert ground in prune_parallel([ground, Atom.le(X, c(1))])

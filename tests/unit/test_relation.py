@@ -1,0 +1,99 @@
+"""Unit tests for relations: insertion outcomes, indexes, stamp views."""
+
+import pytest
+
+from repro.constraints.atom import Atom
+from repro.constraints.conjunction import Conjunction
+from repro.constraints.linexpr import LinearExpr
+from repro.engine.facts import Fact, make_fact
+from repro.engine.relation import InsertOutcome, Relation
+from repro.lang.terms import Sym
+
+
+def pos(i):
+    return LinearExpr.var(f"${i}")
+
+
+c = LinearExpr.const
+
+
+class TestInsertion:
+    def test_new(self):
+        relation = Relation("p", 2)
+        assert relation.insert(Fact.ground("p", (1, 2))) is InsertOutcome.NEW
+        assert len(relation) == 1
+
+    def test_duplicate(self):
+        relation = Relation("p", 2)
+        relation.insert(Fact.ground("p", (1, 2)))
+        outcome = relation.insert(Fact.ground("p", (1, 2)))
+        assert outcome is InsertOutcome.DUPLICATE
+        assert len(relation) == 1
+
+    def test_subsumed_discarded(self):
+        relation = Relation("p", 1)
+        wide = make_fact("p", [None], Conjunction([Atom.gt(pos(1), c(0))]))
+        relation.insert(wide)
+        outcome = relation.insert(Fact.ground("p", (3,)))
+        assert outcome is InsertOutcome.SUBSUMED
+        assert len(relation) == 1
+
+    def test_wrong_predicate_rejected(self):
+        relation = Relation("p", 1)
+        with pytest.raises(ValueError):
+            relation.insert(Fact.ground("q", (1,)))
+
+    def test_narrower_after_wider_subsumed(self):
+        relation = Relation("m_fib", 2)
+        wide = make_fact(
+            "m_fib", [None, None], Conjunction([Atom.gt(pos(1), c(0))])
+        )
+        narrow = make_fact(
+            "m_fib",
+            [None, None],
+            Conjunction([Atom.gt(pos(1), c(0)), Atom.le(pos(2), c(4))]),
+        )
+        relation.insert(wide)
+        assert relation.insert(narrow) is InsertOutcome.SUBSUMED
+
+
+class TestMatching:
+    def test_bound_position_filters(self):
+        relation = Relation("p", 2)
+        relation.insert(Fact.ground("p", (1, 2)))
+        relation.insert(Fact.ground("p", (1, 3)))
+        relation.insert(Fact.ground("p", (2, 2)))
+        from fractions import Fraction
+
+        matches = list(relation.matching({0: Fraction(1)}))
+        assert len(matches) == 2
+
+    def test_symbolic_bound(self):
+        relation = Relation("p", 1)
+        relation.insert(Fact.ground("p", ("a",)))
+        relation.insert(Fact.ground("p", ("b",)))
+        assert len(list(relation.matching({0: Sym("a")}))) == 1
+
+    def test_pending_facts_always_candidates(self):
+        relation = Relation("p", 1)
+        wide = make_fact("p", [None], Conjunction([Atom.gt(pos(1), c(0))]))
+        relation.insert(wide)
+        from fractions import Fraction
+
+        matches = list(relation.matching({0: Fraction(7)}))
+        assert matches == [wide]
+
+    def test_stamp_views(self):
+        relation = Relation("p", 1)
+        relation.insert(Fact.ground("p", (1,)), stamp=0)
+        relation.insert(Fact.ground("p", (2,)), stamp=1)
+        relation.insert(Fact.ground("p", (3,)), stamp=2)
+        assert len(list(relation.matching(max_stamp=1))) == 2
+        assert len(list(relation.matching(exact_stamp=2))) == 1
+        assert len(list(relation.matching())) == 3
+
+    def test_no_bound_positions_scans_all(self):
+        relation = Relation("p", 1)
+        relation.insert(Fact.ground("p", (1,)))
+        relation.insert(Fact.ground("p", (2,)))
+        assert len(list(relation.matching({}))) == 2

@@ -1,0 +1,125 @@
+"""Unit tests for Constraint_rewrite (Section 4.5)."""
+
+from repro.constraints.atom import Atom
+from repro.constraints.conjunction import Conjunction
+from repro.constraints.cset import ConstraintSet
+from repro.constraints.linexpr import LinearExpr
+from repro.core.rewrite import constraint_rewrite, wrap_query_predicate
+from repro.engine import Database, evaluate
+from repro.lang.parser import parse_program, parse_query
+
+
+def pos(i):
+    return LinearExpr.var(f"${i}")
+
+
+c = LinearExpr.const
+
+
+def cset_of(*atoms):
+    return ConstraintSet.of(Conjunction(atoms))
+
+
+class TestWrapper:
+    def test_wrapper_added(self, flights_program):
+        wrapped = wrap_query_predicate(flights_program, "cheaporshort")
+        assert "q1" in wrapped.derived_predicates()
+        (rule,) = wrapped.rules_for("q1")
+        assert rule.body[0].pred == "cheaporshort"
+
+    def test_wrapper_name_collision_avoided(self):
+        program = parse_program("q1(X) :- e(X).")
+        wrapped = wrap_query_predicate(program, "q1")
+        assert "q1_" in wrapped.derived_predicates()
+
+
+class TestFlightsRewrite:
+    def test_minimum_qrp_constraints(self, flights_program):
+        result = constraint_rewrite(flights_program, "cheaporshort")
+        assert result.converged
+        expected = cset_of(
+            Atom.gt(pos(3), c(0)), Atom.le(pos(3), c(240)),
+            Atom.gt(pos(4), c(0)),
+        ).or_(cset_of(
+            Atom.gt(pos(3), c(0)), Atom.gt(pos(4), c(0)),
+            Atom.le(pos(4), c(150)),
+        ))
+        assert result.qrp_constraints["flight"].equivalent(expected)
+        assert result.qrp_constraints["cheaporshort"].equivalent(expected)
+
+    def test_wrapper_gone(self, flights_program):
+        result = constraint_rewrite(flights_program, "cheaporshort")
+        assert "q1" not in result.program.predicates()
+
+    def test_rule_structure_matches_paper(self, flights_program):
+        # Example 4.3's P': 3 cheaporshort rules, 4 flight rules
+        # (2 nonrecursive x 2 disjuncts, 2 recursive x 2 disjuncts,
+        # deduplicated).
+        result = constraint_rewrite(flights_program, "cheaporshort")
+        assert len(result.program.rules_for("cheaporshort")) == 3
+        assert len(result.program.rules_for("flight")) == 4
+
+    def test_range_restricted_preserved(self, flights_program):
+        result = constraint_rewrite(flights_program, "cheaporshort")
+        assert result.program.is_range_restricted()
+
+
+class TestQuerySpecialization:
+    def test_query_constants_flow(self):
+        program = parse_program(
+            """
+            q(X, Y) :- p(X, Y).
+            p(X, Y) :- e(X, Y), Y <= X.
+            """
+        )
+        query = parse_query("?- q(X, Y), X <= 5.")
+        result = constraint_rewrite(program, "q", query=query)
+        for rule in result.program.rules_for("p"):
+            head_x = LinearExpr.var(rule.head.args[0].name)
+            assert rule.constraint.implies_atom(Atom.le(head_x, c(5)))
+
+    def test_wrong_query_pred_rejected(self):
+        import pytest
+
+        program = parse_program("q(X) :- e(X).")
+        with pytest.raises(ValueError):
+            constraint_rewrite(
+                program, "q", query=parse_query("?- other(X).")
+            )
+
+
+class TestEquivalence:
+    def test_subset_and_equal_answers(self, example_51_program):
+        result = constraint_rewrite(example_51_program, "q")
+        edb = Database.from_ground(
+            {"p": [(5, 3), (9, 9), (3, 1), (20, 2), (8, 11)]}
+        )
+        before = evaluate(example_51_program, edb)
+        after = evaluate(result.program, edb)
+        assert set(after.facts("q")) == set(before.facts("q"))
+        assert set(after.facts("a")) <= set(before.facts("a"))
+
+    def test_given_predicate_constraints_used(self):
+        program = parse_program(
+            """
+            top(N, X) :- fib(N, X), X <= 3.
+            fib(0, 1).
+            fib(1, 1).
+            fib(N, X1 + X2) :- N > 1, fib(N - 1, X1), fib(N - 2, X2).
+            """
+        )
+        given = {"fib": cset_of(Atom.ge(pos(2), c(1)))}
+        result = constraint_rewrite(
+            program, "top", given_predicate_constraints=given
+        )
+        # The recursive rule now bounds X1, X2 below, and the QRP
+        # constraint X <= 3 is pushed in above.
+        recursive = [
+            rule
+            for rule in result.program.rules_for("fib")
+            if rule.body
+        ]
+        assert recursive
+        for rule in recursive:
+            head_val = LinearExpr.var(rule.head.args[1].name)
+            assert rule.constraint.implies_atom(Atom.le(head_val, c(3)))

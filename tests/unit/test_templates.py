@@ -1,0 +1,173 @@
+"""Unit tests for Magic Templates and constraint magic rewriting."""
+
+from repro.engine import Database, evaluate
+from repro.engine.query import answers
+from repro.lang.parser import parse_program, parse_query
+from repro.magic.adorn import adorn_program
+from repro.magic.templates import (
+    constraint_magic,
+    magic_name,
+    magic_rewrite,
+    magic_templates_full,
+)
+
+
+TC = """
+tc(X, Y) :- edge(X, Y).
+tc(X, Y) :- edge(X, Z), tc(Z, Y).
+"""
+
+
+class TestFullTemplates:
+    def test_fib_shape(self):
+        program = parse_program(
+            """
+            fib(0, 1).
+            fib(1, 1).
+            fib(N, X1 + X2) :- N > 1, fib(N - 1, X1), fib(N - 2, X2).
+            """
+        ).relabeled()
+        result = magic_templates_full(program, parse_query("?- fib(N, 5)."))
+        rules = result.program.rules
+        # 3 modified rules + 2 magic rules (one per recursive call) + seed.
+        assert len(rules) == 6
+        seed = rules[-1]
+        assert seed.label == "seed"
+        assert seed.head.pred == "m_fib"
+        assert seed.is_fact
+
+    def test_modified_rules_guarded_by_magic(self):
+        program = parse_program(TC)
+        result = magic_templates_full(program, parse_query("?- tc(1, Y)."))
+        for rule in result.program:
+            if rule.head.pred == "tc":
+                assert rule.body[0].pred == "m_tc"
+
+    def test_no_magic_rules_for_edb(self):
+        program = parse_program(TC)
+        result = magic_templates_full(program, parse_query("?- tc(1, Y)."))
+        assert "m_edge" not in result.program.predicates()
+
+    def test_constraints_in_magic_rules(self):
+        program = parse_program("p(X) :- X <= 4, q(X), p(X).")
+        result = magic_templates_full(program, parse_query("?- p(1)."))
+        magic_rules = [
+            rule
+            for rule in result.program
+            if rule.head.pred == "m_p" and not rule.is_fact
+        ]
+        assert all(len(rule.constraint) == 1 for rule in magic_rules)
+
+    def test_constraints_omitted_when_disabled(self):
+        program = parse_program("p(X) :- X <= 4, q(X), p(X).")
+        result = magic_templates_full(
+            program, parse_query("?- p(1)."), include_constraints=False
+        )
+        magic_rules = [
+            rule
+            for rule in result.program
+            if rule.head.pred == "m_p" and not rule.is_fact
+        ]
+        assert all(rule.constraint.is_true() for rule in magic_rules)
+
+
+class TestConstraintMagic:
+    def test_magic_preds_carry_bound_args_only(self):
+        program = parse_program(TC)
+        query = parse_query("?- tc(1, Y).")
+        result = magic_rewrite(program, query)
+        assert result.program.arity("m_tc_bf") == 1
+
+    def test_zero_arity_magic(self):
+        program = parse_program(TC)
+        query = parse_query("?- tc(X, Y).")
+        result = magic_rewrite(program, query)
+        assert result.program.arity("m_tc_ff") == 0
+
+    def test_seed_from_query_constants(self):
+        program = parse_program(TC)
+        result = magic_rewrite(program, parse_query("?- tc(1, Y)."))
+        seed = next(r for r in result.program if r.label == "seed")
+        assert str(seed.head) == "m_tc_bf(1)"
+
+    def test_magic_evaluation_equivalent_and_cheaper(self):
+        program = parse_program(TC)
+        query = parse_query("?- tc(1, Y).")
+        edb = Database.from_ground(
+            {"edge": [(1, 2), (2, 3), (5, 6), (6, 7), (7, 8)]}
+        )
+        plain = evaluate(program, edb)
+        magic = evaluate(magic_rewrite(program, query).program, edb)
+        plain_answers = {
+            str(fact) for fact in answers(plain.database, query)
+        }
+        adorned_query = parse_query("?- tc_bf(1, Y).")
+        magic_answers = {
+            str(fact).replace("tc_bf", "tc")
+            for fact in answers(magic.database, adorned_query)
+        }
+        assert len(plain_answers) == 2
+        # Magic computes only the reachable side of the graph.
+        assert magic.count("tc_bf") < plain.count("tc")
+
+    def test_projection_drops_dangling_constraints(self):
+        # Section 7.2: magic rule constraints are Π_Ȳ(C_r).
+        program = parse_program(
+            """
+            q(X, Y) :- a1(X, Y), X <= 4.
+            a1(X, Y) :- b1(X, Z), a2(Z, Y).
+            a2(X, Y) :- b2(X, Y).
+            """
+        )
+        query = parse_query("?- q(X, Y).")
+        result = magic_rewrite(program, query)
+        m_a1 = [
+            rule
+            for rule in result.program
+            if rule.head.pred == "m_a1_ff" and not rule.is_fact
+        ]
+        # X <= 4 mentions no variable of m_a1_ff's rule: projected away.
+        assert all(rule.constraint.is_true() for rule in m_a1)
+
+    def test_relevant_constraints_kept(self):
+        # Example 7.2's program: X <= 4 sits in a1's rule, so the magic
+        # rule for a2 must carry it (X occurs in the sip prefix b1(X,Z)).
+        program = parse_program(
+            """
+            q(X, Y) :- a1(X, Y).
+            a1(X, Y) :- b1(X, Z), X <= 4, a2(Z, Y).
+            a2(X, Y) :- b2(X, Y).
+            """
+        )
+        result = magic_rewrite(program, parse_query("?- q(X, Y)."))
+        m_a2 = [
+            rule
+            for rule in result.program
+            if rule.head.pred == "m_a2_bf" and not rule.is_fact
+        ]
+        # Example D.1's discriminating rule: X <= 4 must be present.
+        assert any(len(rule.constraint) == 1 for rule in m_a2)
+
+    def test_magic_stays_ground(self):
+        program = parse_program(
+            """
+            q(X, Y) :- a1(X, Y), X <= 4.
+            a1(X, Y) :- b1(X, Z), a2(Z, Y).
+            a2(X, Y) :- b2(X, Y).
+            a2(X, Y) :- b2(X, Z), a2(Z, Y).
+            """
+        )
+        query = parse_query("?- q(X, Y).")
+        edb = Database.from_ground(
+            {"b1": [(1, 2), (9, 3)], "b2": [(2, 5), (3, 6), (5, 6)]}
+        )
+        result = evaluate(magic_rewrite(program, query).program, edb)
+        assert result.reached_fixpoint
+        assert all(
+            fact.is_ground() for fact in result.database.all_facts()
+        )
+
+
+class TestNames:
+    def test_magic_name(self):
+        assert magic_name("tc_bf") == "m_tc_bf"

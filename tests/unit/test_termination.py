@@ -1,0 +1,87 @@
+"""Unit tests for the Section 5 terminating class."""
+
+import pytest
+
+from repro.core.predconstraints import gen_predicate_constraints
+from repro.core.qrp import gen_qrp_constraints
+from repro.core.termination import (
+    in_terminating_class,
+    iteration_bound,
+    safe_max_iterations,
+    simple_constraint_count,
+)
+from repro.lang.parser import parse_program
+
+
+class TestMembership:
+    def test_example_51_in_class(self, example_51_program):
+        assert in_terminating_class(example_51_program)
+
+    def test_examples_71_72_in_class(
+        self, example_71_program, example_72_program
+    ):
+        assert in_terminating_class(example_71_program)
+        assert in_terminating_class(example_72_program)
+
+    def test_arithmetic_excludes(self, flights_program):
+        # T = T1 + T2 + 30 uses an arithmetic function symbol.
+        assert not in_terminating_class(flights_program)
+
+    def test_equality_excludes(self):
+        program = parse_program("p(X) :- e(X), X = 3.")
+        assert not in_terminating_class(program)
+
+    def test_scaled_coefficient_excludes(self):
+        program = parse_program("p(X) :- e(X), 2 * X <= 3.")
+        assert not in_terminating_class(program)
+
+    def test_compound_literal_argument_excludes(self):
+        program = parse_program("p(X + 1) :- e(X).")
+        assert not in_terminating_class(program)
+
+    def test_var_op_var_allowed(self):
+        program = parse_program("p(X, Y) :- e(X, Y), X <= Y, Y < 4.")
+        assert in_terminating_class(program)
+
+
+class TestBounds:
+    def test_simple_constraint_count(self):
+        # 2k^2 + 4k, constant-count independent (footnote 6).
+        assert simple_constraint_count(1) == 6
+        assert simple_constraint_count(2) == 16
+        assert simple_constraint_count(2, n_constants=9) == 16
+
+    def test_iteration_bound_formula(self, example_51_program):
+        # n = 3 predicates (q, a, p), k = 2: 3 * 2^16.
+        assert iteration_bound(example_51_program) == 3 * 2**16
+
+    def test_bound_requires_class(self, flights_program):
+        with pytest.raises(ValueError):
+            iteration_bound(flights_program)
+
+    def test_safe_max_iterations_clamped(self, example_51_program):
+        assert safe_max_iterations(example_51_program, cap=100) == 100
+
+
+class TestActualTermination:
+    def test_qrp_converges_within_bound(self, example_51_program):
+        __, report = gen_qrp_constraints(
+            example_51_program,
+            "q",
+            max_iterations=safe_max_iterations(example_51_program),
+        )
+        assert report.converged
+        assert report.iterations <= iteration_bound(example_51_program)
+
+    def test_pred_converges_within_bound(self, example_51_program):
+        __, report = gen_predicate_constraints(
+            example_51_program,
+            max_iterations=safe_max_iterations(example_51_program),
+        )
+        assert report.converged
+
+    def test_example_51_two_iterations(self, example_51_program):
+        # "our procedure terminates in just two iterations" (plus the
+        # confirming round).
+        __, report = gen_qrp_constraints(example_51_program, "q")
+        assert report.iterations <= 3

@@ -1,0 +1,92 @@
+"""Unit tests for CQL terms."""
+
+import pytest
+
+from repro.constraints.linexpr import LinearExpr
+from repro.lang.terms import (
+    FreshVars,
+    NumTerm,
+    Sym,
+    Var,
+    is_plain,
+    num,
+    rename_term,
+    substitute_term,
+    sym,
+    term_variables,
+    var,
+)
+
+
+class TestBasics:
+    def test_var(self):
+        assert var("X") == Var("X")
+        assert str(var("Time")) == "Time"
+
+    def test_sym(self):
+        assert sym("madison") == Sym("madison")
+        assert sym("madison") != sym("seattle")
+
+    def test_num_constant(self):
+        term = num(5)
+        assert term.is_constant()
+        assert term.value == 5
+
+    def test_num_nonconstant_value_raises(self):
+        term = NumTerm(LinearExpr.var("X") + 1)
+        assert not term.is_constant()
+        with pytest.raises(ValueError):
+            term.value
+
+    def test_term_variables(self):
+        assert term_variables(var("X")) == {"X"}
+        assert term_variables(sym("a")) == frozenset()
+        assert term_variables(NumTerm(LinearExpr.var("N") - 1)) == {"N"}
+
+    def test_is_plain(self):
+        assert is_plain(var("X"))
+        assert is_plain(sym("a"))
+        assert is_plain(num(3))
+        assert not is_plain(NumTerm(LinearExpr.var("N") - 1))
+
+
+class TestSubstitution:
+    def test_rename_var(self):
+        assert rename_term(var("X"), {"X": "Y"}) == var("Y")
+
+    def test_rename_inside_numterm(self):
+        term = rename_term(NumTerm(LinearExpr.var("N") - 1), {"N": "M"})
+        assert term_variables(term) == {"M"}
+
+    def test_rename_sym_identity(self):
+        assert rename_term(sym("a"), {"a": "b"}) == sym("a")
+
+    def test_substitute_var_by_sym(self):
+        assert substitute_term(var("X"), {"X": sym("a")}) == sym("a")
+
+    def test_substitute_var_in_arith(self):
+        term = substitute_term(
+            NumTerm(LinearExpr.var("N") - 1), {"N": num(5)}
+        )
+        assert term == num(4)
+
+    def test_substitute_sym_into_arith_raises(self):
+        with pytest.raises(TypeError):
+            substitute_term(
+                NumTerm(LinearExpr.var("N") - 1), {"N": sym("a")}
+            )
+
+
+class TestFreshVars:
+    def test_avoids_taken_names(self):
+        fresh = FreshVars({"V_1", "V_2"})
+        assert fresh.next().name == "V_3"
+
+    def test_uses_hint(self):
+        fresh = FreshVars(set())
+        assert fresh.next("N").name.startswith("N_")
+
+    def test_never_repeats(self):
+        fresh = FreshVars(set())
+        names = {fresh.next().name for _ in range(50)}
+        assert len(names) == 50

@@ -1,0 +1,94 @@
+"""Unit tests for the Section 3 reduction construction."""
+
+from repro.core.predconstraints import gen_predicate_constraints
+from repro.core.undecidable import (
+    converging_instance,
+    diverging_instance,
+    encode_logic_program,
+)
+from repro.engine import evaluate
+
+
+class TestEncoding:
+    def test_constant_becomes_zero(self):
+        program = encode_logic_program("p(a).")
+        (rule,) = program.rules
+        assert rule.head.args[0].value == 0
+
+    def test_function_application_becomes_plus_two(self):
+        program = encode_logic_program("p(f(X)) :- p(X).")
+        (rule,) = program.rules
+        # Head variable constrained to X + 2 with X >= 0.
+        assert len(rule.constraint) == 2
+
+    def test_nested_applications_unfold(self):
+        program = encode_logic_program("p(f(f(a))).")
+        (rule,) = program.rules
+        result = evaluate(program)
+        (fact,) = result.facts("p")
+        assert fact.args[0] == 4
+
+    def test_model_isomorphism(self):
+        # The model of the encoded program is the evens reached by the
+        # source program: p over {a, f(a), f(f(a))} -> {0, 2, 4}.
+        program = encode_logic_program(
+            """
+            p(a).
+            p(f(X)) :- q(X).
+            q(a).
+            q(f(a)).
+            """
+        )
+        result = evaluate(program)
+        values = sorted(fact.args[0] for fact in result.facts("p"))
+        assert values == [0, 2, 4]
+
+
+class TestFinitenessPhenomenon:
+    def test_diverging_instance_never_converges(self):
+        program = diverging_instance()
+        constraints, report = gen_predicate_constraints(
+            program, max_iterations=8
+        )
+        assert not report.converged
+        assert "p" in report.widened_predicates
+
+    def test_diverging_enumerates_one_point_per_iteration(self):
+        program = diverging_instance()
+        constraints, report = gen_predicate_constraints(
+            program, max_iterations=6, on_divergence="widen"
+        )
+        # Each iteration added the next even number as a new disjunct
+        # before widening kicked in.
+        assert report.iterations == 6
+
+    def test_converging_instance_finite(self):
+        program = converging_instance(steps=3)
+        constraints, report = gen_predicate_constraints(program)
+        assert report.converged
+        # p holds of exactly {0, 2, 4, 6}: four point disjuncts.
+        assert len(constraints["p"]) == 4
+
+    def test_converging_matches_evaluation(self):
+        program = converging_instance(steps=3)
+        constraints, __ = gen_predicate_constraints(program)
+        result = evaluate(program)
+        values = {fact.args[0] for fact in result.facts("p")}
+        assert values == {0, 2, 4, 6}
+        for fact in result.facts("p"):
+            assert constraints["p"].and_(
+                _point(fact.args[0])
+            ).is_satisfiable()
+
+
+def _point(value):
+    from repro.constraints.atom import Atom
+    from repro.constraints.conjunction import Conjunction
+    from repro.constraints.cset import ConstraintSet
+    from repro.constraints.linexpr import LinearExpr
+
+    return ConstraintSet.of(
+        Conjunction(
+            [Atom.eq(LinearExpr.var("$1"), LinearExpr.const(value))]
+        )
+    )

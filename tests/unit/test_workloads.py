@@ -1,0 +1,101 @@
+"""Unit tests for the synthetic workload generators."""
+
+from repro.engine import evaluate
+from repro.workloads.fib import (
+    fib_magic_program,
+    fib_predicate_constraint,
+    fib_program,
+)
+from repro.workloads.flights import flight_network, flights_program
+from repro.workloads.graphs import (
+    chain_edges,
+    graph_database,
+    layered_edges,
+    random_edges,
+)
+
+
+class TestFlightNetwork:
+    def test_deterministic(self):
+        a = flight_network(seed=3)
+        b = flight_network(seed=3)
+        assert a.legs == b.legs
+
+    def test_seed_changes_data(self):
+        assert flight_network(seed=1).legs != flight_network(seed=2).legs
+
+    def test_layer_structure(self):
+        network = flight_network(n_layers=3, width=2)
+        assert len(network.layers) == 3
+        assert len(network.legs) == 2 * 2 * 2
+
+    def test_expensive_fraction_extremes(self):
+        cheap = flight_network(expensive_fraction=0.0, seed=5)
+        assert all(
+            leg[2] <= 240 or leg[3] <= 150 for leg in cheap.legs
+        )
+        pricey = flight_network(expensive_fraction=1.0, seed=5)
+        assert all(
+            leg[2] > 240 and leg[3] > 150 for leg in pricey.legs
+        )
+
+    def test_program_parses_and_runs(self):
+        network = flight_network(n_layers=3, width=2, seed=0)
+        result = evaluate(
+            flights_program(), network.database, max_iterations=30
+        )
+        assert result.reached_fixpoint
+
+
+class TestGraphs:
+    def test_chain(self):
+        assert chain_edges(3) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_random_deterministic(self):
+        assert random_edges(10, seed=4) == random_edges(10, seed=4)
+
+    def test_layered_acyclic(self):
+        edges = layered_edges(4, 3, seed=0)
+        assert all(src < dst for src, dst in edges)
+
+    def test_graph_database(self):
+        db = graph_database({"e": chain_edges(2)})
+        assert db.count("e") == 2
+
+
+class TestFibWorkload:
+    def test_predicate_constraint_is_valid(self):
+        from repro.core.predconstraints import is_predicate_constraint
+
+        assert is_predicate_constraint(
+            fib_program(), {"fib": fib_predicate_constraint()}
+        )
+
+    def test_unoptimized_diverges(self):
+        result = evaluate(
+            fib_magic_program(5).program, max_iterations=9
+        )
+        assert not result.reached_fixpoint
+
+    def test_optimized_terminates_with_answer(self):
+        result = evaluate(
+            fib_magic_program(5, optimized=True).program,
+            max_iterations=30,
+        )
+        assert result.reached_fixpoint
+        answers = {
+            (fact.args[0], fact.args[1])
+            for fact in result.facts("fib")
+            if fact.args[1] == 5
+        }
+        assert answers == {(4, 5)}
+
+    def test_optimized_no_answer_terminates(self):
+        result = evaluate(
+            fib_magic_program(6, optimized=True).program,
+            max_iterations=40,
+        )
+        assert result.reached_fixpoint
+        assert not any(
+            fact.args[1] == 6 for fact in result.facts("fib")
+        )
