@@ -1,0 +1,234 @@
+"""Machine-readable benchmark runner: ``python benchmarks/run_benchmarks.py``.
+
+Runs a fixed suite of paper workloads (flights / Example 4.1 /
+Example 5.1 / fib-with-magic) through the driver under a fresh
+:class:`repro.obs.Tracer`, and writes ``BENCH_results.json`` with, per
+benchmark: best-of-N wall-clock per pipeline phase, the engine's
+:class:`~repro.engine.stats.EvalStats`, and every constraint-op counter
+the observability layer collects (satisfiability checks, projections,
+subsumption tests, join probes, rewrite-fixpoint iterations).
+
+This file seeds the repository's performance trajectory: every perf PR
+can diff its ``BENCH_results.json`` against the previous one and point
+at the counter that moved.  Unlike ``pytest benchmarks/ --benchmark-only``
+(which regenerates the paper's tables), this entry point needs no test
+harness and emits one self-contained JSON document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro import obs  # noqa: E402
+from repro.driver import answer_query, split_edb  # noqa: E402
+from repro.engine import Database  # noqa: E402
+from repro.lang.parser import (  # noqa: E402
+    parse_program,
+    parse_query,
+)
+from repro.workloads.fib import fib_program, fib_query  # noqa: E402
+from repro.workloads.flights import (  # noqa: E402
+    flight_network,
+    flights_program,
+)
+
+
+SCHEMA = "repro-bench/v1"
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One named (program, edb, query, strategy) measurement."""
+
+    name: str
+    strategy: str
+    build: Callable[[], tuple]  # () -> (program, query, edb)
+    eval_iterations: int = 200
+
+
+def _flights_case() -> tuple:
+    network = flight_network(n_layers=4, width=4, seed=1)
+    query = parse_query(
+        f"?- cheaporshort({network.source}, {network.destination}, T, C)."
+    )
+    return flights_program(), query, network.database
+
+
+def _example41_case() -> tuple:
+    program = parse_program(
+        """
+        q(X) :- p1(X, Y), p2(Y), X + Y <= 6, X >= 2.
+        p1(X, Y) :- b1(X, Y).
+        p2(X) :- b2(X).
+        """
+    ).relabeled()
+    edb = Database.from_ground(
+        {
+            "b1": [(x, y) for x in range(12) for y in range(12)],
+            "b2": [(y,) for y in range(12)],
+        }
+    )
+    return program, parse_query("?- q(X)."), edb
+
+
+def _example51_case() -> tuple:
+    program = parse_program(
+        """
+        q(X, Y) :- a(X, Y), X <= 10, Y <= X.
+        a(X, Y) :- p(X, Y), Y <= X.
+        a(X, Y) :- a(X, Z), Z <= X, a(Z, Y), Y <= Z.
+        """
+    ).relabeled()
+    edb = Database.from_ground(
+        {"p": [(x, x - 1) for x in range(1, 25)]}
+    )
+    return program, parse_query("?- q(X, Y)."), edb
+
+
+def _fib_case() -> tuple:
+    return fib_program(), fib_query(5), Database()
+
+
+SUITE = (
+    Benchmark("flights", "none", _flights_case),
+    Benchmark("flights", "rewrite", _flights_case),
+    Benchmark("flights", "optimal", _flights_case),
+    Benchmark("example41", "none", _example41_case),
+    Benchmark("example41", "rewrite", _example41_case),
+    Benchmark("example51", "rewrite", _example51_case),
+    # Table 1's point is that P_fib^{mg} answers the query but never
+    # reaches a fixpoint; the capped run is the intended measurement.
+    Benchmark("fib", "magic", _fib_case, eval_iterations=12),
+)
+
+
+def _phase_seconds(root: obs.Span) -> dict[str, float]:
+    """Wall-clock of the canonical top-level phases, when present."""
+    phases = {}
+    for name in (
+        "optimize",
+        "rewrite.pred",
+        "rewrite.qrp",
+        "adorn",
+        "magic",
+        "evaluate",
+        "fixpoint",
+        "answers",
+    ):
+        spans = root.find_all(name)
+        if spans:
+            phases[name] = sum(span.duration for span in spans)
+    return phases
+
+
+def run_benchmark(bench: Benchmark, repeat: int) -> dict:
+    """Measure one benchmark; returns its JSON-ready result row."""
+    program, query, edb = bench.build()
+    rules, extra_edb = split_edb(program)
+    if extra_edb.count():
+        merged = edb.copy()
+        for pred in extra_edb.predicates():
+            for fact in extra_edb.facts(pred):
+                merged.insert(fact)
+        edb = merged
+    best_seconds = None
+    best: dict = {}
+    for __ in range(repeat):
+        tracer = obs.Tracer()
+        started = time.perf_counter()
+        with obs.recording(tracer):
+            outcome = answer_query(
+                rules,
+                query,
+                edb,
+                strategy=bench.strategy,
+                eval_iterations=bench.eval_iterations,
+            )
+        elapsed = time.perf_counter() - started
+        tracer.finish()
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds = elapsed
+            best = {
+                "name": bench.name,
+                "strategy": bench.strategy,
+                "seconds": elapsed,
+                "phase_seconds": _phase_seconds(tracer.root),
+                "answers": len(outcome.answers),
+                "reached_fixpoint": outcome.result.reached_fixpoint,
+                "stats": outcome.result.stats.as_dict(),
+                "counters": dict(
+                    sorted(tracer.metrics.counters.items())
+                ),
+                "notes": list(outcome.notes),
+            }
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the suite and write the results JSON."""
+    parser = argparse.ArgumentParser(
+        description="Run the repro benchmark suite and write "
+        "machine-readable results."
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_results.json",
+        help="output path (default: BENCH_results.json)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="measurements per benchmark; the best is kept (default 3)",
+    )
+    parser.add_argument(
+        "--only",
+        help="comma-separated benchmark names to run (default: all)",
+    )
+    arguments = parser.parse_args(argv)
+    selected = (
+        set(arguments.only.split(",")) if arguments.only else None
+    )
+    results = []
+    for bench in SUITE:
+        if selected is not None and bench.name not in selected:
+            continue
+        print(
+            f"running {bench.name} [{bench.strategy}] ...",
+            file=sys.stderr,
+        )
+        results.append(run_benchmark(bench, arguments.repeat))
+    document = {
+        "schema": SCHEMA,
+        "timestamp": time.strftime(
+            "%Y-%m-%dT%H:%M:%S%z", time.localtime()
+        ),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repeat": arguments.repeat,
+        "results": results,
+    }
+    with open(arguments.output, "w") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    print(
+        f"wrote {len(results)} results to {arguments.output}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

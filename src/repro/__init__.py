@@ -72,6 +72,7 @@ from repro.core.widening import (
     gen_predicate_constraints_widened,
     gen_prop_predicate_constraints_widened,
 )
+from repro import obs
 from repro.driver import answer_query, optimize, run_text
 from repro.magic.bcf import bcf_adorn
 from repro.magic.gmt import gmt_transform
@@ -128,4 +129,5 @@ __all__ = [
     "explain",
     "render_derivation_table",
     "render_comparison",
+    "obs",
 ]

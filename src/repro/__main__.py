@@ -10,7 +10,12 @@ The file contains CQL rules, ground facts, and one or more queries::
 
 Options select the optimization strategy (Section 7's vocabulary) and
 diagnostics (rewritten program, per-iteration derivation trace,
-evaluation statistics).
+evaluation statistics, structured traces and metrics).
+
+Exit status: ``0`` on success, ``1`` when an evaluation hit its
+iteration cap without reaching a fixpoint (answers may be incomplete),
+``2`` on a usage, file, or parse error -- so scripted and CI
+invocations can detect failures.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import __version__
 from repro.driver import STRATEGIES, run_text
 
 
@@ -35,6 +41,11 @@ def build_parser() -> argparse.ArgumentParser:
         "file",
         help="program file with rules, ground facts and ?- queries "
         "('-' for stdin)",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
     )
     parser.add_argument(
         "--strategy",
@@ -61,7 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the optimized program before evaluating",
     )
     parser.add_argument(
-        "--trace",
+        "--derivations",
         action="store_true",
         help="print the per-iteration derivation log",
     )
@@ -69,6 +80,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print evaluation statistics",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record a structured trace of the run and write it as "
+        "Chrome trace-event JSON (open in chrome://tracing or "
+        "ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        help="write a machine-readable JSON-lines run report "
+        "(spans, counters, timers)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the span summary tree and operation counters",
     )
     parser.add_argument(
         "--describe",
@@ -107,16 +136,46 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(render_description(describe(rules, query_pred)))
         return 0
+
+    from repro import obs
+
+    observing = bool(
+        arguments.trace or arguments.report or arguments.metrics
+    )
+    tracer = obs.Tracer() if observing else None
+    recorder = tracer if tracer is not None else obs.get_recorder()
+    export_failed = False
+
+    def export():
+        nonlocal export_failed
+        tracer.finish()
+        for path, writer in (
+            (arguments.trace, obs.write_chrome_trace),
+            (arguments.report, obs.write_run_report),
+        ):
+            if path:
+                try:
+                    writer(path, tracer)
+                except OSError as error:
+                    print(f"repro: {error}", file=sys.stderr)
+                    export_failed = True
+
     try:
-        outcomes = run_text(
-            text,
-            strategy=arguments.strategy,
-            max_iterations=arguments.max_iterations,
-            eval_iterations=arguments.eval_iterations,
-        )
+        with obs.recording(recorder):
+            outcomes = run_text(
+                text,
+                strategy=arguments.strategy,
+                max_iterations=arguments.max_iterations,
+                eval_iterations=arguments.eval_iterations,
+            )
     except ValueError as error:
         print(f"repro: {error}", file=sys.stderr)
         return 2
+    finally:
+        # Export whatever was recorded even when the run failed, so a
+        # partial trace is still inspectable.
+        if tracer is not None:
+            export()
     status = 0
     for outcome in outcomes:
         print(f"?- {outcome.query.literal}.")
@@ -125,7 +184,7 @@ def main(argv: list[str] | None = None) -> int:
                   f"(strategy={outcome.strategy}) --")
             print(outcome.program)
             print("--")
-        if arguments.trace:
+        if arguments.derivations:
             print(outcome.result.trace())
         for note in outcome.notes:
             print(f"note: {note}", file=sys.stderr)
@@ -138,6 +197,15 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  [{outcome.result.stats.summary()}]")
         if not outcome.result.reached_fixpoint:
             status = 1
+    if arguments.metrics and tracer is not None:
+        print()
+        print(obs.summary_tree(tracer, max_depth=4))
+    if export_failed:
+        return 2
+    if arguments.trace:
+        print(f"trace written to {arguments.trace}", file=sys.stderr)
+    if arguments.report:
+        print(f"report written to {arguments.report}", file=sys.stderr)
     return status
 
 

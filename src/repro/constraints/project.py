@@ -18,6 +18,7 @@ from typing import Iterable, Sequence
 
 from repro.constraints.atom import Atom, Op
 from repro.constraints.linexpr import LinearExpr
+from repro.obs.recorder import count as obs_count
 
 
 def _fold_ground(atoms: Iterable[Atom]) -> list[Atom] | None:
@@ -221,6 +222,7 @@ def eliminate_variables(
     is exact: a point over the remaining variables satisfies the result
     iff it can be extended to a point satisfying the input.
     """
+    obs_count("constraint.projections")
     current = _fold_ground(atoms)
     if current is None:
         return None
@@ -264,6 +266,7 @@ def eliminate_variables(
 
 def is_satisfiable(atoms: Iterable[Atom]) -> bool:
     """Exact satisfiability over the rationals/reals."""
+    obs_count("constraint.sat_checks")
     atoms = list(atoms)
     variables: set[str] = set()
     for atom in atoms:

@@ -30,6 +30,7 @@ from repro.engine.query import answers
 from repro.lang.ast import Program, Query
 from repro.magic.adorn import AdornedProgram, adorn_program
 from repro.magic.templates import MagicResult, constraint_magic
+from repro.obs.recorder import span as obs_span
 
 
 VALID_STEPS = ("pred", "qrp", "mg")
@@ -72,7 +73,8 @@ def apply_sequence(
         raise ValueError("mg may be applied at most once")
     adorned: AdornedProgram | None = None
     if adorn:
-        adorned = adorn_program(program, query)
+        with obs_span("adorn"):
+            adorned = adorn_program(program, query)
         current = adorned.program
         query_pred = adorned.query_pred
     else:
@@ -92,15 +94,17 @@ def apply_sequence(
                 rule for rule in current if rule != seed_rule
             )
         if step == "pred":
-            current, __, report = gen_prop_predicate_constraints(
-                current, max_iterations=max_iterations
-            )
+            with obs_span("rewrite.pred"):
+                current, __, report = gen_prop_predicate_constraints(
+                    current, max_iterations=max_iterations
+                )
             if not report.converged:
                 notes.append("pred inference widened")
         elif step == "qrp":
-            result = gen_prop_qrp_constraints(
-                current, query_pred, max_iterations=max_iterations
-            )
+            with obs_span("rewrite.qrp"):
+                result = gen_prop_qrp_constraints(
+                    current, query_pred, max_iterations=max_iterations
+                )
             current = result.program
             if not result.report.converged:
                 notes.append("qrp inference widened")
@@ -115,17 +119,18 @@ def apply_sequence(
                 raise ValueError(
                     "mg requires an adorned program (adorn=True)"
                 )
-            magic: MagicResult = constraint_magic(
-                AdornedProgram(
-                    program=current,
-                    query_pred=adorned.query_pred,
-                    original_query_pred=adorned.original_query_pred,
-                    adornments=adorned.adornments,
-                    origin=adorned.origin,
-                ),
-                query,
-                include_constraints=include_constraints,
-            )
+            with obs_span("magic"):
+                magic: MagicResult = constraint_magic(
+                    AdornedProgram(
+                        program=current,
+                        query_pred=adorned.query_pred,
+                        original_query_pred=adorned.original_query_pred,
+                        adornments=adorned.adornments,
+                        origin=adorned.origin,
+                    ),
+                    query,
+                    include_constraints=include_constraints,
+                )
             current = magic.program
             seed_rule = next(
                 rule for rule in current if rule.label == "seed"

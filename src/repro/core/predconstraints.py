@@ -27,6 +27,7 @@ from repro.constraints.cset import ConstraintSet
 from repro.lang.ast import Program, Rule
 from repro.lang.normalize import normalize_program
 from repro.lang.positions import ltop, ptol
+from repro.obs.recorder import count as obs_count
 
 
 class NonTerminationError(RuntimeError):
@@ -119,6 +120,7 @@ def gen_predicate_constraints(
     relaxed: set[str] = set()
     for iteration in range(1, max_iterations + 1):
         report.iterations = iteration
+        obs_count("rewrite.pred.iterations")
         stepped = single_step(program, constraints)
         changed: set[str] = set()
         for pred, contribution in stepped.items():

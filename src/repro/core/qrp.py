@@ -31,6 +31,7 @@ from repro.lang.ast import Literal, Program, Rule
 from repro.lang.normalize import normalize_program
 from repro.lang.positions import ltop, ptol, ptol_conjunction
 from repro.lang.terms import FreshVars
+from repro.obs.recorder import count as obs_count
 from repro.transform.foldunfold import FoldUnfold
 
 
@@ -59,6 +60,7 @@ def gen_qrp_constraints(
     report = InferenceReport()
     for iteration in range(1, max_iterations + 1):
         report.iterations = iteration
+        obs_count("rewrite.qrp.iterations")
         inferred: dict[str, ConstraintSet] = {
             pred: ConstraintSet.false() for pred in constraints
         }

@@ -23,6 +23,7 @@ from repro.core.qrp import QRPPropagation, gen_prop_qrp_constraints
 from repro.lang.ast import Literal, Program, Query, Rule
 from repro.lang.normalize import normalize_program, normalize_query
 from repro.lang.terms import FreshVars
+from repro.obs.recorder import span as obs_span
 
 
 WRAPPER_PRED = "q1"
@@ -105,15 +106,18 @@ def constraint_rewrite(
         )
         wrapped = program.with_rules([rule])
         wrapper = name
-    propagated, pred_constraints, pred_report = (
-        gen_prop_predicate_constraints(
-            wrapped,
-            edb_constraints=edb_constraints,
-            given=given_predicate_constraints,
-            max_iterations=max_iterations,
-            on_divergence=on_divergence,
+    with obs_span("rewrite.pred") as pred_span:
+        propagated, pred_constraints, pred_report = (
+            gen_prop_predicate_constraints(
+                wrapped,
+                edb_constraints=edb_constraints,
+                given=given_predicate_constraints,
+                max_iterations=max_iterations,
+                on_divergence=on_divergence,
+            )
         )
-    )
+        pred_span.set("iterations", pred_report.iterations)
+        pred_span.set("converged", pred_report.converged)
     if not pred_report.converged and given_predicate_constraints is None:
         # The exact fixpoint diverged (e.g. a fib-like predicate whose
         # minimum constraint is infinite).  Fall back to the terminating
@@ -143,12 +147,15 @@ def constraint_rewrite(
             pred_report.widened_predicates |= (
                 widen_report.widened_predicates
             )
-    qrp_result: QRPPropagation = gen_prop_qrp_constraints(
-        propagated,
-        wrapper,
-        max_iterations=max_iterations,
-        on_divergence=on_divergence,
-    )
+    with obs_span("rewrite.qrp") as qrp_span:
+        qrp_result: QRPPropagation = gen_prop_qrp_constraints(
+            propagated,
+            wrapper,
+            max_iterations=max_iterations,
+            on_divergence=on_divergence,
+        )
+        qrp_span.set("iterations", qrp_result.report.iterations)
+        qrp_span.set("converged", qrp_result.report.converged)
     # Delete the wrapper rules; the query predicate is the entry again.
     final = Program(
         rule

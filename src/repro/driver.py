@@ -37,6 +37,7 @@ from repro.engine.facts import Fact
 from repro.engine.query import answers as raw_answers
 from repro.lang.ast import Program, Query, Rule
 from repro.lang.parser import parse_program_and_queries
+from repro.obs.recorder import span as obs_span
 
 
 STRATEGIES = ("none", "pred", "qrp", "rewrite", "magic", "optimal")
@@ -130,21 +131,22 @@ def split_edb(program: Program) -> tuple[Program, Database]:
 
 
 def _pred_only(program: Program, notes: list[str]) -> Program:
-    constraints, report = gen_predicate_constraints(program)
-    if not report.converged:
-        notes.append(
-            "exact predicate-constraint fixpoint diverged; "
-            "falling back to widening"
-        )
-        constraints, widen_report = gen_predicate_constraints_widened(
-            program
-        )
-        if widen_report.widened_predicates:
+    with obs_span("rewrite.pred"):
+        constraints, report = gen_predicate_constraints(program)
+        if not report.converged:
             notes.append(
-                "widened: "
-                + ", ".join(sorted(widen_report.widened_predicates))
+                "exact predicate-constraint fixpoint diverged; "
+                "falling back to widening"
             )
-    return attach_constraints_to_bodies(program, constraints)
+            constraints, widen_report = (
+                gen_predicate_constraints_widened(program)
+            )
+            if widen_report.widened_predicates:
+                notes.append(
+                    "widened: "
+                    + ", ".join(sorted(widen_report.widened_predicates))
+                )
+        return attach_constraints_to_bodies(program, constraints)
 
 
 def optimize(
@@ -158,6 +160,16 @@ def optimize(
         raise ValueError(
             f"unknown strategy {strategy!r}; choose from {STRATEGIES}"
         )
+    with obs_span("optimize", strategy=strategy):
+        return _optimize(program, query, strategy, max_iterations)
+
+
+def _optimize(
+    program: Program,
+    query: Query,
+    strategy: str,
+    max_iterations: int,
+) -> tuple[Program, str, list[str]]:
     notes: list[str] = []
     query_pred = query.literal.pred
     if strategy == "none":
@@ -165,9 +177,10 @@ def optimize(
     if strategy == "pred":
         return _pred_only(program, notes), query_pred, notes
     if strategy == "qrp":
-        outcome = gen_prop_qrp_constraints(
-            program, query_pred, max_iterations=max_iterations
-        )
+        with obs_span("rewrite.qrp"):
+            outcome = gen_prop_qrp_constraints(
+                program, query_pred, max_iterations=max_iterations
+            )
         if not outcome.report.converged:
             notes.append("qrp fixpoint diverged; widened to true")
         return outcome.program, query_pred, notes
@@ -195,19 +208,26 @@ def answer_query(
     eval_iterations: int = 200,
 ) -> QueryOutcome:
     """Optimize, evaluate bottom-up, and extract the query's answers."""
-    optimized, query_pred, notes = optimize(
-        program, query, strategy, max_iterations
-    )
-    result = evaluate(optimized, edb, max_iterations=eval_iterations)
-    if not result.reached_fixpoint:
-        notes.append(
-            f"evaluation hit the {eval_iterations}-iteration cap "
-            "without reaching a fixpoint; answers may be incomplete"
+    with obs_span(
+        "query", pred=query.literal.pred, strategy=strategy
+    ):
+        optimized, query_pred, notes = optimize(
+            program, query, strategy, max_iterations
         )
-    effective_query = Query(
-        query.literal.with_pred(query_pred), query.constraint
-    )
-    found = raw_answers(result.database, effective_query)
+        with obs_span("evaluate"):
+            result = evaluate(
+                optimized, edb, max_iterations=eval_iterations
+            )
+        if not result.reached_fixpoint:
+            notes.append(
+                f"evaluation hit the {eval_iterations}-iteration cap "
+                "without reaching a fixpoint; answers may be incomplete"
+            )
+        effective_query = Query(
+            query.literal.with_pred(query_pred), query.constraint
+        )
+        with obs_span("answers"):
+            found = raw_answers(result.database, effective_query)
     return QueryOutcome(
         answers=found,
         result=result,
@@ -225,10 +245,12 @@ def run_text(
     eval_iterations: int = 200,
 ) -> list[QueryOutcome]:
     """Parse a program-with-queries text and answer every query."""
-    program, queries = parse_program_and_queries(text)
+    with obs_span("parse"):
+        program, queries = parse_program_and_queries(text)
     if not queries:
         raise ValueError("the program text contains no ?- query")
-    rules, edb = split_edb(program)
+    with obs_span("split_edb"):
+        rules, edb = split_edb(program)
     return [
         answer_query(
             rules, query, edb, strategy, max_iterations, eval_iterations

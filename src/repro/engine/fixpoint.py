@@ -25,6 +25,14 @@ from repro.engine.ruleeval import RuleEvaluator, database_view
 from repro.engine.stats import EvalStats
 from repro.lang.ast import Program
 from repro.lang.normalize import normalize_program
+from repro.obs.recorder import count as obs_count, span as obs_span
+
+
+_OUTCOME_COUNTERS = {
+    InsertOutcome.NEW: "engine.facts.new",
+    InsertOutcome.DUPLICATE: "engine.facts.duplicate",
+    InsertOutcome.SUBSUMED: "engine.facts.subsumed",
+}
 
 
 @dataclass(frozen=True)
@@ -119,7 +127,8 @@ def evaluate(
     """
     if strategy not in ("seminaive", "naive"):
         raise ValueError(f"unknown strategy {strategy!r}")
-    normalized = normalize_program(program)
+    with obs_span("normalize"):
+        normalized = normalize_program(program)
     database = edb.copy() if edb is not None else Database()
     evaluators = [
         RuleEvaluator(rule, use_ranges=use_range_index)
@@ -132,44 +141,72 @@ def evaluate(
     stats = EvalStats()
     logs: list[IterationLog] = []
     reached_fixpoint = False
-    for iteration in range(1, max_iterations + 1):
-        log = IterationLog(number=iteration - 1)
-        for evaluator in evaluators:
-            rule = evaluator.rule
-            if strategy == "naive" or iteration == 1:
-                views = [database_view(database, max_stamp=iteration - 1)]
-            elif rule.is_fact:
-                continue  # fact rules fire once, at iteration 1
-            else:
-                views = [
-                    database_view(
-                        database,
-                        max_stamp=iteration - 1,
-                        exact_stamp_index=index,
-                        exact_stamp=iteration - 1,
-                        old_stamp=iteration - 2,
-                    )
-                    for index in range(len(rule.body))
-                ]
-            for view in views:
-                for fact, parents in evaluator.derive_with_parents(view):
-                    outcome = database.insert(fact, stamp=iteration)
-                    log.derivations.append(
-                        Derivation(rule.label, fact, outcome, parents)
-                    )
-                    stats.record(rule.label, fact.pred, outcome.value)
-        if backward_subsumption:
-            for fact in log.new_facts():
-                relation = database.get(fact.pred)
-                if relation is None or fact not in relation:
-                    continue  # itself swept by a later sibling
-                stats.swept += len(relation.sweep_subsumed_by(fact))
-        logs.append(log)
-        stats.iterations = iteration
-        if not log.new_facts():
-            reached_fixpoint = True
-            break
+    with obs_span(
+        "fixpoint", strategy=strategy, rules=len(normalized)
+    ) as fixpoint_span:
+        for iteration in range(1, max_iterations + 1):
+            log = IterationLog(number=iteration - 1)
+            with obs_span("iteration", number=iteration - 1) as it_span:
+                for evaluator in evaluators:
+                    rule = evaluator.rule
+                    if strategy == "naive" or iteration == 1:
+                        views = [
+                            database_view(
+                                database, max_stamp=iteration - 1
+                            )
+                        ]
+                    elif rule.is_fact:
+                        continue  # fact rules fire once, at iteration 1
+                    else:
+                        views = [
+                            database_view(
+                                database,
+                                max_stamp=iteration - 1,
+                                exact_stamp_index=index,
+                                exact_stamp=iteration - 1,
+                                old_stamp=iteration - 2,
+                            )
+                            for index in range(len(rule.body))
+                        ]
+                    with obs_span("rule", label=rule.label or "?"):
+                        for view in views:
+                            for fact, parents in (
+                                evaluator.derive_with_parents(view)
+                            ):
+                                outcome = database.insert(
+                                    fact, stamp=iteration
+                                )
+                                log.derivations.append(
+                                    Derivation(
+                                        rule.label, fact, outcome, parents
+                                    )
+                                )
+                                stats.record(
+                                    rule.label, fact.pred, outcome
+                                )
+                                obs_count("engine.derivations")
+                                obs_count(_OUTCOME_COUNTERS[outcome])
+                if backward_subsumption:
+                    for fact in log.new_facts():
+                        relation = database.get(fact.pred)
+                        if relation is None or fact not in relation:
+                            continue  # itself swept by a later sibling
+                        stats.swept += len(
+                            relation.sweep_subsumed_by(fact)
+                        )
+                delta = len(log.new_facts())
+                it_span.set("delta", delta)
+                it_span.set("derivations", len(log.derivations))
+            logs.append(log)
+            stats.iterations = iteration
+            if not log.new_facts():
+                reached_fixpoint = True
+                break
+        fixpoint_span.set("iterations", stats.iterations)
+        fixpoint_span.set("reached_fixpoint", reached_fixpoint)
     stats.probes = sum(evaluator.probes for evaluator in evaluators)
+    obs_count("engine.join_probes", stats.probes)
+    obs_count("engine.iterations", stats.iterations)
     return EvaluationResult(
         database=database,
         iterations=logs,

@@ -27,6 +27,7 @@ from typing import Iterable, Iterator
 
 from repro.engine.facts import Fact, PENDING, Value
 from repro.lang.terms import Sym
+from repro.obs.recorder import count as obs_count
 
 
 class Range:
@@ -121,9 +122,11 @@ class Relation:
                 f"fact {fact} does not belong to relation "
                 f"{self.pred}/{self.arity}"
             )
+        obs_count("relation.inserts")
         if fact in self._stamps:
             return InsertOutcome.DUPLICATE
         for existing in self._candidate_subsumers(fact):
+            obs_count("constraint.subsumption_tests")
             if existing.subsumes(fact):
                 return InsertOutcome.SUBSUMED
         self._facts.append(fact)
@@ -180,6 +183,7 @@ class Relation:
         for candidate in list(self.matching(bound or None)):
             if candidate is fact:
                 continue
+            obs_count("constraint.subsumption_tests")
             if fact.subsumes(candidate):
                 self.remove(candidate)
                 removed.append(candidate)
@@ -208,6 +212,7 @@ class Relation:
         self, position: int, probe: Range
     ) -> list[Fact]:
         """Ordered-index scan of a position for a numeric range."""
+        obs_count("relation.range_scans")
         ordered = self._ordered[position]
         low = 0
         high = len(ordered)

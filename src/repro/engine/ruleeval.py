@@ -33,6 +33,7 @@ from repro.engine.relation import Range
 from repro.lang.ast import Literal, Rule
 from repro.lang.positions import arg_position
 from repro.lang.terms import NumTerm, Sym, Var
+from repro.obs.recorder import count as obs_count
 
 
 class SortConflictError(TypeError):
@@ -153,6 +154,7 @@ class RuleEvaluator:
         self, view: FactView
     ) -> Iterator[tuple[Fact, tuple[Fact, ...]]]:
         """Derivations with the body facts used (for provenance)."""
+        obs_count("engine.rule_evals")
         state = _State({}, {}, [])
         counter = [0]
         yield from self._join(0, state, counter, view, ())

@@ -10,6 +10,8 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro.engine.relation import InsertOutcome
+
 
 @dataclass
 class EvalStats:
@@ -25,17 +27,42 @@ class EvalStats:
     facts_by_pred: Counter = field(default_factory=Counter)
     derivations_by_rule: Counter = field(default_factory=Counter)
 
-    def record(self, rule_label: str | None, pred: str, outcome: str) -> None:
-        """Count one derivation with its insertion outcome."""
+    def record(
+        self, rule_label: str | None, pred: str, outcome: InsertOutcome
+    ) -> None:
+        """Count one derivation with its insertion outcome.
+
+        ``outcome`` must be an :class:`InsertOutcome`; passing the
+        stringly form would silently miscount typos as "subsumed", so
+        it is rejected.
+        """
+        if not isinstance(outcome, InsertOutcome):
+            raise TypeError(
+                f"outcome must be an InsertOutcome, got {outcome!r}"
+            )
         self.derivations += 1
         self.derivations_by_rule[rule_label or "?"] += 1
-        if outcome == "new":
+        if outcome is InsertOutcome.NEW:
             self.new_facts += 1
             self.facts_by_pred[pred] += 1
-        elif outcome == "duplicate":
+        elif outcome is InsertOutcome.DUPLICATE:
             self.duplicates += 1
         else:
             self.subsumed += 1
+
+    def as_dict(self) -> dict:
+        """A plain-data copy (for run reports and benchmarks)."""
+        return {
+            "derivations": self.derivations,
+            "new_facts": self.new_facts,
+            "duplicates": self.duplicates,
+            "subsumed": self.subsumed,
+            "iterations": self.iterations,
+            "probes": self.probes,
+            "swept": self.swept,
+            "facts_by_pred": dict(self.facts_by_pred),
+            "derivations_by_rule": dict(self.derivations_by_rule),
+        }
 
     def summary(self) -> str:
         """One-line human-readable summary."""

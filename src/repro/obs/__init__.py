@@ -1,0 +1,77 @@
+"""Observability: structured tracing, metrics, and run reports.
+
+The evaluation methodology of the paper (Tables 1/2: facts computed,
+derivations made) and the cost model of Brass & Stephan's *Bottom-Up
+Evaluation of Datalog* both hinge on counting the primitive operations
+of the pipeline.  This package makes every run measurable:
+
+* :class:`~repro.obs.tracer.Tracer` records a tree of timed *spans*
+  (parse -> optimize -> adorn -> rewrite steps -> magic -> fixpoint ->
+  per-iteration -> per-rule) with attached counters;
+* :class:`~repro.obs.metrics.MetricsRegistry` accumulates cheap global
+  counters and timers (satisfiability checks, projections, subsumption
+  tests, join probes, rewrite-fixpoint iterations, ...);
+* :mod:`~repro.obs.export` renders a finished trace as Chrome
+  ``chrome://tracing`` trace-event JSON, a JSON-lines run report, or a
+  human-readable summary tree.
+
+Instrumented library code never talks to a tracer directly: it calls
+the module-level :func:`span`, :func:`count` and :func:`counter_add`
+functions, which dispatch to the currently installed recorder.  The
+default recorder is a shared no-op (:data:`NULL_RECORDER`), so the
+disabled path costs one dynamic dispatch per call site and allocates
+nothing.  Enable recording with::
+
+    from repro import obs
+
+    tracer = obs.Tracer()
+    with obs.recording(tracer):
+        run_text(program_text)
+    print(obs.summary_tree(tracer))
+    obs.write_chrome_trace("out.json", tracer)
+
+or, from the command line, ``python -m repro prog.cql --trace out.json
+--metrics --report run.jsonl``.
+"""
+
+from repro.obs.metrics import MetricsRegistry, TimerStat
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    count,
+    counter_add,
+    get_recorder,
+    recording,
+    set_recorder,
+    span,
+)
+from repro.obs.tracer import Span, Tracer
+from repro.obs.export import (
+    chrome_trace,
+    read_chrome_trace,
+    run_report_lines,
+    summary_tree,
+    write_chrome_trace,
+    write_run_report,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Span",
+    "TimerStat",
+    "Tracer",
+    "chrome_trace",
+    "count",
+    "counter_add",
+    "get_recorder",
+    "read_chrome_trace",
+    "recording",
+    "run_report_lines",
+    "set_recorder",
+    "span",
+    "summary_tree",
+    "write_chrome_trace",
+    "write_run_report",
+]

@@ -1,0 +1,215 @@
+"""Exporters for finished traces: Chrome trace-event JSON, JSON-lines
+run reports, and a human-readable summary tree.
+
+The Chrome exporter emits the ``chrome://tracing`` / Perfetto
+trace-event format (complete events, ``"ph": "X"``, microsecond
+timestamps relative to the root span), so a run recorded with
+``python -m repro prog.cql --trace out.json`` can be opened directly in
+``chrome://tracing`` or https://ui.perfetto.dev.  Each event carries the
+span's depth and attributes in ``args``, which also makes the format
+losslessly re-parseable: :func:`read_chrome_trace` rebuilds the span
+tree, and the unit tests round-trip through it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span, Tracer
+
+
+def _root_of(trace: "Tracer | Span") -> Span:
+    return trace.root if isinstance(trace, Tracer) else trace
+
+
+# -- Chrome trace-event format ----------------------------------------
+
+
+def chrome_trace(trace: "Tracer | Span", pid: int = 1, tid: int = 1) -> dict:
+    """The trace as a Chrome trace-event JSON object (dict)."""
+    root = _root_of(trace)
+    origin = root.start
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": "repro"},
+        }
+    ]
+    for depth, span in root.walk():
+        end = span.end if span.end is not None else span.start
+        args: dict = {"depth": depth}
+        if span.attrs:
+            args["attrs"] = dict(span.attrs)
+        if span.counters:
+            args["counters"] = dict(span.counters)
+        events.append(
+            {
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": (span.start - origin) * 1e6,
+                "dur": (end - span.start) * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, trace: "Tracer | Span") -> None:
+    """Write the Chrome trace-event JSON to a file."""
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(trace), handle, indent=1, default=str)
+        handle.write("\n")
+
+
+def read_chrome_trace(data: "dict | str") -> Span:
+    """Rebuild the span tree from exported Chrome trace-event JSON.
+
+    Accepts the dict or its JSON text.  Only events produced by
+    :func:`chrome_trace` are understood (complete events carrying a
+    ``depth`` arg, in depth-first order).
+    """
+    if isinstance(data, str):
+        data = json.loads(data)
+    stack: list[tuple[int, Span]] = []
+    root: Span | None = None
+    for event in data["traceEvents"]:
+        if event.get("ph") != "X":
+            continue
+        args = event.get("args", {})
+        depth = args["depth"]
+        start = event["ts"] / 1e6
+        span = Span(
+            event["name"],
+            start=start,
+            end=start + event["dur"] / 1e6,
+            attrs=dict(args.get("attrs", {})),
+        )
+        span.counters.update(args.get("counters", {}))
+        while stack and stack[-1][0] >= depth:
+            stack.pop()
+        if stack:
+            stack[-1][1].children.append(span)
+        elif root is None:
+            root = span
+        else:
+            raise ValueError("trace has more than one root span")
+        stack.append((depth, span))
+    if root is None:
+        raise ValueError("trace contains no complete events")
+    return root
+
+
+# -- JSON-lines run report --------------------------------------------
+
+
+def run_report_lines(trace: "Tracer | Span") -> Iterable[str]:
+    """The run as JSON-lines: meta, spans (DFS), counters, timers."""
+    root = _root_of(trace)
+    end = root.end if root.end is not None else root.start
+    yield json.dumps(
+        {
+            "type": "meta",
+            "schema": "repro-obs/v1",
+            "root": root.name,
+            "total_s": end - root.start,
+        },
+        default=str,
+    )
+    paths: dict[int, str] = {}
+    for depth, span in root.walk():
+        parent = paths.get(depth - 1, "")
+        path = f"{parent}/{span.name}" if parent else span.name
+        paths[depth] = path
+        span_end = span.end if span.end is not None else span.start
+        yield json.dumps(
+            {
+                "type": "span",
+                "path": path,
+                "name": span.name,
+                "depth": depth,
+                "start_s": span.start - root.start,
+                "dur_s": span_end - span.start,
+                "attrs": dict(span.attrs),
+                "counters": dict(span.counters),
+            },
+            default=str,
+        )
+    metrics = trace.metrics if isinstance(trace, Tracer) else None
+    if metrics is not None:
+        for name, value in sorted(metrics.counters.items()):
+            yield json.dumps(
+                {"type": "counter", "name": name, "value": value}
+            )
+        for name, stat in sorted(metrics.timers.items()):
+            yield json.dumps(
+                {
+                    "type": "timer",
+                    "name": name,
+                    "total_s": stat.total,
+                    "count": stat.count,
+                }
+            )
+
+
+def write_run_report(path: str, trace: "Tracer | Span") -> None:
+    """Write the JSON-lines run report to a file."""
+    with open(path, "w") as handle:
+        for line in run_report_lines(trace):
+            handle.write(line)
+            handle.write("\n")
+
+
+# -- human-readable summary -------------------------------------------
+
+
+def _format_span(span: Span) -> str:
+    parts = [span.name]
+    if span.attrs:
+        inner = ", ".join(
+            f"{key}={value}" for key, value in span.attrs.items()
+        )
+        parts.append(f"({inner})")
+    parts.append(f"{span.duration * 1e3:.3f} ms")
+    if span.counters:
+        inner = ", ".join(
+            f"{key}={value}"
+            for key, value in sorted(span.counters.items())
+        )
+        parts.append(f"[{inner}]")
+    return "  ".join(parts)
+
+
+def summary_tree(
+    trace: "Tracer | Span",
+    max_depth: int | None = None,
+    metrics: "MetricsRegistry | None" = None,
+) -> str:
+    """An indented text rendering of the span tree (plus metrics).
+
+    ``max_depth`` prunes the tree (per-iteration / per-rule spans get
+    noisy on long runs); metrics default to the tracer's registry.
+    """
+    root = _root_of(trace)
+    lines = []
+    pruned = 0
+    for depth, span in root.walk():
+        if max_depth is not None and depth > max_depth:
+            pruned += 1
+            continue
+        lines.append("  " * depth + _format_span(span))
+    if pruned:
+        lines.append(f"  ... ({pruned} deeper spans pruned)")
+    if metrics is None and isinstance(trace, Tracer):
+        metrics = trace.metrics
+    if metrics is not None and (metrics.counters or metrics.timers):
+        lines.append("")
+        lines.append(metrics.render())
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Global counters and timers accumulated across a recorded run.
+
+Spans (:mod:`repro.obs.tracer`) answer "where did the time go in *this*
+part of the run"; the registry answers "how many of each primitive
+operation did the whole run perform" -- the paper's facts-computed /
+derivations-made accounting generalized to every instrumented
+operation (satisfiability checks, projections, subsumption tests,
+join probes, rewrite-fixpoint iterations).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+
+@dataclass
+class TimerStat:
+    """Accumulated wall-clock of one named operation."""
+
+    total: float = 0.0
+    count: int = 0
+
+    def add(self, seconds: float) -> None:
+        """Fold one observation in."""
+        self.total += seconds
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per observation (0.0 when never observed)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named monotonic counters plus named accumulating timers."""
+
+    def __init__(self) -> None:
+        self.counters: Counter = Counter()
+        self.timers: dict[str, TimerStat] = {}
+
+    # -- recording ----------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Increment a counter."""
+        self.counters[name] += n
+
+    def record_time(self, name: str, seconds: float) -> None:
+        """Fold one timing observation into a named timer."""
+        timer = self.timers.get(name)
+        if timer is None:
+            timer = self.timers[name] = TimerStat()
+        timer.add(seconds)
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block into a named timer."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record_time(name, time.perf_counter() - start)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's counters and timers into this one."""
+        self.counters.update(other.counters)
+        for name, stat in other.timers.items():
+            mine = self.timers.get(name)
+            if mine is None:
+                mine = self.timers[name] = TimerStat()
+            mine.total += stat.total
+            mine.count += stat.count
+
+    # -- reporting ----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain-data copy (JSON-serializable)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "timers": {
+                name: {"total_s": stat.total, "count": stat.count}
+                for name, stat in sorted(self.timers.items())
+            },
+        }
+
+    def render(self) -> str:
+        """An aligned, human-readable table of counters and timers."""
+        lines = []
+        if self.counters:
+            width = max(len(name) for name in self.counters)
+            lines.append("counters:")
+            for name, value in sorted(self.counters.items()):
+                lines.append(f"  {name:<{width}}  {value}")
+        if self.timers:
+            width = max(len(name) for name in self.timers)
+            lines.append("timers:")
+            for name, stat in sorted(self.timers.items()):
+                lines.append(
+                    f"  {name:<{width}}  {stat.total * 1e3:9.3f} ms"
+                    f"  /{stat.count}"
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def diff_counters(
+    before: Mapping[str, int], after: Mapping[str, int]
+) -> dict[str, int]:
+    """Counter deltas between two snapshots (benchmark helper)."""
+    keys = set(before) | set(after)
+    return {
+        key: after.get(key, 0) - before.get(key, 0)
+        for key in sorted(keys)
+        if after.get(key, 0) != before.get(key, 0)
+    }

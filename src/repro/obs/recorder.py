@@ -1,0 +1,106 @@
+"""The recorder seam between instrumented code and observability.
+
+Library code (the engine, the constraint solver, the rewritings) is
+instrumented with module-level calls -- ``obs.span(...)``,
+``obs.count(...)`` -- that dispatch to whatever recorder is currently
+installed.  By default that is :data:`NULL_RECORDER`, whose methods do
+nothing and whose span context manager is one shared, reusable object,
+so instrumentation left permanently in hot paths costs a single Python
+call per site and allocates nothing.
+
+A recorder is anything with the three methods of :class:`NullRecorder`;
+the real implementation is :class:`repro.obs.tracer.Tracer`.  Install
+one globally with :func:`set_recorder`, or scoped with the
+:func:`recording` context manager (which restores the previous recorder
+on exit, including on exceptions).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class _NullSpan:
+    """The shared do-nothing span: context manager + attribute sink."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def set(self, _name: str, _value: object) -> None:
+        """Discard a span attribute."""
+        return None
+
+    def add(self, _name: str, _value: int = 1) -> None:
+        """Discard a span-local counter increment."""
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """The default recorder: records nothing, as cheaply as possible."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        """A no-op span context manager (always the same object)."""
+        return _NULL_SPAN
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Discard a counter increment."""
+        return None
+
+    def record_time(self, name: str, seconds: float) -> None:
+        """Discard a timer observation."""
+        return None
+
+
+NULL_RECORDER = NullRecorder()
+
+_recorder = NULL_RECORDER
+
+
+def get_recorder():
+    """The currently installed recorder (the no-op one by default)."""
+    return _recorder
+
+
+def set_recorder(recorder) -> None:
+    """Install a recorder globally; ``None`` restores the no-op."""
+    global _recorder
+    _recorder = NULL_RECORDER if recorder is None else recorder
+
+
+@contextmanager
+def recording(recorder) -> Iterator[object]:
+    """Install a recorder for the duration of a ``with`` block."""
+    previous = _recorder
+    set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)
+
+
+def span(name: str, **attrs: object):
+    """Open a span on the installed recorder (no-op by default)."""
+    return _recorder.span(name, **attrs)
+
+
+def count(name: str, n: int = 1) -> None:
+    """Increment a named counter on the installed recorder."""
+    _recorder.count(name, n)
+
+
+def counter_add(name: str, n: int) -> None:
+    """Alias of :func:`count` that reads better for bulk additions."""
+    _recorder.count(name, n)

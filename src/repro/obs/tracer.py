@@ -1,0 +1,177 @@
+"""Nested, wall-clock-timed spans: the structured trace of one run.
+
+A :class:`Tracer` is the real implementation of the recorder seam
+(:mod:`repro.obs.recorder`).  It keeps a stack of open spans; entering
+``obs.span("fixpoint")`` opens a child of the innermost open span, and
+``obs.count("constraint.sat_checks")`` lands on both the innermost open
+span and the tracer's global :class:`~repro.obs.metrics.MetricsRegistry`.
+The resulting tree mirrors the pipeline: parse -> optimize (adorn,
+rewrite steps, magic) -> evaluate (normalize, fixpoint, per-iteration,
+per-rule) -> answers.
+
+The clock is injectable (defaults to :func:`time.perf_counter`) so
+tests can assert exact timings.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from typing import Callable, Iterator
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class Span:
+    """One timed region of the run, with attributes and counters."""
+
+    __slots__ = ("name", "start", "end", "attrs", "counters", "children")
+
+    def __init__(
+        self,
+        name: str,
+        start: float,
+        end: float | None = None,
+        attrs: dict | None = None,
+    ) -> None:
+        self.name = name
+        self.start = start
+        self.end = end
+        self.attrs: dict = attrs or {}
+        self.counters: Counter = Counter()
+        self.children: list["Span"] = []
+
+    # -- recording (the _NullSpan-compatible surface) -----------------
+
+    def set(self, name: str, value: object) -> None:
+        """Attach an attribute to this span."""
+        self.attrs[name] = value
+
+    def add(self, name: str, n: int = 1) -> None:
+        """Increment a span-local counter."""
+        self.counters[name] += n
+
+    # -- inspection ---------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def walk(self, depth: int = 0) -> Iterator[tuple[int, "Span"]]:
+        """Depth-first (depth, span) pairs over the subtree."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def find(self, name: str) -> "Span | None":
+        """The first subtree span with the given name (or ``None``)."""
+        for __, span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def find_all(self, name: str) -> list["Span"]:
+        """Every subtree span with the given name, depth-first."""
+        return [span for __, span in self.walk() if span.name == name]
+
+    def subtree_counters(self) -> Counter:
+        """This span's counters plus all descendants' (aggregated)."""
+        total = Counter()
+        for __, span in self.walk():
+            total.update(span.counters)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Span({self.name!r}, {self.duration * 1e3:.3f}ms, "
+            f"{len(self.children)} children)"
+        )
+
+
+class _SpanHandle:
+    """Context manager that opens/closes one span on a tracer."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._open(self._name, self._attrs)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._span is not None
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._close(self._span)
+        return None
+
+
+class Tracer:
+    """A recorder that builds a span tree and a metrics registry."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        metrics: MetricsRegistry | None = None,
+        root_name: str = "run",
+    ) -> None:
+        self._clock = clock
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.root = Span(root_name, start=clock())
+        self._stack: list[Span] = [self.root]
+
+    # -- the recorder protocol ----------------------------------------
+
+    def span(self, name: str, **attrs: object) -> _SpanHandle:
+        """A context manager opening a child of the current span."""
+        return _SpanHandle(self, name, attrs)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment a counter on the current span and globally."""
+        self._stack[-1].counters[name] += n
+        self.metrics.inc(name, n)
+
+    def record_time(self, name: str, seconds: float) -> None:
+        """Fold a timing observation into the global registry."""
+        self.metrics.record_time(name, seconds)
+
+    # -- span-stack plumbing ------------------------------------------
+
+    @property
+    def current(self) -> Span:
+        """The innermost open span (the root when idle)."""
+        return self._stack[-1]
+
+    def _open(self, name: str, attrs: dict) -> Span:
+        span = Span(name, start=self._clock(), attrs=dict(attrs))
+        self._stack[-1].children.append(span)
+        self._stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        # Close any forgotten descendants first so the tree stays
+        # well-nested even if an inner handle was abandoned.
+        while len(self._stack) > 1:
+            top = self._stack.pop()
+            top.end = self._clock()
+            if top is span:
+                return
+        raise RuntimeError(f"span {span.name!r} is not open")
+
+    def finish(self) -> Span:
+        """Close every open span (root included); returns the root."""
+        now = self._clock()
+        while self._stack:
+            self._stack.pop().end = now
+        self._stack = [self.root]
+        return self.root

@@ -1,0 +1,338 @@
+"""Unit tests for the observability subsystem (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.engine.relation import InsertOutcome
+from repro.engine.stats import EvalStats
+from repro.obs.metrics import MetricsRegistry, diff_counters
+from repro.obs.recorder import _NULL_SPAN
+
+
+class FakeClock:
+    """A deterministic clock advancing by a fixed tick per call."""
+
+    def __init__(self, tick=1.0):
+        self.now = 0.0
+        self.tick = tick
+
+    def __call__(self):
+        self.now += self.tick
+        return self.now
+
+
+class TestSpans:
+    def test_nesting_structure(self):
+        tracer = obs.Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                with tracer.span("d"):
+                    pass
+        root = tracer.finish()
+        assert root.name == "run"
+        (a,) = root.children
+        assert a.name == "a"
+        assert [child.name for child in a.children] == ["b", "c"]
+        assert [child.name for child in a.children[1].children] == ["d"]
+
+    def test_timing_monotonicity_fake_clock(self):
+        tracer = obs.Tracer(clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        root = tracer.finish()
+        for depth, span in root.walk():
+            assert span.end is not None
+            assert span.end >= span.start
+            for child in span.children:
+                assert child.start >= span.start
+                assert child.end <= span.end
+
+    def test_timing_monotonicity_real_clock(self):
+        tracer = obs.Tracer()
+        with tracer.span("outer"):
+            with tracer.span("first"):
+                sum(range(1000))
+            with tracer.span("second"):
+                pass
+        root = tracer.finish()
+        outer = root.find("outer")
+        first, second = outer.children
+        assert outer.start <= first.start
+        assert first.end <= second.start
+        assert second.end <= outer.end
+        assert outer.duration >= first.duration + second.duration
+
+    def test_counters_land_on_innermost_open_span(self):
+        tracer = obs.Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            tracer.count("ops")
+            with tracer.span("b"):
+                tracer.count("ops", 2)
+        root = tracer.finish()
+        assert root.find("a").counters["ops"] == 1
+        assert root.find("b").counters["ops"] == 2
+        assert tracer.metrics.counters["ops"] == 3
+        assert root.find("a").subtree_counters()["ops"] == 3
+
+    def test_attrs_and_span_local_adds(self):
+        tracer = obs.Tracer(clock=FakeClock())
+        with tracer.span("phase", kind="test") as span:
+            span.set("extra", 7)
+            span.add("local", 3)
+        root = tracer.finish()
+        phase = root.find("phase")
+        assert phase.attrs == {"kind": "test", "extra": 7}
+        assert phase.counters["local"] == 3
+        # span-local adds do not pollute the global registry
+        assert "local" not in tracer.metrics.counters
+
+    def test_exception_closes_span_and_marks_error(self):
+        tracer = obs.Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert tracer.current is tracer.root
+        root = tracer.finish()
+        assert root.find("boom").attrs["error"] == "RuntimeError"
+
+    def test_find_all_depth_first(self):
+        tracer = obs.Tracer(clock=FakeClock())
+        with tracer.span("it"):
+            pass
+        with tracer.span("outer"):
+            with tracer.span("it"):
+                pass
+        root = tracer.finish()
+        assert len(root.find_all("it")) == 2
+
+
+class TestRecorderSeam:
+    def test_default_recorder_is_the_shared_noop(self):
+        assert obs.get_recorder() is obs.NULL_RECORDER
+        assert not obs.NULL_RECORDER.enabled
+
+    def test_null_span_is_one_shared_object(self):
+        # The disabled path must not allocate per call site.
+        assert obs.span("anything") is _NULL_SPAN
+        assert obs.span("another", attr=1) is _NULL_SPAN
+        with obs.span("x") as span:
+            span.set("a", 1)
+            span.add("b")
+        obs.count("nothing", 5)  # swallowed
+
+    def test_recording_scopes_and_restores(self):
+        tracer = obs.Tracer(clock=FakeClock())
+        with obs.recording(tracer):
+            assert obs.get_recorder() is tracer
+            obs.count("inside")
+        assert obs.get_recorder() is obs.NULL_RECORDER
+        assert tracer.metrics.counters["inside"] == 1
+
+    def test_recording_restores_on_exception(self):
+        tracer = obs.Tracer(clock=FakeClock())
+        with pytest.raises(ValueError):
+            with obs.recording(tracer):
+                raise ValueError("x")
+        assert obs.get_recorder() is obs.NULL_RECORDER
+
+    def test_set_recorder_none_restores_noop(self):
+        tracer = obs.Tracer(clock=FakeClock())
+        obs.set_recorder(tracer)
+        try:
+            assert obs.get_recorder() is tracer
+        finally:
+            obs.set_recorder(None)
+        assert obs.get_recorder() is obs.NULL_RECORDER
+
+    def test_noop_path_adds_no_spans_anywhere(self):
+        # Regression: instrumented library code running with the
+        # default recorder must not accumulate spans on a tracer
+        # installed later.
+        from repro.engine import Database, evaluate
+        from repro.lang.parser import parse_program
+
+        program = parse_program("q(X) :- e(X), X <= 2.")
+        edb = Database.from_ground({"e": [(1,), (2,), (3,)]})
+        assert obs.get_recorder() is obs.NULL_RECORDER
+        evaluate(program, edb)  # instrumented, recorder disabled
+        tracer = obs.Tracer(clock=FakeClock())
+        assert tracer.root.children == []
+        assert not tracer.metrics.counters
+        with obs.recording(tracer):
+            evaluate(program, edb)
+        tracer.finish()
+        assert tracer.root.find("fixpoint") is not None
+        assert tracer.metrics.counters["engine.derivations"] > 0
+
+
+class TestMetricsRegistry:
+    def test_inc_and_snapshot(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.inc("a", 4)
+        registry.record_time("t", 0.5)
+        registry.record_time("t", 1.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"a": 5}
+        assert snapshot["timers"]["t"] == {"total_s": 2.0, "count": 2}
+        assert registry.timers["t"].mean == 1.0
+        json.dumps(snapshot)  # must be JSON-serializable
+
+    def test_time_context_manager(self):
+        registry = MetricsRegistry()
+        with registry.time("op"):
+            sum(range(100))
+        assert registry.timers["op"].count == 1
+        assert registry.timers["op"].total > 0
+
+    def test_merge(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.inc("a", 1)
+        right.inc("a", 2)
+        right.inc("b", 3)
+        right.record_time("t", 1.0)
+        left.merge(right)
+        assert left.counters == {"a": 3, "b": 3}
+        assert left.timers["t"].total == 1.0
+
+    def test_render_and_empty(self):
+        registry = MetricsRegistry()
+        assert "no metrics" in registry.render()
+        registry.inc("constraint.sat_checks", 7)
+        rendered = registry.render()
+        assert "constraint.sat_checks" in rendered
+        assert "7" in rendered
+
+    def test_diff_counters(self):
+        assert diff_counters({"a": 1, "b": 2}, {"a": 4, "b": 2}) == {
+            "a": 3
+        }
+
+
+class TestChromeTrace:
+    def build(self):
+        tracer = obs.Tracer(clock=FakeClock())
+        with tracer.span("parse"):
+            pass
+        with tracer.span("query", pred="q"):
+            with tracer.span("fixpoint"):
+                tracer.count("engine.derivations", 3)
+        tracer.finish()
+        return tracer
+
+    def test_event_schema(self):
+        tracer = self.build()
+        document = obs.chrome_trace(tracer)
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 4  # run, parse, query, fixpoint
+        for event in complete:
+            for key in ("name", "cat", "ph", "ts", "dur", "pid", "tid"):
+                assert key in event
+            assert event["dur"] >= 0
+            assert "depth" in event["args"]
+        json.dumps(document)
+
+    def test_round_trip(self):
+        tracer = self.build()
+        text = json.dumps(obs.chrome_trace(tracer))
+        rebuilt = obs.read_chrome_trace(text)
+        original = tracer.root
+        got = [(d, s.name) for d, s in rebuilt.walk()]
+        want = [(d, s.name) for d, s in original.walk()]
+        assert got == want
+        assert rebuilt.find("query").attrs == {"pred": "q"}
+        assert (
+            rebuilt.find("fixpoint").counters["engine.derivations"] == 3
+        )
+
+    def test_round_trip_preserves_durations(self):
+        tracer = self.build()
+        rebuilt = obs.read_chrome_trace(obs.chrome_trace(tracer))
+        for (_, a), (_, b) in zip(rebuilt.walk(), tracer.root.walk()):
+            assert a.duration == pytest.approx(b.duration, abs=1e-9)
+
+    def test_write_chrome_trace(self, tmp_path):
+        path = tmp_path / "trace.json"
+        obs.write_chrome_trace(str(path), self.build())
+        data = json.loads(path.read_text())
+        assert any(e["name"] == "fixpoint" for e in data["traceEvents"])
+
+    def test_read_rejects_empty(self):
+        with pytest.raises(ValueError):
+            obs.read_chrome_trace({"traceEvents": []})
+
+
+class TestRunReport:
+    def test_lines_are_json_and_typed(self):
+        tracer = TestChromeTrace().build()
+        lines = list(obs.run_report_lines(tracer))
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["type"] == "meta"
+        assert parsed[0]["schema"] == "repro-obs/v1"
+        spans = [p for p in parsed if p["type"] == "span"]
+        counters = [p for p in parsed if p["type"] == "counter"]
+        assert {s["path"] for s in spans} >= {
+            "run",
+            "run/parse",
+            "run/query/fixpoint",
+        }
+        assert {
+            c["name"]: c["value"] for c in counters
+        } == {"engine.derivations": 3}
+
+    def test_write_run_report(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        obs.write_run_report(str(path), TestChromeTrace().build())
+        lines = path.read_text().splitlines()
+        assert all(json.loads(line) for line in lines)
+
+
+class TestSummaryTree:
+    def test_contains_names_durations_counters(self):
+        tracer = TestChromeTrace().build()
+        text = obs.summary_tree(tracer)
+        assert "parse" in text
+        assert "fixpoint" in text
+        assert "ms" in text
+        assert "engine.derivations=3" in text
+
+    def test_max_depth_prunes(self):
+        tracer = TestChromeTrace().build()
+        text = obs.summary_tree(tracer, max_depth=1)
+        assert "fixpoint" not in text.split("counters:")[0]
+        assert "pruned" in text
+
+
+class TestEvalStatsOutcomes:
+    def test_enum_outcomes_counted(self):
+        stats = EvalStats()
+        stats.record("r1", "p", InsertOutcome.NEW)
+        stats.record("r1", "p", InsertOutcome.DUPLICATE)
+        stats.record("r2", "p", InsertOutcome.SUBSUMED)
+        assert stats.new_facts == 1
+        assert stats.duplicates == 1
+        assert stats.subsumed == 1
+        assert stats.derivations == 3
+        assert stats.derivations_by_rule == {"r1": 2, "r2": 1}
+
+    def test_stringly_outcome_rejected(self):
+        stats = EvalStats()
+        with pytest.raises(TypeError):
+            stats.record("r1", "p", "new")
+        with pytest.raises(TypeError):
+            stats.record("r1", "p", "subsmued")  # the typo that motivated this
+
+    def test_as_dict_round_trips_to_json(self):
+        stats = EvalStats()
+        stats.record(None, "p", InsertOutcome.NEW)
+        payload = stats.as_dict()
+        assert payload["new_facts"] == 1
+        assert payload["derivations_by_rule"] == {"?": 1}
+        json.dumps(payload)
