@@ -74,6 +74,8 @@ from repro.core.widening import (
 )
 from repro import obs
 from repro.driver import answer_query, optimize, run_text
+from repro.errors import BudgetExceeded, ReproError, UsageError
+from repro.governor import Budget
 from repro.magic.bcf import bcf_adorn
 from repro.magic.gmt import gmt_transform
 from repro.magic.templates import (
@@ -121,6 +123,10 @@ __all__ = [
     "answer_query",
     "optimize",
     "run_text",
+    "Budget",
+    "BudgetExceeded",
+    "ReproError",
+    "UsageError",
     "bcf_adorn",
     "gmt_transform",
     "describe",

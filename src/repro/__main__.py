@@ -8,14 +8,22 @@ The file contains CQL rules, ground facts, and one or more queries::
     singleleg(madison, chicago, 50, 100).
     ?- cheaporshort(madison, seattle, T, C).
 
-Options select the optimization strategy (Section 7's vocabulary) and
-diagnostics (rewritten program, per-iteration derivation trace,
-evaluation statistics, structured traces and metrics).
+Options select the optimization strategy (Section 7's vocabulary),
+resource budgets (wall-clock deadline, fact/solver/iteration caps with
+an ``--on-limit`` degradation policy), and diagnostics (rewritten
+program, per-iteration derivation trace, evaluation statistics,
+structured traces and metrics).
 
-Exit status: ``0`` on success, ``1`` when an evaluation hit its
-iteration cap without reaching a fixpoint (answers may be incomplete),
-``2`` on a usage, file, or parse error -- so scripted and CI
-invocations can detect failures.
+Exit status (see ``docs/robustness.md`` for the full contract):
+
+* ``0`` -- success: every query answered exactly (or via a sound
+  over-approximating fallback, reported as ``approximated``);
+* ``1`` -- truncated: an evaluation stopped early (iteration cap or
+  resource budget); the partial answers printed are sound but may be
+  incomplete, and are labeled ``truncated:<resource>``;
+* ``2`` -- unusable input: usage, file, parse, or transform error;
+* ``3`` -- hard resource failure: budget exhausted under
+  ``--on-limit=fail``, a diverging fixpoint, or an injected fault.
 """
 
 from __future__ import annotations
@@ -24,7 +32,8 @@ import argparse
 import sys
 
 from repro import __version__
-from repro.driver import STRATEGIES, run_text
+from repro.driver import ON_LIMIT_POLICIES, STRATEGIES, run_text
+from repro.errors import ReproError, exit_code_for
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,14 +66,61 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--max-iterations",
         type=int,
-        default=50,
+        default=None,
         help="cap for the constraint-inference fixpoints (default 50)",
     )
     parser.add_argument(
         "--eval-iterations",
         type=int,
-        default=200,
+        default=None,
         help="cap for the bottom-up evaluation (default 200)",
+    )
+    governor = parser.add_argument_group(
+        "resource governor",
+        "budgets for the whole run; when one trips, --on-limit picks "
+        "the degradation policy (docs/robustness.md)",
+    )
+    governor.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget for the whole run",
+    )
+    governor.add_argument(
+        "--max-facts",
+        type=int,
+        metavar="N",
+        help="cap on facts stored during evaluation",
+    )
+    governor.add_argument(
+        "--max-solver-calls",
+        type=int,
+        metavar="N",
+        help="cap on constraint-solver calls (variable eliminations)",
+    )
+    governor.add_argument(
+        "--max-rewrite-iterations",
+        type=int,
+        metavar="N",
+        help="budget on constraint-inference fixpoint iterations "
+        "(across all rewriting phases; distinct from "
+        "--max-iterations, the per-fixpoint divergence cap)",
+    )
+    governor.add_argument(
+        "--on-limit",
+        choices=ON_LIMIT_POLICIES,
+        default="truncate",
+        help="what to do when a budget trips: fail (exit 3), truncate "
+        "(keep sound partial results, exit 1), or widen (fall back "
+        "to interval-hull widening where possible) "
+        "(default: truncate)",
+    )
+    governor.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="inject faults at observability sites, e.g. "
+        "'delay:evaluate:0.01;fail:rewrite.qrp' "
+        "(testing/CI harness; see docs/robustness.md)",
     )
     parser.add_argument(
         "--show-program",
@@ -108,6 +164,19 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_budget(arguments):
+    """A Budget from the CLI flags, or None when none is set."""
+    from repro.governor import Budget
+
+    budget = Budget(
+        deadline=arguments.deadline,
+        max_facts=arguments.max_facts,
+        max_solver_calls=arguments.max_solver_calls,
+        max_rewrite_iterations=arguments.max_rewrite_iterations,
+    )
+    return None if budget.is_unlimited() else budget
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit status."""
     arguments = build_parser().parse_args(argv)
@@ -138,12 +207,25 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     from repro import obs
+    from repro.config import (
+        DEFAULT_EVAL_ITERATIONS,
+        DEFAULT_REWRITE_ITERATIONS,
+    )
 
     observing = bool(
         arguments.trace or arguments.report or arguments.metrics
     )
     tracer = obs.Tracer() if observing else None
     recorder = tracer if tracer is not None else obs.get_recorder()
+    if arguments.faults:
+        from repro.governor import FaultPlan, FaultyRecorder
+
+        try:
+            plan = FaultPlan.from_spec(arguments.faults)
+        except ReproError as error:
+            print(f"repro: {error}", file=sys.stderr)
+            return exit_code_for(error)
+        recorder = FaultyRecorder(plan, inner=recorder)
     export_failed = False
 
     def export():
@@ -165,9 +247,22 @@ def main(argv: list[str] | None = None) -> int:
             outcomes = run_text(
                 text,
                 strategy=arguments.strategy,
-                max_iterations=arguments.max_iterations,
-                eval_iterations=arguments.eval_iterations,
+                max_iterations=(
+                    arguments.max_iterations
+                    if arguments.max_iterations is not None
+                    else DEFAULT_REWRITE_ITERATIONS
+                ),
+                eval_iterations=(
+                    arguments.eval_iterations
+                    if arguments.eval_iterations is not None
+                    else DEFAULT_EVAL_ITERATIONS
+                ),
+                budget=_build_budget(arguments),
+                on_limit=arguments.on_limit,
             )
+    except ReproError as error:
+        print(f"repro: [{error.code}] {error}", file=sys.stderr)
+        return exit_code_for(error)
     except ValueError as error:
         print(f"repro: {error}", file=sys.stderr)
         return 2
@@ -193,6 +288,8 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"  {answer}")
         else:
             print("  no")
+        if outcome.completeness != "complete":
+            print(f"  completeness: {outcome.completeness}")
         if arguments.stats:
             print(f"  [{outcome.result.stats.summary()}]")
         if not outcome.result.reached_fixpoint:

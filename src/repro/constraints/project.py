@@ -18,6 +18,7 @@ from typing import Iterable, Sequence
 
 from repro.constraints.atom import Atom, Op
 from repro.constraints.linexpr import LinearExpr
+from repro.governor import budget as governor
 from repro.obs.recorder import count as obs_count
 
 
@@ -223,6 +224,10 @@ def eliminate_variables(
     iff it can be extended to a point satisfying the input.
     """
     obs_count("constraint.projections")
+    # Variable elimination is the constraint solver's unit of work;
+    # every satisfiability check and projection passes through here,
+    # so this one charge covers the whole solver surface.
+    governor.charge("solver_calls", phase="solver")
     current = _fold_ground(atoms)
     if current is None:
         return None

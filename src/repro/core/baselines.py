@@ -19,6 +19,7 @@ the two on equal footing (the magic phase is shared).
 
 from __future__ import annotations
 
+from repro.config import DEFAULT_REWRITE_ITERATIONS
 from repro.constraints.conjunction import Conjunction
 from repro.constraints.cset import ConstraintSet
 from repro.core.predconstraints import InferenceReport
@@ -31,7 +32,7 @@ from repro.lang.positions import ltop, ptol
 def gen_qrp_constraints_syntactic(
     program: Program,
     query_preds: str | list[str],
-    max_iterations: int = 50,
+    max_iterations: int = DEFAULT_REWRITE_ITERATIONS,
 ) -> tuple[dict[str, ConstraintSet], InferenceReport]:
     """QRP-constraint generation without semantic reasoning (Balbin-style).
 
@@ -93,7 +94,7 @@ def gen_qrp_constraints_syntactic(
 def c_transform(
     program: Program,
     query_preds: str | list[str],
-    max_iterations: int = 50,
+    max_iterations: int = DEFAULT_REWRITE_ITERATIONS,
 ) -> QRPPropagation:
     """The constraint-propagation phase of Balbin et al.'s pipeline.
 

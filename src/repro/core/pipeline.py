@@ -22,10 +22,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from repro.core.predconstraints import gen_prop_predicate_constraints
+from repro.config import (
+    DEFAULT_EVAL_ITERATIONS,
+    DEFAULT_REWRITE_ITERATIONS,
+)
+from repro.core.predconstraints import (
+    attach_constraints_to_bodies,
+    gen_prop_predicate_constraints,
+)
 from repro.core.qrp import gen_prop_qrp_constraints
+from repro.core.widening import gen_predicate_constraints_widened
 from repro.engine.database import Database
 from repro.engine.fixpoint import EvaluationResult, evaluate
+from repro.errors import BudgetExceeded, UsageError
+from repro.lang.normalize import normalize_program
+from repro.governor import budget as governor
 from repro.engine.query import answers
 from repro.lang.ast import Program, Query
 from repro.magic.adorn import AdornedProgram, adorn_program
@@ -56,21 +67,30 @@ def apply_sequence(
     query: Query,
     sequence: Sequence[str],
     adorn: bool = True,
-    max_iterations: int = 50,
+    max_iterations: int = DEFAULT_REWRITE_ITERATIONS,
     include_constraints: bool = True,
+    on_budget: str = "widen",
 ) -> PipelineResult:
     """Apply a sequence of rewritings to a (bf-adorned) program.
 
     ``mg`` may appear at most once (as in Theorem 7.10's class).  With
     ``adorn`` (default) the program is bf-adorned for the query before
     any step, as Section 7.5 prescribes.
+
+    ``on_budget="widen"`` (default) degrades budget-exhausted steps in
+    place -- an exhausted ``pred`` falls back to interval-hull widening
+    (keeping e.g. the fib ``$2 >= 1`` bound that magic needs to
+    terminate), an exhausted ``qrp`` is skipped -- and records the
+    fallback in ``notes``; ``on_budget="raise"`` propagates the
+    :class:`~repro.errors.BudgetExceeded`.  Deadline exhaustion always
+    propagates.
     """
     sequence = tuple(sequence)
     for step in sequence:
         if step not in VALID_STEPS:
-            raise ValueError(f"unknown transformation step {step!r}")
+            raise UsageError(f"unknown transformation step {step!r}")
     if sequence.count("mg") > 1:
-        raise ValueError("mg may be applied at most once")
+        raise UsageError("mg may be applied at most once")
     adorned: AdornedProgram | None = None
     if adorn:
         with obs_span("adorn"):
@@ -83,6 +103,7 @@ def apply_sequence(
     notes: list[str] = []
     seed_rule = None
     for step in sequence:
+        governor.checkpoint(f"pipeline.{step}")
         if step in ("pred", "qrp") and seed_rule is not None:
             # Appendix B creates the magic seed as a runtime *fact*; the
             # rewriting sequence is query-generic, so post-magic steps
@@ -94,29 +115,61 @@ def apply_sequence(
                 rule for rule in current if rule != seed_rule
             )
         if step == "pred":
-            with obs_span("rewrite.pred"):
-                current, __, report = gen_prop_predicate_constraints(
-                    current, max_iterations=max_iterations
-                )
-            if not report.converged:
-                notes.append("pred inference widened")
+            with obs_span("rewrite.pred") as pred_span:
+                try:
+                    current, __, report = gen_prop_predicate_constraints(
+                        current, max_iterations=max_iterations
+                    )
+                    if not report.converged:
+                        notes.append("pred inference widened")
+                except BudgetExceeded as error:
+                    if on_budget != "widen" or error.resource == "deadline":
+                        raise
+                    # Degrade like divergence: the interval-hull
+                    # widening terminates and typically keeps the
+                    # bounds later steps rely on.
+                    pred_span.set("budget_exhausted", error.resource)
+                    constraints, __ = gen_predicate_constraints_widened(
+                        current
+                    )
+                    current = attach_constraints_to_bodies(
+                        normalize_program(current), constraints
+                    )
+                    notes.append(
+                        f"pred budget exhausted ({error.resource}); "
+                        "widened"
+                    )
         elif step == "qrp":
-            with obs_span("rewrite.qrp"):
-                result = gen_prop_qrp_constraints(
-                    current, query_pred, max_iterations=max_iterations
-                )
-            current = result.program
-            if not result.report.converged:
-                notes.append("qrp inference widened")
-            if result.unfoldable_occurrences:
-                notes.append(
-                    f"unfoldable: {result.unfoldable_occurrences}"
-                )
+            with obs_span("rewrite.qrp") as qrp_span:
+                try:
+                    result = gen_prop_qrp_constraints(
+                        current, query_pred,
+                        max_iterations=max_iterations,
+                    )
+                except BudgetExceeded as error:
+                    if on_budget != "widen" or error.resource == "deadline":
+                        raise
+                    # Skipping qrp is sound: its trivially-correct
+                    # constraint is *true*, which rewrites nothing.
+                    qrp_span.set("budget_exhausted", error.resource)
+                    notes.append(
+                        f"qrp budget exhausted ({error.resource}); "
+                        "step skipped"
+                    )
+                    result = None
+            if result is not None:
+                current = result.program
+                if not result.report.converged:
+                    notes.append("qrp inference widened")
+                if result.unfoldable_occurrences:
+                    notes.append(
+                        f"unfoldable: {result.unfoldable_occurrences}"
+                    )
         if step in ("pred", "qrp") and seed_rule is not None:
             current = current.with_rules([seed_rule])
         if step == "mg":
             if adorned is None:
-                raise ValueError(
+                raise UsageError(
                     "mg requires an adorned program (adorn=True)"
                 )
             with obs_span("magic"):
@@ -170,7 +223,7 @@ def evaluate_pipeline(
     pipeline: PipelineResult,
     edb: Database,
     query: Query,
-    max_iterations: int = 200,
+    max_iterations: int = DEFAULT_EVAL_ITERATIONS,
 ) -> PipelineEvaluation:
     """Evaluate a pipeline's program bottom-up over an EDB."""
     result = evaluate(
@@ -198,7 +251,7 @@ def compare_sequences(
     query: Query,
     sequences: Iterable[Sequence[str]],
     edb: Database,
-    max_iterations: int = 200,
+    max_iterations: int = DEFAULT_EVAL_ITERATIONS,
 ) -> dict[tuple[str, ...], PipelineEvaluation]:
     """Evaluate several sequences on the same inputs (benchmark helper)."""
     results: dict[tuple[str, ...], PipelineEvaluation] = {}

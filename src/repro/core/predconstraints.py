@@ -23,15 +23,21 @@ from dataclasses import dataclass, field
 from itertools import product
 from typing import Mapping
 
+from repro.config import DEFAULT_REWRITE_ITERATIONS
 from repro.constraints.cset import ConstraintSet
+from repro.errors import ReproError
+from repro.governor import budget as governor
 from repro.lang.ast import Program, Rule
 from repro.lang.normalize import normalize_program
 from repro.lang.positions import ltop, ptol
 from repro.obs.recorder import count as obs_count
 
 
-class NonTerminationError(RuntimeError):
+class NonTerminationError(ReproError, RuntimeError):
     """The constraint-generation fixpoint exceeded its iteration cap."""
+
+    code = "REPRO_NONTERMINATION"
+    exit_code = 3
 
 
 @dataclass
@@ -87,7 +93,7 @@ def single_step(
 def gen_predicate_constraints(
     program: Program,
     edb_constraints: Mapping[str, ConstraintSet] | None = None,
-    max_iterations: int = 50,
+    max_iterations: int = DEFAULT_REWRITE_ITERATIONS,
     on_divergence: str = "widen",
     disjunct_cap: int = 12,
 ) -> tuple[dict[str, ConstraintSet], InferenceReport]:
@@ -121,6 +127,11 @@ def gen_predicate_constraints(
     for iteration in range(1, max_iterations + 1):
         report.iterations = iteration
         obs_count("rewrite.pred.iterations")
+        # Cooperative budget checkpoint: each Single_step is one unit
+        # of rewrite work; exhaustion propagates to the caller, whose
+        # degradation ladder falls back to widening (see repro.driver).
+        governor.checkpoint("rewrite.pred")
+        governor.charge("rewrite_iterations", phase="rewrite.pred")
         stepped = single_step(program, constraints)
         changed: set[str] = set()
         for pred, contribution in stepped.items():
@@ -237,7 +248,7 @@ def gen_prop_predicate_constraints(
     program: Program,
     edb_constraints: Mapping[str, ConstraintSet] | None = None,
     given: Mapping[str, ConstraintSet] | None = None,
-    max_iterations: int = 50,
+    max_iterations: int = DEFAULT_REWRITE_ITERATIONS,
     on_divergence: str = "widen",
 ) -> tuple[Program, dict[str, ConstraintSet], InferenceReport]:
     """Procedure ``Gen_Prop_predicate_constraints`` (Theorem 4.6).

@@ -25,8 +25,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.config import DEFAULT_REWRITE_ITERATIONS
 from repro.constraints.cset import ConstraintSet
 from repro.core.predconstraints import InferenceReport, NonTerminationError
+from repro.governor import budget as governor
 from repro.lang.ast import Literal, Program, Rule
 from repro.lang.normalize import normalize_program
 from repro.lang.positions import ltop, ptol, ptol_conjunction
@@ -38,7 +40,7 @@ from repro.transform.foldunfold import FoldUnfold
 def gen_qrp_constraints(
     program: Program,
     query_preds: str | list[str],
-    max_iterations: int = 50,
+    max_iterations: int = DEFAULT_REWRITE_ITERATIONS,
     on_divergence: str = "widen",
     disjunct_cap: int = 12,
 ) -> tuple[dict[str, ConstraintSet], InferenceReport]:
@@ -61,6 +63,8 @@ def gen_qrp_constraints(
     for iteration in range(1, max_iterations + 1):
         report.iterations = iteration
         obs_count("rewrite.qrp.iterations")
+        governor.checkpoint("rewrite.qrp")
+        governor.charge("rewrite_iterations", phase="rewrite.qrp")
         inferred: dict[str, ConstraintSet] = {
             pred: ConstraintSet.false() for pred in constraints
         }
@@ -145,7 +149,7 @@ def _prime_name(pred: str, taken: frozenset[str]) -> str:
 def gen_prop_qrp_constraints(
     program: Program,
     query_preds: str | list[str],
-    max_iterations: int = 50,
+    max_iterations: int = DEFAULT_REWRITE_ITERATIONS,
     on_divergence: str = "widen",
     rename_back: bool = True,
     constraints: Mapping[str, ConstraintSet] | None = None,
@@ -226,6 +230,7 @@ def gen_prop_qrp_constraints(
         changed = True
         while changed:
             changed = False
+            governor.checkpoint("rewrite.qrp.fold")
             for rule in state.program.rules:
                 if rule in state.definitions:
                     continue

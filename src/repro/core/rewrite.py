@@ -14,11 +14,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+from repro.config import DEFAULT_REWRITE_ITERATIONS
 from repro.constraints.cset import ConstraintSet
 from repro.core.predconstraints import (
     InferenceReport,
     gen_prop_predicate_constraints,
 )
+from repro.errors import BudgetExceeded
 from repro.core.qrp import QRPPropagation, gen_prop_qrp_constraints
 from repro.lang.ast import Literal, Program, Query, Rule
 from repro.lang.normalize import normalize_program, normalize_query
@@ -71,8 +73,9 @@ def constraint_rewrite(
     query: Query | None = None,
     edb_constraints: Mapping[str, ConstraintSet] | None = None,
     given_predicate_constraints: Mapping[str, ConstraintSet] | None = None,
-    max_iterations: int = 50,
+    max_iterations: int = DEFAULT_REWRITE_ITERATIONS,
     on_divergence: str = "widen",
+    on_budget: str = "widen",
 ) -> RewriteResult:
     """Procedure ``Constraint_rewrite`` (Appendix C).
 
@@ -80,6 +83,13 @@ def constraint_rewrite(
     into the wrapper rule, specializing the rewriting to the query (the
     run-time counterpart; without it the rewriting is query-independent
     as in the paper's main development).
+
+    ``on_budget`` governs resource-budget exhaustion mid-fixpoint:
+    ``"widen"`` (default) degrades like divergence -- the pred phase
+    falls back to interval-hull widening and an exhausted qrp phase is
+    skipped -- while ``"raise"`` propagates the
+    :class:`~repro.errors.BudgetExceeded`.  Deadline exhaustion always
+    propagates (there is no time left to degrade gracefully in).
     """
     program = normalize_program(program)
     if query is None:
@@ -107,15 +117,26 @@ def constraint_rewrite(
         wrapped = program.with_rules([rule])
         wrapper = name
     with obs_span("rewrite.pred") as pred_span:
-        propagated, pred_constraints, pred_report = (
-            gen_prop_predicate_constraints(
-                wrapped,
-                edb_constraints=edb_constraints,
-                given=given_predicate_constraints,
-                max_iterations=max_iterations,
-                on_divergence=on_divergence,
+        try:
+            propagated, pred_constraints, pred_report = (
+                gen_prop_predicate_constraints(
+                    wrapped,
+                    edb_constraints=edb_constraints,
+                    given=given_predicate_constraints,
+                    max_iterations=max_iterations,
+                    on_divergence=on_divergence,
+                )
             )
-        )
+        except BudgetExceeded as error:
+            # A resource budget tripped mid-fixpoint: treat it exactly
+            # like divergence and fall through to the terminating
+            # widening below (which only consumes deadline headroom).
+            if on_budget != "widen" or error.resource == "deadline":
+                raise
+            propagated = wrapped
+            pred_constraints = {}
+            pred_report = InferenceReport(converged=False)
+            pred_span.set("budget_exhausted", error.resource)
         pred_span.set("iterations", pred_report.iterations)
         pred_span.set("converged", pred_report.converged)
     if not pred_report.converged and given_predicate_constraints is None:
@@ -148,23 +169,40 @@ def constraint_rewrite(
                 widen_report.widened_predicates
             )
     with obs_span("rewrite.qrp") as qrp_span:
-        qrp_result: QRPPropagation = gen_prop_qrp_constraints(
-            propagated,
-            wrapper,
-            max_iterations=max_iterations,
-            on_divergence=on_divergence,
-        )
-        qrp_span.set("iterations", qrp_result.report.iterations)
-        qrp_span.set("converged", qrp_result.report.converged)
+        try:
+            qrp_result: QRPPropagation | None = gen_prop_qrp_constraints(
+                propagated,
+                wrapper,
+                max_iterations=max_iterations,
+                on_divergence=on_divergence,
+            )
+        except BudgetExceeded as error:
+            # Keep the pred-propagated program; skipping qrp is sound
+            # (it only prunes), so the result is still usable.
+            if on_budget != "widen" or error.resource == "deadline":
+                raise
+            qrp_result = None
+            qrp_span.set("budget_exhausted", error.resource)
+        if qrp_result is not None:
+            qrp_span.set("iterations", qrp_result.report.iterations)
+            qrp_span.set("converged", qrp_result.report.converged)
+    if qrp_result is None:
+        qrp_program = propagated
+        qrp_constraints_raw: dict[str, ConstraintSet] = {}
+        qrp_report = InferenceReport(converged=False)
+    else:
+        qrp_program = qrp_result.program
+        qrp_constraints_raw = qrp_result.constraints
+        qrp_report = qrp_result.report
     # Delete the wrapper rules; the query predicate is the entry again.
     final = Program(
         rule
-        for rule in qrp_result.program
+        for rule in qrp_program
         if rule.head.pred != wrapper
     ).restrict_to_reachable([query_pred]).relabeled()
     qrp_constraints = {
         pred: cset
-        for pred, cset in qrp_result.constraints.items()
+        for pred, cset in qrp_constraints_raw.items()
         if pred != wrapper
     }
     return RewriteResult(
@@ -172,5 +210,5 @@ def constraint_rewrite(
         predicate_constraints=pred_constraints,
         qrp_constraints=qrp_constraints,
         predicate_report=pred_report,
-        qrp_report=qrp_result.report,
+        qrp_report=qrp_report,
     )

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.config import DEFAULT_WIDENING_ITERATIONS
 from repro.constraints.atom import Atom
 from repro.constraints.conjunction import Conjunction
 from repro.constraints.cset import ConstraintSet
@@ -35,6 +36,7 @@ from repro.core.predconstraints import (
     attach_constraints_to_bodies,
     is_predicate_constraint,
 )
+from repro.governor import budget as governor
 from repro.lang.ast import Program
 from repro.lang.normalize import normalize_program
 from repro.lang.positions import arg_position, ltop_conjunction, ptol_conjunction
@@ -113,7 +115,7 @@ def gen_predicate_constraints_widened(
     program: Program,
     edb_constraints: Mapping[str, ConstraintSet] | None = None,
     widen_after: int = 3,
-    max_iterations: int = 60,
+    max_iterations: int = DEFAULT_WIDENING_ITERATIONS,
 ) -> tuple[dict[str, ConstraintSet], WideningReport]:
     """Terminating predicate-constraint inference via widening.
 
@@ -144,6 +146,11 @@ def gen_predicate_constraints_widened(
             )
     for iteration in range(1, max_iterations + 1):
         report.iterations = iteration
+        # Deadline checkpoint only: widening is the terminating
+        # degradation fallback, so it is deliberately not charged
+        # against the rewrite-iterations budget (a tripped iteration
+        # budget would otherwise make the fallback unreachable).
+        governor.checkpoint("widening")
         changed: set[str] = set()
         for pred in sorted(program.derived_predicates()):
             variables = _positions(program.arity(pred))
@@ -200,7 +207,7 @@ def gen_prop_predicate_constraints_widened(
     program: Program,
     edb_constraints: Mapping[str, ConstraintSet] | None = None,
     widen_after: int = 3,
-    max_iterations: int = 60,
+    max_iterations: int = DEFAULT_WIDENING_ITERATIONS,
 ) -> tuple[Program, dict[str, ConstraintSet], WideningReport]:
     """Widened inference plus body propagation (Example 4.4, automated)."""
     program = normalize_program(program)

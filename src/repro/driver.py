@@ -14,16 +14,37 @@ Strategies (Section 7's vocabulary):
 * ``magic``          -- bf-adorned constraint magic only;
 * ``optimal``        -- the Theorem 7.10 order: pred, qrp, mg.
 
-When the exact predicate-constraint fixpoint diverges, the driver falls
-back to the widening of :mod:`repro.core.widening` instead of giving up
-(the paper's widen-to-*true* is the fallback of last resort inside
-that module).
+Every run can be governed by a :class:`repro.governor.Budget`
+(wall-clock deadline, iteration/fact/solver-call caps).  Exhaustion is
+never a stack trace: the ``on_limit`` policy picks a rung of the
+degradation ladder (``docs/robustness.md``):
+
+* ``"fail"``     -- raise the typed :class:`BudgetExceeded`;
+* ``"truncate"`` -- keep whatever sound partial state exists: an
+  exhausted optimization phase is skipped (the program is evaluated as
+  written), an exhausted evaluation returns its partial database and
+  the outcome is marked ``truncated:<resource>``;
+* ``"widen"``    -- like ``truncate``, but an exhausted (or naturally
+  diverging) exact constraint fixpoint first falls back to the
+  terminating interval-hull widening of :mod:`repro.core.widening`,
+  and the outcome is marked ``approximated``.
+
+Independently of any budget, when the exact predicate-constraint
+fixpoint diverges the driver falls back to the widening rather than
+giving up (the paper's widen-to-*true* is the fallback of last resort
+inside that module); the fallback is recorded in ``fallbacks`` and the
+outcome's ``completeness``.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext as _nullcontext
 from dataclasses import dataclass, field
 
+from repro.config import (
+    DEFAULT_EVAL_ITERATIONS,
+    DEFAULT_REWRITE_ITERATIONS,
+)
 from repro.core.pipeline import apply_sequence
 from repro.core.predconstraints import (
     attach_constraints_to_bodies,
@@ -35,6 +56,9 @@ from repro.core.widening import gen_predicate_constraints_widened
 from repro.engine import Database, EvaluationResult, evaluate
 from repro.engine.facts import Fact
 from repro.engine.query import answers as raw_answers
+from repro.errors import BudgetExceeded, UsageError
+from repro.governor import Budget, BudgetMeter
+from repro.governor import budget as governor
 from repro.lang.ast import Program, Query, Rule
 from repro.lang.parser import parse_program_and_queries
 from repro.obs.recorder import span as obs_span
@@ -42,10 +66,22 @@ from repro.obs.recorder import span as obs_span
 
 STRATEGIES = ("none", "pred", "qrp", "rewrite", "magic", "optimal")
 
+ON_LIMIT_POLICIES = ("fail", "truncate", "widen")
+
 
 @dataclass
 class QueryOutcome:
-    """Everything a driver run produced."""
+    """Everything a driver run produced.
+
+    ``completeness`` grades the answer set: ``"complete"`` (exact),
+    ``"approximated"`` (an over-approximating fallback -- widening or a
+    skipped optimization -- was taken; answers are still sound), or
+    ``"truncated:<resource>"`` (evaluation stopped early; answers are
+    sound but possibly missing).  ``fallbacks`` lists the machine-
+    readable degradation steps taken (``"pred:widened"``,
+    ``"optimize:skipped"``, ...); ``budget`` is the governing meter's
+    consumption snapshot, when a budget governed the run.
+    """
 
     answers: list[Fact]
     result: EvaluationResult
@@ -53,6 +89,9 @@ class QueryOutcome:
     query: Query
     strategy: str
     notes: list[str] = field(default_factory=list)
+    completeness: str = "complete"
+    fallbacks: list[str] = field(default_factory=list)
+    budget: dict | None = None
 
     @property
     def answer_strings(self) -> list[str]:
@@ -130,22 +169,44 @@ def split_edb(program: Program) -> tuple[Program, Database]:
     return Program(kept), edb
 
 
-def _pred_only(program: Program, notes: list[str]) -> Program:
+def _widen_or_raise(error: BudgetExceeded, on_limit: str) -> None:
+    """Re-raise unless the widen policy can absorb this exhaustion."""
+    if on_limit != "widen" or error.resource == "deadline":
+        raise error
+
+
+def _pred_only(
+    program: Program,
+    notes: list[str],
+    fallbacks: list[str],
+    on_limit: str,
+) -> Program:
     with obs_span("rewrite.pred"):
-        constraints, report = gen_predicate_constraints(program)
-        if not report.converged:
+        try:
+            constraints, report = gen_predicate_constraints(program)
+        except BudgetExceeded as error:
+            _widen_or_raise(error, on_limit)
+            notes.append(
+                f"predicate-constraint budget exhausted "
+                f"({error.resource}); falling back to widening"
+            )
+            report = None
+        if report is not None and report.converged:
+            return attach_constraints_to_bodies(program, constraints)
+        if report is not None:
             notes.append(
                 "exact predicate-constraint fixpoint diverged; "
                 "falling back to widening"
             )
-            constraints, widen_report = (
-                gen_predicate_constraints_widened(program)
+        fallbacks.append("pred:widened")
+        constraints, widen_report = (
+            gen_predicate_constraints_widened(program)
+        )
+        if widen_report.widened_predicates:
+            notes.append(
+                "widened: "
+                + ", ".join(sorted(widen_report.widened_predicates))
             )
-            if widen_report.widened_predicates:
-                notes.append(
-                    "widened: "
-                    + ", ".join(sorted(widen_report.widened_predicates))
-                )
         return attach_constraints_to_bodies(program, constraints)
 
 
@@ -153,15 +214,10 @@ def optimize(
     program: Program,
     query: Query,
     strategy: str = "rewrite",
-    max_iterations: int = 50,
+    max_iterations: int = DEFAULT_REWRITE_ITERATIONS,
 ) -> tuple[Program, str, list[str]]:
     """Apply a named strategy; returns (program, query_pred, notes)."""
-    if strategy not in STRATEGIES:
-        raise ValueError(
-            f"unknown strategy {strategy!r}; choose from {STRATEGIES}"
-        )
-    with obs_span("optimize", strategy=strategy):
-        return _optimize(program, query, strategy, max_iterations)
+    return _optimize(program, query, strategy, max_iterations, [])
 
 
 def _optimize(
@@ -169,34 +225,95 @@ def _optimize(
     query: Query,
     strategy: str,
     max_iterations: int,
+    fallbacks: list[str],
+    on_limit: str = "widen",
+) -> tuple[Program, str, list[str]]:
+    if strategy not in STRATEGIES:
+        raise UsageError(
+            f"unknown strategy {strategy!r}; choose from {STRATEGIES}"
+        )
+    with obs_span("optimize", strategy=strategy):
+        return _optimize_steps(
+            program, query, strategy, max_iterations, fallbacks, on_limit
+        )
+
+
+def _optimize_steps(
+    program: Program,
+    query: Query,
+    strategy: str,
+    max_iterations: int,
+    fallbacks: list[str],
+    on_limit: str,
 ) -> tuple[Program, str, list[str]]:
     notes: list[str] = []
     query_pred = query.literal.pred
     if strategy == "none":
         return program, query_pred, notes
     if strategy == "pred":
-        return _pred_only(program, notes), query_pred, notes
+        return (
+            _pred_only(program, notes, fallbacks, on_limit),
+            query_pred,
+            notes,
+        )
     if strategy == "qrp":
         with obs_span("rewrite.qrp"):
-            outcome = gen_prop_qrp_constraints(
-                program, query_pred, max_iterations=max_iterations
-            )
+            try:
+                outcome = gen_prop_qrp_constraints(
+                    program, query_pred, max_iterations=max_iterations
+                )
+            except BudgetExceeded as error:
+                _widen_or_raise(error, on_limit)
+                # The trivially-correct QRP constraint is *true*, which
+                # rewrites nothing: skipping the step is the widening.
+                notes.append(
+                    f"qrp budget exhausted ({error.resource}); "
+                    "step skipped (QRP constraints widened to true)"
+                )
+                fallbacks.append("qrp:skipped")
+                return program, query_pred, notes
         if not outcome.report.converged:
             notes.append("qrp fixpoint diverged; widened to true")
+            fallbacks.append("qrp:widened")
         return outcome.program, query_pred, notes
     if strategy == "rewrite":
         outcome = constraint_rewrite(
-            program, query_pred, max_iterations=max_iterations
+            program,
+            query_pred,
+            max_iterations=max_iterations,
+            on_budget=("widen" if on_limit == "widen" else "raise"),
         )
         if not outcome.converged:
             notes.append("a constraint fixpoint diverged; widened")
+            fallbacks.append("rewrite:widened")
         return outcome.program, query_pred, notes
     sequence = ["mg"] if strategy == "magic" else ["pred", "qrp", "mg"]
     pipeline = apply_sequence(
-        program, query, sequence, max_iterations=max_iterations
+        program,
+        query,
+        sequence,
+        max_iterations=max_iterations,
+        on_budget=("widen" if on_limit == "widen" else "raise"),
     )
     notes.extend(pipeline.notes)
+    fallbacks.extend(
+        f"pipeline:{note}" for note in pipeline.notes
+        if "widened" in note or "exhausted" in note
+    )
     return pipeline.program, pipeline.query_pred, notes
+
+
+def _resolve_meter(
+    budget: "Budget | BudgetMeter | None",
+) -> tuple[BudgetMeter | None, BudgetMeter | None]:
+    """(meter to install, effective meter) for a budget argument."""
+    if budget is None:
+        return None, governor.current_meter()
+    if isinstance(budget, Budget):
+        meter = budget.meter()
+    else:
+        meter = budget
+    return meter, meter
 
 
 def answer_query(
@@ -204,30 +321,104 @@ def answer_query(
     query: Query,
     edb: Database | None = None,
     strategy: str = "rewrite",
-    max_iterations: int = 50,
-    eval_iterations: int = 200,
+    max_iterations: int = DEFAULT_REWRITE_ITERATIONS,
+    eval_iterations: int = DEFAULT_EVAL_ITERATIONS,
+    budget: "Budget | BudgetMeter | None" = None,
+    on_limit: str = "truncate",
 ) -> QueryOutcome:
-    """Optimize, evaluate bottom-up, and extract the query's answers."""
+    """Optimize, evaluate bottom-up, and extract the query's answers.
+
+    ``budget`` (a :class:`Budget` spec or live :class:`BudgetMeter`)
+    governs the run; with ``None`` the ambiently installed meter (if
+    any) applies.  ``on_limit`` picks the degradation policy described
+    in the module docstring.
+    """
+    if on_limit not in ON_LIMIT_POLICIES:
+        raise UsageError(
+            f"unknown on_limit policy {on_limit!r}; "
+            f"choose from {ON_LIMIT_POLICIES}"
+        )
+    own, meter = _resolve_meter(budget)
+    with governor.governed(own) if own is not None else _nullcontext():
+        return _answer_query_governed(
+            program, query, edb, strategy, max_iterations,
+            eval_iterations, meter, on_limit,
+        )
+
+
+def _answer_query_governed(
+    program: Program,
+    query: Query,
+    edb: Database | None,
+    strategy: str,
+    max_iterations: int,
+    eval_iterations: int,
+    meter: BudgetMeter | None,
+    on_limit: str,
+) -> QueryOutcome:
+    notes: list[str] = []
+    fallbacks: list[str] = []
     with obs_span(
         "query", pred=query.literal.pred, strategy=strategy
     ):
-        optimized, query_pred, notes = optimize(
-            program, query, strategy, max_iterations
-        )
+        try:
+            optimized, query_pred, opt_notes = _optimize(
+                program, query, strategy, max_iterations, fallbacks,
+                on_limit,
+            )
+            notes.extend(opt_notes)
+        except BudgetExceeded as error:
+            if on_limit == "fail":
+                raise
+            # Skipping optimization is sound (the rewritings only
+            # prune); evaluate the program as written.
+            optimized, query_pred = program, query.literal.pred
+            notes.append(
+                f"optimization budget exhausted ({error.resource}); "
+                "evaluating the program as written"
+            )
+            fallbacks.append("optimize:skipped")
         with obs_span("evaluate"):
             result = evaluate(
-                optimized, edb, max_iterations=eval_iterations
+                optimized, edb, max_iterations=eval_iterations,
+                budget=meter,
             )
         if not result.reached_fixpoint:
-            notes.append(
-                f"evaluation hit the {eval_iterations}-iteration cap "
-                "without reaching a fixpoint; answers may be incomplete"
-            )
+            if result.completeness == "truncated:iterations":
+                notes.append(
+                    "evaluation hit the iteration cap without "
+                    "reaching a fixpoint; answers may be incomplete"
+                )
+            else:
+                notes.append(
+                    f"evaluation stopped early "
+                    f"({result.completeness}); answers may be "
+                    "incomplete"
+                )
+            if (
+                on_limit == "fail"
+                and meter is not None
+                and meter.exhausted is not None
+            ):
+                raise BudgetExceeded(
+                    meter.exhausted, phase="evaluate", partial=result
+                )
         effective_query = Query(
             query.literal.with_pred(query_pred), query.constraint
         )
-        with obs_span("answers"):
-            found = raw_answers(result.database, effective_query)
+        # Answer extraction renders the partial state; it must not be
+        # vetoed by the already-blown budget.
+        with (
+            meter.paused() if meter is not None else _nullcontext()
+        ):
+            with obs_span("answers"):
+                found = raw_answers(result.database, effective_query)
+    if not result.reached_fixpoint:
+        completeness = result.completeness
+    elif fallbacks:
+        completeness = "approximated"
+    else:
+        completeness = "complete"
     return QueryOutcome(
         answers=found,
         result=result,
@@ -235,25 +426,82 @@ def answer_query(
         query=query,
         strategy=strategy,
         notes=notes,
+        completeness=completeness,
+        fallbacks=fallbacks,
+        budget=meter.snapshot() if meter is not None else None,
     )
 
 
 def run_text(
     text: str,
     strategy: str = "rewrite",
-    max_iterations: int = 50,
-    eval_iterations: int = 200,
+    max_iterations: int = DEFAULT_REWRITE_ITERATIONS,
+    eval_iterations: int = DEFAULT_EVAL_ITERATIONS,
+    budget: "Budget | None" = None,
+    on_limit: str = "truncate",
 ) -> list[QueryOutcome]:
-    """Parse a program-with-queries text and answer every query."""
+    """Parse a program-with-queries text and answer every query.
+
+    All queries share one budget meter (the deadline and the caps are
+    per *run*, not per query).  The meter's consumption is recorded on
+    a ``governor`` span and in each outcome's ``budget`` snapshot.
+    """
+    if strategy not in STRATEGIES:
+        raise UsageError(
+            f"unknown strategy {strategy!r}; choose from {STRATEGIES}"
+        )
+    if on_limit not in ON_LIMIT_POLICIES:
+        raise UsageError(
+            f"unknown on_limit policy {on_limit!r}; "
+            f"choose from {ON_LIMIT_POLICIES}"
+        )
     with obs_span("parse"):
         program, queries = parse_program_and_queries(text)
     if not queries:
-        raise ValueError("the program text contains no ?- query")
+        raise UsageError("the program text contains no ?- query")
     with obs_span("split_edb"):
         rules, edb = split_edb(program)
-    return [
-        answer_query(
-            rules, query, edb, strategy, max_iterations, eval_iterations
+    meter = budget.meter() if budget is not None else None
+    if meter is None:
+        return [
+            answer_query(
+                rules, query, edb, strategy, max_iterations,
+                eval_iterations, on_limit=on_limit,
+            )
+            for query in queries
+        ]
+    with obs_span(
+        "governor",
+        on_limit=on_limit,
+        **{
+            f"budget.{name}": value
+            for name, value in (
+                ("deadline", budget.deadline),
+                ("max_iterations", budget.max_iterations),
+                ("max_rewrite_iterations",
+                 budget.max_rewrite_iterations),
+                ("max_facts", budget.max_facts),
+                ("max_solver_calls", budget.max_solver_calls),
+            )
+            if value is not None
+        },
+    ) as gspan:
+        with governor.governed(meter):
+            outcomes = [
+                answer_query(
+                    rules, query, edb, strategy, max_iterations,
+                    eval_iterations, on_limit=on_limit,
+                )
+                for query in queries
+            ]
+        snapshot = meter.snapshot()
+        gspan.set("elapsed_seconds", snapshot["elapsed_seconds"])
+        gspan.set("spent", snapshot["spent"])
+        if snapshot["exhausted"]:
+            gspan.set("exhausted", snapshot["exhausted"])
+        fallbacks = sorted(
+            {step for outcome in outcomes for step in outcome.fallbacks}
         )
-        for query in queries
-    ]
+        if fallbacks:
+            gspan.set("fallbacks", fallbacks)
+    return outcomes

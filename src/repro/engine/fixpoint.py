@@ -18,11 +18,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.config import DEFAULT_EVAL_ITERATIONS
 from repro.engine.database import Database
 from repro.engine.facts import Fact
 from repro.engine.relation import InsertOutcome
 from repro.engine.ruleeval import RuleEvaluator, database_view
 from repro.engine.stats import EvalStats
+from repro.errors import BudgetExceeded
+from repro.governor import budget as governor
 from repro.lang.ast import Program
 from repro.lang.normalize import normalize_program
 from repro.obs.recorder import count as obs_count, span as obs_span
@@ -77,13 +80,28 @@ class IterationLog:
 
 @dataclass
 class EvaluationResult:
-    """The outcome of a bottom-up fixpoint evaluation."""
+    """The outcome of a bottom-up fixpoint evaluation.
+
+    ``completeness`` is ``"complete"`` when a fixpoint was reached and
+    ``"truncated:<resource>"`` when evaluation stopped early -- the
+    resource is ``iterations`` for the plain iteration cap, or the
+    budget dimension that tripped (``deadline``, ``facts``,
+    ``solver_calls``).  A truncated result is still a *usable partial
+    state*: every stored fact is soundly derived, only completeness of
+    the answer set is lost.
+    """
 
     database: Database
     iterations: list[IterationLog]
     reached_fixpoint: bool
     stats: EvalStats
     program: Program
+    completeness: str = "complete"
+
+    @property
+    def truncated(self) -> bool:
+        """True when evaluation stopped before reaching a fixpoint."""
+        return self.completeness != "complete"
 
     def facts(self, pred: str) -> tuple[Fact, ...]:
         """The stored facts of a predicate."""
@@ -104,10 +122,11 @@ class EvaluationResult:
 def evaluate(
     program: Program,
     edb: Database | None = None,
-    max_iterations: int = 200,
+    max_iterations: int = DEFAULT_EVAL_ITERATIONS,
     strategy: str = "seminaive",
     use_range_index: bool = True,
     backward_subsumption: bool = False,
+    budget: "governor.BudgetMeter | None" = None,
 ) -> EvaluationResult:
     """Evaluate a program bottom-up over an input database.
 
@@ -124,9 +143,18 @@ def evaluate(
     discarding new facts covered by stored ones -- is always on, per the
     paper).  Sound because the subsuming fact carries an equal-or-newer
     stamp, so every future derivation from a removed fact is covered.
+
+    ``budget`` is an optional :class:`repro.governor.BudgetMeter`; when
+    omitted, the ambiently installed meter (if any) governs the run.
+    Budget exhaustion mid-evaluation does not raise out of this
+    function: the loop stops at the nearest cooperative checkpoint and
+    the partial state is returned with
+    ``completeness="truncated:<resource>"`` (callers that want fail
+    semantics re-raise -- see ``repro.driver``).
     """
     if strategy not in ("seminaive", "naive"):
         raise ValueError(f"unknown strategy {strategy!r}")
+    meter = budget if budget is not None else governor.current_meter()
     with obs_span("normalize"):
         normalized = normalize_program(program)
     database = edb.copy() if edb is not None else Database()
@@ -141,62 +169,87 @@ def evaluate(
     stats = EvalStats()
     logs: list[IterationLog] = []
     reached_fixpoint = False
+    tripped: str | None = None
     with obs_span(
         "fixpoint", strategy=strategy, rules=len(normalized)
     ) as fixpoint_span:
         for iteration in range(1, max_iterations + 1):
             log = IterationLog(number=iteration - 1)
-            with obs_span("iteration", number=iteration - 1) as it_span:
-                for evaluator in evaluators:
-                    rule = evaluator.rule
-                    if strategy == "naive" or iteration == 1:
-                        views = [
-                            database_view(
-                                database, max_stamp=iteration - 1
-                            )
-                        ]
-                    elif rule.is_fact:
-                        continue  # fact rules fire once, at iteration 1
-                    else:
-                        views = [
-                            database_view(
-                                database,
-                                max_stamp=iteration - 1,
-                                exact_stamp_index=index,
-                                exact_stamp=iteration - 1,
-                                old_stamp=iteration - 2,
-                            )
-                            for index in range(len(rule.body))
-                        ]
-                    with obs_span("rule", label=rule.label or "?"):
-                        for view in views:
-                            for fact, parents in (
-                                evaluator.derive_with_parents(view)
-                            ):
-                                outcome = database.insert(
-                                    fact, stamp=iteration
+            try:
+                if meter is not None:
+                    meter.checkpoint("evaluate")
+                    meter.charge("iterations", phase="evaluate")
+                with obs_span(
+                    "iteration", number=iteration - 1
+                ) as it_span:
+                    for evaluator in evaluators:
+                        if meter is not None:
+                            meter.checkpoint("rule")
+                        rule = evaluator.rule
+                        if strategy == "naive" or iteration == 1:
+                            views = [
+                                database_view(
+                                    database, max_stamp=iteration - 1
                                 )
-                                log.derivations.append(
-                                    Derivation(
-                                        rule.label, fact, outcome, parents
+                            ]
+                        elif rule.is_fact:
+                            continue  # fact rules fire at iteration 1
+                        else:
+                            views = [
+                                database_view(
+                                    database,
+                                    max_stamp=iteration - 1,
+                                    exact_stamp_index=index,
+                                    exact_stamp=iteration - 1,
+                                    old_stamp=iteration - 2,
+                                )
+                                for index in range(len(rule.body))
+                            ]
+                        with obs_span("rule", label=rule.label or "?"):
+                            for view in views:
+                                for fact, parents in (
+                                    evaluator.derive_with_parents(view)
+                                ):
+                                    outcome = database.insert(
+                                        fact, stamp=iteration
                                     )
-                                )
-                                stats.record(
-                                    rule.label, fact.pred, outcome
-                                )
-                                obs_count("engine.derivations")
-                                obs_count(_OUTCOME_COUNTERS[outcome])
-                if backward_subsumption:
-                    for fact in log.new_facts():
-                        relation = database.get(fact.pred)
-                        if relation is None or fact not in relation:
-                            continue  # itself swept by a later sibling
-                        stats.swept += len(
-                            relation.sweep_subsumed_by(fact)
-                        )
-                delta = len(log.new_facts())
-                it_span.set("delta", delta)
-                it_span.set("derivations", len(log.derivations))
+                                    log.derivations.append(
+                                        Derivation(
+                                            rule.label, fact, outcome,
+                                            parents,
+                                        )
+                                    )
+                                    stats.record(
+                                        rule.label, fact.pred, outcome
+                                    )
+                                    obs_count("engine.derivations")
+                                    obs_count(_OUTCOME_COUNTERS[outcome])
+                                    if (
+                                        outcome is InsertOutcome.NEW
+                                        and meter is not None
+                                    ):
+                                        meter.charge(
+                                            "facts", phase="evaluate"
+                                        )
+                    if backward_subsumption:
+                        for fact in log.new_facts():
+                            relation = database.get(fact.pred)
+                            if relation is None or fact not in relation:
+                                continue  # swept by a later sibling
+                            stats.swept += len(
+                                relation.sweep_subsumed_by(fact)
+                            )
+                    delta = len(log.new_facts())
+                    it_span.set("delta", delta)
+                    it_span.set("derivations", len(log.derivations))
+            except BudgetExceeded as error:
+                # Stop at the checkpoint and keep the partial state:
+                # everything derived so far (this iteration included)
+                # is sound, only completeness is lost.
+                tripped = error.resource
+                logs.append(log)
+                stats.iterations = iteration
+                break
             logs.append(log)
             stats.iterations = iteration
             if not log.new_facts():
@@ -204,22 +257,29 @@ def evaluate(
                 break
         fixpoint_span.set("iterations", stats.iterations)
         fixpoint_span.set("reached_fixpoint", reached_fixpoint)
+        if tripped is not None:
+            fixpoint_span.set("truncated", tripped)
     stats.probes = sum(evaluator.probes for evaluator in evaluators)
     obs_count("engine.join_probes", stats.probes)
     obs_count("engine.iterations", stats.iterations)
+    if reached_fixpoint:
+        completeness = "complete"
+    else:
+        completeness = f"truncated:{tripped or 'iterations'}"
     return EvaluationResult(
         database=database,
         iterations=logs,
         reached_fixpoint=reached_fixpoint,
         stats=stats,
         program=normalized,
+        completeness=completeness,
     )
 
 
 def seminaive_evaluate(
     program: Program,
     edb: Database | None = None,
-    max_iterations: int = 200,
+    max_iterations: int = DEFAULT_EVAL_ITERATIONS,
 ) -> EvaluationResult:
     """``evaluate`` with the semi-naive strategy."""
     return evaluate(program, edb, max_iterations, strategy="seminaive")
@@ -228,7 +288,7 @@ def seminaive_evaluate(
 def naive_evaluate(
     program: Program,
     edb: Database | None = None,
-    max_iterations: int = 200,
+    max_iterations: int = DEFAULT_EVAL_ITERATIONS,
 ) -> EvaluationResult:
     """``evaluate`` with the naive strategy."""
     return evaluate(program, edb, max_iterations, strategy="naive")

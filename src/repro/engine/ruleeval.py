@@ -30,14 +30,19 @@ from repro.constraints.linexpr import LinearExpr
 from repro.engine.database import Database
 from repro.engine.facts import Fact, PENDING, make_fact
 from repro.engine.relation import Range
+from repro.errors import ReproError
+from repro.governor import budget as governor
 from repro.lang.ast import Literal, Rule
 from repro.lang.positions import arg_position
 from repro.lang.terms import NumTerm, Sym, Var
 from repro.obs.recorder import count as obs_count
 
 
-class SortConflictError(TypeError):
+class SortConflictError(ReproError, TypeError):
     """A variable was used both symbolically and in arithmetic."""
+
+    code = "REPRO_SORT_CONFLICT"
+    exit_code = 2
 
 
 @dataclass
@@ -177,6 +182,10 @@ class RuleEvaluator:
         ranges = self._ranges[index] or None
         for fact in view(literal, bound, index, ranges):
             self.probes += 1
+            # Cooperative budget checkpoint: a single rule application
+            # over a large relation can run long, so the deadline is
+            # polled inside the join loop too (cheap stride check).
+            governor.tick("rule")
             branch = state.copy()
             if not self._unify(literal, fact, branch, counter):
                 continue

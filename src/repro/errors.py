@@ -1,0 +1,173 @@
+"""The unified exception taxonomy, with stable codes and exit codes.
+
+Every error the library raises deliberately derives from
+:class:`ReproError` *and* from the builtin exception its historical
+definition used (``ValueError``, ``RuntimeError``, ``TypeError``), so
+``except ValueError`` call sites written against earlier versions keep
+working while new code can catch the whole taxonomy -- or dispatch on
+the stable ``code`` string -- in one place.
+
+Each class carries two class attributes:
+
+* ``code`` -- a stable machine-readable identifier (``REPRO_*``),
+  safe to match in scripts and logs across releases;
+* ``exit_code`` -- the CLI process status ``python -m repro`` exits
+  with when the error escapes (see the table in
+  ``docs/robustness.md``).
+
+CLI exit-code contract:
+
+====  =========================================================
+``0``  success; every query answered completely
+``1``  soft degradation: an evaluation was truncated by an
+       iteration cap or resource budget (partial answers printed)
+``2``  the input was unusable: usage, file, parse, or transform
+       errors -- nothing was evaluated
+``3``  a hard resource failure: a budget was exhausted under
+       ``--on-limit=fail``, a constraint fixpoint diverged with
+       ``on_divergence="raise"``, or an injected fault fired
+====  =========================================================
+
+The concrete classes live next to the code that raises them
+(``ParseError`` in :mod:`repro.lang.parser`, ``TransformError`` in
+:mod:`repro.transform.foldunfold`, ...); this module defines the base,
+the driver-level errors that belong to no deeper layer, and the
+:data:`ERROR_CODES` table that documents them all.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base of every deliberate error raised by this package."""
+
+    code: str = "REPRO_INTERNAL"
+    exit_code: int = 2
+
+
+class UsageError(ReproError, ValueError):
+    """The caller asked for something the API does not offer.
+
+    Raised for an unknown strategy or transformation step, a program
+    text with no ``?-`` query, an invalid ``on_limit`` policy, and
+    similar misuses; the CLI maps it to exit code 2 deliberately.
+    """
+
+    code = "REPRO_USAGE"
+    exit_code = 2
+
+
+class BudgetExceeded(ReproError, RuntimeError):
+    """A resource budget was exhausted (see :mod:`repro.governor`).
+
+    ``resource`` names the budget dimension that tripped
+    (``"deadline"``, ``"iterations"``, ``"rewrite_iterations"``,
+    ``"facts"``, ``"solver_calls"``); ``spent``/``limit`` quantify it.
+    ``partial`` optionally carries the usable partial state computed
+    before exhaustion (an ``EvaluationResult`` or ``QueryOutcome``)
+    when the raiser had one.
+    """
+
+    code = "REPRO_BUDGET"
+    exit_code = 3
+
+    def __init__(
+        self,
+        resource: str,
+        spent: object = None,
+        limit: object = None,
+        phase: str | None = None,
+        partial: object = None,
+    ) -> None:
+        detail = f"{resource} budget exhausted"
+        if spent is not None and limit is not None:
+            detail += f" ({spent} > {limit})"
+        if phase:
+            detail += f" during {phase}"
+        super().__init__(detail)
+        self.resource = resource
+        self.spent = spent
+        self.limit = limit
+        self.phase = phase
+        self.partial = partial
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """A deterministic fault fired (see :mod:`repro.governor.faults`)."""
+
+    code = "REPRO_FAULT"
+    exit_code = 3
+
+    def __init__(self, site: str, occurrence: int) -> None:
+        super().__init__(
+            f"injected fault at {site!r} (occurrence {occurrence})"
+        )
+        self.site = site
+        self.occurrence = occurrence
+
+
+#: code -> (exit code, raising class, one-line description).  The
+#: classes defined in deeper layers are named by dotted path (resolved
+#: lazily by :func:`taxonomy` to avoid import cycles).
+ERROR_CODES: dict[str, tuple[int, str, str]] = {
+    "REPRO_USAGE": (
+        2,
+        "repro.errors.UsageError",
+        "unknown strategy/step/policy, or a text with no ?- query",
+    ),
+    "REPRO_PARSE": (
+        2,
+        "repro.lang.parser.ParseError",
+        "malformed program text (with line/column context)",
+    ),
+    "REPRO_TRANSFORM": (
+        2,
+        "repro.transform.foldunfold.TransformError",
+        "an inapplicable fold/unfold/definition step",
+    ),
+    "REPRO_NOT_GROUNDABLE": (
+        2,
+        "repro.magic.gmt.NotGroundableError",
+        "the program violates Definition 6.1 (not groundable)",
+    ),
+    "REPRO_SORT_CONFLICT": (
+        2,
+        "repro.engine.ruleeval.SortConflictError",
+        "a variable used both symbolically and in arithmetic",
+    ),
+    "REPRO_NONTERMINATION": (
+        3,
+        "repro.core.predconstraints.NonTerminationError",
+        "a constraint-inference fixpoint exceeded its iteration cap",
+    ),
+    "REPRO_BUDGET": (
+        3,
+        "repro.errors.BudgetExceeded",
+        "a resource budget (deadline/iterations/facts/solver calls) "
+        "was exhausted",
+    ),
+    "REPRO_FAULT": (
+        3,
+        "repro.errors.InjectedFault",
+        "a deterministically injected fault fired (test harness)",
+    ),
+}
+
+
+def taxonomy() -> dict[str, type]:
+    """The full code -> class mapping, importing lazily."""
+    import importlib
+
+    classes: dict[str, type] = {}
+    for code, (__, path, __desc) in ERROR_CODES.items():
+        module_name, class_name = path.rsplit(".", 1)
+        module = importlib.import_module(module_name)
+        classes[code] = getattr(module, class_name)
+    return classes
+
+
+def exit_code_for(error: BaseException) -> int:
+    """The documented CLI exit status for an escaped error."""
+    if isinstance(error, ReproError):
+        return error.exit_code
+    return 2

@@ -1,0 +1,52 @@
+"""Resource governance: budgets, deadlines, and fault injection.
+
+The paper's own examples show that both CQL evaluation and the
+``Gen_*_constraints`` procedures can diverge (Example 1.2; ``fib``'s
+infinite minimum predicate constraint).  This package turns "it might
+not terminate" into an engineering contract:
+
+* :class:`Budget` / :class:`BudgetMeter` (:mod:`repro.governor.budget`)
+  -- declarative limits (wall-clock deadline, evaluation iterations,
+  rewrite iterations, stored facts, solver calls) enforced by
+  cooperative checkpoints threaded through the engine, the rewrite
+  procedures, and the driver; exhaustion raises a typed
+  :class:`~repro.errors.BudgetExceeded` naming the tripped resource,
+  and the driver degrades gracefully (partial answers, widening
+  fallbacks) instead of crashing -- see ``docs/robustness.md``;
+* :class:`FaultPlan` / :class:`FaultyRecorder`
+  (:mod:`repro.governor.faults`) -- deterministic delays, failures and
+  budget pressure injected at the observability recorder seam, used by
+  the fault-injection test suite to prove the degradation ladder holds
+  under stress.
+"""
+
+from repro.errors import BudgetExceeded, InjectedFault
+from repro.governor.budget import (
+    RESOURCE_LIMITS,
+    Budget,
+    BudgetMeter,
+    charge,
+    checkpoint,
+    current_meter,
+    governed,
+    set_meter,
+    tick,
+)
+from repro.governor.faults import Fault, FaultPlan, FaultyRecorder
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "BudgetMeter",
+    "Fault",
+    "FaultPlan",
+    "FaultyRecorder",
+    "InjectedFault",
+    "RESOURCE_LIMITS",
+    "charge",
+    "checkpoint",
+    "current_meter",
+    "governed",
+    "set_meter",
+    "tick",
+]

@@ -1,0 +1,194 @@
+"""Deterministic fault injection at the observability recorder seam.
+
+Every phase of the pipeline already announces itself through the
+recorder seam (``obs.span("fixpoint")``, ``obs.count("constraint.
+sat_checks")``, ...).  That seam is therefore the one place where a
+test harness can deterministically perturb any phase without patching
+library internals: a :class:`FaultyRecorder` wraps a real (or no-op)
+recorder and fires configured :class:`Fault`\\ s when matching events
+pass through it:
+
+* ``delay`` -- sleep for a fixed time at a span/counter site
+  (simulates slow solvers and I/O; with a ``deadline`` budget it
+  exercises every deadline checkpoint);
+* ``fail``  -- raise a typed :class:`~repro.errors.InjectedFault` at
+  the *n*-th matching occurrence (simulates a crashing solver call or
+  phase);
+* ``pressure`` -- charge the ambient budget meter extra consumption
+  (simulates resource pressure; budgets trip earlier but still
+  deterministically).
+
+Faults are matched by ``fnmatch`` pattern against the event name and
+fire on occurrence counts, so a run with a fixed program and plan is
+fully reproducible.  Plans parse from compact text specs
+(``fail:constraint.sat_checks:5;delay:iteration:0.01``) so the CLI
+(``--faults``) and CI (``REPRO_FAULTS``) can enable them without code.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from typing import Callable
+
+from repro.errors import InjectedFault, UsageError
+from repro.governor import budget as governor
+from repro.obs.recorder import NULL_RECORDER
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One deterministic fault.
+
+    ``site`` is an ``fnmatch`` pattern over event names (span names and
+    counter names share one namespace).  The fault fires on the
+    ``nth``-th matching occurrence (1-based) and on every later one up
+    to ``times`` total firings (``None`` = unlimited).
+    """
+
+    kind: str                       # "delay" | "fail" | "pressure"
+    site: str
+    nth: int = 1
+    times: int | None = None
+    seconds: float = 0.0            # delay amount
+    resource: str = "solver_calls"  # pressure target
+    amount: int = 1                 # pressure amount
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("delay", "fail", "pressure"):
+            raise UsageError(f"unknown fault kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered collection of faults."""
+
+    faults: tuple[Fault, ...] = ()
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse a compact text plan.
+
+        ``spec`` is ``;``-separated faults, each ``kind:site[:arg]``:
+
+        * ``delay:<site>:<seconds>`` -- every occurrence;
+        * ``fail:<site>[:<nth>]`` -- once, at the nth occurrence
+          (default 1);
+        * ``pressure:<site>:<resource>*<amount>`` -- every occurrence.
+        """
+        faults: list[Fault] = []
+        for part in spec.split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            pieces = part.split(":")
+            if len(pieces) < 2:
+                raise UsageError(f"malformed fault spec {part!r}")
+            kind, site = pieces[0], pieces[1]
+            arg = pieces[2] if len(pieces) > 2 else None
+            try:
+                if kind == "delay":
+                    faults.append(Fault(
+                        kind, site, seconds=float(arg or 0.0),
+                    ))
+                elif kind == "fail":
+                    faults.append(Fault(
+                        kind, site, nth=int(arg or 1), times=1,
+                    ))
+                elif kind == "pressure":
+                    resource, __, amount = (arg or "").partition("*")
+                    if resource not in governor.RESOURCE_LIMITS:
+                        raise UsageError(
+                            f"unknown pressure resource {resource!r}"
+                        )
+                    faults.append(Fault(
+                        kind, site, resource=resource,
+                        amount=int(amount or 1),
+                    ))
+                else:
+                    raise UsageError(f"unknown fault kind {kind!r}")
+            except (TypeError, ValueError) as error:
+                if isinstance(error, UsageError):
+                    raise
+                raise UsageError(
+                    f"malformed fault spec {part!r}: {error}"
+                ) from error
+        return cls(tuple(faults))
+
+
+class FaultyRecorder:
+    """A recorder wrapper that fires a :class:`FaultPlan`.
+
+    Implements the recorder protocol (``span``/``count``/
+    ``record_time``) by delegating to ``inner`` after consulting the
+    plan.  ``sleeper`` is injectable so tests can observe delays
+    without real waiting.  ``fired`` logs every firing as
+    ``(kind, site-pattern, event-name, occurrence)`` for assertions.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        inner=NULL_RECORDER,
+        sleeper: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.plan = plan
+        self.inner = inner
+        self.sleeper = sleeper
+        self.occurrences: Counter = Counter()
+        self.fired: list[tuple[str, str, str, int]] = []
+        self._firings: Counter = Counter()  # per-fault firing counts
+
+    @property
+    def enabled(self) -> bool:
+        """Mirror the wrapped recorder's enabled flag."""
+        return getattr(self.inner, "enabled", False)
+
+    # -- the recorder protocol ----------------------------------------
+
+    def span(self, name: str, **attrs: object):
+        """Open a span on the inner recorder, after firing faults."""
+        self._event(name)
+        return self.inner.span(name, **attrs)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Forward a counter increment, after firing faults."""
+        self._event(name)
+        self.inner.count(name, n)
+
+    def record_time(self, name: str, seconds: float) -> None:
+        """Forward a timing observation (never faulted)."""
+        self.inner.record_time(name, seconds)
+
+    # -- fault dispatch -----------------------------------------------
+
+    def _event(self, name: str) -> None:
+        if name.startswith("governor."):
+            # Budget charges themselves emit governor.* counters;
+            # faulting those would recurse (pressure -> charge ->
+            # counter -> pressure).  The governor is the harness, not
+            # a fault site.
+            return
+        self.occurrences[name] += 1
+        occurrence = self.occurrences[name]
+        for index, fault in enumerate(self.plan.faults):
+            if not fnmatch(name, fault.site):
+                continue
+            if occurrence < fault.nth:
+                continue
+            if (
+                fault.times is not None
+                and self._firings[index] >= fault.times
+            ):
+                continue
+            self._firings[index] += 1
+            self.fired.append((fault.kind, fault.site, name, occurrence))
+            if fault.kind == "delay":
+                self.sleeper(fault.seconds)
+            elif fault.kind == "pressure":
+                governor.charge(fault.resource, fault.amount,
+                                phase=f"fault:{name}")
+            else:  # fail
+                raise InjectedFault(name, occurrence)

@@ -26,12 +26,16 @@ from typing import Iterator, NamedTuple
 from repro.constraints.atom import Atom
 from repro.constraints.conjunction import Conjunction
 from repro.constraints.linexpr import LinearExpr
+from repro.errors import ReproError
 from repro.lang.ast import Literal, Program, Query, Rule
 from repro.lang.terms import NumTerm, Sym, Term, Var
 
 
-class ParseError(ValueError):
+class ParseError(ReproError, ValueError):
     """Raised on malformed program text, with line/column context."""
+
+    code = "REPRO_PARSE"
+    exit_code = 2
 
     def __init__(self, message: str, line: int, column: int) -> None:
         super().__init__(f"line {line}, column {column}: {message}")

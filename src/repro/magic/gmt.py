@@ -27,6 +27,7 @@ import networkx as nx
 
 from repro.constraints.atom import Atom
 from repro.constraints.conjunction import Conjunction
+from repro.errors import ReproError
 from repro.lang.ast import Literal, Program, Query, Rule
 from repro.lang.terms import term_variables
 from repro.magic.templates import magic_name
@@ -120,8 +121,11 @@ def _grounding_subgoals(
     return indexes, atoms
 
 
-class NotGroundableError(ValueError):
+class NotGroundableError(ReproError, ValueError):
     """The program violates Definition 6.1 (not groundable)."""
+
+    code = "REPRO_NOT_GROUNDABLE"
+    exit_code = 2
 
 
 def is_groundable(gmt: GmtProgram) -> bool:

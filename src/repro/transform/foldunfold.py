@@ -29,6 +29,8 @@ from dataclasses import dataclass
 
 from repro.constraints.atom import Atom
 from repro.constraints.conjunction import Conjunction
+from repro.errors import ReproError
+from repro.governor import budget as governor
 from repro.lang.ast import Literal, Program, Rule
 from repro.lang.terms import (
     NumTerm,
@@ -39,8 +41,11 @@ from repro.lang.terms import (
 )
 
 
-class TransformError(ValueError):
+class TransformError(ReproError, ValueError):
     """An inapplicable fold/unfold/definition step."""
+
+    code = "REPRO_TRANSFORM"
+    exit_code = 2
 
 
 def unify_literals(
@@ -179,6 +184,7 @@ class FoldUnfold:
         """Unfold the chosen body literal against all matching rules."""
         if rule not in self.program.rules:
             raise TransformError(f"rule not in program: {rule}")
+        governor.checkpoint("foldunfold.unfold")
         literal = rule.body[body_index]
         resolvents: list[Rule] = []
         for target in self.program.rules_for(literal.pred):
@@ -332,6 +338,7 @@ class FoldUnfold:
         changed = True
         while changed:
             changed = False
+            governor.checkpoint("foldunfold.fold")
             for rule in state.program.rules:
                 if rule in state.definitions:
                     continue

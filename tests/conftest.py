@@ -1,10 +1,59 @@
-"""Shared fixtures: the paper's example programs and small helpers."""
+"""Shared fixtures: the paper's example programs and small helpers.
+
+Also a global per-test timeout guard (robustness PR): every test gets
+a SIGALRM-based wall-clock cap so a regression that reintroduces an
+unbounded loop fails fast instead of hanging the suite.  Tune with the
+``REPRO_TEST_TIMEOUT`` environment variable (seconds; ``0`` disables);
+skipped automatically on platforms without ``SIGALRM`` or when tests
+run off the main thread.
+"""
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
 from fractions import Fraction
 
 import pytest
+
+TEST_TIMEOUT_SECONDS = float(os.environ.get("REPRO_TEST_TIMEOUT", "600"))
+
+
+class TestTimeoutGuard(BaseException):
+    """Raised by the SIGALRM guard.
+
+    Deliberately a ``BaseException``: hypothesis treats ``Exception``
+    raised inside an example as a falsifying input and replays it, which
+    turns a wall-clock trip into a spurious ``FlakyFailure``.  A
+    ``BaseException`` propagates straight out instead.
+    """
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    supported = (
+        TEST_TIMEOUT_SECONDS > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not supported:
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise TestTimeoutGuard(
+            f"test exceeded the {TEST_TIMEOUT_SECONDS:g}s global "
+            "timeout guard (REPRO_TEST_TIMEOUT)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, TEST_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 from repro.constraints import Atom, Conjunction, ConstraintSet, LinearExpr
 from repro.lang import parse_program, parse_query

@@ -1,0 +1,228 @@
+"""The fault-injection harness: plans, the recorder wrapper, recovery.
+
+The harness perturbs runs at the observability seam, so every fault
+lands at a named phase boundary without patching internals.  These
+tests prove the robustness claims: under injected delays, failures,
+and budget pressure, phases still terminate, partial results are
+still reported, and traces/reports stay intact.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.driver import run_text
+from repro.errors import InjectedFault, UsageError
+from repro.governor import (
+    Budget,
+    Fault,
+    FaultPlan,
+    FaultyRecorder,
+)
+from repro.governor import budget as governor
+from repro.obs.recorder import recording
+
+SMALL_TEXT = """
+p(X) :- e(X), X >= 1.
+e(1).
+e(2).
+e(3).
+?- p(X).
+"""
+
+
+class TestFaultSpecParsing:
+    def test_delay_spec(self):
+        plan = FaultPlan.from_spec("delay:evaluate:0.25")
+        (fault,) = plan.faults
+        assert fault.kind == "delay"
+        assert fault.site == "evaluate"
+        assert fault.seconds == 0.25
+        assert fault.times is None
+
+    def test_fail_spec_defaults_to_first_occurrence_once(self):
+        plan = FaultPlan.from_spec("fail:rewrite.qrp")
+        (fault,) = plan.faults
+        assert (fault.kind, fault.nth, fault.times) == ("fail", 1, 1)
+
+    def test_fail_spec_nth(self):
+        (fault,) = FaultPlan.from_spec("fail:iteration:3").faults
+        assert fault.nth == 3
+
+    def test_pressure_spec(self):
+        (fault,) = FaultPlan.from_spec(
+            "pressure:engine.iterations:solver_calls*50"
+        ).faults
+        assert fault.kind == "pressure"
+        assert fault.resource == "solver_calls"
+        assert fault.amount == 50
+
+    def test_multiple_faults_semicolon_separated(self):
+        plan = FaultPlan.from_spec(
+            "delay:evaluate:0.1; fail:rule:2"
+        )
+        assert [f.kind for f in plan.faults] == ["delay", "fail"]
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "boom:evaluate",
+            "delay",
+            "delay:site:not-a-number",
+            "fail:site:zero",
+            "pressure:site:unknown_resource*2",
+        ],
+    )
+    def test_malformed_specs_are_usage_errors(self, spec):
+        with pytest.raises(UsageError):
+            FaultPlan.from_spec(spec)
+
+    def test_unknown_kind_rejected_at_construction(self):
+        with pytest.raises(UsageError):
+            Fault(kind="explode", site="x")
+
+
+class TestFaultyRecorder:
+    def test_delay_calls_sleeper(self):
+        slept = []
+        recorder = FaultyRecorder(
+            FaultPlan.from_spec("delay:evaluate:0.5"),
+            sleeper=slept.append,
+        )
+        recorder.span("evaluate")
+        recorder.span("evaluate")
+        recorder.span("other")
+        assert slept == [0.5, 0.5]
+        assert len(recorder.fired) == 2
+
+    def test_fail_fires_at_nth_occurrence_once(self):
+        recorder = FaultyRecorder(FaultPlan.from_spec("fail:rule:3"))
+        recorder.count("rule")
+        recorder.count("rule")
+        with pytest.raises(InjectedFault) as excinfo:
+            recorder.count("rule")
+        assert excinfo.value.site == "rule"
+        assert excinfo.value.occurrence == 3
+        recorder.count("rule")              # times=1: fired out
+
+    def test_sites_are_fnmatch_patterns(self):
+        recorder = FaultyRecorder(
+            FaultPlan.from_spec("fail:rewrite.*")
+        )
+        with pytest.raises(InjectedFault):
+            recorder.span("rewrite.qrp")
+
+    def test_pressure_charges_ambient_meter(self):
+        recorder = FaultyRecorder(
+            FaultPlan.from_spec("pressure:evaluate:facts*10")
+        )
+        meter = Budget(max_facts=100).meter()
+        with governor.governed(meter):
+            recorder.span("evaluate")
+        assert meter.spent["facts"] == 10
+
+    def test_governor_counters_are_never_fault_sites(self):
+        # pressure -> charge -> governor.* counter -> pressure would
+        # recurse; the harness must not observe its own accounting.
+        recorder = FaultyRecorder(
+            FaultPlan.from_spec("fail:governor.*")
+        )
+        recorder.count("governor.facts")
+        assert recorder.fired == []
+
+    def test_forwards_to_inner_recorder(self):
+        events = []
+
+        class Inner:
+            enabled = True
+
+            def span(self, name, **attrs):
+                events.append(("span", name))
+                from repro.obs.recorder import NULL_RECORDER
+
+                return NULL_RECORDER.span(name)
+
+            def count(self, name, n=1):
+                events.append(("count", name, n))
+
+            def record_time(self, name, seconds):
+                events.append(("time", name))
+
+        recorder = FaultyRecorder(FaultPlan(), inner=Inner())
+        assert recorder.enabled
+        recorder.span("evaluate")
+        recorder.count("rule", 2)
+        recorder.record_time("join", 0.1)
+        assert events == [
+            ("span", "evaluate"), ("count", "rule", 2), ("time", "join")
+        ]
+
+
+class TestFaultedRuns:
+    def test_injected_failure_escapes_as_typed_error(self):
+        recorder = FaultyRecorder(FaultPlan.from_spec("fail:evaluate"))
+        with recording(recorder):
+            with pytest.raises(InjectedFault):
+                run_text(SMALL_TEXT)
+
+    def test_pressure_inside_fixpoint_degrades_gracefully(self):
+        # Pressure fired from an in-loop counter trips the budget at a
+        # cooperative checkpoint, so the run truncates instead of
+        # crashing: phases terminate and partial results survive.
+        recorder = FaultyRecorder(
+            FaultPlan.from_spec(
+                "pressure:iteration:solver_calls*1000"
+            )
+        )
+        with recording(recorder):
+            (outcome,) = run_text(
+                SMALL_TEXT, budget=Budget(max_solver_calls=10)
+            )
+        assert outcome.completeness == "truncated:solver_calls"
+        assert outcome.budget["exhausted"] == "solver_calls"
+
+    def test_delay_with_deadline_truncates(self):
+        recorder = FaultyRecorder(
+            FaultPlan.from_spec("delay:iteration:0.05")
+        )
+        with recording(recorder):
+            (outcome,) = run_text(
+                SMALL_TEXT, budget=Budget(deadline=0.02)
+            )
+        assert outcome.completeness == "truncated:deadline"
+
+
+class TestFaultedCLI:
+    def test_cli_fault_exits_3_with_intact_trace(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        program = tmp_path / "p.cql"
+        program.write_text(SMALL_TEXT)
+        trace = tmp_path / "t.json"
+        report = tmp_path / "r.jsonl"
+        status = main([
+            str(program),
+            "--faults", "fail:evaluate",
+            "--trace", str(trace),
+            "--report", str(report),
+        ])
+        assert status == 3
+        err = capsys.readouterr().err
+        assert "REPRO_FAULT" in err
+        # Export-in-finally: the partial trace and report are valid.
+        data = json.loads(trace.read_text())
+        assert data["traceEvents"]
+        records = [
+            json.loads(line)
+            for line in report.read_text().splitlines()
+        ]
+        assert any(rec["type"] == "span" for rec in records)
+
+    def test_cli_malformed_fault_spec_exits_2(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        program = tmp_path / "p.cql"
+        program.write_text(SMALL_TEXT)
+        assert main([str(program), "--faults", "boom:x"]) == 2

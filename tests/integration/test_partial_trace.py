@@ -1,0 +1,121 @@
+"""Traces and reports stay valid when a run is cut short mid-flight.
+
+Satellite of the robustness PR: whatever stops a run -- an iteration
+cap, a resource budget, a deadline -- the ``--trace`` and ``--report``
+files must still be written and parse cleanly, and the CLI exit code
+must follow the documented contract.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.workloads.fib import FIB_PROGRAM_TEXT
+
+
+@pytest.fixture
+def fib_file(tmp_path):
+    path = tmp_path / "fib.cql"
+    path.write_text(FIB_PROGRAM_TEXT + "\n?- fib(N, 5).\n")
+    return path
+
+
+def read_report(path):
+    return [
+        json.loads(line) for line in path.read_text().splitlines()
+    ]
+
+
+class TestTruncatedRunArtifacts:
+    def test_iteration_cap_writes_valid_trace_and_report(
+        self, fib_file, tmp_path, capsys
+    ):
+        # Acceptance scenario: a 1-iteration evaluation on fib exits
+        # with the truncation code, labels the partial answer, and
+        # still produces valid artifacts.
+        trace = tmp_path / "trace.json"
+        report = tmp_path / "report.jsonl"
+        status = main([
+            str(fib_file),
+            "--strategy", "optimal",
+            "--eval-iterations", "1",
+            "--trace", str(trace),
+            "--report", str(report),
+        ])
+        assert status == 1
+        out = capsys.readouterr().out
+        assert "completeness: truncated:iterations" in out
+        data = json.loads(trace.read_text())
+        assert any(
+            event.get("name") == "fixpoint"
+            for event in data["traceEvents"]
+        )
+        records = read_report(report)
+        spans = {
+            rec["name"] for rec in records if rec["type"] == "span"
+        }
+        assert {"run", "query", "evaluate", "fixpoint"} <= spans
+
+    def test_budget_trip_records_governor_span(
+        self, fib_file, tmp_path, capsys
+    ):
+        report = tmp_path / "report.jsonl"
+        status = main([
+            str(fib_file),
+            "--strategy", "optimal",
+            "--max-rewrite-iterations", "1",
+            "--on-limit", "widen",
+            "--report", str(report),
+        ])
+        assert status == 0
+        assert "completeness: approximated" in capsys.readouterr().out
+        records = read_report(report)
+        (gspan,) = [
+            rec for rec in records
+            if rec["type"] == "span" and rec["name"] == "governor"
+        ]
+        assert gspan["attrs"]["exhausted"] == "rewrite_iterations"
+        assert gspan["attrs"]["fallbacks"]
+        counters = {
+            rec["name"] for rec in records if rec["type"] == "counter"
+        }
+        assert "governor.rewrite_iterations" in counters
+
+    def test_deadline_trip_mid_run_keeps_artifacts(
+        self, fib_file, tmp_path, capsys
+    ):
+        trace = tmp_path / "trace.json"
+        report = tmp_path / "report.jsonl"
+        status = main([
+            str(fib_file),
+            "--deadline", "0",
+            "--trace", str(trace),
+            "--report", str(report),
+        ])
+        assert status == 1
+        assert (
+            "completeness: truncated:deadline"
+            in capsys.readouterr().out
+        )
+        assert json.loads(trace.read_text())["traceEvents"]
+        assert read_report(report)
+
+    def test_on_limit_fail_exits_3_but_exports(
+        self, fib_file, tmp_path, capsys
+    ):
+        trace = tmp_path / "trace.json"
+        status = main([
+            str(fib_file),
+            "--strategy", "optimal",
+            "--max-rewrite-iterations", "1",
+            "--on-limit", "fail",
+            "--trace", str(trace),
+        ])
+        assert status == 3
+        err = capsys.readouterr().err
+        assert "REPRO_BUDGET" in err
+        assert "rewrite_iterations budget exhausted" in err
+        assert json.loads(trace.read_text())["traceEvents"]

@@ -1,0 +1,134 @@
+"""Property tests of the resource governor (robustness PR).
+
+For arbitrary small CQL programs under arbitrary finite budgets:
+
+* every governed run terminates and returns (the conftest SIGALRM
+  guard turns non-termination into a hard failure);
+* when the budget tripped, the outcome is never labeled ``complete``;
+* truncated answer sets are sound: a subset of the unbudgeted run's.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.driver import answer_query
+from repro.engine import Database
+from repro.errors import BudgetExceeded
+from repro.governor import Budget
+from repro.lang import parse_query
+from repro.lang.parser import parse_program
+
+bounds = st.integers(min_value=0, max_value=8)
+edges = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=0, max_value=6),
+    ),
+    min_size=0,
+    max_size=10,
+)
+
+caps = st.one_of(st.none(), st.integers(min_value=0, max_value=6))
+
+budgets = st.builds(
+    Budget,
+    max_iterations=caps,
+    max_rewrite_iterations=caps,
+    max_facts=caps,
+    max_solver_calls=st.one_of(
+        st.none(), st.integers(min_value=0, max_value=40)
+    ),
+)
+
+
+@st.composite
+def tc_programs(draw):
+    """A transitive-closure-with-selections program family."""
+    k1 = draw(bounds)
+    k2 = draw(bounds)
+    text = f"""
+    q(X, Y) :- t(X, Y), X <= {k1}.
+    t(X, Y) :- e(X, Y), Y >= {k2 - 4}.
+    t(X, Y) :- e(X, Z), t(Z, Y).
+    """
+    return parse_program(text)
+
+
+QUERY = "?- q(X, Y)."
+
+
+class TestGovernedRunsTerminate:
+    @given(tc_programs(), edges, budgets)
+    @settings(max_examples=30, deadline=None)
+    def test_truncate_policy_terminates_and_labels(
+        self, program, edge_list, budget
+    ):
+        edb = Database.from_ground({"e": set(edge_list)})
+        meter = budget.meter()
+        outcome = answer_query(
+            program,
+            parse_query(QUERY),
+            edb,
+            budget=meter,
+            on_limit="truncate",
+        )
+        # Labeling is honest both ways.
+        if meter.exhausted is not None:
+            assert outcome.completeness != "complete"
+        if outcome.completeness == "complete":
+            assert outcome.result.reached_fixpoint
+            assert meter.exhausted is None
+        # Sound partial answers: a subset of the unbudgeted run.
+        full = answer_query(
+            program, parse_query(QUERY), edb, strategy="none"
+        )
+        assert (
+            {str(fact) for fact in outcome.answers}
+            <= {str(fact) for fact in full.answers}
+        )
+
+    @given(tc_programs(), edges, budgets)
+    @settings(max_examples=30, deadline=None)
+    def test_fail_policy_completes_or_raises(
+        self, program, edge_list, budget
+    ):
+        edb = Database.from_ground({"e": set(edge_list)})
+        try:
+            outcome = answer_query(
+                program,
+                parse_query(QUERY),
+                edb,
+                budget=budget,
+                on_limit="fail",
+            )
+        except BudgetExceeded as error:
+            assert error.resource in (
+                "iterations", "rewrite_iterations", "facts",
+                "solver_calls",
+            )
+        else:
+            assert outcome.completeness in (
+                "complete", "approximated"
+            )
+
+    @given(tc_programs(), edges, budgets)
+    @settings(max_examples=20, deadline=None)
+    def test_widen_policy_never_loses_soundness(
+        self, program, edge_list, budget
+    ):
+        edb = Database.from_ground({"e": set(edge_list)})
+        outcome = answer_query(
+            program,
+            parse_query(QUERY),
+            edb,
+            budget=budget,
+            on_limit="widen",
+        )
+        full = answer_query(
+            program, parse_query(QUERY), edb, strategy="none"
+        )
+        assert (
+            {str(fact) for fact in outcome.answers}
+            <= {str(fact) for fact in full.answers}
+        )

@@ -1,0 +1,158 @@
+"""Graceful degradation: the on_limit ladder on real workloads.
+
+The fib workload is the paper's divergence example: its exact
+predicate-constraint fixpoint never converges, so it exercises every
+rung -- fail raises, truncate keeps sound partial answers, widen
+recovers a terminating pipeline via the interval-hull widening.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.driver import answer_query, run_text
+from repro.engine import Database
+from repro.errors import BudgetExceeded
+from repro.governor import Budget
+from repro.lang import parse_program, parse_query
+from repro.workloads.fib import FIB_PROGRAM_TEXT
+
+FIB_TEXT = FIB_PROGRAM_TEXT + "\n?- fib(N, 5).\n"
+
+SMALL_TEXT = """
+p(X) :- e(X), X >= 1.
+e(1).
+e(2).
+e(3).
+?- p(X).
+"""
+
+
+class TestWidenPolicy:
+    def test_fib_completes_via_widening(self):
+        # Acceptance scenario: a 1-iteration rewrite budget trips the
+        # exact fixpoint, the widen policy swaps in the interval-hull
+        # bounds, and the magic pipeline then terminates exactly.
+        (outcome,) = run_text(
+            FIB_TEXT,
+            strategy="optimal",
+            budget=Budget(max_rewrite_iterations=1),
+            on_limit="widen",
+        )
+        assert outcome.completeness == "approximated"
+        assert outcome.result.reached_fixpoint
+        assert outcome.answer_strings == ["N = 4"]
+        assert outcome.fallbacks
+        assert outcome.budget["exhausted"] == "rewrite_iterations"
+
+    def test_unbudgeted_run_is_not_marked_approximated_for_magic(self):
+        (outcome,) = run_text(SMALL_TEXT, strategy="none")
+        assert outcome.completeness == "complete"
+        assert outcome.fallbacks == []
+        assert outcome.budget is None
+
+
+class TestTruncatePolicy:
+    def test_fib_skips_optimization_and_truncates(self):
+        (outcome,) = run_text(
+            FIB_TEXT,
+            strategy="optimal",
+            budget=Budget(max_rewrite_iterations=1),
+            on_limit="truncate",
+            eval_iterations=5,
+        )
+        assert "optimize:skipped" in outcome.fallbacks
+        assert outcome.completeness == "truncated:iterations"
+        assert not outcome.result.reached_fixpoint
+        assert any(
+            "budget exhausted" in note for note in outcome.notes
+        )
+
+    def test_eval_iteration_budget_truncates(self):
+        (outcome,) = run_text(
+            SMALL_TEXT, budget=Budget(max_iterations=1)
+        )
+        assert outcome.completeness == "truncated:iterations"
+        assert outcome.budget["exhausted"] == "iterations"
+
+    def test_fact_budget_truncates(self):
+        (outcome,) = run_text(
+            SMALL_TEXT, budget=Budget(max_facts=1)
+        )
+        assert outcome.completeness == "truncated:facts"
+        # The partial database is still usable: the tripping fact was
+        # kept and answers extracted from it are sound.
+        full = {str(f) for f in run_text(SMALL_TEXT)[0].answers}
+        partial = {str(f) for f in outcome.answers}
+        assert partial <= full
+
+    def test_deadline_budget_truncates(self):
+        (outcome,) = run_text(
+            SMALL_TEXT, budget=Budget(deadline=0.0)
+        )
+        assert outcome.completeness == "truncated:deadline"
+        assert outcome.budget["exhausted"] == "deadline"
+
+
+class TestFailPolicy:
+    def test_rewrite_budget_raises(self):
+        with pytest.raises(BudgetExceeded) as excinfo:
+            run_text(
+                FIB_TEXT,
+                strategy="optimal",
+                budget=Budget(max_rewrite_iterations=1),
+                on_limit="fail",
+            )
+        assert excinfo.value.resource == "rewrite_iterations"
+        assert excinfo.value.exit_code == 3
+
+    def test_eval_budget_raises_with_partial_state(self):
+        with pytest.raises(BudgetExceeded) as excinfo:
+            run_text(
+                SMALL_TEXT,
+                budget=Budget(max_iterations=1),
+                on_limit="fail",
+            )
+        error = excinfo.value
+        assert error.resource == "iterations"
+        assert error.partial is not None
+        assert error.partial.completeness == "truncated:iterations"
+
+
+class TestAnswerQueryBudget:
+    def test_explicit_meter_reports_snapshot(self):
+        program = parse_program(
+            "q(X, Y) :- e(X, Y), X <= 4."
+        )
+        edb = Database.from_ground({"e": {(1, 2), (5, 6)}})
+        meter = Budget(max_facts=100).meter()
+        outcome = answer_query(
+            program, parse_query("?- q(X, Y)."), edb, budget=meter
+        )
+        assert outcome.completeness == "complete"
+        assert outcome.budget["spent"]["facts"] >= 1
+        assert meter.exhausted is None
+
+    def test_budget_spec_accepted_directly(self):
+        program = parse_program("q(X) :- e(X).")
+        edb = Database.from_ground({"e": {(1,), (2,)}})
+        outcome = answer_query(
+            program,
+            parse_query("?- q(X)."),
+            edb,
+            budget=Budget(max_iterations=50),
+        )
+        assert outcome.completeness == "complete"
+
+
+class TestNaturalDivergenceFallback:
+    def test_pred_strategy_widens_fib_without_budget(self):
+        # Pre-existing ladder rung: exact fixpoint diverges (no budget
+        # involved), the driver widens, and the outcome now says so.
+        (outcome,) = run_text(
+            FIB_TEXT, strategy="pred", eval_iterations=8
+        )
+        assert "pred:widened" in outcome.fallbacks
+        # Evaluation of the unmagic'd fib program cannot reach a
+        # fixpoint, so the truncation label wins over "approximated".
+        assert outcome.completeness == "truncated:iterations"

@@ -1,0 +1,126 @@
+"""The error taxonomy: stable codes, legacy bases, CLI exit codes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ERROR_CODES,
+    BudgetExceeded,
+    InjectedFault,
+    ReproError,
+    UsageError,
+    exit_code_for,
+    taxonomy,
+)
+
+
+class TestTaxonomy:
+    def test_every_code_resolves_to_a_class(self):
+        classes = taxonomy()
+        assert set(classes) == set(ERROR_CODES)
+        for code, cls in classes.items():
+            assert issubclass(cls, ReproError)
+            assert cls.code == code
+            assert cls.exit_code == ERROR_CODES[code][0]
+
+    def test_codes_are_stable_strings(self):
+        for code in ERROR_CODES:
+            assert code.startswith("REPRO_")
+
+    def test_legacy_bases_preserved(self):
+        # except ValueError / RuntimeError / TypeError call sites
+        # written against earlier versions must keep working.
+        from repro.core.predconstraints import NonTerminationError
+        from repro.engine.ruleeval import SortConflictError
+        from repro.lang.parser import ParseError
+        from repro.magic.gmt import NotGroundableError
+        from repro.transform.foldunfold import TransformError
+
+        assert issubclass(ParseError, ValueError)
+        assert issubclass(TransformError, ValueError)
+        assert issubclass(NotGroundableError, ValueError)
+        assert issubclass(UsageError, ValueError)
+        assert issubclass(NonTerminationError, RuntimeError)
+        assert issubclass(BudgetExceeded, RuntimeError)
+        assert issubclass(InjectedFault, RuntimeError)
+        assert issubclass(SortConflictError, TypeError)
+
+
+class TestExitCodes:
+    def test_exit_code_for_repro_errors(self):
+        assert exit_code_for(UsageError("x")) == 2
+        assert exit_code_for(BudgetExceeded("facts")) == 3
+        assert exit_code_for(InjectedFault("evaluate", 1)) == 3
+
+    def test_exit_code_for_foreign_errors(self):
+        assert exit_code_for(ValueError("x")) == 2
+        assert exit_code_for(RuntimeError("x")) == 2
+
+
+class TestBudgetExceededPayload:
+    def test_message_and_attributes(self):
+        error = BudgetExceeded(
+            "facts", spent=11, limit=10, phase="evaluate",
+            partial="partial-state",
+        )
+        assert error.resource == "facts"
+        assert error.partial == "partial-state"
+        assert str(error) == (
+            "facts budget exhausted (11 > 10) during evaluate"
+        )
+
+    def test_minimal_message(self):
+        assert str(BudgetExceeded("deadline")) == (
+            "deadline budget exhausted"
+        )
+
+
+class TestDriverUsageErrors:
+    def test_run_text_without_query_is_usage_error(self):
+        from repro.driver import run_text
+
+        with pytest.raises(UsageError, match="no \\?- query"):
+            run_text("p(1).")
+
+    def test_unknown_strategy_is_usage_error(self):
+        from repro.driver import run_text
+
+        with pytest.raises(UsageError, match="unknown strategy"):
+            run_text("p(1). ?- p(X).", strategy="bogus")
+
+    def test_unknown_on_limit_is_usage_error(self):
+        from repro.driver import run_text
+
+        with pytest.raises(UsageError, match="on_limit"):
+            run_text("p(1). ?- p(X).", on_limit="explode")
+
+    def test_usage_errors_still_catchable_as_value_error(self):
+        from repro.driver import run_text
+
+        with pytest.raises(ValueError):
+            run_text("p(1).")
+
+
+class TestCLIExitCodes:
+    def test_no_query_exits_2(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "noquery.cql"
+        path.write_text("p(1).\n")
+        assert main([str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "REPRO_USAGE" in err
+        assert "no ?- query" in err
+
+    def test_missing_file_exits_2(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["/nonexistent/x.cql"]) == 2
+
+    def test_parse_error_exits_2(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "bad.cql"
+        path.write_text("p(X :- q(X).\n?- p(X).\n")
+        assert main([str(path)]) == 2

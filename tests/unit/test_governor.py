@@ -1,0 +1,192 @@
+"""Unit tests of the resource governor: Budget, BudgetMeter, seam."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import BudgetExceeded
+from repro.governor import Budget, BudgetMeter
+from repro.governor import budget as governor
+from repro.obs.recorder import recording
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class CountingRecorder:
+    """Minimal recorder that only tallies counter increments."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counts: Counter = Counter()
+
+    def span(self, name, **attrs):
+        from repro.obs.recorder import NULL_RECORDER
+
+        return NULL_RECORDER.span(name)
+
+    def count(self, name, n=1):
+        self.counts[name] += n
+
+    def record_time(self, name, seconds):
+        pass
+
+
+class TestBudget:
+    def test_unlimited_by_default(self):
+        assert Budget().is_unlimited()
+        assert not Budget(max_facts=10).is_unlimited()
+
+    def test_meter_factory(self):
+        meter = Budget(max_iterations=3).meter()
+        assert isinstance(meter, BudgetMeter)
+        assert meter.exhausted is None
+
+
+class TestCharging:
+    def test_within_limit_accumulates(self):
+        meter = Budget(max_iterations=3).meter()
+        for _ in range(3):
+            meter.charge("iterations")
+        assert meter.spent["iterations"] == 3
+        assert meter.exhausted is None
+
+    def test_crossing_limit_raises_typed_error(self):
+        meter = Budget(max_iterations=2).meter()
+        meter.charge("iterations", 2)
+        with pytest.raises(BudgetExceeded) as excinfo:
+            meter.charge("iterations", phase="evaluate")
+        error = excinfo.value
+        assert error.resource == "iterations"
+        assert error.spent == 3
+        assert error.limit == 2
+        assert error.phase == "evaluate"
+        assert "iterations budget exhausted" in str(error)
+        assert meter.exhausted == "iterations"
+
+    def test_enforcement_is_per_resource(self):
+        # The degradation ladder depends on this: after the exact
+        # fixpoint blows its iteration budget, the widening fallback
+        # must still be able to charge other resources.
+        meter = Budget(max_rewrite_iterations=1, max_facts=10).meter()
+        meter.charge("rewrite_iterations")
+        with pytest.raises(BudgetExceeded):
+            meter.charge("rewrite_iterations")
+        meter.charge("facts", 5)            # still fine
+        meter.checkpoint()                  # no deadline set: fine
+        with pytest.raises(BudgetExceeded):
+            meter.charge("rewrite_iterations")  # still tripped
+        assert meter.exhausted == "rewrite_iterations"
+
+    def test_unlimited_resource_never_raises(self):
+        meter = Budget(max_facts=1).meter()
+        meter.charge("solver_calls", 10_000)
+        assert meter.exhausted is None
+
+
+class TestDeadline:
+    def test_checkpoint_enforces_deadline(self):
+        clock = FakeClock()
+        meter = Budget(deadline=1.0).meter(clock=clock)
+        meter.checkpoint()
+        clock.advance(2.0)
+        with pytest.raises(BudgetExceeded) as excinfo:
+            meter.checkpoint(phase="widening")
+        assert excinfo.value.resource == "deadline"
+        assert excinfo.value.phase == "widening"
+        assert meter.exhausted == "deadline"
+
+    def test_tick_checks_every_stride(self):
+        clock = FakeClock()
+        meter = Budget(deadline=1.0).meter(clock=clock)
+        clock.advance(2.0)
+        for _ in range(BudgetMeter.TICK_STRIDE - 1):
+            meter.tick()                    # under the stride: cheap
+        with pytest.raises(BudgetExceeded):
+            meter.tick()
+
+    def test_charge_ignores_deadline(self):
+        # charge() enforces only its own resource; deadlines belong to
+        # checkpoint().  (A charge after the deadline must not mask
+        # the resource accounting.)
+        clock = FakeClock()
+        meter = Budget(deadline=1.0).meter(clock=clock)
+        clock.advance(5.0)
+        meter.charge("facts")
+        assert meter.spent["facts"] == 1
+
+
+class TestPaused:
+    def test_paused_suspends_enforcement_but_keeps_accounting(self):
+        meter = Budget(max_facts=1).meter()
+        meter.charge("facts")
+        with pytest.raises(BudgetExceeded):
+            meter.charge("facts")
+        with meter.paused():
+            meter.charge("facts")
+            meter.checkpoint()
+        assert meter.spent["facts"] == 3
+        with pytest.raises(BudgetExceeded):
+            meter.charge("facts")           # enforcement restored
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        clock = FakeClock()
+        meter = Budget(deadline=9.0, max_facts=5).meter(clock=clock)
+        meter.charge("facts", 2)
+        clock.advance(1.5)
+        snap = meter.snapshot()
+        assert snap["elapsed_seconds"] == 1.5
+        assert snap["deadline"] == 9.0
+        assert snap["spent"]["facts"] == 2
+        assert snap["limits"]["facts"] == 5
+        assert snap["limits"]["iterations"] is None
+        assert snap["exhausted"] is None
+
+
+class TestAmbientSeam:
+    def test_module_functions_noop_without_meter(self):
+        assert governor.current_meter() is None
+        governor.charge("facts", 100)
+        governor.checkpoint()
+        governor.tick()
+
+    def test_governed_installs_and_restores(self):
+        meter = Budget(max_facts=10).meter()
+        with governor.governed(meter):
+            assert governor.current_meter() is meter
+            governor.charge("facts", 3)
+        assert governor.current_meter() is None
+        assert meter.spent["facts"] == 3
+
+    def test_governed_restores_on_exception(self):
+        meter = Budget(max_facts=1).meter()
+        with pytest.raises(BudgetExceeded):
+            with governor.governed(meter):
+                governor.charge("facts", 5)
+        assert governor.current_meter() is None
+
+
+class TestConsumptionCounters:
+    def test_charges_emit_governor_counters(self):
+        recorder = CountingRecorder()
+        meter = Budget().meter()
+        with recording(recorder):
+            meter.charge("iterations")
+            meter.charge("solver_calls", 7)
+        assert recorder.counts["governor.iterations"] == 1
+        assert recorder.counts["governor.solver_calls"] == 7
