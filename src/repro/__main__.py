@@ -122,6 +122,27 @@ def build_parser() -> argparse.ArgumentParser:
         "'delay:evaluate:0.01;fail:rewrite.qrp' "
         "(testing/CI harness; see docs/robustness.md)",
     )
+    service = parser.add_argument_group(
+        "service mode",
+        "long-lived session semantics: the program is compiled once "
+        "per query form and the database stays warm across requests "
+        "(docs/service.md)",
+    )
+    service.add_argument(
+        "--batch",
+        metavar="FILE",
+        help="serve a stream of requests from FILE ('-' for stdin): "
+        "one query (?- ...) or fact line per input line, one JSON "
+        "result per output line; budgets apply per request",
+    )
+    service.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="capacity of the query-form LRU cache in batch mode "
+        "(default 64)",
+    )
     parser.add_argument(
         "--show-program",
         action="store_true",
@@ -175,6 +196,49 @@ def _build_budget(arguments):
         max_rewrite_iterations=arguments.max_rewrite_iterations,
     )
     return None if budget.is_unlimited() else budget
+
+
+def _run_batch_mode(arguments, text: str) -> int:
+    """Serve ``--batch`` requests through a long-lived Engine.
+
+    One JSON result per request line on stdout.  Returns 0 when every
+    request succeeded completely, 1 when any request errored or
+    returned an incomplete answer set -- either way the session
+    survives every failure (``docs/service.md``).
+    """
+    from repro.config import (
+        DEFAULT_EVAL_ITERATIONS,
+        DEFAULT_REWRITE_ITERATIONS,
+    )
+    from repro.service import Engine
+    from repro.service.batch import run_batch
+    from repro.service.cache import DEFAULT_CACHE_SIZE
+
+    engine = Engine.from_text(
+        text,
+        strategy=arguments.strategy,
+        max_iterations=(
+            arguments.max_iterations
+            if arguments.max_iterations is not None
+            else DEFAULT_REWRITE_ITERATIONS
+        ),
+        eval_iterations=(
+            arguments.eval_iterations
+            if arguments.eval_iterations is not None
+            else DEFAULT_EVAL_ITERATIONS
+        ),
+        budget=_build_budget(arguments),
+        on_limit=arguments.on_limit,
+        cache_size=(
+            arguments.cache_size
+            if arguments.cache_size is not None
+            else DEFAULT_CACHE_SIZE
+        ),
+    )
+    if arguments.batch == "-":
+        return run_batch(engine, sys.stdin, sys.stdout)
+    with open(arguments.batch) as handle:
+        return run_batch(engine, handle, sys.stdout)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -242,24 +306,32 @@ def main(argv: list[str] | None = None) -> int:
                     print(f"repro: {error}", file=sys.stderr)
                     export_failed = True
 
+    outcomes = None
+    batch_status = 0
     try:
         with obs.recording(recorder):
-            outcomes = run_text(
-                text,
-                strategy=arguments.strategy,
-                max_iterations=(
-                    arguments.max_iterations
-                    if arguments.max_iterations is not None
-                    else DEFAULT_REWRITE_ITERATIONS
-                ),
-                eval_iterations=(
-                    arguments.eval_iterations
-                    if arguments.eval_iterations is not None
-                    else DEFAULT_EVAL_ITERATIONS
-                ),
-                budget=_build_budget(arguments),
-                on_limit=arguments.on_limit,
-            )
+            if arguments.batch is not None:
+                batch_status = _run_batch_mode(arguments, text)
+            else:
+                outcomes = run_text(
+                    text,
+                    strategy=arguments.strategy,
+                    max_iterations=(
+                        arguments.max_iterations
+                        if arguments.max_iterations is not None
+                        else DEFAULT_REWRITE_ITERATIONS
+                    ),
+                    eval_iterations=(
+                        arguments.eval_iterations
+                        if arguments.eval_iterations is not None
+                        else DEFAULT_EVAL_ITERATIONS
+                    ),
+                    budget=_build_budget(arguments),
+                    on_limit=arguments.on_limit,
+                )
+    except OSError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
     except ReproError as error:
         print(f"repro: [{error.code}] {error}", file=sys.stderr)
         return exit_code_for(error)
@@ -271,8 +343,8 @@ def main(argv: list[str] | None = None) -> int:
         # partial trace is still inspectable.
         if tracer is not None:
             export()
-    status = 0
-    for outcome in outcomes:
+    status = batch_status
+    for outcome in outcomes or ():
         print(f"?- {outcome.query.literal}.")
         if arguments.show_program:
             print("-- optimized program "

@@ -56,6 +56,11 @@ class PipelineResult:
     sequence: tuple[str, ...]
     adorned: AdornedProgram | None = None
     notes: list[str] = field(default_factory=list)
+    #: The magic-seed predicate when the sequence applied ``mg``; the
+    #: seed rule itself keeps its ``"seed"`` label through relabeling,
+    #: so query-generic callers (the service's form cache) can strip it
+    #: and rebuild it per call.
+    seed_pred: str | None = None
 
     def name(self) -> str:
         """Display name of the sequence (paper notation)."""
@@ -188,12 +193,22 @@ def apply_sequence(
             seed_rule = next(
                 rule for rule in current if rule.label == "seed"
             )
+    if seed_rule is not None:
+        # Relabel everything except the seed fact: its "seed" label is
+        # the marker query-generic callers (the service's form cache)
+        # use to strip and rebuild it per call.
+        current = Program(
+            rule for rule in current if rule != seed_rule
+        ).relabeled().with_rules([seed_rule])
+    else:
+        current = current.relabeled()
     return PipelineResult(
-        program=current.relabeled(),
+        program=current,
         query_pred=query_pred,
         sequence=sequence,
         adorned=adorned,
         notes=notes,
+        seed_pred=seed_rule.head.pred if seed_rule is not None else None,
     )
 
 

@@ -97,36 +97,44 @@ class QueryOutcome:
     def answer_strings(self) -> list[str]:
         """Answers rendered as query-variable bindings.
 
-        The synthetic ``_answer`` facts' arguments correspond to the
-        query's variables in sorted name order (see
-        ``repro.lang.normalize.query_as_rule``); non-ground answer
-        positions (constraint answers) render as the position's
-        constraint.
+        See :func:`render_answers` for the rendering rules.
         """
-        variables = sorted(self.query.variables())
-        rendered = []
-        for fact in self.answers:
-            parts = []
-            for name, value in zip(variables, fact.args):
-                from repro.engine.facts import PENDING
-                from fractions import Fraction
+        return render_answers(self.query, self.answers)
 
-                if value is PENDING:
-                    parts.append(f"{name}: constrained")
-                elif isinstance(value, Fraction):
-                    shown = (
-                        value.numerator
-                        if value.denominator == 1
-                        else value
-                    )
-                    parts.append(f"{name} = {shown}")
-                else:
-                    parts.append(f"{name} = {value.name}")
-            suffix = ""
-            if not fact.constraint.is_true():
-                suffix = f"  [{fact.constraint}]"
-            rendered.append(", ".join(parts) + suffix if parts else "yes")
-        return sorted(rendered)
+
+def render_answers(query: Query, facts: list[Fact]) -> list[str]:
+    """Render answer facts as sorted query-variable binding strings.
+
+    The answer facts' arguments correspond to the query's variables in
+    sorted name order (see ``repro.lang.normalize.query_as_rule``);
+    non-ground answer positions (constraint answers) render as
+    ``constrained`` with the fact's constraint appended.
+    """
+    from fractions import Fraction
+
+    from repro.engine.facts import PENDING
+
+    variables = sorted(query.variables())
+    rendered = []
+    for fact in facts:
+        parts = []
+        for name, value in zip(variables, fact.args):
+            if value is PENDING:
+                parts.append(f"{name}: constrained")
+            elif isinstance(value, Fraction):
+                shown = (
+                    value.numerator
+                    if value.denominator == 1
+                    else value
+                )
+                parts.append(f"{name} = {shown}")
+            else:
+                parts.append(f"{name} = {value.name}")
+        suffix = ""
+        if not fact.constraint.is_true():
+            suffix = f"  [{fact.constraint}]"
+        rendered.append(", ".join(parts) + suffix if parts else "yes")
+    return sorted(rendered)
 
 
 def split_edb(program: Program) -> tuple[Program, Database]:
@@ -215,26 +223,26 @@ def optimize(
     query: Query,
     strategy: str = "rewrite",
     max_iterations: int = DEFAULT_REWRITE_ITERATIONS,
-) -> tuple[Program, str, list[str]]:
-    """Apply a named strategy; returns (program, query_pred, notes)."""
-    return _optimize(program, query, strategy, max_iterations, [])
-
-
-def _optimize(
-    program: Program,
-    query: Query,
-    strategy: str,
-    max_iterations: int,
-    fallbacks: list[str],
+    fallbacks: list[str] | None = None,
     on_limit: str = "widen",
 ) -> tuple[Program, str, list[str]]:
+    """Apply a named strategy; returns (program, query_pred, notes).
+
+    ``fallbacks``, when given, collects the machine-readable degradation
+    steps taken (``"pred:widened"``, ``"qrp:skipped"``, ...) -- callers
+    that cache optimized programs must check it, since a degraded
+    rewrite is query-specific in ways a clean one is not.  ``on_limit``
+    follows the driver policy vocabulary: ``"widen"`` absorbs budget
+    exhaustion inside a step, anything else propagates it.
+    """
     if strategy not in STRATEGIES:
         raise UsageError(
             f"unknown strategy {strategy!r}; choose from {STRATEGIES}"
         )
     with obs_span("optimize", strategy=strategy):
         return _optimize_steps(
-            program, query, strategy, max_iterations, fallbacks, on_limit
+            program, query, strategy, max_iterations,
+            fallbacks if fallbacks is not None else [], on_limit,
         )
 
 
@@ -362,7 +370,7 @@ def _answer_query_governed(
         "query", pred=query.literal.pred, strategy=strategy
     ):
         try:
-            optimized, query_pred, opt_notes = _optimize(
+            optimized, query_pred, opt_notes = optimize(
                 program, query, strategy, max_iterations, fallbacks,
                 on_limit,
             )

@@ -22,6 +22,7 @@ from repro.engine.fixpoint import (
     IterationLog,
     evaluate,
     naive_evaluate,
+    resume,
     seminaive_evaluate,
 )
 from repro.engine.stats import EvalStats
@@ -35,6 +36,7 @@ __all__ = [
     "InsertOutcome",
     "evaluate",
     "naive_evaluate",
+    "resume",
     "seminaive_evaluate",
     "EvaluationResult",
     "IterationLog",

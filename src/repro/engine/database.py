@@ -59,6 +59,16 @@ class Database:
         """Insert a fact; returns the insertion outcome."""
         return self.relation(fact.pred, fact.arity).insert(fact, stamp)
 
+    def insert_many(
+        self, facts: Iterable[Fact], stamp: int = 0
+    ) -> list[Fact]:
+        """Insert facts; returns those that were actually new."""
+        added = []
+        for fact in facts:
+            if self.insert(fact, stamp) is InsertOutcome.NEW:
+                added.append(fact)
+        return added
+
     def add_ground(self, pred: str, values: Iterable[object]) -> None:
         """Insert a ground fact built from plain Python values."""
         self.insert(Fact.ground(pred, values))

@@ -17,6 +17,7 @@ cap makes that a reported outcome (``reached_fixpoint=False``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.config import DEFAULT_EVAL_ITERATIONS
 from repro.engine.database import Database
@@ -168,93 +169,15 @@ def evaluate(
             database.relation(literal.pred, literal.arity)
     stats = EvalStats()
     logs: list[IterationLog] = []
-    reached_fixpoint = False
-    tripped: str | None = None
     with obs_span(
         "fixpoint", strategy=strategy, rules=len(normalized)
     ) as fixpoint_span:
-        for iteration in range(1, max_iterations + 1):
-            log = IterationLog(number=iteration - 1)
-            try:
-                if meter is not None:
-                    meter.checkpoint("evaluate")
-                    meter.charge("iterations", phase="evaluate")
-                with obs_span(
-                    "iteration", number=iteration - 1
-                ) as it_span:
-                    for evaluator in evaluators:
-                        if meter is not None:
-                            meter.checkpoint("rule")
-                        rule = evaluator.rule
-                        if strategy == "naive" or iteration == 1:
-                            views = [
-                                database_view(
-                                    database, max_stamp=iteration - 1
-                                )
-                            ]
-                        elif rule.is_fact:
-                            continue  # fact rules fire at iteration 1
-                        else:
-                            views = [
-                                database_view(
-                                    database,
-                                    max_stamp=iteration - 1,
-                                    exact_stamp_index=index,
-                                    exact_stamp=iteration - 1,
-                                    old_stamp=iteration - 2,
-                                )
-                                for index in range(len(rule.body))
-                            ]
-                        with obs_span("rule", label=rule.label or "?"):
-                            for view in views:
-                                for fact, parents in (
-                                    evaluator.derive_with_parents(view)
-                                ):
-                                    outcome = database.insert(
-                                        fact, stamp=iteration
-                                    )
-                                    log.derivations.append(
-                                        Derivation(
-                                            rule.label, fact, outcome,
-                                            parents,
-                                        )
-                                    )
-                                    stats.record(
-                                        rule.label, fact.pred, outcome
-                                    )
-                                    obs_count("engine.derivations")
-                                    obs_count(_OUTCOME_COUNTERS[outcome])
-                                    if (
-                                        outcome is InsertOutcome.NEW
-                                        and meter is not None
-                                    ):
-                                        meter.charge(
-                                            "facts", phase="evaluate"
-                                        )
-                    if backward_subsumption:
-                        for fact in log.new_facts():
-                            relation = database.get(fact.pred)
-                            if relation is None or fact not in relation:
-                                continue  # swept by a later sibling
-                            stats.swept += len(
-                                relation.sweep_subsumed_by(fact)
-                            )
-                    delta = len(log.new_facts())
-                    it_span.set("delta", delta)
-                    it_span.set("derivations", len(log.derivations))
-            except BudgetExceeded as error:
-                # Stop at the checkpoint and keep the partial state:
-                # everything derived so far (this iteration included)
-                # is sound, only completeness is lost.
-                tripped = error.resource
-                logs.append(log)
-                stats.iterations = iteration
-                break
-            logs.append(log)
-            stats.iterations = iteration
-            if not log.new_facts():
-                reached_fixpoint = True
-                break
+        reached_fixpoint, tripped = _run_fixpoint(
+            database, evaluators, strategy,
+            first_iteration=1, last_iteration=max_iterations,
+            meter=meter, stats=stats, logs=logs,
+            backward_subsumption=backward_subsumption, cold_start=True,
+        )
         fixpoint_span.set("iterations", stats.iterations)
         fixpoint_span.set("reached_fixpoint", reached_fixpoint)
         if tripped is not None:
@@ -262,6 +185,206 @@ def evaluate(
     stats.probes = sum(evaluator.probes for evaluator in evaluators)
     obs_count("engine.join_probes", stats.probes)
     obs_count("engine.iterations", stats.iterations)
+    if reached_fixpoint:
+        completeness = "complete"
+    else:
+        completeness = f"truncated:{tripped or 'iterations'}"
+    return EvaluationResult(
+        database=database,
+        iterations=logs,
+        reached_fixpoint=reached_fixpoint,
+        stats=stats,
+        program=normalized,
+        completeness=completeness,
+    )
+
+
+def _run_fixpoint(
+    database: Database,
+    evaluators: "list[RuleEvaluator]",
+    strategy: str,
+    first_iteration: int,
+    last_iteration: int,
+    meter: "governor.BudgetMeter | None",
+    stats: EvalStats,
+    logs: list[IterationLog],
+    backward_subsumption: bool,
+    cold_start: bool,
+) -> tuple[bool, str | None]:
+    """The fixpoint iteration loop shared by cold and resumed runs.
+
+    Iteration numbers run ``first_iteration..last_iteration``; derived
+    facts are stamped with the iteration number.  With ``cold_start``
+    the first iteration applies every rule (fact rules included) to the
+    full pre-existing view; a resumed run always uses the semi-naive
+    delta split (the delta being whatever carries the stamp
+    ``first_iteration - 1``).  Returns ``(reached_fixpoint, tripped)``
+    where ``tripped`` names the budget resource that stopped the run.
+    """
+    reached_fixpoint = False
+    tripped: str | None = None
+    for iteration in range(first_iteration, last_iteration + 1):
+        log = IterationLog(number=iteration - 1)
+        try:
+            if meter is not None:
+                meter.checkpoint("evaluate")
+                meter.charge("iterations", phase="evaluate")
+            with obs_span(
+                "iteration", number=iteration - 1
+            ) as it_span:
+                for evaluator in evaluators:
+                    if meter is not None:
+                        meter.checkpoint("rule")
+                    rule = evaluator.rule
+                    if strategy == "naive" or (
+                        cold_start and iteration == first_iteration
+                    ):
+                        views = [
+                            database_view(
+                                database, max_stamp=iteration - 1
+                            )
+                        ]
+                    elif rule.is_fact:
+                        continue  # fact rules fire at the first iteration
+                    else:
+                        views = [
+                            database_view(
+                                database,
+                                max_stamp=iteration - 1,
+                                exact_stamp_index=index,
+                                exact_stamp=iteration - 1,
+                                old_stamp=iteration - 2,
+                            )
+                            for index in range(len(rule.body))
+                        ]
+                    with obs_span("rule", label=rule.label or "?"):
+                        for view in views:
+                            for fact, parents in (
+                                evaluator.derive_with_parents(view)
+                            ):
+                                outcome = database.insert(
+                                    fact, stamp=iteration
+                                )
+                                log.derivations.append(
+                                    Derivation(
+                                        rule.label, fact, outcome,
+                                        parents,
+                                    )
+                                )
+                                stats.record(
+                                    rule.label, fact.pred, outcome
+                                )
+                                obs_count("engine.derivations")
+                                obs_count(_OUTCOME_COUNTERS[outcome])
+                                if (
+                                    outcome is InsertOutcome.NEW
+                                    and meter is not None
+                                ):
+                                    meter.charge(
+                                        "facts", phase="evaluate"
+                                    )
+                if backward_subsumption:
+                    for fact in log.new_facts():
+                        relation = database.get(fact.pred)
+                        if relation is None or fact not in relation:
+                            continue  # swept by a later sibling
+                        stats.swept += len(
+                            relation.sweep_subsumed_by(fact)
+                        )
+                delta = len(log.new_facts())
+                it_span.set("delta", delta)
+                it_span.set("derivations", len(log.derivations))
+        except BudgetExceeded as error:
+            # Stop at the checkpoint and keep the partial state:
+            # everything derived so far (this iteration included)
+            # is sound, only completeness is lost.
+            tripped = error.resource
+            logs.append(log)
+            stats.iterations += 1
+            break
+        logs.append(log)
+        stats.iterations += 1
+        if not log.new_facts():
+            reached_fixpoint = True
+            break
+    return reached_fixpoint, tripped
+
+
+def resume(
+    program: Program,
+    database: Database,
+    new_facts: "Iterable[Fact]",
+    start_stamp: int,
+    max_iterations: int = DEFAULT_EVAL_ITERATIONS,
+    use_range_index: bool = True,
+    backward_subsumption: bool = False,
+    budget: "governor.BudgetMeter | None" = None,
+) -> EvaluationResult:
+    """Fold new EDB facts into an evaluated database and continue.
+
+    Incremental re-evaluation for monotone programs: ``database`` is
+    the (mutated-in-place) database of a *completed* :func:`evaluate`
+    run of the same program, and ``new_facts`` are additional EDB
+    facts.  The new facts are inserted with stamp ``start_stamp``
+    (which must exceed every stamp already stored -- pass the prior
+    run's ``stats.iterations + <resumes so far>``) so they form the
+    semi-naive delta, and iteration continues until a new fixpoint:
+    every derivation attempted uses at least one new fact, so nothing
+    already computed is recomputed.  Sound and complete because CQL
+    evaluation is monotone (no negation): the old fixpoint plus the
+    delta closure is the fixpoint of the enlarged EDB.
+
+    Returns an :class:`EvaluationResult` whose ``iterations``/``stats``
+    cover only the resumed portion.  If the facts were all duplicates
+    or subsumed, the database is already a fixpoint and no iteration
+    runs.  ``max_iterations`` caps the *additional* iterations.
+    """
+    meter = budget if budget is not None else governor.current_meter()
+    with obs_span("normalize"):
+        normalized = normalize_program(program)
+    evaluators = [
+        RuleEvaluator(rule, use_ranges=use_range_index)
+        for rule in normalized
+    ]
+    for rule in normalized:
+        for literal in (rule.head, *rule.body):
+            database.relation(literal.pred, literal.arity)
+    stats = EvalStats()
+    logs: list[IterationLog] = []
+    tripped: str | None = None
+    added = 0
+    try:
+        for fact in new_facts:
+            outcome = database.insert(fact, stamp=start_stamp)
+            obs_count(_OUTCOME_COUNTERS[outcome])
+            if outcome is InsertOutcome.NEW:
+                added += 1
+                if meter is not None:
+                    meter.charge("facts", phase="evaluate")
+    except BudgetExceeded as error:
+        tripped = error.resource
+    reached_fixpoint = tripped is None
+    if added and tripped is None:
+        with obs_span(
+            "fixpoint", strategy="seminaive", rules=len(normalized),
+            resumed=True, delta=added,
+        ) as fixpoint_span:
+            reached_fixpoint, tripped = _run_fixpoint(
+                database, evaluators, "seminaive",
+                first_iteration=start_stamp + 1,
+                last_iteration=start_stamp + max_iterations,
+                meter=meter, stats=stats, logs=logs,
+                backward_subsumption=backward_subsumption,
+                cold_start=False,
+            )
+            fixpoint_span.set("iterations", stats.iterations)
+            fixpoint_span.set("reached_fixpoint", reached_fixpoint)
+            if tripped is not None:
+                fixpoint_span.set("truncated", tripped)
+    stats.probes = sum(evaluator.probes for evaluator in evaluators)
+    obs_count("engine.join_probes", stats.probes)
+    obs_count("engine.iterations", stats.iterations)
+    obs_count("engine.resumes")
     if reached_fixpoint:
         completeness = "complete"
     else:

@@ -80,8 +80,13 @@ class Relation:
     def __init__(self, pred: str, arity: int) -> None:
         self.pred = pred
         self.arity = arity
-        self._facts: list[Fact] = []
+        # The fact store: an insertion-ordered dict carrying the stamps.
         self._stamps: dict[Fact, int] = {}
+        # Monotonic insertion sequence: the ordered-index tie-breaker.
+        # (A length-based tie-break would collide after remove() and
+        # make bisect compare the unorderable Fact objects.)
+        self._seqs: dict[Fact, int] = {}
+        self._next_seq = 0
         # _fixed[pos][value] -> facts with that fixed value at pos;
         # _pending[pos] -> facts with PENDING at pos;
         # _ordered[pos] -> (numeric value, insertion seq, fact), sorted.
@@ -96,10 +101,10 @@ class Relation:
     # -- inspection ---------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._facts)
+        return len(self._stamps)
 
     def __iter__(self) -> Iterator[Fact]:
-        return iter(self._facts)
+        return iter(self._stamps)
 
     def __contains__(self, fact: Fact) -> bool:
         return fact in self._stamps
@@ -107,7 +112,7 @@ class Relation:
     @property
     def facts(self) -> tuple[Fact, ...]:
         """The stored facts of a predicate."""
-        return tuple(self._facts)
+        return tuple(self._stamps)
 
     def stamp(self, fact: Fact) -> int:
         """The iteration stamp a fact was inserted at."""
@@ -129,8 +134,10 @@ class Relation:
             obs_count("constraint.subsumption_tests")
             if existing.subsumes(fact):
                 return InsertOutcome.SUBSUMED
-        self._facts.append(fact)
         self._stamps[fact] = stamp
+        seq = self._next_seq
+        self._next_seq += 1
+        self._seqs[fact] = seq
         for position in range(self.arity):
             value = fact.args[position]
             if value is PENDING:
@@ -139,8 +146,7 @@ class Relation:
                 self._fixed[position].setdefault(value, []).append(fact)
                 if isinstance(value, Fraction):
                     bisect.insort(
-                        self._ordered[position],
-                        (value, len(self._facts), fact),
+                        self._ordered[position], (value, seq, fact)
                     )
         return InsertOutcome.NEW
 
@@ -148,8 +154,8 @@ class Relation:
         """Remove a stored fact (backward-subsumption support)."""
         if fact not in self._stamps:
             raise KeyError(f"{fact} is not stored")
-        self._facts.remove(fact)
         del self._stamps[fact]
+        seq = self._seqs.pop(fact)
         for position in range(self.arity):
             value = fact.args[position]
             if value is PENDING:
@@ -160,10 +166,11 @@ class Relation:
                 if not bucket:
                     del self._fixed[position][value]
                 if isinstance(value, Fraction):
+                    # (value, seq) is a strict prefix of the stored
+                    # (value, seq, fact) entry, so bisect lands on it
+                    # without ever comparing Fact objects.
                     ordered = self._ordered[position]
-                    index = bisect.bisect_left(ordered, (value,))
-                    while ordered[index][2] != fact:
-                        index += 1
+                    index = bisect.bisect_left(ordered, (value, seq))
                     ordered.pop(index)
 
     def sweep_subsumed_by(self, fact: Fact) -> list[Fact]:
@@ -203,7 +210,7 @@ class Relation:
                 best_size = candidates_size
                 best = [*bucket, *self._pending[position]]
         if best is None:
-            return list(self._facts)
+            return list(self._stamps)
         return best
 
     # -- lookups ----------------------------------------------------------
@@ -271,7 +278,9 @@ class Relation:
                     candidates = scanned
                     best_size = len(scanned)
         if candidates is None:
-            candidates = self._facts
+            # Materialized so concurrent inserts (derivations landing
+            # while a join iterates this view) cannot invalidate it.
+            candidates = list(self._stamps)
         for fact in candidates:
             stamp = self._stamps[fact]
             if max_stamp is not None and stamp > max_stamp:
@@ -285,7 +294,7 @@ class Relation:
             yield fact
 
     def __str__(self) -> str:
-        inner = ", ".join(str(fact) for fact in self._facts)
+        inner = ", ".join(str(fact) for fact in self._stamps)
         return f"{{{inner}}}"
 
 

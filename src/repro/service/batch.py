@@ -1,0 +1,58 @@
+"""The ``--batch`` line protocol: stream requests, one JSON result each.
+
+Input lines:
+
+* blank lines and lines starting with ``%`` or ``#`` are skipped;
+* a line starting with ``?-`` is a query;
+* any other line is one or more ground facts (``edge(a, b, 3).``).
+
+Each processed line yields exactly one JSON object on its own output
+line (the rendering of :meth:`repro.service.session.Response.to_dict`)::
+
+    {"type": "answers", "query": "...", "answers": [...],
+     "completeness": "complete", "cached": true, "warm": true}
+    {"type": "facts", "added": 2}
+    {"type": "error", "code": "REPRO_PARSE", "message": "..."}
+
+Errors never stop the stream -- the session survives and later lines
+still run.  :func:`run_batch` returns the CLI exit status: ``0`` when
+every request succeeded completely, ``1`` when any request errored or
+returned a truncated/approximated answer set.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, TYPE_CHECKING
+
+from repro.service.session import Response
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.service.engine import Engine
+
+
+def process_line(engine: "Engine", line: str) -> Response | None:
+    """Dispatch one batch line; ``None`` for blanks and comments."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith(("%", "#")):
+        return None
+    if stripped.startswith("?-"):
+        return engine.query(stripped)
+    return engine.add_facts(stripped)
+
+
+def run_batch(
+    engine: "Engine",
+    lines: Iterable[str],
+    out: IO[str],
+) -> int:
+    """Stream every line through the engine, printing JSON results."""
+    status = 0
+    for response in engine.batch(lines):
+        print(json.dumps(response.to_dict()), file=out, flush=True)
+        if not response.ok or (
+            response.kind == "answers"
+            and response.completeness != "complete"
+        ):
+            status = 1
+    return status

@@ -1,0 +1,135 @@
+"""A bounded LRU cache of compiled query forms.
+
+One entry per :class:`~repro.service.forms.QueryForm` holds the
+compiled (seed-less) program template plus the form's warm evaluated
+database, when one exists.  Eviction drops both -- the warm database is
+only reachable through its form's entry, so LRU order doubles as the
+warm-state retention policy.
+
+Counters: ``service.cache_hits`` / ``service.cache_misses`` on lookup,
+``service.cache_evictions`` when capacity forces an entry out.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from repro.obs.recorder import count as obs_count
+from repro.service.forms import QueryForm
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.service.session import CompiledForm, WarmState
+
+DEFAULT_CACHE_SIZE = 64
+
+#: Warm databases kept per form.  Seed-less strategies only ever need
+#: one (their evaluated database is constant-independent); the magic
+#: strategies get one per recently seen seed, so a rotation of popular
+#: constants stays warm without unbounded retention.
+MAX_WARM_PER_ENTRY = 8
+
+
+@dataclass
+class CacheEntry:
+    """A cached compiled form plus its warm evaluation states.
+
+    ``warm_states`` maps the specialized seed rule (``None`` for the
+    seed-less strategies) to the :class:`WarmState` evaluated with it,
+    in LRU order, capped at :data:`MAX_WARM_PER_ENTRY`.
+    """
+
+    compiled: "CompiledForm"
+    warm_states: "OrderedDict[object, WarmState]" = field(
+        default_factory=OrderedDict
+    )
+    hits: int = field(default=0)
+
+    def get_warm(self, seed: object) -> "WarmState | None":
+        """The warm state for a seed, refreshing its recency."""
+        state = self.warm_states.get(seed)
+        if state is not None:
+            self.warm_states.move_to_end(seed)
+        return state
+
+    def put_warm(self, seed: object, state: "WarmState") -> None:
+        """Store a seed's warm state, evicting the LRU beyond the cap."""
+        self.warm_states[seed] = state
+        self.warm_states.move_to_end(seed)
+        while len(self.warm_states) > MAX_WARM_PER_ENTRY:
+            self.warm_states.popitem(last=False)
+
+    def drop_warm(self, seed: object) -> None:
+        """Forget a seed's warm state (e.g. after a truncated resume)."""
+        self.warm_states.pop(seed, None)
+
+
+class FormCache:
+    """Least-recently-used mapping from query forms to cache entries."""
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_SIZE) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[QueryForm, CacheEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, form: QueryForm) -> bool:
+        return form in self._entries
+
+    def entries(self) -> Iterator[CacheEntry]:
+        """The live entries, least recently used first."""
+        return iter(self._entries.values())
+
+    def get(self, form: QueryForm) -> CacheEntry | None:
+        """Look a form up, refreshing its recency; counts hit/miss."""
+        entry = self._entries.get(form)
+        if entry is None:
+            self.misses += 1
+            obs_count("service.cache_misses")
+            return None
+        self._entries.move_to_end(form)
+        entry.hits += 1
+        self.hits += 1
+        obs_count("service.cache_hits")
+        return entry
+
+    def put(self, form: QueryForm, compiled: "CompiledForm") -> CacheEntry:
+        """Insert a freshly compiled form, evicting the LRU if full."""
+        entry = CacheEntry(compiled)
+        self._entries[form] = entry
+        self._entries.move_to_end(form)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            obs_count("service.cache_evictions")
+        return entry
+
+    def min_warm_epoch(self, default: int) -> int:
+        """The oldest fact epoch any warm state still needs."""
+        epochs = [
+            state.epoch
+            for entry in self._entries.values()
+            for state in entry.warm_states.values()
+        ]
+        return min(epochs, default=default)
+
+    def stats(self) -> dict:
+        """Counters and occupancy for :meth:`Engine.stats`."""
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "warm_states": sum(
+                len(entry.warm_states)
+                for entry in self._entries.values()
+            ),
+        }

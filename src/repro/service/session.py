@@ -1,0 +1,514 @@
+"""Sessions: warm databases, per-request budgets, error isolation.
+
+A :class:`Session` is the long-lived core of the service.  It parses
+and splits a program **once**, then answers any number of queries and
+fact loads against the same state:
+
+* Each query is canonicalized to a :class:`~repro.service.forms.QueryForm`
+  and compiled at most once per form (LRU-bounded).  For the magic
+  strategies the cached artifact is the *seed-less* template; the seed
+  fact -- the only place query constants appear (Appendix B builds it
+  as a runtime fact) -- is rebuilt from the actual call by
+  :meth:`CompiledForm.specialize`.  The constraint-propagation
+  strategies depend only on the query predicate, so their cached
+  program is reused verbatim.
+* The first evaluation of a form leaves a **warm**
+  :class:`WarmState` -- the evaluated database and its final iteration
+  stamp.  A repeat query with the same seed answers straight from the
+  warm database; new EDB facts are folded in incrementally with
+  :func:`repro.engine.fixpoint.resume`, re-seeding the semi-naive delta
+  instead of recomputing from scratch (sound for these negation-free
+  programs).  Truncated (budget-cut) evaluations are *never* kept warm,
+  and degraded (fallback) compiles are never cached: cached state must
+  reproduce exactly what a cold run would.
+* Every request runs under its own fresh budget meter (from the
+  session's :class:`~repro.governor.Budget` spec) and every failure is
+  converted to an error :class:`Response` carrying the ``REPRO_*``
+  code -- one pathological request cannot take the session down.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext as _nullcontext
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.config import (
+    DEFAULT_EVAL_ITERATIONS,
+    DEFAULT_REWRITE_ITERATIONS,
+)
+from repro.driver import (
+    ON_LIMIT_POLICIES,
+    STRATEGIES,
+    optimize,
+    render_answers,
+    split_edb,
+)
+from repro.engine import Database, EvaluationResult, evaluate, resume
+from repro.engine.facts import Fact
+from repro.engine.query import answers as raw_answers
+from repro.errors import BudgetExceeded, ReproError, UsageError
+from repro.governor import Budget, BudgetMeter
+from repro.governor import budget as governor
+from repro.lang.ast import Literal, Program, Query, Rule
+from repro.lang.normalize import normalize_query
+from repro.obs.recorder import count as obs_count, span as obs_span
+from repro.service.cache import (
+    CacheEntry,
+    DEFAULT_CACHE_SIZE,
+    FormCache,
+)
+from repro.service.forms import QueryForm, canonicalize
+
+
+@dataclass
+class CompiledForm:
+    """The reusable optimization artifact of one query form.
+
+    ``template`` is the optimized program with the magic seed (if any)
+    stripped; ``seed_pred`` names the magic predicate the seed must
+    define, or ``None`` for the seed-less strategies.  ``cacheable`` is
+    False when the compile degraded (budget fallbacks): a degraded
+    rewrite is specific to the budget weather it was compiled under,
+    so it serves this request only.
+    """
+
+    form: QueryForm
+    template: Program
+    query_pred: str
+    seed_pred: str | None
+    strategy: str
+    notes: list[str] = field(default_factory=list)
+    fallbacks: list[str] = field(default_factory=list)
+
+    @property
+    def cacheable(self) -> bool:
+        """Safe to reuse for other instances of the form?"""
+        return not self.fallbacks
+
+    def specialize(self, query: Query) -> tuple[Program, Rule | None]:
+        """The template specialized with the call's constants.
+
+        Rebuilds the magic seed exactly as
+        :func:`repro.magic.templates.constraint_magic` would for this
+        query: the normalized query literal's arguments at the bound
+        (per the form's adornment) positions, under the normalized
+        query constraint.  Positional reconstruction -- never
+        value-based substitution -- so repeated or colliding constants
+        cannot mis-bind.
+        """
+        if self.seed_pred is None:
+            return self.template, None
+        normalized = normalize_query(query)
+        seed_args = tuple(
+            normalized.literal.args[position]
+            for position, letter in enumerate(self.form.adornment)
+            if letter == "b"
+        )
+        seed = Rule(
+            Literal(self.seed_pred, seed_args),
+            (),
+            normalized.constraint,
+            label="seed",
+        )
+        return self.template.with_rules([seed]), seed
+
+
+@dataclass
+class WarmState:
+    """A form's evaluated database, reusable across requests.
+
+    ``last_stamp`` is the highest iteration stamp stored, so the next
+    incremental load enters at ``last_stamp + 1``; ``epoch`` is the
+    session fact epoch the database is current to; ``seed`` is the
+    specialized seed evaluated with (``None`` for seed-less
+    strategies) -- a request with a different seed cannot reuse the
+    state.
+    """
+
+    database: Database
+    last_stamp: int
+    epoch: int
+    seed: Rule | None
+
+
+@dataclass
+class Response:
+    """What one service request produced (always returned, never raised).
+
+    ``kind`` is ``"answers"`` (a query), ``"facts"`` (a fact load), or
+    ``"error"``.  ``cached`` reports a form-cache hit, ``warm`` that
+    the answer came from a warm database (``resumed`` when new facts
+    were folded in incrementally first).  ``completeness`` follows the
+    driver vocabulary (``complete`` / ``approximated`` /
+    ``truncated:<resource>``).
+    """
+
+    kind: str
+    query: Query | None = None
+    answers: list[Fact] = field(default_factory=list)
+    completeness: str = "complete"
+    form: str | None = None
+    params: tuple[str, ...] = ()
+    cached: bool = False
+    warm: bool = False
+    resumed: bool = False
+    added: int = 0
+    notes: list[str] = field(default_factory=list)
+    error_code: str | None = None
+    error_message: str | None = None
+    budget: dict | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Did the request succeed (possibly degraded)?"""
+        return self.kind != "error"
+
+    @property
+    def answer_strings(self) -> list[str]:
+        """Answers rendered as query-variable bindings."""
+        if self.query is None:
+            return []
+        return render_answers(self.query, self.answers)
+
+    def to_dict(self) -> dict:
+        """The JSON-ready batch-protocol rendering."""
+        if self.kind == "error":
+            payload: dict = {
+                "type": "error",
+                "code": self.error_code,
+                "message": self.error_message,
+            }
+            if self.query is not None:
+                payload["query"] = str(self.query)
+            return payload
+        if self.kind == "facts":
+            return {"type": "facts", "added": self.added}
+        payload = {
+            "type": "answers",
+            "query": str(self.query),
+            "answers": self.answer_strings,
+            "completeness": self.completeness,
+            "cached": self.cached,
+            "warm": self.warm,
+        }
+        if self.resumed:
+            payload["resumed"] = True
+        if self.notes:
+            payload["notes"] = list(self.notes)
+        return payload
+
+
+class Session:
+    """A compile-once, warm-database query session over one program."""
+
+    def __init__(
+        self,
+        program: Program,
+        strategy: str = "rewrite",
+        max_iterations: int = DEFAULT_REWRITE_ITERATIONS,
+        eval_iterations: int = DEFAULT_EVAL_ITERATIONS,
+        budget: Budget | None = None,
+        on_limit: str = "truncate",
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        if strategy not in STRATEGIES:
+            raise UsageError(
+                f"unknown strategy {strategy!r}; choose from {STRATEGIES}"
+            )
+        if on_limit not in ON_LIMIT_POLICIES:
+            raise UsageError(
+                f"unknown on_limit policy {on_limit!r}; "
+                f"choose from {ON_LIMIT_POLICIES}"
+            )
+        with obs_span("service.load"):
+            self._rules, self._edb = split_edb(program)
+        self._derived = self._rules.derived_predicates()
+        self._strategy = strategy
+        self._max_iterations = max_iterations
+        self._eval_iterations = eval_iterations
+        self._budget = budget
+        self._on_limit = on_limit
+        self._cache = FormCache(cache_size)
+        self._epoch = 0
+        self._fact_log: list[tuple[int, list[Fact]]] = []
+        self.requests = 0
+        self.errors = 0
+
+    # -- the two request kinds ----------------------------------------
+
+    def query(self, query: Query) -> Response:
+        """Answer one query; failures come back as error responses."""
+        self.requests += 1
+        obs_count("service.requests")
+        with obs_span(
+            "service.request", kind="query", pred=query.literal.pred
+        ) as request_span:
+            meter = (
+                self._budget.meter() if self._budget is not None else None
+            )
+            try:
+                with (
+                    governor.governed(meter)
+                    if meter is not None else _nullcontext()
+                ):
+                    response = self._answer(query, meter)
+            except ReproError as error:
+                response = self._error_response(error, query)
+            except ValueError as error:
+                response = self._error_response(
+                    UsageError(str(error)), query
+                )
+            if meter is not None:
+                response.budget = meter.snapshot()
+            request_span.set("ok", response.ok)
+            if response.error_code:
+                request_span.set("error", response.error_code)
+            return response
+
+    def add_facts(self, facts: Iterable[Fact]) -> Response:
+        """Load new EDB facts; they reach warm databases incrementally.
+
+        Facts for derived (IDB) predicates are rejected: injecting
+        them would silently change the program's semantics rather than
+        its database.  Returns how many facts were actually new (not
+        duplicates or subsumed).
+        """
+        self.requests += 1
+        obs_count("service.requests")
+        with obs_span(
+            "service.request", kind="add_facts"
+        ) as request_span:
+            try:
+                batch = list(facts)
+                for fact in batch:
+                    if fact.pred in self._derived:
+                        raise UsageError(
+                            f"cannot add facts for derived predicate "
+                            f"{fact.pred!r}"
+                        )
+                self._trim_fact_log()
+                added = self._edb.insert_many(batch)
+            except ReproError as error:
+                return self._error_response(error)
+            except ValueError as error:
+                return self._error_response(UsageError(str(error)))
+            if added:
+                self._epoch += 1
+                self._fact_log.append((self._epoch, added))
+            obs_count("service.facts_added", len(added))
+            request_span.set("added", len(added))
+            return Response(kind="facts", added=len(added))
+
+    # -- request internals --------------------------------------------
+
+    def _error_response(
+        self, error: ReproError, query: Query | None = None
+    ) -> Response:
+        self.errors += 1
+        obs_count("service.errors")
+        return Response(
+            kind="error",
+            query=query,
+            error_code=error.code,
+            error_message=str(error),
+        )
+
+    def _answer(
+        self, query: Query, meter: BudgetMeter | None
+    ) -> Response:
+        form, params = canonicalize(query)
+        entry = self._cache.get(form)
+        cached = entry is not None
+        if entry is None:
+            compiled = self._compile(query, form)
+            if compiled.cacheable:
+                entry = self._cache.put(form, compiled)
+            else:
+                entry = CacheEntry(compiled)  # serve-once, never stored
+        compiled = entry.compiled
+        specialized, seed = compiled.specialize(query)
+        # Warm states are keyed by the specialized seed: a different
+        # seed (new constants under a magic strategy) answers a
+        # different selection, so it gets its own warm slot.
+        warm = entry.get_warm(seed)
+        resumed = False
+        if warm is None:
+            with obs_span("service.evaluate", mode="cold"):
+                result = evaluate(
+                    specialized,
+                    self._edb,
+                    max_iterations=self._eval_iterations,
+                    budget=meter,
+                )
+            database = result.database
+            if not result.truncated and compiled.cacheable:
+                entry.put_warm(seed, WarmState(
+                    database=database,
+                    last_stamp=result.stats.iterations,
+                    epoch=self._epoch,
+                    seed=seed,
+                ))
+        elif warm.epoch < self._epoch:
+            # Fold the facts loaded since the warm state was current
+            # into it as the semi-naive delta, then continue to the new
+            # fixpoint -- nothing already derived is recomputed.
+            pending = [
+                fact
+                for epoch, facts in self._fact_log
+                if epoch > warm.epoch
+                for fact in facts
+            ]
+            start_stamp = warm.last_stamp + 1
+            with obs_span(
+                "service.evaluate", mode="resume", delta=len(pending)
+            ):
+                result = resume(
+                    specialized,
+                    warm.database,
+                    pending,
+                    start_stamp=start_stamp,
+                    max_iterations=self._eval_iterations,
+                    budget=meter,
+                )
+            obs_count("service.resumes")
+            resumed = True
+            database = warm.database
+            if result.truncated:
+                # The warm database now holds a partial delta closure;
+                # serve the (sound, possibly incomplete) answer but
+                # never reuse the poisoned state.
+                entry.drop_warm(seed)
+            else:
+                warm.last_stamp = start_stamp + result.stats.iterations
+                warm.epoch = self._epoch
+        else:
+            obs_count("service.warm_hits")
+            result = None
+            database = warm.database
+        truncated = result is not None and result.truncated
+        if (
+            truncated
+            and self._on_limit == "fail"
+            and meter is not None
+            and meter.exhausted is not None
+        ):
+            raise BudgetExceeded(
+                meter.exhausted, phase="evaluate", partial=result
+            )
+        effective_query = Query(
+            query.literal.with_pred(compiled.query_pred),
+            query.constraint,
+        )
+        # Answer extraction renders existing state; it must not be
+        # vetoed by an already-blown budget.
+        with (
+            meter.paused() if meter is not None else _nullcontext()
+        ):
+            with obs_span("answers"):
+                found = raw_answers(database, effective_query)
+        if truncated:
+            completeness = result.completeness
+        elif compiled.fallbacks:
+            completeness = "approximated"
+        else:
+            completeness = "complete"
+        return Response(
+            kind="answers",
+            query=query,
+            answers=found,
+            completeness=completeness,
+            form=str(form),
+            params=params,
+            cached=cached,
+            warm=warm is not None,
+            resumed=resumed,
+            notes=list(compiled.notes),
+        )
+
+    def _compile(self, query: Query, form: QueryForm) -> CompiledForm:
+        """Run the strategy's rewrite once for this form."""
+        obs_count("service.form_compiles")
+        notes: list[str] = []
+        fallbacks: list[str] = []
+        try:
+            with obs_span(
+                "service.compile",
+                form=str(form),
+                strategy=self._strategy,
+            ):
+                optimized, query_pred, notes = optimize(
+                    self._rules,
+                    query,
+                    self._strategy,
+                    self._max_iterations,
+                    fallbacks,
+                    self._on_limit,
+                )
+        except BudgetExceeded as error:
+            if self._on_limit == "fail":
+                raise
+            # Skipping optimization is sound (the rewritings only
+            # prune); evaluate the program as written.
+            optimized, query_pred = self._rules, query.literal.pred
+            notes = [
+                f"optimization budget exhausted ({error.resource}); "
+                "evaluating the program as written"
+            ]
+            fallbacks = ["optimize:skipped"]
+        seed_rule = next(
+            (rule for rule in optimized if rule.label == "seed"), None
+        )
+        if seed_rule is not None:
+            template = Program(
+                rule for rule in optimized if rule != seed_rule
+            )
+            seed_pred = seed_rule.head.pred
+        else:
+            template, seed_pred = optimized, None
+        return CompiledForm(
+            form=form,
+            template=template,
+            query_pred=query_pred,
+            seed_pred=seed_pred,
+            strategy=self._strategy,
+            notes=notes,
+            fallbacks=fallbacks,
+        )
+
+    def _trim_fact_log(self) -> None:
+        """Drop log segments no warm state can still need."""
+        floor = self._cache.min_warm_epoch(default=self._epoch)
+        self._fact_log = [
+            (epoch, facts)
+            for epoch, facts in self._fact_log
+            if epoch > floor
+        ]
+
+    # -- inspection ---------------------------------------------------
+
+    @property
+    def cache(self) -> FormCache:
+        """The form cache (exposed for stats and tests)."""
+        return self._cache
+
+    @property
+    def epoch(self) -> int:
+        """The current fact epoch (bumped by each effective load)."""
+        return self._epoch
+
+    @property
+    def edb(self) -> Database:
+        """The live base EDB (mutating it bypasses epoch tracking)."""
+        return self._edb
+
+    def stats(self) -> dict:
+        """A JSON-ready operational snapshot."""
+        return {
+            "strategy": self._strategy,
+            "requests": self.requests,
+            "errors": self.errors,
+            "epoch": self._epoch,
+            "edb_facts": self._edb.count(),
+            "cache": self._cache.stats(),
+        }

@@ -45,3 +45,30 @@ def test_readme_cli_program_text():
     for strategy in ("rewrite", "optimal"):
         (outcome,) = run_text(text, strategy=strategy)
         assert outcome.answer_strings == ["C = 140, T = 230"]
+
+
+def test_readme_service_snippet():
+    """The README's query-service snippet, outputs as printed."""
+    from repro.service import Engine
+
+    engine = Engine.from_text("""
+        cheaporshort(S, D, T, C) :- flight(S, D, T, C), T <= 240.
+        cheaporshort(S, D, T, C) :- flight(S, D, T, C), C <= 150.
+        flight(Src, Dst, Time, Cost) :- singleleg(Src, Dst, Time, Cost),
+                                        Cost > 0, Time > 0.
+        flight(S, D, T, C) :- flight(S, D1, T1, C1), flight(D1, D, T2, C2),
+                              T = T1 + T2 + 30, C = C1 + C2.
+        singleleg(madison, chicago, 50, 100).
+        singleleg(chicago, seattle, 150, 40).
+    """, strategy="rewrite")
+
+    first = engine.query("?- cheaporshort(madison, seattle, T, C).")
+    assert first.answer_strings == ["C = 140, T = 230"]
+
+    again = engine.query("?- cheaporshort(chicago, seattle, T, C).")
+    assert (again.cached, again.warm) == (True, True)
+
+    engine.add_facts("singleleg(seattle, portland, 60, 5).")
+    onward = engine.query("?- cheaporshort(madison, portland, T, C).")
+    assert onward.resumed
+    assert onward.answer_strings == ["C = 145, T = 320"]

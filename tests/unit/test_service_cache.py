@@ -1,0 +1,95 @@
+"""The form cache: LRU behavior, counters, warm-state retention."""
+
+import pytest
+
+from repro.lang.parser import parse_query
+from repro.service.cache import (
+    CacheEntry,
+    FormCache,
+    MAX_WARM_PER_ENTRY,
+)
+from repro.service.forms import canonicalize
+from repro.service.session import WarmState
+
+
+def form(text: str):
+    return canonicalize(parse_query(text))[0]
+
+
+def entry():
+    return object()  # the cache never inspects the compiled artifact
+
+
+class TestLRU:
+    def test_miss_then_hit(self):
+        cache = FormCache(capacity=2)
+        f = form("?- p(a, X).")
+        assert cache.get(f) is None
+        stored = cache.put(f, entry())
+        assert cache.get(f) is stored
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_capacity_evicts_least_recently_used(self):
+        cache = FormCache(capacity=2)
+        f1, f2, f3 = (
+            form("?- p(a, X)."),
+            form("?- q(a, X)."),
+            form("?- r(a, X)."),
+        )
+        cache.put(f1, entry())
+        cache.put(f2, entry())
+        cache.get(f1)          # refresh f1; f2 becomes LRU
+        cache.put(f3, entry())
+        assert f1 in cache and f3 in cache and f2 not in cache
+        assert cache.evictions == 1
+
+    def test_same_form_different_constants_single_entry(self):
+        cache = FormCache(capacity=4)
+        cache.put(form("?- p(a, X)."), entry())
+        assert cache.get(form("?- p(b, X).")) is not None
+        assert len(cache) == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FormCache(capacity=0)
+
+
+class TestWarmStates:
+    def make_state(self, epoch=0):
+        return WarmState(
+            database=None, last_stamp=3, epoch=epoch, seed=None
+        )
+
+    def test_per_seed_slots_capped(self):
+        cached = CacheEntry(compiled=None)
+        for index in range(MAX_WARM_PER_ENTRY + 3):
+            cached.put_warm(f"seed{index}", self.make_state())
+        assert len(cached.warm_states) == MAX_WARM_PER_ENTRY
+        assert cached.get_warm("seed0") is None          # evicted
+        assert cached.get_warm(f"seed{MAX_WARM_PER_ENTRY + 2}")
+
+    def test_drop_warm(self):
+        cached = CacheEntry(compiled=None)
+        cached.put_warm("s", self.make_state())
+        cached.drop_warm("s")
+        assert cached.get_warm("s") is None
+        cached.drop_warm("missing")  # idempotent
+
+    def test_min_warm_epoch(self):
+        cache = FormCache(capacity=4)
+        e1 = cache.put(form("?- p(a, X)."), entry())
+        e2 = cache.put(form("?- q(a, X)."), entry())
+        e1.put_warm(None, self.make_state(epoch=2))
+        e2.put_warm(None, self.make_state(epoch=5))
+        assert cache.min_warm_epoch(default=9) == 2
+        assert FormCache(2).min_warm_epoch(default=9) == 9
+
+    def test_stats_shape(self):
+        cache = FormCache(capacity=4)
+        cache.put(form("?- p(a, X)."), entry()).put_warm(
+            None, self.make_state()
+        )
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["warm_states"] == 1
+        assert stats["capacity"] == 4

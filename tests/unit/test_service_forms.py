@@ -1,0 +1,89 @@
+"""Query-form canonicalization: constants generalize, structure doesn't."""
+
+from repro.lang.parser import parse_query
+from repro.service.forms import canonicalize
+
+
+def form_of(text: str):
+    return canonicalize(parse_query(text))[0]
+
+
+def params_of(text: str):
+    return canonicalize(parse_query(text))[1]
+
+
+class TestSameForm:
+    def test_different_symbolic_constants(self):
+        assert form_of("?- p(madison, X).") == form_of("?- p(dallas, X).")
+
+    def test_different_numeric_constants(self):
+        assert form_of("?- p(5, X).") == form_of("?- p(7, X).")
+
+    def test_different_constraint_constants(self):
+        assert form_of("?- p(X, Y), X <= 100.") == form_of(
+            "?- p(X, Y), X <= 250."
+        )
+
+    def test_variable_names_do_not_matter(self):
+        assert form_of("?- p(A, B), A <= B.") == form_of(
+            "?- p(X, Y), X <= Y."
+        )
+
+    def test_combined(self):
+        assert form_of(
+            "?- cheap(madison, seattle, T, C), C <= 150."
+        ) == form_of("?- cheap(chicago, dallas, U, V), V <= 90.")
+
+
+class TestDifferentForm:
+    def test_different_predicate(self):
+        assert form_of("?- p(a, X).") != form_of("?- q(a, X).")
+
+    def test_different_adornment(self):
+        assert form_of("?- p(a, X).") != form_of("?- p(X, a).")
+
+    def test_bound_vs_free(self):
+        assert form_of("?- p(a, X).") != form_of("?- p(X, Y).")
+
+    def test_constraint_vs_none(self):
+        assert form_of("?- p(X, Y).") != form_of("?- p(X, Y), X <= 5.")
+
+    def test_constraint_direction(self):
+        assert form_of("?- p(X, Y), X <= 5.") != form_of(
+            "?- p(X, Y), X >= 5."
+        )
+
+    def test_constraint_variable_pattern(self):
+        assert form_of("?- p(X, Y), X <= 5.") != form_of(
+            "?- p(X, Y), Y <= 5."
+        )
+
+    def test_repeated_variable_pattern(self):
+        assert form_of("?- p(X, X).") != form_of("?- p(X, Y).")
+
+    def test_sym_vs_num_constant(self):
+        assert form_of("?- p(a, X).") != form_of("?- p(1, X).")
+
+
+class TestParams:
+    def test_literal_constants_in_order(self):
+        assert params_of("?- p(madison, 5, X).") == ("madison", "5")
+
+    def test_constraint_constant_generalized(self):
+        p1 = params_of("?- p(X), X <= 100.")
+        p2 = params_of("?- p(X), X <= 250.")
+        assert p1 != p2
+        assert form_of("?- p(X), X <= 100.") == form_of(
+            "?- p(X), X <= 250."
+        )
+
+
+def test_adornment_marks_constants_bound():
+    form = form_of("?- p(a, X, 3, Y).")
+    assert form.adornment == "bfbf"
+
+
+def test_form_is_hashable_and_printable():
+    form = form_of("?- p(a, X), X <= 5.")
+    assert hash(form) == hash(form_of("?- p(b, X), X <= 9."))
+    assert "p(" in str(form)

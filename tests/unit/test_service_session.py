@@ -1,0 +1,275 @@
+"""The service session: compile-once, warm reuse, isolation, budgets."""
+
+import pytest
+
+from repro import obs
+from repro.driver import answer_query, run_text
+from repro.engine.facts import Fact
+from repro.governor import Budget
+from repro.lang.parser import parse_program, parse_query
+from repro.service import Engine
+
+FLIGHTS_TEXT = """
+cheaporshort(S, D, T, C) :- flight(S, D, T, C), T <= 240.
+cheaporshort(S, D, T, C) :- flight(S, D, T, C), C <= 150.
+flight(Src, Dst, Time, Cost) :- singleleg(Src, Dst, Time, Cost),
+                                Cost > 0, Time > 0.
+flight(S, D, T, C) :- flight(S, D1, T1, C1), flight(D1, D, T2, C2),
+                      T = T1 + T2 + 30, C = C1 + C2.
+singleleg(madison, chicago, 50, 100).
+singleleg(chicago, seattle, 150, 40).
+singleleg(chicago, dallas, 90, 80).
+"""
+
+ALL_STRATEGIES = ("none", "pred", "qrp", "rewrite", "magic", "optimal")
+
+
+def tracked_engine(strategy="rewrite", **options):
+    tracer = obs.Tracer()
+    with obs.recording(tracer):
+        engine = Engine.from_text(
+            FLIGHTS_TEXT, strategy=strategy, **options
+        )
+    return engine, tracer
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+class TestCompileOnce:
+    def test_same_form_compiles_exactly_once(self, strategy):
+        """The acceptance criterion: two same-form queries with
+        different constants compile once; the hit's answers equal a
+        cold ``run_text`` run."""
+        tracer = obs.Tracer()
+        with obs.recording(tracer):
+            engine = Engine.from_text(FLIGHTS_TEXT, strategy=strategy)
+            first = engine.query(
+                "?- cheaporshort(madison, seattle, T, C)."
+            )
+            second = engine.query(
+                "?- cheaporshort(madison, dallas, T, C)."
+            )
+        counters = tracer.metrics.counters
+        assert counters.get("service.form_compiles") == 1
+        assert counters.get("service.cache_hits") == 1
+        assert counters.get("service.cache_misses") == 1
+        assert not first.cached and second.cached
+        for response, constants in (
+            (first, "madison, seattle"), (second, "madison, dallas")
+        ):
+            cold = run_text(
+                FLIGHTS_TEXT
+                + f"?- cheaporshort({constants}, T, C).",
+                strategy=strategy,
+            )
+            assert response.answer_strings == cold[0].answer_strings
+            assert response.completeness == "complete"
+
+    def test_repeat_query_is_a_warm_hit(self, strategy):
+        engine, __ = tracked_engine(strategy)
+        query = "?- cheaporshort(madison, seattle, T, C)."
+        cold = engine.query(query)
+        warm = engine.query(query)
+        assert not cold.warm
+        assert warm.warm and warm.cached
+        assert warm.answer_strings == cold.answer_strings
+
+
+class TestIncrementalFacts:
+    def test_add_facts_reaches_existing_warm_database(self):
+        engine, __ = tracked_engine()
+        query = "?- cheaporshort(seattle, portland, T, C)."
+        assert engine.query(query).answer_strings == []
+        added = engine.add_facts(
+            "singleleg(seattle, portland, 60, 20)."
+        )
+        assert added.ok and added.added == 1
+        response = engine.query(query)
+        assert response.resumed and response.warm
+        cold = run_text(
+            FLIGHTS_TEXT
+            + "singleleg(seattle, portland, 60, 20).\n"
+            + query,
+            strategy="rewrite",
+        )
+        assert response.answer_strings == cold[0].answer_strings
+
+    @pytest.mark.parametrize("strategy", ("rewrite", "optimal"))
+    def test_flights_network_incremental_equals_from_scratch(
+        self, strategy
+    ):
+        """Regression on the flights workload: incremental loads then a
+        re-query must equal a from-scratch evaluation of the full EDB."""
+        from repro.workloads.flights import (
+            flight_network,
+            flights_program,
+        )
+
+        network = flight_network(
+            n_layers=4, width=2, expensive_fraction=0.3, seed=7
+        )
+        legs = [
+            Fact.ground("singleleg", leg) for leg in network.legs
+        ]
+        split = len(legs) // 2
+        query_text = (
+            f"?- cheaporshort({network.source}, "
+            f"{network.destination}, T, C)."
+        )
+        engine = Engine(flights_program(), strategy=strategy)
+        engine.add_facts(legs[:split])
+        engine.query(query_text)              # leaves a warm state
+        engine.add_facts(legs[split:])
+        incremental = engine.query(query_text)
+        assert incremental.resumed
+        scratch = answer_query(
+            flights_program(),
+            parse_query(query_text),
+            network.database,
+            strategy=strategy,
+        )
+        assert (
+            incremental.answer_strings == scratch.answer_strings
+        )
+
+    def test_duplicate_facts_do_not_bump_the_epoch(self):
+        engine, __ = tracked_engine()
+        response = engine.add_facts(
+            "singleleg(madison, chicago, 50, 100)."
+        )
+        assert response.ok and response.added == 0
+        assert engine.session.epoch == 0
+
+    def test_derived_predicate_facts_are_rejected(self):
+        engine, __ = tracked_engine()
+        response = engine.add_facts("flight(a, b, 10, 10).")
+        assert not response.ok
+        assert response.error_code == "REPRO_USAGE"
+        # The session survives the rejection.
+        assert engine.query(
+            "?- cheaporshort(madison, seattle, T, C)."
+        ).ok
+
+
+class TestErrorIsolation:
+    def test_parse_error_reports_code_and_session_survives(self):
+        engine, __ = tracked_engine()
+        bad = engine.query("?- cheaporshort(madison,")
+        assert not bad.ok and bad.error_code == "REPRO_PARSE"
+        good = engine.query(
+            "?- cheaporshort(madison, seattle, T, C)."
+        )
+        assert good.ok and good.answer_strings
+
+    def test_unknown_predicate_is_an_error_response(self):
+        engine, __ = tracked_engine(strategy="optimal")
+        response = engine.query("?- nosuch(X).")
+        assert not response.ok
+        assert response.error_code is not None
+        assert engine.query(
+            "?- cheaporshort(madison, seattle, T, C)."
+        ).ok
+
+    def test_error_dict_shape(self):
+        engine, __ = tracked_engine()
+        payload = engine.query("?- broken(((").to_dict()
+        assert payload["type"] == "error"
+        assert payload["code"] == "REPRO_PARSE"
+        assert payload["message"]
+
+
+class TestBudgets:
+    QUERY = "?- cheaporshort(madison, seattle, T, C)."
+
+    def test_truncate_degrades_and_session_stays_usable(self):
+        """The acceptance criterion: a budget-exhausted request
+        degrades per on_limit and the next request still works."""
+        engine = Engine.from_text(
+            FLIGHTS_TEXT,
+            strategy="rewrite",
+            budget=Budget(max_facts=2),
+            on_limit="truncate",
+        )
+        starved = engine.query(self.QUERY)
+        assert starved.ok
+        assert starved.completeness.startswith("truncated:")
+        # Budgets are per request: the next one gets a fresh meter,
+        # and the truncated evaluation was not kept warm.
+        follow_up = engine.query(self.QUERY)
+        assert follow_up.ok and not follow_up.warm
+
+    def test_fail_reports_budget_code_and_session_stays_usable(self):
+        engine = Engine.from_text(
+            FLIGHTS_TEXT,
+            strategy="rewrite",
+            budget=Budget(max_facts=2),
+            on_limit="fail",
+        )
+        failed = engine.query(self.QUERY)
+        assert not failed.ok
+        assert failed.error_code == "REPRO_BUDGET"
+        # A sane budget afterwards works on the same session.
+        assert engine.query(self.QUERY).error_code == "REPRO_BUDGET"
+        assert engine.session.stats()["errors"] == 2
+
+    def test_budget_snapshot_attached_to_responses(self):
+        engine = Engine.from_text(
+            FLIGHTS_TEXT, budget=Budget(max_facts=10_000)
+        )
+        response = engine.query(self.QUERY)
+        assert response.ok and response.budget is not None
+        assert "spent" in response.budget
+
+    def test_truncated_warm_resume_is_not_reused(self):
+        engine = Engine.from_text(
+            FLIGHTS_TEXT,
+            strategy="rewrite",
+            budget=Budget(max_facts=60),
+            on_limit="truncate",
+        )
+        first = engine.query(self.QUERY)
+        assert first.ok and first.completeness == "complete"
+        engine.add_facts("singleleg(dallas, reno, 10, 2000).")
+        engine.session._budget = Budget(max_facts=0)
+        starved = engine.query(self.QUERY)
+        assert starved.ok and starved.completeness.startswith(
+            "truncated:"
+        )
+        engine.session._budget = None
+        healthy = engine.query(self.QUERY)
+        assert healthy.ok and healthy.completeness == "complete"
+        assert not healthy.warm  # the poisoned state was dropped
+
+
+class TestStats:
+    def test_stats_snapshot(self):
+        engine, __ = tracked_engine()
+        engine.query("?- cheaporshort(madison, seattle, T, C).")
+        engine.query("?- cheaporshort(madison, dallas, T, C).")
+        stats = engine.stats()
+        assert stats["requests"] == 2
+        assert stats["cache"]["entries"] == 1
+        assert stats["cache"]["hits"] == 1
+        assert stats["edb_facts"] == 3
+
+    def test_program_text_queries_kept_aside(self):
+        engine = Engine.from_text(
+            FLIGHTS_TEXT + "?- cheaporshort(madison, seattle, T, C)."
+        )
+        assert len(engine.initial_queries) == 1
+        assert engine.stats()["requests"] == 0
+
+    def test_add_ground(self):
+        engine, __ = tracked_engine()
+        response = engine.add_ground(
+            "singleleg", ("reno", "tulsa", 30, 20)
+        )
+        assert response.ok and response.added == 1
+
+
+def test_session_rejects_unknown_strategy():
+    from repro.errors import UsageError
+
+    with pytest.raises(UsageError):
+        Engine(parse_program("p(X) :- e(X)."), strategy="wat")
+    with pytest.raises(UsageError):
+        Engine(parse_program("p(X) :- e(X)."), on_limit="wat")
