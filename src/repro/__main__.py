@@ -45,6 +45,10 @@ def build_parser() -> argparse.ArgumentParser:
             "(Srivastava & Ramakrishnan, 'Pushing Constraint "
             "Selections', PODS 1992)."
         ),
+        epilog=(
+            "subcommands: 'repro conformance --seed N --count K' runs "
+            "the differential conformance harness (docs/testing.md)."
+        ),
     )
     parser.add_argument(
         "file",
@@ -243,6 +247,12 @@ def _run_batch_mode(arguments, text: str) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit status."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "conformance":
+        from repro.conformance.cli import main as conformance_main
+
+        return conformance_main(argv[1:])
     arguments = build_parser().parse_args(argv)
     if arguments.file == "-":
         text = sys.stdin.read()

@@ -1,0 +1,60 @@
+"""Differential conformance harness for the whole rewrite pipeline.
+
+The paper's correctness results (Theorem 2.1's rule-application
+soundness, the Theorem 4.x / Proposition 4.1-4.2 equivalences for the
+propagation rewrites, Theorem 7.10's optimality order) all promise one
+observable thing: **every pipeline configuration answers every query
+identically**.  This package turns that promise into an executable
+property over randomly generated programs:
+
+* :mod:`repro.conformance.generator` -- a seeded, size-bounded random
+  generator of well-formed CQL program+query pairs whose bounded
+  numeric domains guarantee terminating evaluation;
+* :mod:`repro.conformance.oracle` -- a deliberately naive ground
+  evaluator (finite-domain enumeration, no solver, no indexes, no
+  subsumption) sharing nothing with :mod:`repro.engine`;
+* :mod:`repro.conformance.differ` -- runs each case through the oracle
+  and every strategy (``none``, ``pred``, ``qrp``, ``rewrite``,
+  ``magic``, ``optimal``) plus the warm-cache ``service.Session`` path
+  and compares answer sets modulo constraint representation;
+* :mod:`repro.conformance.shrinker` -- a delta-debugging reducer that
+  minimizes failing cases and writes ``.cql`` reproducers.
+
+Entry points: ``python -m repro conformance --seed N --count K`` (see
+:mod:`repro.conformance.cli`) and the pytest suite under
+``tests/conformance/``.  ``docs/testing.md`` documents the workflow.
+"""
+
+from repro.conformance.differ import (
+    CaseResult,
+    ConfigRun,
+    DEFAULT_CONFIGS,
+    Mismatch,
+    check_case,
+)
+from repro.conformance.generator import (
+    GeneratedCase,
+    GeneratorConfig,
+    case_from_text,
+    generate_case,
+    generate_cases,
+)
+from repro.conformance.oracle import OracleBudgetError, oracle_answers
+from repro.conformance.shrinker import shrink, write_reproducer
+
+__all__ = [
+    "CaseResult",
+    "ConfigRun",
+    "DEFAULT_CONFIGS",
+    "Mismatch",
+    "check_case",
+    "GeneratedCase",
+    "GeneratorConfig",
+    "case_from_text",
+    "generate_case",
+    "generate_cases",
+    "OracleBudgetError",
+    "oracle_answers",
+    "shrink",
+    "write_reproducer",
+]

@@ -1,0 +1,218 @@
+"""``python -m repro conformance`` -- the differential batch runner.
+
+Generates ``--count`` seeded cases (seeds ``--seed, --seed+1, ...``),
+pushes each through the oracle and every pipeline configuration, and
+reports disagreements.  Failing cases are delta-debugged down to
+minimal reproducers and, with ``--corpus DIR``, written there as
+committed ``.cql`` regression inputs; ``--replay DIR`` re-checks an
+existing corpus instead of generating.
+
+Exit status: ``0`` all cases agree, ``1`` at least one mismatch,
+``2`` unusable input (bad corpus file or flag combination).
+
+``--inject-bug NAME`` corrupts one strategy's optimized program on
+purpose (see :data:`repro.conformance.differ.INJECTIONS`); the run is
+then *expected* to exit 1, which is how CI proves the harness can
+catch a rewrite bug end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.conformance.differ import (
+    DEFAULT_CONFIGS,
+    CheckSettings,
+    INJECTIONS,
+    check_case,
+)
+from repro.conformance.generator import (
+    GeneratorConfig,
+    case_from_text,
+    generate_case,
+)
+from repro.conformance.shrinker import (
+    shrink,
+    still_fails_like,
+    write_reproducer,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro conformance",
+        description=(
+            "Differential conformance testing: random CQL cases "
+            "through a ground oracle and every rewrite strategy."
+        ),
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="first case seed (default 0)",
+    )
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=50,
+        help="number of consecutive seeds to run (default 50)",
+    )
+    parser.add_argument(
+        "--configs",
+        default=",".join(DEFAULT_CONFIGS),
+        help="comma-separated configurations to compare "
+        f"(default {','.join(DEFAULT_CONFIGS)})",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="per-config wall-clock budget (default 5.0); exhausted "
+        "configs are inconclusive, not failures",
+    )
+    parser.add_argument(
+        "--small",
+        action="store_true",
+        help="use the scaled-down generator preset (faster cases)",
+    )
+    parser.add_argument(
+        "--replay",
+        metavar="DIR",
+        help="re-check every .cql case in DIR instead of generating",
+    )
+    parser.add_argument(
+        "--corpus",
+        metavar="DIR",
+        help="write shrunken reproducers for failing cases to DIR",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failing cases as generated, without reduction",
+    )
+    parser.add_argument(
+        "--inject-bug",
+        choices=sorted(INJECTIONS),
+        help="deliberately corrupt one strategy's optimized program "
+        "(harness self-test: the run must then fail)",
+    )
+    parser.add_argument(
+        "--inject-config",
+        default="rewrite",
+        help="strategy the injected bug corrupts (default rewrite)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="print a line per case, not only failures",
+    )
+    return parser
+
+
+def _iter_cases(arguments):
+    """Yield the cases this invocation should check."""
+    if arguments.replay:
+        directory = Path(arguments.replay)
+        paths = sorted(directory.glob("*.cql"))
+        if not paths:
+            raise OSError(f"no .cql cases under {directory}")
+        for path in paths:
+            yield case_from_text(
+                path.read_text(), label=path.name
+            )
+        return
+    config = GeneratorConfig()
+    if arguments.small:
+        config = config.scaled_down()
+    for offset in range(arguments.count):
+        yield generate_case(arguments.seed + offset, config)
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    configs = tuple(
+        name.strip()
+        for name in arguments.configs.split(",")
+        if name.strip()
+    )
+    unknown = set(configs) - set(DEFAULT_CONFIGS)
+    if unknown:
+        print(
+            f"repro conformance: unknown configs {sorted(unknown)} "
+            f"(choose from {', '.join(DEFAULT_CONFIGS)})",
+            file=sys.stderr,
+        )
+        return 2
+    settings = CheckSettings(deadline=arguments.deadline)
+    inject = None
+    if arguments.inject_bug:
+        inject = (
+            arguments.inject_config,
+            INJECTIONS[arguments.inject_bug],
+        )
+
+    def run(case):
+        return check_case(
+            case, configs=configs, settings=settings, inject=inject
+        )
+
+    checked = failures = skipped = 0
+    try:
+        cases = list(_iter_cases(arguments))
+    except (OSError, ValueError) as error:
+        print(f"repro conformance: {error}", file=sys.stderr)
+        return 2
+    for case in cases:
+        result = run(case)
+        checked += 1
+        if result.skipped:
+            skipped += 1
+        if result.ok:
+            if arguments.verbose:
+                print(result.summary())
+            continue
+        failures += 1
+        print(result.summary())
+        reported = case
+        if not arguments.no_shrink:
+            reported, steps = shrink(
+                case, still_fails_like(result, run)
+            )
+            print(
+                f"  shrunk in {steps} steps to "
+                f"{reported.rule_count} rules / "
+                f"{reported.fact_count} facts"
+            )
+        print(
+            "  " + "\n  ".join(reported.text.rstrip().splitlines())
+        )
+        if arguments.corpus:
+            path = write_reproducer(
+                reported,
+                arguments.corpus,
+                header=[
+                    f"found by: repro conformance --seed "
+                    f"{arguments.seed} --count {arguments.count}",
+                    *(
+                        [f"injected bug: {arguments.inject_bug}"]
+                        if arguments.inject_bug
+                        else []
+                    ),
+                ],
+            )
+            print(f"  reproducer written to {path}")
+    print(
+        f"conformance: {checked} cases, {failures} failing, "
+        f"{skipped} with inconclusive configs "
+        f"[configs: {','.join(configs)}]"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,502 @@
+"""Answer-set comparison across the oracle and every pipeline config.
+
+One generated case is run through the brute-force ground oracle
+(:mod:`repro.conformance.oracle`) and through every optimization
+strategy the driver offers -- ``none`` (evaluate as written), ``pred``,
+``qrp``, ``rewrite`` (pred+qrp), ``magic``, ``optimal`` (the Theorem
+7.10 order, which exercises the fold/unfold machinery end to end) --
+plus the compile-once warm-cache path of :class:`repro.service.Session`
+(queried twice: the second, warm answer must match the first).  All
+complete runs must produce identical answer sets; any difference is a
+:class:`Mismatch` carrying both sides.
+
+Comparison is modulo constraint representation: ground answers compare
+as value tuples, and a non-ground (constraint) answer fact is
+concretized over the case's finite numeric domain before comparison --
+the apples-to-apples reading against a ground oracle.  Engine-only
+comparisons of residual constraint facts fall back to the solver-backed
+mutual-subsumption test of :meth:`repro.engine.facts.Fact.subsumes`
+(the same machinery :mod:`repro.core.equivalence` trusts).
+
+Every config runs under its own :class:`repro.governor.Budget`, so a
+pathological case truncates and is reported *inconclusive* (skipped)
+rather than hanging the harness or counting as a false mismatch.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable
+
+from repro.driver import optimize, split_edb
+from repro.engine import evaluate
+from repro.engine.facts import Fact
+from repro.engine.query import answers as raw_answers
+from repro.errors import ReproError
+from repro.governor import Budget
+from repro.governor import budget as governor
+from repro.lang.ast import Program, Query
+from repro.lang.positions import arg_position
+from repro.lang.terms import Sym
+from repro.obs.recorder import count as obs_count, span as obs_span
+
+from repro.conformance.generator import GeneratedCase
+from repro.conformance.oracle import (
+    OracleBudgetError,
+    numeric_domain,
+    oracle_answers,
+)
+
+#: The configurations every case is pushed through, in report order.
+DEFAULT_CONFIGS = (
+    "oracle",
+    "none",
+    "pred",
+    "qrp",
+    "rewrite",
+    "magic",
+    "optimal",
+    "service",
+)
+
+#: A program-mutating bug injection: (strategy to corrupt, mutation).
+Injection = "tuple[str, Callable[[Program], Program]]"
+
+
+@dataclass(frozen=True)
+class CheckSettings:
+    """Resource envelope for one case's differential run."""
+
+    deadline: float = 5.0
+    max_facts: int = 20_000
+    eval_iterations: int = 80
+    max_iterations: int = 50
+    oracle_max_facts: int = 20_000
+
+    def budget(self) -> Budget:
+        return Budget(
+            deadline=self.deadline, max_facts=self.max_facts
+        )
+
+
+@dataclass
+class ConfigRun:
+    """What one configuration produced for one case.
+
+    ``completeness`` is ``"complete"``, a ``"truncated:<resource>"``
+    marker (inconclusive -- the config is excluded from comparison), or
+    ``"error:<CODE>"`` when the config raised.
+    """
+
+    name: str
+    answers: frozenset[str] | None
+    completeness: str = "complete"
+    detail: str = ""
+
+    @property
+    def complete(self) -> bool:
+        return self.completeness == "complete"
+
+    @property
+    def errored(self) -> bool:
+        return self.completeness.startswith("error:")
+
+
+@dataclass
+class Mismatch:
+    """Two configurations disagreeing on one case's answers."""
+
+    left: str
+    right: str
+    only_left: tuple[str, ...]
+    only_right: tuple[str, ...]
+    kind: str = "answers"
+
+    def summary(self) -> str:
+        if self.kind == "error":
+            return f"{self.right} errored ({self.only_right[0]})"
+        parts = [f"{self.left} vs {self.right}:"]
+        if self.only_left:
+            parts.append(
+                f"only {self.left}: {sorted(self.only_left)[:4]}"
+            )
+        if self.only_right:
+            parts.append(
+                f"only {self.right}: {sorted(self.only_right)[:4]}"
+            )
+        return " ".join(parts)
+
+
+@dataclass
+class CaseResult:
+    """The full differential verdict for one case."""
+
+    case: GeneratedCase
+    runs: dict[str, ConfigRun] = field(default_factory=dict)
+    mismatches: list[Mismatch] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    @property
+    def conclusive(self) -> bool:
+        """At least two configs completed and could be compared."""
+        return (
+            sum(1 for run in self.runs.values() if run.complete) >= 2
+        )
+
+    def summary(self) -> str:
+        if self.ok:
+            state = "ok" if self.conclusive else "inconclusive"
+        else:
+            state = "MISMATCH " + "; ".join(
+                mismatch.summary() for mismatch in self.mismatches
+            )
+        return f"[{self.case.describe()}] {state}"
+
+
+def canonical_value(value: object) -> str:
+    """One answer component in the harness's canonical spelling."""
+    if isinstance(value, Sym):
+        return value.name
+    if isinstance(value, Fraction):
+        return f"#{value}"
+    if isinstance(value, str):
+        return value
+    raise TypeError(f"unexpected answer value {value!r}")
+
+
+def canonical_answers(
+    facts: list[Fact], domain: list[Fraction]
+) -> frozenset[str]:
+    """Engine answer facts as canonical strings.
+
+    Ground facts map directly; a constraint (non-ground) fact is
+    concretized by enumerating the case's finite numeric domain at its
+    pending positions and keeping the combinations its constraint
+    admits, which is exactly the set a ground evaluator could see.
+    """
+    rendered: set[str] = set()
+    for fact in facts:
+        if fact.is_ground():
+            rendered.add(
+                "|".join(canonical_value(v) for v in fact.args)
+            )
+            continue
+        pending = fact.pending_positions()
+        for combo in itertools.product(domain, repeat=len(pending)):
+            assignment = {
+                arg_position(position): value
+                for position, value in zip(pending, combo)
+            }
+            if not fact.constraint.satisfied_by(assignment):
+                continue
+            values = list(fact.args)
+            for position, value in zip(pending, combo):
+                values[position - 1] = value
+            rendered.add(
+                "|".join(canonical_value(v) for v in values)
+            )
+    return frozenset(rendered)
+
+
+def facts_equivalent(left: list[Fact], right: list[Fact]) -> bool:
+    """Solver-backed answer-set equivalence modulo representation.
+
+    Each side's facts must be subsumed by some fact on the other side
+    (mutual coverage).  This is the exact check for ground answers and
+    a sound, conservative one for residual constraint facts.
+    """
+    return all(
+        any(other.subsumes(fact) for other in right) for fact in left
+    ) and all(
+        any(other.subsumes(fact) for other in left) for fact in right
+    )
+
+
+def _oracle_run(
+    case: GeneratedCase, settings: CheckSettings
+) -> ConfigRun:
+    try:
+        answers = oracle_answers(
+            case.program,
+            case.query,
+            max_facts=settings.oracle_max_facts,
+        )
+    except OracleBudgetError as error:
+        return ConfigRun(
+            "oracle", None, f"truncated:{error.resource}"
+        )
+    return ConfigRun(
+        "oracle",
+        frozenset(
+            "|".join(canonical_value(v) for v in answer)
+            for answer in answers
+        ),
+    )
+
+
+def _strategy_run(
+    case: GeneratedCase,
+    strategy: str,
+    settings: CheckSettings,
+    domain: list[Fraction],
+    mutate: "Callable[[Program], Program] | None" = None,
+) -> ConfigRun:
+    """Optimize + evaluate + extract, mirroring the driver core.
+
+    Reimplemented (rather than calling ``answer_query``) to expose the
+    post-rewrite seam where ``mutate`` injects a deliberate bug, and to
+    classify truncation per config.
+    """
+    from repro.errors import BudgetExceeded
+
+    rules, edb = split_edb(case.program)
+    meter = settings.budget().meter()
+    with governor.governed(meter):
+        fallbacks: list[str] = []
+        try:
+            optimized, query_pred, __ = optimize(
+                rules,
+                case.query,
+                strategy,
+                settings.max_iterations,
+                fallbacks,
+                on_limit="widen",
+            )
+        except BudgetExceeded as error:
+            # An exhausted optimization is inconclusive, not a bug.
+            return ConfigRun(
+                strategy, None, f"truncated:{error.resource}"
+            )
+        if mutate is not None:
+            optimized = mutate(optimized)
+        result = evaluate(
+            optimized,
+            edb,
+            max_iterations=settings.eval_iterations,
+            budget=meter,
+        )
+        if not result.reached_fixpoint:
+            return ConfigRun(
+                strategy, None, result.completeness
+            )
+        effective = Query(
+            case.query.literal.with_pred(query_pred),
+            case.query.constraint,
+        )
+        with meter.paused():
+            found = raw_answers(result.database, effective)
+    return ConfigRun(
+        strategy,
+        canonical_answers(found, domain),
+        detail=",".join(fallbacks),
+    )
+
+
+def _service_runs(
+    case: GeneratedCase,
+    settings: CheckSettings,
+    domain: list[Fraction],
+    strategy: str = "magic",
+) -> list[ConfigRun]:
+    """The warm-cache path: same query twice through one Session.
+
+    The second request must hit the form cache and the warm database;
+    its answers must equal the cold ones (run name ``service-warm``).
+    The magic strategy is used because it exercises the most service
+    machinery (seed-stripped template, per-seed warm states) at a
+    fraction of the ``optimal`` pipeline's rewrite cost.
+    """
+    from repro.service.session import Session
+
+    session = Session(
+        case.program,
+        strategy=strategy,
+        max_iterations=settings.max_iterations,
+        eval_iterations=settings.eval_iterations,
+        budget=settings.budget(),
+        on_limit="truncate",
+    )
+    runs: list[ConfigRun] = []
+    for name in ("service", "service-warm"):
+        response = session.query(case.query)
+        if response.kind == "error":
+            runs.append(
+                ConfigRun(
+                    name, None, f"error:{response.error_code}",
+                    detail=response.error_message or "",
+                )
+            )
+        elif response.completeness.startswith("truncated"):
+            runs.append(ConfigRun(name, None, response.completeness))
+        else:
+            runs.append(
+                ConfigRun(
+                    name,
+                    canonical_answers(response.answers, domain),
+                )
+            )
+    return runs
+
+
+def check_case(
+    case: GeneratedCase,
+    configs: tuple[str, ...] = DEFAULT_CONFIGS,
+    settings: CheckSettings | None = None,
+    inject: "Injection | None" = None,
+) -> CaseResult:
+    """Run one case through every configuration and compare answers.
+
+    ``inject`` is an optional ``(strategy, mutation)`` pair applied to
+    that strategy's optimized program before evaluation -- the
+    harness's own fault injection, used to prove a rewrite bug would
+    be caught (and by the shrinker tests).
+    """
+    settings = settings or CheckSettings()
+    obs_count("conformance.cases")
+    result = CaseResult(case)
+    domain = numeric_domain(case.program, case.query)
+    with obs_span("conformance.case", query=case.query.literal.pred):
+        for config in configs:
+            obs_count("conformance.configs_run")
+            try:
+                if config == "oracle":
+                    runs = [_oracle_run(case, settings)]
+                elif config == "service":
+                    runs = _service_runs(case, settings, domain)
+                else:
+                    mutate = None
+                    if inject is not None and inject[0] == config:
+                        mutate = inject[1]
+                    runs = [
+                        _strategy_run(
+                            case, config, settings, domain, mutate
+                        )
+                    ]
+            except ReproError as error:
+                obs_count("conformance.errors")
+                runs = [
+                    ConfigRun(
+                        config,
+                        None,
+                        f"error:{error.code}",
+                        detail=str(error),
+                    )
+                ]
+            except (ValueError, KeyError) as error:
+                # KeyError covers degenerate programs (e.g. a shrink
+                # candidate that deleted every rule of the query's
+                # predicate) hitting Program.arity.
+                obs_count("conformance.errors")
+                runs = [
+                    ConfigRun(
+                        config,
+                        None,
+                        "error:REPRO_INTERNAL",
+                        detail=str(error),
+                    )
+                ]
+            for run in runs:
+                result.runs[run.name] = run
+    _compare(result)
+    if result.mismatches:
+        obs_count("conformance.mismatches")
+    if result.skipped:
+        obs_count("conformance.skipped")
+    return result
+
+
+def _compare(result: CaseResult) -> None:
+    """Fill mismatches/skipped from the per-config runs."""
+    complete = [
+        run for run in result.runs.values() if run.complete
+    ]
+    for run in result.runs.values():
+        if run.errored:
+            result.mismatches.append(
+                Mismatch(
+                    left="(run)",
+                    right=run.name,
+                    only_left=(),
+                    only_right=(run.completeness, run.detail),
+                    kind="error",
+                )
+            )
+        elif not run.complete:
+            result.skipped.append(run.name)
+    if not complete:
+        return
+    reference = next(
+        (run for run in complete if run.name == "oracle"), complete[0]
+    )
+    for run in complete:
+        if run.name == reference.name:
+            continue
+        if run.answers != reference.answers:
+            assert run.answers is not None
+            assert reference.answers is not None
+            result.mismatches.append(
+                Mismatch(
+                    left=reference.name,
+                    right=run.name,
+                    only_left=tuple(
+                        sorted(reference.answers - run.answers)
+                    ),
+                    only_right=tuple(
+                        sorted(run.answers - reference.answers)
+                    ),
+                )
+            )
+
+
+# -- canned bug injections (CLI --inject-bug, tests) -------------------
+
+
+def tighten_bug(program: Program) -> Program:
+    """Tighten the first inequality constraint atom by 1.
+
+    A realistic rewrite bug: an off-by-one in a propagated bound makes
+    the optimized program prune facts it must keep, losing answers on
+    the cases that straddle the bound.
+    """
+    from repro.constraints.atom import Atom, Op
+    from repro.constraints.conjunction import Conjunction
+    from repro.constraints.linexpr import LinearExpr
+
+    new_rules = []
+    done = False
+    for rule in program:
+        if not done and not rule.is_fact:
+            atoms = list(rule.constraint.atoms)
+            for index, atom in enumerate(atoms):
+                if atom.op is not Op.EQ and not atom.is_ground():
+                    atoms[index] = Atom(
+                        atom.expr + LinearExpr.const(1), atom.op
+                    )
+                    done = True
+                    break
+            if done:
+                rule = rule.with_constraint(Conjunction(atoms))
+        new_rules.append(rule)
+    return Program(new_rules)
+
+
+def drop_rule_bug(program: Program) -> Program:
+    """Drop the last proper rule -- a lost-rule rewrite bug."""
+    rules = list(program)
+    for index in range(len(rules) - 1, -1, -1):
+        if not rules[index].is_fact:
+            del rules[index]
+            break
+    return Program(rules)
+
+
+INJECTIONS: dict[str, Callable[[Program], Program]] = {
+    "tighten": tighten_bug,
+    "drop-rule": drop_rule_bug,
+}

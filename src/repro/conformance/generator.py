@@ -1,0 +1,346 @@
+"""Seeded random generation of well-formed CQL program+query pairs.
+
+The grammar is deliberately restricted to the fragment on which the
+paper's equivalence theorems are unconditional *and* on which
+termination is guaranteed, so every generated case is a legitimate
+differential-testing input:
+
+* **Sorted schema.**  Every predicate position is assigned a sort
+  (``num`` or ``sym``) up front; facts, rule heads, constants and
+  constraints respect it, so no generated case can trip the engine's
+  sort-conflict handling spuriously.
+* **Range restriction by construction.**  Rule bodies are generated
+  first; head arguments are then drawn from the body's variables (plus
+  sort-compatible constants), so every rule is range-restricted and
+  bottom-up evaluation computes only ground facts.
+* **Bounded numeric domain.**  Head arguments are plain variables or
+  constants -- never arithmetic -- so every derivable value already
+  occurs in the program or its EDB.  The Herbrand base is finite and
+  every evaluation terminates; constraint atoms (bounded integer
+  coefficients and constants) only prune it.
+* **Adornment-compatible queries.**  Query arguments are constants
+  (bound) or distinct fresh variables (free), which is exactly the
+  b/f-adornment vocabulary the magic strategies expect; optional query
+  constraint atoms range over the free numeric positions.
+
+Recursion is permitted (a rule for ``p_i`` may call ``p_j`` with ``j <=
+i``, including itself), giving transitive-closure-like cases; the
+``recursion`` knob scales how often that happens.  All randomness flows
+from one :class:`random.Random` seeded per case, so a ``(config, seed)``
+pair is a stable case identity across runs and machines.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from fractions import Fraction
+
+from repro.constraints.atom import Atom
+from repro.constraints.conjunction import Conjunction
+from repro.constraints.linexpr import LinearExpr
+from repro.lang.ast import Literal, Program, Query, Rule
+from repro.lang.parser import parse_program_and_queries
+from repro.lang.terms import NumTerm, Sym, Term, Var
+
+_COMPARISONS = ("<", "<=", "=", ">=", ">")
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Tunable knobs bounding the size and shape of generated cases.
+
+    The defaults keep the brute-force oracle comfortably fast (domain
+    of at most ``domain_size`` numeric values plus a few symbols, rule
+    bodies of at most ``max_body_literals`` literals) while still
+    producing recursion, joins, constant joins, and constraint pruning.
+    """
+
+    max_edb_predicates: int = 2
+    max_idb_predicates: int = 3
+    max_arity: int = 3
+    max_rules_per_predicate: int = 3
+    max_body_literals: int = 3
+    max_facts_per_predicate: int = 5
+    #: Probability that a body literal calls an IDB predicate (possibly
+    #: recursively) rather than an EDB predicate.
+    recursion: float = 0.35
+    #: Probability of attaching each potential constraint atom.
+    constraint_density: float = 0.5
+    max_constraint_atoms: int = 2
+    #: Inclusive bound on |coefficient| in constraint atoms.
+    coefficient_bound: int = 2
+    #: Numeric constants are drawn from ``0 .. domain_size - 1``.
+    domain_size: int = 5
+    #: Number of distinct symbolic constants available.
+    symbol_pool: int = 3
+    #: Probability that a predicate position is sym-sorted.
+    symbol_position_rate: float = 0.2
+    #: Probability that a query argument position is bound.
+    query_bound_rate: float = 0.4
+    #: Probability of generating a ground fact for an IDB predicate.
+    idb_fact_rate: float = 0.2
+
+    def scaled_down(self) -> "GeneratorConfig":
+        """A smaller variant (used by the CLI's ``--small`` preset)."""
+        return replace(
+            self,
+            max_idb_predicates=2,
+            max_arity=2,
+            max_body_literals=2,
+            max_facts_per_predicate=4,
+        )
+
+
+@dataclass
+class GeneratedCase:
+    """One program+query differential-testing input.
+
+    ``program`` contains the rules *and* the ground EDB facts (as
+    body-less rules), exactly as a ``.cql`` file would; ``seed`` is the
+    per-case seed (``None`` for corpus-loaded cases).  ``text`` renders
+    the case as parser-compatible CQL, which is the on-disk reproducer
+    format.
+    """
+
+    program: Program
+    query: Query
+    seed: int | None = None
+    label: str = ""
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def text(self) -> str:
+        """The case as a parseable ``.cql`` document."""
+        lines = [str(rule) for rule in self.program]
+        lines.append(str(self.query))
+        return "\n".join(lines) + "\n"
+
+    @property
+    def rule_count(self) -> int:
+        """Number of proper (non-fact) rules."""
+        return sum(1 for rule in self.program if not rule.is_fact)
+
+    @property
+    def fact_count(self) -> int:
+        """Number of body-less (fact) rules."""
+        return sum(1 for rule in self.program if rule.is_fact)
+
+    def describe(self) -> str:
+        """A one-line summary for logs and reproducer headers."""
+        origin = f"seed={self.seed}" if self.seed is not None else "corpus"
+        return (
+            f"{origin} rules={self.rule_count} facts={self.fact_count} "
+            f"query={self.query.literal.pred}"
+        )
+
+
+def case_from_text(
+    text: str, label: str = "", seed: int | None = None
+) -> GeneratedCase:
+    """Rebuild a case from its reproducer text (one query expected)."""
+    program, queries = parse_program_and_queries(text)
+    if len(queries) != 1:
+        raise ValueError(
+            f"a conformance case needs exactly one query, "
+            f"found {len(queries)}"
+        )
+    return GeneratedCase(
+        program=program, query=queries[0], seed=seed, label=label
+    )
+
+
+class _Schema:
+    """The sorted predicate schema a case is generated against."""
+
+    def __init__(self, rng: random.Random, config: GeneratorConfig):
+        self.config = config
+        self.sorts: dict[str, tuple[str, ...]] = {}
+        self.edb: list[str] = []
+        self.idb: list[str] = []
+        n_edb = rng.randint(1, config.max_edb_predicates)
+        n_idb = rng.randint(1, config.max_idb_predicates)
+        for index in range(n_edb):
+            name = f"e{index}"
+            self.edb.append(name)
+            self.sorts[name] = self._positions(rng)
+        for index in range(n_idb):
+            name = f"p{index}"
+            self.idb.append(name)
+            self.sorts[name] = self._positions(rng)
+
+    def _positions(self, rng: random.Random) -> tuple[str, ...]:
+        arity = rng.randint(1, self.config.max_arity)
+        return tuple(
+            "sym"
+            if rng.random() < self.config.symbol_position_rate
+            else "num"
+            for __ in range(arity)
+        )
+
+    def arity(self, pred: str) -> int:
+        return len(self.sorts[pred])
+
+
+def _random_constant(
+    rng: random.Random, sort: str, config: GeneratorConfig
+) -> Term:
+    if sort == "sym":
+        return Sym(f"s{rng.randrange(config.symbol_pool)}")
+    return NumTerm(
+        LinearExpr.const(Fraction(rng.randrange(config.domain_size)))
+    )
+
+
+def _random_atom(
+    rng: random.Random,
+    num_vars: list[str],
+    config: GeneratorConfig,
+) -> Atom:
+    """A linear atom over 1-2 numeric variables with bounded pieces."""
+    arity = 1 if len(num_vars) == 1 or rng.random() < 0.5 else 2
+    chosen = rng.sample(num_vars, arity)
+    expr = LinearExpr.zero()
+    for name in chosen:
+        coefficient = 0
+        while coefficient == 0:
+            coefficient = rng.randint(
+                -config.coefficient_bound, config.coefficient_bound
+            )
+        expr = expr + LinearExpr.var(name, Fraction(coefficient))
+    # Center the constant on the reachable value range so atoms are
+    # neither trivially true nor trivially false too often.
+    span = config.coefficient_bound * (config.domain_size - 1) * arity
+    constant = Fraction(rng.randint(-span, span))
+    return Atom.make(
+        expr, rng.choice(_COMPARISONS), LinearExpr.const(constant)
+    )
+
+
+def _generate_rule(
+    rng: random.Random,
+    schema: _Schema,
+    head_pred: str,
+    head_index: int,
+    config: GeneratorConfig,
+) -> Rule:
+    """One range-restricted rule for ``head_pred`` (body first)."""
+    body: list[Literal] = []
+    var_sorts: dict[str, str] = {}
+    n_literals = rng.randint(1, config.max_body_literals)
+    for __ in range(n_literals):
+        if schema.idb[: head_index + 1] and (
+            rng.random() < config.recursion
+        ):
+            pred = rng.choice(schema.idb[: head_index + 1])
+        else:
+            pred = rng.choice(schema.edb)
+        args: list[Term] = []
+        for sort in schema.sorts[pred]:
+            same_sort = [
+                name for name, s in var_sorts.items() if s == sort
+            ]
+            roll = rng.random()
+            if roll < 0.15:
+                args.append(_random_constant(rng, sort, config))
+            elif same_sort and roll < 0.45:
+                args.append(Var(rng.choice(same_sort)))
+            else:
+                name = f"V{len(var_sorts)}"
+                var_sorts[name] = sort
+                args.append(Var(name))
+        body.append(Literal(pred, tuple(args)))
+    head_args: list[Term] = []
+    for sort in schema.sorts[head_pred]:
+        same_sort = [name for name, s in var_sorts.items() if s == sort]
+        if same_sort and rng.random() > 0.2:
+            head_args.append(Var(rng.choice(same_sort)))
+        else:
+            head_args.append(_random_constant(rng, sort, config))
+    atoms: list[Atom] = []
+    num_vars = sorted(
+        name for name, sort in var_sorts.items() if sort == "num"
+    )
+    if num_vars:
+        for __ in range(config.max_constraint_atoms):
+            if rng.random() < config.constraint_density:
+                atoms.append(_random_atom(rng, num_vars, config))
+    return Rule(
+        Literal(head_pred, tuple(head_args)),
+        tuple(body),
+        Conjunction(atoms),
+    )
+
+
+def _generate_fact(
+    rng: random.Random,
+    schema: _Schema,
+    pred: str,
+    config: GeneratorConfig,
+) -> Rule:
+    args = tuple(
+        _random_constant(rng, sort, config)
+        for sort in schema.sorts[pred]
+    )
+    return Rule(Literal(pred, args))
+
+
+def _generate_query(
+    rng: random.Random,
+    schema: _Schema,
+    pred: str,
+    config: GeneratorConfig,
+) -> Query:
+    args: list[Term] = []
+    free_num: list[str] = []
+    fresh = 0
+    for sort in schema.sorts[pred]:
+        if rng.random() < config.query_bound_rate:
+            args.append(_random_constant(rng, sort, config))
+        else:
+            name = f"Q{fresh}"
+            fresh += 1
+            args.append(Var(name))
+            if sort == "num":
+                free_num.append(name)
+    atoms: list[Atom] = []
+    if free_num and rng.random() < config.constraint_density:
+        atoms.append(_random_atom(rng, free_num, config))
+    return Query(Literal(pred, tuple(args)), Conjunction(atoms))
+
+
+def generate_case(
+    seed: int, config: GeneratorConfig | None = None
+) -> GeneratedCase:
+    """Generate the deterministic case identified by ``seed``."""
+    config = config or GeneratorConfig()
+    rng = random.Random(seed)
+    schema = _Schema(rng, config)
+    rules: list[Rule] = []
+    for index, pred in enumerate(schema.idb):
+        for __ in range(rng.randint(1, config.max_rules_per_predicate)):
+            rules.append(
+                _generate_rule(rng, schema, pred, index, config)
+            )
+        if rng.random() < config.idb_fact_rate:
+            rules.append(_generate_fact(rng, schema, pred, config))
+    for pred in schema.edb:
+        for __ in range(
+            rng.randint(0, config.max_facts_per_predicate)
+        ):
+            rules.append(_generate_fact(rng, schema, pred, config))
+    # Query the highest-index IDB predicate: it can reach every other
+    # predicate, so the whole generated program stays relevant.
+    query = _generate_query(rng, schema, schema.idb[-1], config)
+    return GeneratedCase(
+        program=Program(rules), query=query, seed=seed
+    )
+
+
+def generate_cases(
+    seed: int, count: int, config: GeneratorConfig | None = None
+) -> list[GeneratedCase]:
+    """The ``count`` cases seeded ``seed, seed+1, ...``."""
+    return [
+        generate_case(seed + offset, config) for offset in range(count)
+    ]

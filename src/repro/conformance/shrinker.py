@@ -1,0 +1,188 @@
+"""Delta-debugging reduction of failing conformance cases.
+
+When the differ finds a mismatch, the raw generated case is usually
+bigger than the bug needs.  :func:`shrink` greedily minimizes it while
+the failure persists, using only well-formedness-preserving moves:
+
+* delete whole rules and facts (in shrinking chunk sizes, ddmin-style);
+* delete individual constraint atoms from rules;
+* delete query constraint atoms.
+
+A candidate counts as "still failing" only when it reproduces a
+mismatch *without introducing new error classes*: a reduction that
+trades an answer mismatch for a crash is rejected, so the reducer
+cannot wander off the original bug.  Each accepted reduction bumps the
+``conformance.shrink_steps`` counter.
+
+:func:`write_reproducer` serializes the minimized case into
+``tests/conformance/corpus/`` as a commented, parser-compatible
+``.cql`` file -- the committed regression format the pytest suite
+replays deterministically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.constraints.conjunction import Conjunction
+from repro.lang.ast import Program, Query
+from repro.obs.recorder import count as obs_count
+
+from repro.conformance.differ import CaseResult
+from repro.conformance.generator import GeneratedCase
+
+#: A predicate deciding whether a candidate case still fails.
+FailurePredicate = Callable[[GeneratedCase], bool]
+
+
+def still_fails_like(
+    original: CaseResult,
+    check: Callable[[GeneratedCase], CaseResult],
+) -> FailurePredicate:
+    """The standard failure predicate for :func:`shrink`.
+
+    A candidate fails when it has at least one mismatch and every
+    errored config was already errored in the original result (no new
+    error classes smuggled in by the reduction).
+    """
+    original_errors = {
+        run.name
+        for run in original.runs.values()
+        if run.errored
+    }
+
+    def fails(candidate: GeneratedCase) -> bool:
+        result = check(candidate)
+        if not result.mismatches:
+            return False
+        errored = {
+            run.name
+            for run in result.runs.values()
+            if run.errored
+        }
+        return errored <= original_errors
+
+    return fails
+
+
+def _with_program(
+    case: GeneratedCase, program: Program
+) -> GeneratedCase:
+    return GeneratedCase(
+        program=program,
+        query=case.query,
+        seed=case.seed,
+        label=case.label,
+        notes=case.notes,
+    )
+
+
+def _rule_deletions(case: GeneratedCase) -> Iterable[GeneratedCase]:
+    """Candidates with a chunk of rules removed, biggest chunks first."""
+    rules = list(case.program)
+    size = len(rules) // 2
+    while size >= 1:
+        for start in range(0, len(rules), size):
+            kept = rules[:start] + rules[start + size:]
+            if kept:
+                yield _with_program(case, Program(kept))
+        size //= 2
+
+
+def _atom_deletions(case: GeneratedCase) -> Iterable[GeneratedCase]:
+    """Candidates with one rule constraint atom removed."""
+    rules = list(case.program)
+    for index, rule in enumerate(rules):
+        atoms = rule.constraint.atoms
+        for drop in range(len(atoms)):
+            slimmer = rule.with_constraint(
+                Conjunction(
+                    atoms[:drop] + atoms[drop + 1:]
+                )
+            )
+            yield _with_program(
+                case,
+                Program(
+                    rules[:index] + [slimmer] + rules[index + 1:]
+                ),
+            )
+
+
+def _query_atom_deletions(
+    case: GeneratedCase,
+) -> Iterable[GeneratedCase]:
+    """Candidates with one query constraint atom removed."""
+    atoms = case.query.constraint.atoms
+    for drop in range(len(atoms)):
+        yield GeneratedCase(
+            program=case.program,
+            query=Query(
+                case.query.literal,
+                Conjunction(atoms[:drop] + atoms[drop + 1:]),
+            ),
+            seed=case.seed,
+            label=case.label,
+            notes=case.notes,
+        )
+
+
+def shrink(
+    case: GeneratedCase,
+    fails: FailurePredicate,
+    max_steps: int = 400,
+) -> tuple[GeneratedCase, int]:
+    """Greedily minimize ``case`` while ``fails`` stays true.
+
+    Returns the minimized case and the number of accepted reductions.
+    ``max_steps`` bounds the number of *candidate evaluations* so a
+    flaky predicate cannot loop the reducer forever.
+    """
+    steps = 0
+    evaluations = 0
+    current = case
+    improved = True
+    while improved and evaluations < max_steps:
+        improved = False
+        for candidate in _candidates(current):
+            evaluations += 1
+            if evaluations > max_steps:
+                break
+            if fails(candidate):
+                current = candidate
+                steps += 1
+                obs_count("conformance.shrink_steps")
+                improved = True
+                break
+    return current, steps
+
+
+def _candidates(case: GeneratedCase) -> Iterable[GeneratedCase]:
+    yield from _rule_deletions(case)
+    yield from _atom_deletions(case)
+    yield from _query_atom_deletions(case)
+
+
+def reproducer_name(case: GeneratedCase) -> str:
+    """A stable filename for the case (content-hashed)."""
+    digest = hashlib.sha256(case.text.encode()).hexdigest()[:10]
+    seed = f"seed{case.seed}_" if case.seed is not None else ""
+    return f"case_{seed}{digest}.cql"
+
+
+def write_reproducer(
+    case: GeneratedCase,
+    directory: "str | Path",
+    header: Iterable[str] = (),
+    name: str | None = None,
+) -> Path:
+    """Write the case as a commented ``.cql`` reproducer; returns path."""
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / (name or reproducer_name(case))
+    lines = [f"% conformance reproducer ({case.describe()})"]
+    lines.extend(f"% {line}" for line in header)
+    body = case.text
+    path.write_text("\n".join(lines) + "\n" + body)
+    return path

@@ -98,6 +98,23 @@ def _bind(bindings: dict[str, Term], name: str, term: Term) -> None:
     bindings[name] = term
 
 
+def _sort_conflict(
+    constraint: Conjunction, bindings: dict[str, Term]
+) -> bool:
+    """True when a symbol would bind a variable used arithmetically.
+
+    Numeric atoms are never satisfied by symbolic values (sorts are
+    disjoint), so any conjunction forcing such a binding is
+    unsatisfiable -- callers resolving away a literal should drop the
+    branch rather than substitute.
+    """
+    names = constraint.variables()
+    return any(
+        isinstance(term, Sym) and name in names
+        for name, term in bindings.items()
+    )
+
+
 def _apply(rule: Rule, bindings: dict[str, Term]) -> Rule:
     """Apply a substitution to a rule (constraints included)."""
     if not bindings:
@@ -204,6 +221,11 @@ class FoldUnfold:
                 rule.constraint.conjoin(renamed.constraint).conjoin(residual),
                 rule.label,
             )
+            if _sort_conflict(candidate.constraint, bindings):
+                # A symbol bound into an arithmetic constraint makes
+                # the resolvent unsatisfiable; skip it like any other
+                # unsatisfiable branch.
+                continue
             resolvent = _apply(candidate, bindings)
             if resolvent.constraint.is_satisfiable():
                 resolvents.append(resolvent)

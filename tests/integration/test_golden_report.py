@@ -1,0 +1,124 @@
+"""Golden-file tests for the CLI's machine-readable surfaces.
+
+``--report`` promises a stable JSON-lines contract (consumed by
+dashboards and the bench tooling) and ``--metrics`` a human summary of
+the same data.  Timings and counter *values* legitimately drift run to
+run, so the goldens pin only the stable subset:
+
+* the schema tag and root span of the report;
+* the set of span paths (the pipeline's phase tree);
+* the set of counter names;
+* the answers printed on stdout.
+
+Regenerate after an intentional contract change with::
+
+    REPRO_REGEN_GOLDEN=1 python -m pytest tests/integration/test_golden_report.py
+
+and review the golden diff like any other API change.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+
+GOLDEN_DIR = Path(__file__).parent.parent / "golden"
+
+FLIGHTS = """
+cheaporshort(S, D, T, C) :- flight(S, D, T, C), T <= 240.
+cheaporshort(S, D, T, C) :- flight(S, D, T, C), C <= 150.
+flight(Src, Dst, Time, Cost) :- singleleg(Src, Dst, Time, Cost),
+                                Cost > 0, Time > 0.
+flight(S, D, T, C) :- flight(S, D1, T1, C1), flight(D1, D, T2, C2),
+                      T = T1 + T2 + 30, C = C1 + C2.
+singleleg(madison, chicago, 50, 100).
+singleleg(chicago, seattle, 150, 40).
+singleleg(madison, denver, 300, 400).
+singleleg(denver, seattle, 120, 60).
+?- cheaporshort(madison, seattle, T, C).
+"""
+
+CASES = [
+    ("flights_rewrite", FLIGHTS, ["--strategy", "rewrite"]),
+    ("flights_magic", FLIGHTS, ["--strategy", "magic"]),
+]
+
+
+def _stable_subset(report_path: Path, stdout: str) -> dict:
+    """The contract-stable projection of one CLI run."""
+    meta = None
+    span_paths: set[str] = set()
+    counter_names: set[str] = set()
+    with report_path.open() as handle:
+        for line in handle:
+            record = json.loads(line)
+            if record["type"] == "meta":
+                meta = record
+            elif record["type"] == "span":
+                span_paths.add(record["path"])
+                counter_names.update(record["counters"])
+            elif record["type"] == "counter":
+                counter_names.add(record["name"])
+    assert meta is not None, "report has no meta record"
+    answers = [
+        line.strip()
+        for line in stdout.splitlines()
+        if line.startswith("  ") and "=" in line and "ms" not in line
+    ]
+    return {
+        "schema": meta["schema"],
+        "root": meta["root"],
+        "span_paths": sorted(span_paths),
+        "counter_names": sorted(counter_names),
+        "answers": sorted(answers),
+    }
+
+
+def _run_case(text, extra, tmp_path, capsys):
+    program = tmp_path / "program.cql"
+    program.write_text(text)
+    report = tmp_path / "report.jsonl"
+    status = main(
+        [str(program), "--report", str(report), "--metrics", *extra]
+    )
+    assert status == 0
+    captured = capsys.readouterr()
+    return _stable_subset(report, captured.out), captured.out
+
+
+@pytest.mark.parametrize(
+    "name, text, extra", CASES, ids=[case[0] for case in CASES]
+)
+def test_report_matches_golden(name, text, extra, tmp_path, capsys):
+    actual, __ = _run_case(text, extra, tmp_path, capsys)
+    golden_path = GOLDEN_DIR / f"report_{name}.json"
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        golden_path.parent.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(
+            json.dumps(actual, indent=2, sort_keys=True) + "\n"
+        )
+        pytest.skip(f"regenerated {golden_path}")
+    assert golden_path.exists(), (
+        f"missing golden {golden_path}; regenerate with "
+        "REPRO_REGEN_GOLDEN=1"
+    )
+    golden = json.loads(golden_path.read_text())
+    assert actual == golden, (
+        "stable report fields drifted from the golden; if the change "
+        "is intentional, regenerate with REPRO_REGEN_GOLDEN=1 and "
+        "review the diff"
+    )
+
+
+def test_metrics_lists_every_reported_counter(tmp_path, capsys):
+    """--metrics and --report are two views of one recorder: every
+    counter in the report appears in the metrics summary."""
+    subset, stdout = _run_case(
+        FLIGHTS, ["--strategy", "rewrite"], tmp_path, capsys
+    )
+    in_summary = stdout[stdout.index("counters:"):]
+    for counter in subset["counter_names"]:
+        assert counter in in_summary

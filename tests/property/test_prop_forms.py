@@ -1,0 +1,141 @@
+"""Round-trip properties of query-form canonicalization.
+
+``service/forms.py`` partitions queries into *forms* (identity modulo
+constants) so one compiled template answers every instance.  The
+correctness contract has two halves:
+
+* **Round trip.**  Specializing a cached compiled form on a new
+  instance of the same form must answer exactly like compiling that
+  instance from scratch -- the cache is semantically invisible.  We
+  check it end to end: a warm :class:`~repro.service.session.Session`
+  that compiled the form for one query must answer a
+  different-constants sibling identically to a fresh session.
+* **No collisions.**  Structurally different queries (different
+  predicate, adornment, variable pattern, or constraint operator)
+  never share a form, so a cache hit can never pick up the wrong
+  template.
+
+Constants in *constraint* atoms are deliberately left out of the
+sibling mutation: atom normalization scales coefficients and constant
+together (``2X <= 100`` is stored as ``X <= 50``), so two
+constraint-constants can legitimately land in different forms -- the
+documented conservative split.
+"""
+
+import random
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.conformance.differ import canonical_answers
+from repro.conformance.generator import generate_case
+from repro.conformance.oracle import numeric_domain
+from repro.constraints.linexpr import LinearExpr
+from repro.lang.ast import Literal, Query
+from repro.lang.terms import NumTerm, Sym
+from repro.service.forms import canonicalize
+from repro.service.session import Session
+
+
+def _sibling(query: Query, rng: random.Random) -> Query:
+    """The same query with every bound literal constant re-drawn."""
+    args = []
+    for arg in query.literal.args:
+        if isinstance(arg, Sym):
+            args.append(Sym(f"s{rng.randrange(4)}"))
+        elif isinstance(arg, NumTerm) and arg.is_constant():
+            args.append(
+                NumTerm(
+                    LinearExpr.const(Fraction(rng.randrange(5)))
+                )
+            )
+        else:
+            args.append(arg)
+    return Query(
+        Literal(query.literal.pred, tuple(args)), query.constraint
+    )
+
+
+def _answers(session: Session, case, query: Query):
+    response = session.query(query)
+    assert response.kind == "answers", response.error_message
+    domain = numeric_domain(case.program, query)
+    return canonical_answers(response.answers, domain)
+
+
+class TestRoundTrip:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_cached_form_answers_like_fresh_compile(self, seed):
+        case = generate_case(seed)
+        rng = random.Random(seed ^ 0xF0F0)
+        sibling = _sibling(case.query, rng)
+        form, __ = canonicalize(case.query)
+        sibling_form, __ = canonicalize(sibling)
+        assert form == sibling_form, (
+            "re-drawing bound constants must not change the form"
+        )
+        warm = Session(case.program, strategy="magic")
+        warm.query(case.query)  # compiles and caches the form
+        via_cache = warm.query(sibling)
+        assert via_cache.cached, "sibling should hit the form cache"
+        cold = Session(case.program, strategy="magic")
+        domain = numeric_domain(case.program, sibling)
+        assert canonical_answers(
+            via_cache.answers, domain
+        ) == _answers(cold, case, sibling)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_repeat_query_is_stable(self, seed):
+        """Asking the same query twice gives identical answers, the
+        second time from cache."""
+        case = generate_case(seed)
+        session = Session(case.program, strategy="magic")
+        first = _answers(session, case, case.query)
+        response = session.query(case.query)
+        assert response.cached
+        domain = numeric_domain(case.program, case.query)
+        assert canonical_answers(response.answers, domain) == first
+
+
+class TestNoCollisions:
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_shapes_distinct_forms(self, left, right):
+        """Queries whose canonical text differs modulo constants get
+        different forms."""
+        first = generate_case(left).query
+        second = generate_case(right).query
+        form_a, params_a = canonicalize(first)
+        form_b, params_b = canonicalize(second)
+        if form_a == form_b:
+            # Same form: the two must really be constant-variants of
+            # one another -- same predicate, arity, adornment, and
+            # constraint shape; only the parameter values may differ.
+            assert first.literal.pred == second.literal.pred
+            assert first.literal.arity == second.literal.arity
+            assert len(params_a) == len(params_b)
+
+    def test_operator_changes_form(self):
+        from repro.lang.parser import parse_query
+
+        le = parse_query("?- p(X), X <= 3.")
+        lt = parse_query("?- p(X), X < 3.")
+        eq = parse_query("?- p(X), X = 3.")
+        forms = {canonicalize(q)[0] for q in (le, lt, eq)}
+        assert len(forms) == 3
+
+    def test_binding_pattern_changes_form(self):
+        from repro.lang.parser import parse_query
+
+        bound = parse_query("?- p(1, X).")
+        free = parse_query("?- p(Y, X).")
+        repeated = parse_query("?- p(X, X).")
+        forms = {
+            canonicalize(q)[0] for q in (bound, free, repeated)
+        }
+        assert len(forms) == 3
