@@ -1,0 +1,196 @@
+"""CI stress harness: the supervisor under fault injection.
+
+``python benchmarks/serve_stress.py`` drives the acceptance checks for
+the serving layer (docs/serving.md) and exits non-zero when any fails:
+
+* **Correctness under faults** -- a 200-request mixed batch (fact
+  loads, then queries over several forms) runs through a
+  :class:`repro.serve.Supervisor` while injected faults delay
+  dispatches, fail attempts (absorbed by retries), and kill a worker
+  mid-run.  At least 99% of requests must complete successfully and
+  every successful answer set must equal the sequential fault-free
+  run's -- zero wrong answers, no matter what the harness breaks.
+* **Overload behavior** -- with the session's writer lock held, a
+  flood of submissions beyond the queue bound must be shed *fast*
+  (bounded, immediate ``REPRO_OVERLOAD``), and every admitted request
+  must still complete once the lock is released -- load shedding must
+  never lose admitted work.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.governor import FaultPlan, FaultyRecorder  # noqa: E402
+from repro.obs.recorder import recording  # noqa: E402
+from repro.serve import RetryPolicy, ServeConfig, Supervisor  # noqa: E402
+from repro.service import Engine  # noqa: E402
+
+PROGRAM = """
+reach(X, Y, C) :- edge(X, Y, C).
+reach(X, Z, C) :- reach(X, Y, C1), edge(Y, Z, C2), C = C1 + C2,
+    C <= 1000.
+edge(n0, n1, 1).
+"""
+
+FACTS = [
+    f"edge(n{index}, n{index + 1}, 1)." for index in range(1, 13)
+]
+QUERY_FORMS = [
+    "?- reach(n0, X, C).",
+    "?- reach(n3, X, C).",
+    "?- reach(n0, X, C), C <= 5.",
+    "?- reach(n6, X, C).",
+]
+N_QUERIES = 200 - len(FACTS)
+
+#: Dispatch delays, five transiently failing attempts (retried), and
+#: one worker killed mid-run (its request fails; the pool recovers).
+FAULT_SPEC = (
+    "delay:serve.dispatch:0.002; "
+    "fail:serve.dispatch:20:5; "
+    "fail:serve.worker:60:1"
+)
+
+
+def fail(message: str) -> None:
+    print(f"serve-stress: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def sequential_answers() -> dict:
+    engine = Engine.from_text(PROGRAM)
+    for spec in FACTS:
+        response = engine.add_facts(spec)
+        assert response.ok, response.error_message
+    return {
+        form: sorted(engine.query(form).answer_strings)
+        for form in QUERY_FORMS
+    }
+
+
+def stress_phase() -> None:
+    expected = sequential_answers()
+    engine = Engine.from_text(PROGRAM)
+    config = ServeConfig(
+        workers=4,
+        queue_depth=256,
+        retry=RetryPolicy(retries=3, base_delay=0.005),
+    )
+    plan = FaultPlan.from_spec(FAULT_SPEC)
+    with recording(FaultyRecorder(plan)):
+        with Supervisor(engine, config) as supervisor:
+            fact_requests = [
+                supervisor.submit(line) for line in FACTS
+            ]
+            for request in fact_requests:
+                response = request.result(timeout=120)
+                if not response.ok:
+                    fail(f"fact load failed: {response.error_message}")
+            query_lines = [
+                QUERY_FORMS[index % len(QUERY_FORMS)]
+                for index in range(N_QUERIES)
+            ]
+            requests = [
+                supervisor.submit(line) for line in query_lines
+            ]
+            responses = [
+                request.result(timeout=120) for request in requests
+            ]
+    stats = supervisor.stats()["serve"]
+    total = len(FACTS) + len(responses)
+    ok = len(FACTS) + sum(
+        1 for response in responses if response.ok
+    )
+    if stats["shed"]:
+        fail(f"unexpected sheds in the stress phase: {stats['shed']}")
+    if ok / total < 0.99:
+        fail(f"only {ok}/{total} requests completed successfully")
+    wrong = 0
+    for line, response in zip(query_lines, responses):
+        if not response.ok:
+            continue
+        if sorted(response.answer_strings) != expected[line]:
+            wrong += 1
+            print(
+                f"serve-stress: WRONG ANSWER for {line}: "
+                f"{sorted(response.answer_strings)} != "
+                f"{expected[line]}",
+                file=sys.stderr,
+            )
+    if wrong:
+        fail(f"{wrong} answers differ from the sequential run")
+    print(
+        f"serve-stress: stress OK: {ok}/{total} completed, "
+        f"retries={stats['retries']}, "
+        f"worker_deaths={stats['worker_deaths']}, shed=0, "
+        "zero wrong answers"
+    )
+
+
+def overload_phase() -> None:
+    engine = Engine.from_text(PROGRAM)
+    config = ServeConfig(workers=2, queue_depth=16)
+    flood = 120
+    with Supervisor(engine, config) as supervisor:
+        engine.session._rw.acquire_write()  # stall every worker
+        try:
+            started = time.perf_counter()
+            requests = [
+                supervisor.submit(QUERY_FORMS[0])
+                for _ in range(flood)
+            ]
+            elapsed = time.perf_counter() - started
+            shed = [
+                request for request in requests if request.done
+            ]
+            if elapsed > 5.0:
+                fail(f"shedding was not fast: {elapsed:.2f}s")
+            if len(shed) < flood - config.queue_depth - config.workers:
+                fail(
+                    f"queue bound not enforced: only {len(shed)} "
+                    f"of {flood} shed"
+                )
+            for request in shed:
+                if request.result().error_code != "REPRO_OVERLOAD":
+                    fail("shed request missing REPRO_OVERLOAD")
+        finally:
+            engine.session._rw.release_write()
+        deadline = time.monotonic() + 60
+        for request in requests:
+            remaining = max(0.1, deadline - time.monotonic())
+            response = request.result(timeout=remaining)
+            if response.kind == "error" and (
+                response.error_code != "REPRO_OVERLOAD"
+            ):
+                fail(
+                    "admitted request lost under overload: "
+                    f"{response.error_code}"
+                )
+    stats = supervisor.stats()["serve"]
+    if stats["completed"] + stats["shed"] < flood:
+        fail(
+            f"request accounting leaked: completed="
+            f"{stats['completed']} shed={stats['shed']} of {flood}"
+        )
+    print(
+        f"serve-stress: overload OK: {stats['shed']}/{flood} shed "
+        f"fast, every admitted request completed"
+    )
+
+
+def main() -> int:
+    stress_phase()
+    overload_phase()
+    print("serve-stress: all phases OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,7 +47,9 @@ def build_parser() -> argparse.ArgumentParser:
         ),
         epilog=(
             "subcommands: 'repro conformance --seed N --count K' runs "
-            "the differential conformance harness (docs/testing.md)."
+            "the differential conformance harness (docs/testing.md); "
+            "'repro serve PROGRAM --workers N' serves batch requests "
+            "through a supervised worker pool (docs/serving.md)."
         ),
     )
     parser.add_argument(
@@ -253,6 +255,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.conformance.cli import main as conformance_main
 
         return conformance_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
     arguments = build_parser().parse_args(argv)
     if arguments.file == "-":
         text = sys.stdin.read()

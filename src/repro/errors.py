@@ -106,6 +106,59 @@ class InjectedFault(ReproError, RuntimeError):
         self.occurrence = occurrence
 
 
+class OverloadError(ReproError, RuntimeError):
+    """The serving layer shed a request (see :mod:`repro.serve`).
+
+    Raised (and, in the batch protocols, converted to an error
+    response) when the supervisor's bounded admission queue is full:
+    rejecting fast is the overload policy -- the request was never
+    started, so the client can safely retry elsewhere or later.
+    """
+
+    code = "REPRO_OVERLOAD"
+    exit_code = 3
+
+    def __init__(self, queue_depth: int) -> None:
+        super().__init__(
+            f"request shed: admission queue full ({queue_depth} waiting)"
+        )
+        self.queue_depth = queue_depth
+
+
+class CircuitOpenError(ReproError, RuntimeError):
+    """A quarantined query form was refused (see :mod:`repro.serve`).
+
+    A form whose evaluations repeatedly trip budgets or faults is
+    quarantined by its circuit breaker for a cooldown; requests during
+    the cooldown fail fast with this error (or are served the form's
+    last widened approximation, when one exists) instead of burning a
+    worker on a request that is overwhelmingly likely to fail again.
+    """
+
+    code = "REPRO_CIRCUIT_OPEN"
+    exit_code = 3
+
+    def __init__(self, form: str, retry_after: float) -> None:
+        super().__init__(
+            f"circuit open for form {form} "
+            f"(retry after {retry_after:.3g}s)"
+        )
+        self.form = form
+        self.retry_after = retry_after
+
+
+class SnapshotError(ReproError, RuntimeError):
+    """A snapshot could not be written, read, or replayed.
+
+    Raised for an unreadable or schema-incompatible snapshot file, a
+    corrupt fact log, or a snapshot taken from a different program than
+    the one being recovered (see :mod:`repro.serve.snapshot`).
+    """
+
+    code = "REPRO_SNAPSHOT"
+    exit_code = 2
+
+
 #: code -> (exit code, raising class, one-line description).  The
 #: classes defined in deeper layers are named by dotted path (resolved
 #: lazily by :func:`taxonomy` to avoid import cycles).
@@ -150,6 +203,21 @@ ERROR_CODES: dict[str, tuple[int, str, str]] = {
         3,
         "repro.errors.InjectedFault",
         "a deterministically injected fault fired (test harness)",
+    ),
+    "REPRO_OVERLOAD": (
+        3,
+        "repro.errors.OverloadError",
+        "the serving layer shed the request (admission queue full)",
+    ),
+    "REPRO_CIRCUIT_OPEN": (
+        3,
+        "repro.errors.CircuitOpenError",
+        "the query form is quarantined by its circuit breaker",
+    ),
+    "REPRO_SNAPSHOT": (
+        2,
+        "repro.errors.SnapshotError",
+        "a snapshot or fact log was unreadable, corrupt, or mismatched",
     ),
 }
 

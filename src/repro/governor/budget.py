@@ -14,6 +14,8 @@ driver installs it with :func:`governed` and instrumented loops call
 the module-level :func:`charge` / :func:`checkpoint` / :func:`tick`
 functions, which no-op (one attribute load and an ``is None`` test)
 when no meter is installed -- so the hot paths pay nothing by default.
+The ambient slot is per-thread (a ``threading.local``), so concurrent
+service workers each govern their own request independently.
 
 Enforcement is per resource: once a cap is crossed, every further
 charge of *that* resource raises again (so a later phase consuming the
@@ -29,6 +31,7 @@ accounting.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, fields
@@ -191,25 +194,29 @@ class BudgetMeter:
 
 
 # -- the ambient meter seam -------------------------------------------
+#
+# The installed meter is *per-thread*: concurrent service workers each
+# govern their own request with their own meter, so one request's
+# budget can neither charge nor trip another's.  Single-threaded code
+# sees exactly the old global-seam behavior.
 
-_METER: BudgetMeter | None = None
+_AMBIENT = threading.local()
 
 
 def current_meter() -> BudgetMeter | None:
-    """The ambiently installed meter, if any."""
-    return _METER
+    """The ambiently installed meter for this thread, if any."""
+    return getattr(_AMBIENT, "meter", None)
 
 
 def set_meter(meter: BudgetMeter | None) -> None:
-    """Install (or clear, with ``None``) the ambient meter."""
-    global _METER
-    _METER = meter
+    """Install (or clear, with ``None``) this thread's ambient meter."""
+    _AMBIENT.meter = meter
 
 
 @contextmanager
 def governed(meter: BudgetMeter | None) -> Iterator[BudgetMeter | None]:
     """Install a meter for the duration of a ``with`` block."""
-    previous = _METER
+    previous = current_meter()
     set_meter(meter)
     try:
         yield meter
@@ -219,20 +226,20 @@ def governed(meter: BudgetMeter | None) -> Iterator[BudgetMeter | None]:
 
 def charge(resource: str, n: int = 1, phase: str | None = None) -> None:
     """Charge the ambient meter (no-op when none is installed)."""
-    meter = _METER
+    meter = current_meter()
     if meter is not None:
         meter.charge(resource, n, phase)
 
 
 def checkpoint(phase: str | None = None) -> None:
     """Checkpoint the ambient meter (no-op when none is installed)."""
-    meter = _METER
+    meter = current_meter()
     if meter is not None:
         meter.checkpoint(phase)
 
 
 def tick(phase: str | None = None) -> None:
     """Cheap hot-loop checkpoint on the ambient meter."""
-    meter = _METER
+    meter = current_meter()
     if meter is not None:
         meter.tick(phase)

@@ -27,6 +27,8 @@ fully reproducible.  Plans parse from compact text specs
 
 from __future__ import annotations
 
+import math
+import threading
 import time
 from collections import Counter
 from dataclasses import dataclass
@@ -71,51 +73,103 @@ class FaultPlan:
     def from_spec(cls, spec: str) -> "FaultPlan":
         """Parse a compact text plan.
 
-        ``spec`` is ``;``-separated faults, each ``kind:site[:arg]``:
+        ``spec`` is ``;``-separated faults, each ``kind:site[:args]``:
 
-        * ``delay:<site>:<seconds>`` -- every occurrence;
-        * ``fail:<site>[:<nth>]`` -- once, at the nth occurrence
-          (default 1);
+        * ``delay:<site>[:<seconds>]`` -- every occurrence;
+        * ``fail:<site>[:<nth>[:<times>]]`` -- from the nth occurrence
+          (default 1), firing ``times`` total (default 1; ``*`` =
+          unlimited);
         * ``pressure:<site>:<resource>*<amount>`` -- every occurrence.
+
+        Every malformed spec raises a ``REPRO_USAGE``
+        :class:`~repro.errors.UsageError` naming the offending token.
         """
         faults: list[Fault] = []
         for part in spec.split(";"):
             part = part.strip()
-            if not part:
-                continue
-            pieces = part.split(":")
-            if len(pieces) < 2:
-                raise UsageError(f"malformed fault spec {part!r}")
-            kind, site = pieces[0], pieces[1]
-            arg = pieces[2] if len(pieces) > 2 else None
-            try:
-                if kind == "delay":
-                    faults.append(Fault(
-                        kind, site, seconds=float(arg or 0.0),
-                    ))
-                elif kind == "fail":
-                    faults.append(Fault(
-                        kind, site, nth=int(arg or 1), times=1,
-                    ))
-                elif kind == "pressure":
-                    resource, __, amount = (arg or "").partition("*")
-                    if resource not in governor.RESOURCE_LIMITS:
-                        raise UsageError(
-                            f"unknown pressure resource {resource!r}"
-                        )
-                    faults.append(Fault(
-                        kind, site, resource=resource,
-                        amount=int(amount or 1),
-                    ))
-                else:
-                    raise UsageError(f"unknown fault kind {kind!r}")
-            except (TypeError, ValueError) as error:
-                if isinstance(error, UsageError):
-                    raise
-                raise UsageError(
-                    f"malformed fault spec {part!r}: {error}"
-                ) from error
+            if part:
+                faults.append(cls._parse_fault(part))
         return cls(tuple(faults))
+
+    @staticmethod
+    def _parse_fault(part: str) -> Fault:
+        def malformed(detail: str) -> UsageError:
+            return UsageError(f"malformed fault spec {part!r}: {detail}")
+
+        def parse_number(token: str, what: str, *, integer: bool):
+            try:
+                value = int(token) if integer else float(token)
+            except ValueError:
+                raise malformed(
+                    f"{what} must be a number, got {token!r}"
+                ) from None
+            if value < 0 or not math.isfinite(value):
+                raise malformed(f"{what} must be >= 0, got {token!r}")
+            return value
+
+        pieces = [piece.strip() for piece in part.split(":")]
+        kind = pieces[0]
+        if kind not in ("delay", "fail", "pressure"):
+            raise malformed(
+                f"unknown fault kind {kind!r} "
+                "(expected delay, fail, or pressure)"
+            )
+        if len(pieces) < 2 or not pieces[1]:
+            raise malformed("missing site pattern")
+        site = pieces[1]
+        args = pieces[2:]
+        if kind == "delay":
+            if len(args) > 1:
+                raise malformed(f"unexpected token {args[1]!r}")
+            seconds = (
+                parse_number(args[0], "delay seconds", integer=False)
+                if args and args[0] else 0.0
+            )
+            return Fault(kind, site, seconds=seconds)
+        if kind == "fail":
+            if len(args) > 2:
+                raise malformed(f"unexpected token {args[2]!r}")
+            nth = (
+                parse_number(args[0], "occurrence", integer=True)
+                if args and args[0] else 1
+            )
+            if nth < 1:
+                raise malformed(
+                    f"occurrence must be >= 1, got {args[0]!r}"
+                )
+            times: int | None = 1
+            if len(args) > 1 and args[1]:
+                if args[1] == "*":
+                    times = None
+                else:
+                    times = parse_number(
+                        args[1], "firing count", integer=True
+                    )
+                    if times < 1:
+                        raise malformed(
+                            f"firing count must be >= 1, got {args[1]!r}"
+                        )
+            return Fault(kind, site, nth=nth, times=times)
+        # pressure
+        if len(args) != 1 or not args[0]:
+            raise malformed(
+                "expected pressure:<site>:<resource>*<amount>"
+            )
+        resource, __, amount_text = args[0].partition("*")
+        if resource not in governor.RESOURCE_LIMITS:
+            raise malformed(
+                f"unknown pressure resource {resource!r} (expected one "
+                f"of {sorted(governor.RESOURCE_LIMITS)})"
+            )
+        amount = (
+            parse_number(amount_text, "pressure amount", integer=True)
+            if amount_text else 1
+        )
+        if amount < 1:
+            raise malformed(
+                f"pressure amount must be >= 1, got {amount_text!r}"
+            )
+        return Fault(kind, site, resource=resource, amount=amount)
 
 
 class FaultyRecorder:
@@ -140,6 +194,10 @@ class FaultyRecorder:
         self.occurrences: Counter = Counter()
         self.fired: list[tuple[str, str, str, int]] = []
         self._firings: Counter = Counter()  # per-fault firing counts
+        # Occurrence counting must stay exact when events arrive from
+        # concurrent serving workers; the lock covers only the counter
+        # bookkeeping -- delays and charges run outside it.
+        self._lock = threading.Lock()
 
     @property
     def enabled(self) -> bool:
@@ -171,20 +229,30 @@ class FaultyRecorder:
             # counter -> pressure).  The governor is the harness, not
             # a fault site.
             return
-        self.occurrences[name] += 1
-        occurrence = self.occurrences[name]
-        for index, fault in enumerate(self.plan.faults):
-            if not fnmatch(name, fault.site):
-                continue
-            if occurrence < fault.nth:
-                continue
-            if (
-                fault.times is not None
-                and self._firings[index] >= fault.times
-            ):
-                continue
-            self._firings[index] += 1
-            self.fired.append((fault.kind, fault.site, name, occurrence))
+        firing: list[Fault] = []
+        with self._lock:
+            self.occurrences[name] += 1
+            occurrence = self.occurrences[name]
+            for index, fault in enumerate(self.plan.faults):
+                if not fnmatch(name, fault.site):
+                    continue
+                if occurrence < fault.nth:
+                    continue
+                if (
+                    fault.times is not None
+                    and self._firings[index] >= fault.times
+                ):
+                    continue
+                self._firings[index] += 1
+                self.fired.append(
+                    (fault.kind, fault.site, name, occurrence)
+                )
+                firing.append(fault)
+                if fault.kind == "fail":
+                    # A raise abandons the event; later faults in the
+                    # plan are not charged a firing for it.
+                    break
+        for fault in firing:
             if fault.kind == "delay":
                 self.sleeper(fault.seconds)
             elif fault.kind == "pressure":

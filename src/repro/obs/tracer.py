@@ -11,10 +11,18 @@ per-rule) -> answers.
 
 The clock is injectable (defaults to :func:`time.perf_counter`) so
 tests can assert exact timings.
+
+Concurrency: one tracer may record from many threads at once (the
+serving layer's workers all trace into the session tracer).  Each
+thread keeps its *own* span stack -- a worker's first span opens as a
+direct child of the root, and its nested spans stay properly nested
+within that thread -- while the span tree, the counters, and the
+metrics registry are guarded by a single internal lock.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import Counter
 from typing import Callable, Iterator
@@ -128,7 +136,17 @@ class Tracer:
         self._clock = clock
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.root = Span(root_name, start=clock())
-        self._stack: list[Span] = [self.root]
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._local.stack = [self.root]
+
+    def _stack(self) -> list[Span]:
+        """This thread's span stack (rooted at the shared root)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = [self.root]
+            self._local.stack = stack
+        return stack
 
     # -- the recorder protocol ----------------------------------------
 
@@ -138,40 +156,52 @@ class Tracer:
 
     def count(self, name: str, n: int = 1) -> None:
         """Increment a counter on the current span and globally."""
-        self._stack[-1].counters[name] += n
-        self.metrics.inc(name, n)
+        span = self._stack()[-1]
+        with self._lock:
+            span.counters[name] += n
+            self.metrics.inc(name, n)
 
     def record_time(self, name: str, seconds: float) -> None:
         """Fold a timing observation into the global registry."""
-        self.metrics.record_time(name, seconds)
+        with self._lock:
+            self.metrics.record_time(name, seconds)
 
     # -- span-stack plumbing ------------------------------------------
 
     @property
     def current(self) -> Span:
         """The innermost open span (the root when idle)."""
-        return self._stack[-1]
+        return self._stack()[-1]
 
     def _open(self, name: str, attrs: dict) -> Span:
         span = Span(name, start=self._clock(), attrs=dict(attrs))
-        self._stack[-1].children.append(span)
-        self._stack.append(span)
+        stack = self._stack()
+        with self._lock:
+            stack[-1].children.append(span)
+        stack.append(span)
         return span
 
     def _close(self, span: Span) -> None:
         # Close any forgotten descendants first so the tree stays
         # well-nested even if an inner handle was abandoned.
-        while len(self._stack) > 1:
-            top = self._stack.pop()
+        stack = self._stack()
+        while len(stack) > 1:
+            top = stack.pop()
             top.end = self._clock()
             if top is span:
                 return
         raise RuntimeError(f"span {span.name!r} is not open")
 
     def finish(self) -> Span:
-        """Close every open span (root included); returns the root."""
+        """Close every open span (root included); returns the root.
+
+        Closes the calling thread's open spans; spans opened by other
+        threads are closed by their own context managers.
+        """
         now = self._clock()
-        while self._stack:
-            self._stack.pop().end = now
-        self._stack = [self.root]
+        stack = self._stack()
+        while stack:
+            stack.pop().end = now
+        self.root.end = now
+        stack.append(self.root)
         return self.root

@@ -1,0 +1,181 @@
+"""Per-form circuit breakers: quarantine forms that keep tripping.
+
+Compiled query forms are the service's unit of work, and they are also
+its unit of *pathology*: a form whose optimized program still diverges
+(or whose selection simply describes too much) will blow its budget on
+every request, burning a full budget's worth of worker time each time
+before failing.  A circuit breaker converts that repeated slow failure
+into an immediate cheap one.
+
+Classic three-state machine, clocked externally so tests are
+deterministic:
+
+* **closed** -- requests flow; ``threshold`` *consecutive* failures
+  trip the breaker open (any success resets the streak).
+* **open** -- requests are refused outright with
+  :class:`~repro.errors.CircuitOpenError` until ``cooldown`` seconds
+  pass.  When the session degrades with ``on_limit=widen``, the
+  breaker instead serves the form's last widened (approximated)
+  response as a fallback -- a sound over-approximation is a better
+  answer than an error.
+* **half-open** -- after the cooldown one probe request is admitted;
+  success closes the breaker, failure re-opens it for another
+  cooldown.
+
+Only *budget* failures count toward tripping: they are the
+deterministic "this form is too expensive" signal.  Transient faults
+are the retry layer's problem (:mod:`repro.serve.retry`) and must not
+quarantine a healthy form.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import CircuitOpenError
+from repro.obs.recorder import count as obs_count
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.service.session import Response
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Error codes that count toward tripping a breaker.
+TRIPPING_CODES = frozenset({"REPRO_BUDGET"})
+
+
+def counts_as_trip(response: "Response") -> bool:
+    """Does this response strike against the form's breaker?"""
+    return (not response.ok) and response.error_code in TRIPPING_CODES
+
+
+@dataclass
+class CircuitBreaker:
+    """One form's breaker.  Not thread-safe; callers hold their own lock
+    (the supervisor guards its registry with one mutex)."""
+
+    threshold: int = 3
+    cooldown: float = 5.0
+    clock: Callable[[], float] = field(default=time.monotonic, repr=False)
+    state: str = CLOSED
+    failures: int = 0
+    opened_at: float = 0.0
+    #: The last successful *approximated* response seen for this form;
+    #: served as the open-state fallback under ``on_limit=widen``.
+    fallback: "Response | None" = field(default=None, repr=False)
+    #: ``(time, from_state, to_state)`` history, for tests and stats.
+    transitions: list = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError(
+                f"breaker threshold must be >= 1: {self.threshold}"
+            )
+        if self.cooldown < 0:
+            raise ValueError(
+                f"breaker cooldown must be >= 0: {self.cooldown}"
+            )
+
+    def _move(self, state: str) -> None:
+        self.transitions.append((self.clock(), self.state, state))
+        obs_count(f"serve.breaker_{state}")
+        self.state = state
+
+    def allow(self) -> bool:
+        """May a request for this form proceed right now?
+
+        In the open state, the cooldown's expiry moves the breaker to
+        half-open and admits exactly one probe.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self.clock() - self.opened_at >= self.cooldown:
+                self._move(HALF_OPEN)
+                return True
+            return False
+        # Half-open: the single probe is already in flight.
+        return False
+
+    def retry_after(self) -> float:
+        """Seconds until the cooldown admits a probe (0 if now)."""
+        if self.state != OPEN:
+            return 0.0
+        return max(
+            0.0, self.cooldown - (self.clock() - self.opened_at)
+        )
+
+    def record_success(self, response: "Response") -> None:
+        """A request for this form completed without tripping."""
+        if response.completeness == "approximated":
+            self.fallback = response
+        self.failures = 0
+        if self.state != CLOSED:
+            self._move(CLOSED)
+
+    def record_failure(self) -> None:
+        """A request for this form tripped its budget."""
+        if self.state == HALF_OPEN:
+            # The probe failed: straight back to a full cooldown.
+            self._move(OPEN)
+            self.opened_at = self.clock()
+            return
+        self.failures += 1
+        if self.failures >= self.threshold:
+            self._move(OPEN)
+            self.opened_at = self.clock()
+
+    def refuse(self, form: str) -> CircuitOpenError:
+        """The error an open breaker serves instead of evaluating."""
+        return CircuitOpenError(form, self.retry_after())
+
+
+class BreakerRegistry:
+    """The supervisor's breakers, one per canonical form string.
+
+    Not itself locked: the supervisor takes its registry mutex around
+    every use (breaker decisions are a few comparisons -- far cheaper
+    than fine-grained locking would buy back).
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.clock = clock
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def get(self, form: str) -> CircuitBreaker:
+        """The (created-on-first-use) breaker for a form."""
+        breaker = self._breakers.get(form)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                threshold=self.threshold,
+                cooldown=self.cooldown,
+                clock=self.clock,
+            )
+            self._breakers[form] = breaker
+        return breaker
+
+    def states(self) -> dict[str, str]:
+        """Form -> breaker state, for ``stats()``/``healthz()``."""
+        return {
+            form: breaker.state
+            for form, breaker in self._breakers.items()
+        }
+
+    def open_count(self) -> int:
+        """How many forms are currently quarantined."""
+        return sum(
+            1
+            for breaker in self._breakers.values()
+            if breaker.state != CLOSED
+        )

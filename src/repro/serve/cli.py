@@ -1,0 +1,326 @@
+"""``repro serve`` -- the supervised concurrent batch front-end.
+
+Reads batch-protocol request lines (``--batch FILE``, default stdin),
+serves them through a :class:`~repro.serve.supervisor.Supervisor`
+worker pool, and prints one JSON result per request *in submission
+order* on stdout.  The driver applies backpressure: at most
+``--queue-depth`` requests are outstanding at once, so a slow pool
+slows the reader instead of shedding its own input (external callers
+hammering :meth:`Supervisor.submit` directly still get shed).
+
+With ``--snapshot-dir`` the supervisor first recovers any existing
+snapshot + fact log (so a killed process restarts where it crashed),
+logs every acknowledged fact load durably, and checkpoints every
+``--snapshot-every`` loads and at drain.  Re-feeding a batch file
+after recovery is safe: already-loaded facts deduplicate to no-ops.
+
+Exit status follows the batch contract (``docs/service.md``): 0 when
+every request succeeded (including ``approximated`` under an explicit
+``--on-limit widen``), 1 on any error, shed, or truncation, 2 on
+unusable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import sys
+
+from repro import obs
+from repro.config import (
+    DEFAULT_EVAL_ITERATIONS,
+    DEFAULT_REWRITE_ITERATIONS,
+)
+from repro.driver import ON_LIMIT_POLICIES, STRATEGIES
+from repro.errors import ReproError, exit_code_for
+from repro.governor import Budget
+from repro.serve.retry import RetryPolicy
+from repro.serve.snapshot import program_sha
+from repro.serve.supervisor import ServeConfig, Supervisor
+from repro.service.batch import degraded_status
+from repro.service.cache import DEFAULT_CACHE_SIZE
+from repro.service.engine import Engine
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro serve`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Serve batch-protocol requests through a supervised "
+            "worker pool: bounded admission, retry with backoff, "
+            "per-form circuit breakers, crash-safe snapshots "
+            "(docs/serving.md)."
+        ),
+    )
+    parser.add_argument(
+        "file",
+        help="program file with rules and ground facts ('-' for stdin "
+        "is not supported here; requests come from --batch)",
+    )
+    parser.add_argument(
+        "--batch",
+        metavar="FILE",
+        default="-",
+        help="request stream: one query (?- ...) or fact line per "
+        "input line ('-' = stdin, the default)",
+    )
+    pool = parser.add_argument_group("worker pool")
+    pool.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="worker threads serving requests (default 4)",
+    )
+    pool.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission-queue bound; requests beyond it are shed "
+        "with REPRO_OVERLOAD (default 64)",
+    )
+    pool.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="per-query retry budget for transient failures "
+        "(default 2; fact loads are never retried)",
+    )
+    pool.add_argument(
+        "--retry-base-delay",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="base of the full-jitter exponential backoff "
+        "(default 0.05)",
+    )
+    pool.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        metavar="N",
+        help="consecutive budget failures that open a form's "
+        "circuit breaker (default 3)",
+    )
+    pool.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="how long an open breaker refuses a form before "
+        "probing again (default 5)",
+    )
+    durability = parser.add_argument_group("durability")
+    durability.add_argument(
+        "--snapshot-dir",
+        metavar="DIR",
+        help="checkpoint directory: recover from it at startup, log "
+        "every fact load, snapshot periodically and at drain",
+    )
+    durability.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=8,
+        metavar="N",
+        help="full checkpoint every N fact loads (default 8)",
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="rewrite",
+        help="transformation pipeline (default: rewrite)",
+    )
+    parser.add_argument(
+        "--max-iterations", type=int, default=None, metavar="N",
+        help="cap for the constraint-inference fixpoints",
+    )
+    parser.add_argument(
+        "--eval-iterations", type=int, default=None, metavar="N",
+        help="cap for the bottom-up evaluation",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=None, metavar="N",
+        help="query-form LRU cache capacity (default 64)",
+    )
+    governor = parser.add_argument_group("resource governor")
+    governor.add_argument(
+        "--deadline", type=float, metavar="SECONDS",
+        help="wall-clock budget per request",
+    )
+    governor.add_argument(
+        "--max-facts", type=int, metavar="N",
+        help="cap on facts stored during one evaluation",
+    )
+    governor.add_argument(
+        "--max-solver-calls", type=int, metavar="N",
+        help="cap on constraint-solver calls per request",
+    )
+    governor.add_argument(
+        "--max-rewrite-iterations", type=int, metavar="N",
+        help="budget on rewrite fixpoint iterations per compile",
+    )
+    governor.add_argument(
+        "--on-limit",
+        choices=ON_LIMIT_POLICIES,
+        default="truncate",
+        help="degradation policy when a budget trips "
+        "(default: truncate)",
+    )
+    governor.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="inject faults at observability sites; serve-stage "
+        "sites: serve.dispatch (retried), serve.worker "
+        "(kills the worker) (docs/serving.md)",
+    )
+    parser.add_argument(
+        "--summary",
+        action="store_true",
+        help="print the supervisor stats JSON to stderr at drain",
+    )
+    return parser
+
+
+def _build_budget(arguments) -> Budget | None:
+    budget = Budget(
+        deadline=arguments.deadline,
+        max_facts=arguments.max_facts,
+        max_solver_calls=arguments.max_solver_calls,
+        max_rewrite_iterations=arguments.max_rewrite_iterations,
+    )
+    return None if budget.is_unlimited() else budget
+
+
+def _serve(arguments, supervisor: Supervisor, lines, out) -> int:
+    """Pump request lines through the pool, printing in order."""
+    status = 0
+    on_limit = supervisor._engine.session.on_limit
+    pending: "collections.deque" = collections.deque()
+
+    def flush_one() -> None:
+        nonlocal status
+        response = pending.popleft().result()
+        print(json.dumps(response.to_dict()), file=out, flush=True)
+        status |= degraded_status(response, on_limit)
+
+    for line in lines:
+        request = supervisor.submit(line)
+        if request is None:
+            continue
+        pending.append(request)
+        # Backpressure: never more outstanding than the queue could
+        # hold, so the driver itself cannot force sheds.
+        while len(pending) >= arguments.queue_depth:
+            flush_one()
+    while pending:
+        flush_one()
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro serve``; returns the exit status."""
+    arguments = build_parser().parse_args(argv)
+    try:
+        with open(arguments.file) as handle:
+            text = handle.read()
+    except OSError as error:
+        print(f"repro serve: {error}", file=sys.stderr)
+        return 2
+    try:
+        engine = Engine.from_text(
+            text,
+            strategy=arguments.strategy,
+            max_iterations=(
+                arguments.max_iterations
+                if arguments.max_iterations is not None
+                else DEFAULT_REWRITE_ITERATIONS
+            ),
+            eval_iterations=(
+                arguments.eval_iterations
+                if arguments.eval_iterations is not None
+                else DEFAULT_EVAL_ITERATIONS
+            ),
+            budget=_build_budget(arguments),
+            on_limit=arguments.on_limit,
+            cache_size=(
+                arguments.cache_size
+                if arguments.cache_size is not None
+                else DEFAULT_CACHE_SIZE
+            ),
+        )
+        config = ServeConfig(
+            workers=arguments.workers,
+            queue_depth=arguments.queue_depth,
+            retry=RetryPolicy(
+                retries=arguments.retries,
+                base_delay=arguments.retry_base_delay,
+            ),
+            breaker_threshold=arguments.breaker_threshold,
+            breaker_cooldown=arguments.breaker_cooldown,
+            snapshot_dir=arguments.snapshot_dir,
+            snapshot_every=arguments.snapshot_every,
+        )
+    except (ReproError, ValueError) as error:
+        print(f"repro serve: {error}", file=sys.stderr)
+        return (
+            exit_code_for(error)
+            if isinstance(error, ReproError) else 2
+        )
+    recorder = obs.get_recorder()
+    if arguments.faults:
+        from repro.governor import FaultPlan, FaultyRecorder
+
+        try:
+            plan = FaultPlan.from_spec(arguments.faults)
+        except ReproError as error:
+            print(f"repro serve: {error}", file=sys.stderr)
+            return exit_code_for(error)
+        recorder = FaultyRecorder(plan, inner=recorder)
+    supervisor = Supervisor(
+        engine, config, program_id=program_sha(text)
+    )
+    try:
+        with obs.recording(recorder):
+            recovery = supervisor.recover()
+            if recovery and (
+                recovery["facts_restored"] or recovery["replayed"]
+            ):
+                print(
+                    f"repro serve: recovered epoch "
+                    f"{recovery['epoch']} "
+                    f"({recovery['facts_restored']} facts from "
+                    f"snapshot {recovery['snapshot_epoch']}, "
+                    f"{recovery['replayed']} log epochs replayed)",
+                    file=sys.stderr,
+                )
+            supervisor.start()
+            try:
+                if arguments.batch == "-":
+                    status = _serve(
+                        arguments, supervisor, sys.stdin, sys.stdout
+                    )
+                else:
+                    with open(arguments.batch) as handle:
+                        status = _serve(
+                            arguments, supervisor, handle, sys.stdout
+                        )
+            finally:
+                supervisor.drain()
+    except OSError as error:
+        print(f"repro serve: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(
+            f"repro serve: [{error.code}] {error}", file=sys.stderr
+        )
+        return exit_code_for(error)
+    if arguments.summary:
+        print(
+            json.dumps(supervisor.stats(), default=str),
+            file=sys.stderr,
+        )
+    return status

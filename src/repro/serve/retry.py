@@ -1,0 +1,91 @@
+"""Retry policy: exponential backoff with full jitter, per-request budget.
+
+The paper's premise (Section 2: constraint facts finitely represent
+infinite answer sets) means evaluation cost is unpredictable a priori,
+so a serving layer must distinguish *transient* failures -- an injected
+worker fault, a wall-clock deadline trip on a momentarily overloaded
+box -- from *deterministic* ones (parse errors, unknown predicates,
+iteration caps) that will fail identically on every attempt.  Only the
+former are retried, and only for idempotent requests: a query re-runs
+against unchanged state, while a fact load mutates the epoch sequence
+and is therefore never retried by the supervisor.
+
+The backoff schedule is the AWS-style "full jitter" variant:
+``sleep = uniform(0, min(max_delay, base * 2**attempt))``.  Full
+jitter decorrelates the retry storms that synchronized exponential
+backoff produces when many clients fail together -- exactly the
+admission-queue overload this layer sheds against.  The random source
+and the sleeper are injectable so tests can pin the whole schedule.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.service.session import Response
+
+#: Error codes that are always worth retrying: deterministic fault
+#: injection aside, these model crashed or interrupted workers.
+TRANSIENT_CODES = frozenset({"REPRO_FAULT"})
+
+
+def is_transient(response: "Response") -> bool:
+    """Is this error response plausibly different on a retry?
+
+    Transient classes: injected recorder faults (standing in for
+    worker crashes) and wall-clock *deadline* trips under
+    ``on_limit=fail`` -- a fresh attempt gets a fresh meter and may
+    well finish in time.  Deterministic budget trips (facts, solver
+    calls, iterations) would consume exactly the same resources again,
+    so they are not retried.
+    """
+    if response.ok:
+        return False
+    if response.error_code in TRANSIENT_CODES:
+        return True
+    if response.error_code == "REPRO_BUDGET":
+        budget = response.budget or {}
+        return budget.get("exhausted") == "deadline"
+    return False
+
+
+@dataclass
+class RetryPolicy:
+    """How many times to retry and how long to wait between attempts.
+
+    ``retries`` is the per-request retry *budget* -- the request runs
+    at most ``retries + 1`` times.  ``rng`` returns a float in
+    ``[0, 1)`` and ``sleeper`` performs the wait; both are injectable
+    for deterministic tests (and the supervisor routes its own fake
+    clock through here in unit tests).
+    """
+
+    retries: int = 2
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    rng: Callable[[], float] = field(default=random.random, repr=False)
+    sleeper: Callable[[float], None] = field(
+        default=time.sleep, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0: {self.retries}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("backoff delays must be >= 0")
+
+    def delay(self, attempt: int) -> float:
+        """The full-jitter backoff before retry ``attempt`` (0-based)."""
+        cap = min(self.max_delay, self.base_delay * (2 ** attempt))
+        return cap * self.rng()
+
+    def backoff(self, attempt: int) -> float:
+        """Sleep the attempt's jittered delay; returns what was slept."""
+        seconds = self.delay(attempt)
+        if seconds > 0:
+            self.sleeper(seconds)
+        return seconds

@@ -1,0 +1,337 @@
+"""Crash-safe snapshots: checkpoint the EDB, log the epochs, replay.
+
+A serving process accumulates state the program text does not capture:
+every ``add_facts`` epoch since startup.  Losing the process loses
+those epochs -- unless they are durable.  This module implements the
+classic checkpoint + write-ahead-log pair:
+
+* **Snapshots** are full JSON dumps of the session's EDB at a fact
+  epoch, written to ``snapshot-<epoch>.json`` via a temporary file and
+  :func:`os.replace`, so a crash mid-write can never leave a torn
+  snapshot under the final name.  A small trailing window of old
+  snapshots is retained as fallback against a corrupt latest file.
+* The **fact log** (``facts.log``) is an append-only JSON-lines file;
+  the supervisor appends one entry per *acknowledged* fact load
+  (``{"epoch": N, "facts": [...]}``) and fsyncs before the response is
+  returned, so an acked load survives a crash even between snapshots.
+  After each snapshot the log is compacted down to the entries the
+  snapshot does not cover.
+* **Recovery** loads the newest readable snapshot whose program hash
+  matches the running program, restores it into a fresh session, and
+  replays the log entries with epochs past the snapshot point -- in
+  order, through :meth:`Session.add_facts`, so replayed state is
+  *exactly* the state a warm database would have been resumed against.
+
+Facts round-trip through an explicit codec (symbols, exact
+:class:`~fractions.Fraction` numbers, PENDING positions, and the
+linear-constraint conjunction), so a recovered constraint fact is
+bit-identical to the original -- the paper's finitely-represented
+infinite relations survive the crash too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from fractions import Fraction
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.constraints.atom import Atom, Op
+from repro.constraints.conjunction import Conjunction
+from repro.constraints.linexpr import LinearExpr
+from repro.engine.facts import Fact, PENDING
+from repro.errors import SnapshotError
+from repro.lang.terms import Sym
+from repro.obs.recorder import count as obs_count, span as obs_span
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.service.session import Session
+
+SCHEMA = "repro-snap/v1"
+LOG_NAME = "facts.log"
+SNAPSHOT_PATTERN = re.compile(r"^snapshot-(\d{8})\.json$")
+
+#: Old snapshots kept as fallback behind the newest one.
+RETAIN_SNAPSHOTS = 3
+
+
+def program_sha(text: str) -> str:
+    """The identity of a program text, for snapshot compatibility."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+# -- the fact codec ---------------------------------------------------
+
+
+def _encode_fraction(value: Fraction) -> str:
+    return f"{value.numerator}/{value.denominator}"
+
+
+def _decode_fraction(text: str) -> Fraction:
+    numerator, _, denominator = text.partition("/")
+    return Fraction(int(numerator), int(denominator))
+
+
+def encode_fact(fact: Fact) -> dict:
+    """A JSON-ready rendering of one (possibly constraint) fact."""
+    args: list[list] = []
+    for arg in fact.args:
+        if isinstance(arg, Sym):
+            args.append(["sym", arg.name])
+        elif isinstance(arg, Fraction):
+            args.append(["num", _encode_fraction(arg)])
+        else:
+            args.append(["pending"])
+    atoms = [
+        {
+            "op": atom.op.value,
+            "coeffs": {
+                var: _encode_fraction(coeff)
+                for var, coeff in sorted(atom.expr.coeffs.items())
+            },
+            "const": _encode_fraction(atom.expr.constant),
+        }
+        for atom in fact.constraint.atoms
+    ]
+    return {"pred": fact.pred, "args": args, "constraint": atoms}
+
+
+def decode_fact(payload: dict) -> Fact:
+    """Rebuild a fact the codec produced.
+
+    The encoded fact was canonical (it came out of a live database),
+    so the direct :class:`Fact` constructor is sound here -- running
+    ``make_fact`` again would only re-derive the same normal form.
+    """
+    try:
+        args: list = []
+        for entry in payload["args"]:
+            tag = entry[0]
+            if tag == "sym":
+                args.append(Sym(entry[1]))
+            elif tag == "num":
+                args.append(_decode_fraction(entry[1]))
+            elif tag == "pending":
+                args.append(PENDING)
+            else:
+                raise ValueError(f"unknown argument tag {tag!r}")
+        atoms = [
+            Atom(
+                LinearExpr(
+                    {
+                        var: _decode_fraction(coeff)
+                        for var, coeff in atom["coeffs"].items()
+                    },
+                    _decode_fraction(atom["const"]),
+                ),
+                Op(atom["op"]),
+            )
+            for atom in payload["constraint"]
+        ]
+        return Fact(
+            payload["pred"], tuple(args), Conjunction(atoms)
+        )
+    except (KeyError, IndexError, TypeError, ValueError) as error:
+        raise SnapshotError(
+            f"malformed fact in snapshot data: {error}"
+        ) from error
+
+
+# -- the snapshot directory -------------------------------------------
+
+
+def _fsync_dir(directory: str) -> None:
+    """Make a rename/creation in ``directory`` durable."""
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class Snapshotter:
+    """One snapshot directory: checkpoints, the fact log, recovery."""
+
+    def __init__(self, directory: str, program_id: str) -> None:
+        self.directory = directory
+        self.program_id = program_id
+        os.makedirs(directory, exist_ok=True)
+        self._log_path = os.path.join(directory, LOG_NAME)
+
+    # -- writing ------------------------------------------------------
+
+    def snapshot(self, epoch: int, facts: Iterable[Fact]) -> str:
+        """Write one atomic checkpoint; returns its path.
+
+        The payload lands under a temporary name first and is moved
+        into place with :func:`os.replace`, so readers only ever see
+        complete snapshots.  The fact log is then compacted down to
+        the epochs this snapshot does not cover, and snapshots beyond
+        the retention window are dropped.
+        """
+        payload = {
+            "schema": SCHEMA,
+            "program_sha": self.program_id,
+            "epoch": epoch,
+            "facts": [encode_fact(fact) for fact in facts],
+        }
+        name = f"snapshot-{epoch:08d}.json"
+        path = os.path.join(self.directory, name)
+        tmp_path = path + ".tmp"
+        with obs_span("serve.snapshot", epoch=epoch):
+            with open(tmp_path, "w") as handle:
+                json.dump(payload, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+            _fsync_dir(self.directory)
+            self._compact_log(epoch)
+            self._prune_snapshots()
+        obs_count("serve.snapshots")
+        return path
+
+    def append_log(self, epoch: int, facts: Iterable[Fact]) -> None:
+        """Durably record one acknowledged fact-load epoch."""
+        line = json.dumps({
+            "epoch": epoch,
+            "facts": [encode_fact(fact) for fact in facts],
+        })
+        with open(self._log_path, "a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        obs_count("serve.log_appends")
+
+    def _compact_log(self, through_epoch: int) -> None:
+        """Drop log entries a fresh snapshot now covers (atomically)."""
+        keep = [
+            entry
+            for entry in self._read_log()
+            if entry["epoch"] > through_epoch
+        ]
+        tmp_path = self._log_path + ".tmp"
+        with open(tmp_path, "w") as handle:
+            for entry in keep:
+                handle.write(json.dumps(entry) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self._log_path)
+        _fsync_dir(self.directory)
+
+    def _prune_snapshots(self) -> None:
+        for _, name in self._snapshot_files()[:-RETAIN_SNAPSHOTS]:
+            try:
+                os.remove(os.path.join(self.directory, name))
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+    # -- reading ------------------------------------------------------
+
+    def _snapshot_files(self) -> list[tuple[int, str]]:
+        """``(epoch, name)`` of every snapshot present, oldest first."""
+        found = []
+        for name in os.listdir(self.directory):
+            match = SNAPSHOT_PATTERN.match(name)
+            if match:
+                found.append((int(match.group(1)), name))
+        return sorted(found)
+
+    def _read_log(self) -> Iterator[dict]:
+        """The fact-log entries, tolerating a torn final line.
+
+        A crash mid-append can leave a truncated last line; everything
+        before it was fsynced whole, so a decode failure on the *last*
+        line is expected damage while one mid-file is real corruption.
+        """
+        if not os.path.exists(self._log_path):
+            return
+        with open(self._log_path) as handle:
+            lines = handle.read().splitlines()
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as error:
+                if index == len(lines) - 1:
+                    obs_count("serve.log_torn_tail")
+                    return
+                raise SnapshotError(
+                    f"corrupt fact log at line {index + 1}: {error}"
+                ) from error
+
+    def latest(self) -> dict | None:
+        """The newest readable, compatible snapshot payload (or None).
+
+        Walks backward through retained snapshots past unreadable
+        files; a snapshot for a *different program* is an error, not a
+        fallback candidate -- replaying another program's facts would
+        silently corrupt the session.
+        """
+        for epoch, name in reversed(self._snapshot_files()):
+            path = os.path.join(self.directory, name)
+            try:
+                with open(path) as handle:
+                    payload = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                obs_count("serve.snapshot_skipped")
+                continue
+            if payload.get("schema") != SCHEMA:
+                raise SnapshotError(
+                    f"{name}: unknown snapshot schema "
+                    f"{payload.get('schema')!r}"
+                )
+            if payload.get("program_sha") != self.program_id:
+                raise SnapshotError(
+                    f"{name}: snapshot was taken for a different "
+                    f"program (sha {payload.get('program_sha')}, "
+                    f"running {self.program_id})"
+                )
+            if payload.get("epoch") != epoch:
+                raise SnapshotError(
+                    f"{name}: epoch mismatch between file name and "
+                    f"payload ({payload.get('epoch')})"
+                )
+            return payload
+        return None
+
+    def recover(self, session: "Session") -> dict:
+        """Restore the latest snapshot + log tail into a session.
+
+        Returns a summary dict (``snapshot_epoch``, ``replayed``,
+        ``facts_restored``, ``epoch``).  Safe on an empty or missing
+        directory: recovery of nothing is a no-op.
+        """
+        with obs_span("serve.recover"):
+            payload = self.latest()
+            snapshot_epoch = 0
+            restored = 0
+            if payload is not None:
+                facts = [
+                    decode_fact(entry) for entry in payload["facts"]
+                ]
+                snapshot_epoch = payload["epoch"]
+                restored = session.restore_state(facts, snapshot_epoch)
+            replayed = 0
+            for entry in self._read_log():
+                if entry["epoch"] <= snapshot_epoch:
+                    continue
+                facts = [
+                    decode_fact(item) for item in entry["facts"]
+                ]
+                response = session.add_facts(facts)
+                if not response.ok:
+                    raise SnapshotError(
+                        f"fact-log replay failed at epoch "
+                        f"{entry['epoch']}: {response.error_message}"
+                    )
+                replayed += 1
+        obs_count("serve.recoveries")
+        return {
+            "snapshot_epoch": snapshot_epoch,
+            "facts_restored": restored,
+            "replayed": replayed,
+            "epoch": session.epoch,
+        }

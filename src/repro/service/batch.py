@@ -16,8 +16,11 @@ line (the rendering of :meth:`repro.service.session.Response.to_dict`)::
 
 Errors never stop the stream -- the session survives and later lines
 still run.  :func:`run_batch` returns the CLI exit status: ``0`` when
-every request succeeded completely, ``1`` when any request errored or
-returned a truncated/approximated answer set.
+every request succeeded, ``1`` when any request errored or returned a
+truncated answer set.  An ``approximated`` answer under an explicitly
+requested ``--on-limit widen`` policy is the *expected* degraded
+outcome -- the caller asked for sound over-approximation as the
+fallback -- so it exits 0; under any other policy it still exits 1.
 """
 
 from __future__ import annotations
@@ -41,6 +44,25 @@ def process_line(engine: "Engine", line: str) -> Response | None:
     return engine.add_facts(stripped)
 
 
+def degraded_status(response: Response, on_limit: str) -> int:
+    """The exit-status contribution of one response (0 or 1).
+
+    Errors and truncations always count as failures; an
+    ``approximated`` answer counts only when the session policy is not
+    ``widen`` (under ``widen`` the caller explicitly requested the
+    approximation as the degraded outcome).
+    """
+    if not response.ok:
+        return 1
+    if response.kind != "answers":
+        return 0
+    if response.completeness.startswith("truncated"):
+        return 1
+    if response.completeness == "approximated" and on_limit != "widen":
+        return 1
+    return 0
+
+
 def run_batch(
     engine: "Engine",
     lines: Iterable[str],
@@ -48,11 +70,8 @@ def run_batch(
 ) -> int:
     """Stream every line through the engine, printing JSON results."""
     status = 0
+    on_limit = engine.session.on_limit
     for response in engine.batch(lines):
         print(json.dumps(response.to_dict()), file=out, flush=True)
-        if not response.ok or (
-            response.kind == "answers"
-            and response.completeness != "complete"
-        ):
-            status = 1
+        status |= degraded_status(response, on_limit)
     return status

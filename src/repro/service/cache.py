@@ -12,6 +12,7 @@ Counters: ``service.cache_hits`` / ``service.cache_misses`` on lookup,
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
@@ -38,6 +39,12 @@ class CacheEntry:
     ``warm_states`` maps the specialized seed rule (``None`` for the
     seed-less strategies) to the :class:`WarmState` evaluated with it,
     in LRU order, capped at :data:`MAX_WARM_PER_ENTRY`.
+
+    ``lock`` serializes *evaluation* against this entry: concurrent
+    requests for the same form take it around their warm-state lookup,
+    (re-)evaluation, and answer extraction, so two threads can never
+    resume the same warm database at once (requests for different
+    forms proceed in parallel).
     """
 
     compiled: "CompiledForm"
@@ -45,6 +52,9 @@ class CacheEntry:
         default_factory=OrderedDict
     )
     hits: int = field(default=0)
+    lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def get_warm(self, seed: object) -> "WarmState | None":
         """The warm state for a seed, refreshing its recency."""
@@ -86,6 +96,15 @@ class FormCache:
     def entries(self) -> Iterator[CacheEntry]:
         """The live entries, least recently used first."""
         return iter(self._entries.values())
+
+    def peek(self, form: QueryForm) -> CacheEntry | None:
+        """Look a form up without touching recency or hit/miss counts.
+
+        The double-checked re-lookup of the session's compile
+        single-flight: a request that lost the compile race must find
+        the winner's entry without double-counting the miss.
+        """
+        return self._entries.get(form)
 
     def get(self, form: QueryForm) -> CacheEntry | None:
         """Look a form up, refreshing its recency; counts hit/miss."""

@@ -25,10 +25,21 @@ fact loads against the same state:
   session's :class:`~repro.governor.Budget` spec) and every failure is
   converted to an error :class:`Response` carrying the ``REPRO_*``
   code -- one pathological request cannot take the session down.
+* The session is **thread-safe** under a reader-writer discipline
+  (:class:`~repro.service.sync.RWLock`): any number of queries run
+  concurrently, while :meth:`add_facts` epochs are exclusive, so a
+  query always sees a consistent EDB + fact-log state.  Within the
+  concurrent-query side, form compiles are single-flight (the first
+  request compiles, racers wait and reuse) and evaluation against one
+  cache entry is serialized by the entry's lock, so two threads never
+  resume the same warm database at once.  The supervisor
+  (:mod:`repro.serve`) builds its worker pool directly on these
+  guarantees.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import nullcontext as _nullcontext
 from dataclasses import dataclass, field
 from typing import Iterable
@@ -59,6 +70,7 @@ from repro.service.cache import (
     FormCache,
 )
 from repro.service.forms import QueryForm, canonicalize
+from repro.service.sync import RWLock
 
 
 @dataclass
@@ -154,6 +166,13 @@ class Response:
     warm: bool = False
     resumed: bool = False
     added: int = 0
+    #: For ``"facts"`` responses: the facts that were actually new --
+    #: what a write-ahead fact log must record for crash-safe replay
+    #: (see :mod:`repro.serve.snapshot`) -- and the epoch the load was
+    #: assigned (recorded inside the exclusive section, so concurrent
+    #: loads cannot mislabel each other's log entries).
+    loaded: tuple = ()
+    epoch: int = 0
     notes: list[str] = field(default_factory=list)
     error_code: str | None = None
     error_message: str | None = None
@@ -234,14 +253,26 @@ class Session:
         self._fact_log: list[tuple[int, list[Fact]]] = []
         self.requests = 0
         self.errors = 0
+        # Concurrency discipline: queries share, fact loads exclude
+        # (module docstring).  ``_mutex`` guards the form cache, the
+        # compile-lock table, and the request/error counters;
+        # ``_compile_locks`` makes form compiles single-flight.
+        self._rw = RWLock()
+        self._mutex = threading.Lock()
+        self._compile_locks: dict[QueryForm, threading.Lock] = {}
 
     # -- the two request kinds ----------------------------------------
 
     def query(self, query: Query) -> Response:
-        """Answer one query; failures come back as error responses."""
-        self.requests += 1
+        """Answer one query; failures come back as error responses.
+
+        Runs in the lock's *shared* mode: concurrent queries proceed
+        together, but never overlap a fact-load epoch.
+        """
+        with self._mutex:
+            self.requests += 1
         obs_count("service.requests")
-        with obs_span(
+        with self._rw.read_locked(), obs_span(
             "service.request", kind="query", pred=query.literal.pred
         ) as request_span:
             meter = (
@@ -273,10 +304,15 @@ class Session:
         them would silently change the program's semantics rather than
         its database.  Returns how many facts were actually new (not
         duplicates or subsumed).
+
+        Runs in the lock's *exclusive* mode: the epoch bump, the EDB
+        mutation, and the fact-log append are atomic with respect to
+        every concurrent query.
         """
-        self.requests += 1
+        with self._mutex:
+            self.requests += 1
         obs_count("service.requests")
-        with obs_span(
+        with self._rw.write_locked(), obs_span(
             "service.request", kind="add_facts"
         ) as request_span:
             try:
@@ -298,14 +334,20 @@ class Session:
                 self._fact_log.append((self._epoch, added))
             obs_count("service.facts_added", len(added))
             request_span.set("added", len(added))
-            return Response(kind="facts", added=len(added))
+            return Response(
+                kind="facts",
+                added=len(added),
+                loaded=tuple(added),
+                epoch=self._epoch,
+            )
 
     # -- request internals --------------------------------------------
 
     def _error_response(
         self, error: ReproError, query: Query | None = None
     ) -> Response:
-        self.errors += 1
+        with self._mutex:
+            self.errors += 1
         obs_count("service.errors")
         return Response(
             kind="error",
@@ -314,20 +356,74 @@ class Session:
             error_message=str(error),
         )
 
+    def _compile_lock(self, form: QueryForm) -> threading.Lock:
+        """The single-flight lock for one form's compile."""
+        with self._mutex:
+            if len(self._compile_locks) > max(
+                1024, 4 * self._cache.capacity
+            ):
+                # Evicted forms leave dead locks behind; dropping the
+                # table is safe (its absence only risks a duplicate
+                # compile, never a wrong answer).
+                self._compile_locks.clear()
+            return self._compile_locks.setdefault(
+                form, threading.Lock()
+            )
+
+    def _lookup_or_compile(
+        self, query: Query, form: QueryForm
+    ) -> tuple[CacheEntry, bool]:
+        """The form's cache entry, compiling at most once per form.
+
+        Concurrent first requests for one form are single-flight: the
+        race winner compiles while the others wait on the form's lock
+        and then reuse the cached artifact.
+        """
+        with self._mutex:
+            entry = self._cache.get(form)
+        if entry is not None:
+            return entry, True
+        with self._compile_lock(form):
+            with self._mutex:
+                entry = self._cache.peek(form)
+            if entry is not None:
+                return entry, True  # a racer compiled it first
+            compiled = self._compile(query, form)
+            if compiled.cacheable:
+                with self._mutex:
+                    entry = self._cache.put(form, compiled)
+            else:
+                entry = CacheEntry(compiled)  # serve-once, never stored
+            return entry, False
+
     def _answer(
         self, query: Query, meter: BudgetMeter | None
     ) -> Response:
         form, params = canonicalize(query)
-        entry = self._cache.get(form)
-        cached = entry is not None
-        if entry is None:
-            compiled = self._compile(query, form)
-            if compiled.cacheable:
-                entry = self._cache.put(form, compiled)
-            else:
-                entry = CacheEntry(compiled)  # serve-once, never stored
+        entry, cached = self._lookup_or_compile(query, form)
         compiled = entry.compiled
         specialized, seed = compiled.specialize(query)
+        # Evaluation against one entry is serialized by its lock, so a
+        # warm database is never resumed by two threads at once;
+        # different forms evaluate in parallel.
+        with entry.lock:
+            return self._evaluate_entry(
+                query, form, params, entry, compiled, specialized,
+                seed, cached, meter,
+            )
+
+    def _evaluate_entry(
+        self,
+        query: Query,
+        form: QueryForm,
+        params: tuple[str, ...],
+        entry: CacheEntry,
+        compiled: CompiledForm,
+        specialized: Program,
+        seed: Rule | None,
+        cached: bool,
+        meter: BudgetMeter | None,
+    ) -> Response:
         # Warm states are keyed by the specialized seed: a different
         # seed (new constants under a magic strategy) answers a
         # different selection, so it gets its own warm slot.
@@ -485,6 +581,30 @@ class Session:
             if epoch > floor
         ]
 
+    # -- snapshot hooks (see repro.serve.snapshot) --------------------
+
+    def export_state(self) -> tuple[int, list[Fact]]:
+        """A consistent ``(epoch, EDB facts)`` view for checkpointing.
+
+        Taken in the lock's shared mode: it can overlap queries but
+        never a fact-load epoch, so the fact list is exactly the EDB
+        as of the returned epoch.
+        """
+        with self._rw.read_locked():
+            return self._epoch, list(self._edb.all_facts())
+
+    def restore_state(self, facts: Iterable[Fact], epoch: int) -> int:
+        """Install a recovered EDB and epoch (before serving begins).
+
+        Facts already present (the program's own EDB) deduplicate, so
+        restoring over a freshly loaded program only adds what fact
+        loads contributed.  Returns how many facts were new.
+        """
+        with self._rw.write_locked():
+            added = self._edb.insert_many(list(facts))
+            self._epoch = max(self._epoch, epoch)
+            return len(added)
+
     # -- inspection ---------------------------------------------------
 
     @property
@@ -502,12 +622,24 @@ class Session:
         """The live base EDB (mutating it bypasses epoch tracking)."""
         return self._edb
 
+    @property
+    def strategy(self) -> str:
+        """The session's optimization strategy."""
+        return self._strategy
+
+    @property
+    def on_limit(self) -> str:
+        """The session's degradation policy (``fail|truncate|widen``)."""
+        return self._on_limit
+
     def stats(self) -> dict:
         """A JSON-ready operational snapshot."""
+        with self._mutex:
+            requests, errors = self.requests, self.errors
         return {
             "strategy": self._strategy,
-            "requests": self.requests,
-            "errors": self.errors,
+            "requests": requests,
+            "errors": errors,
             "epoch": self._epoch,
             "edb_facts": self._edb.count(),
             "cache": self._cache.stats(),

@@ -1,0 +1,93 @@
+"""A reader-writer lock: the session's concurrency discipline.
+
+Queries only *read* the shared EDB and the fact log (each evaluation
+works on a private copy or a per-form warm database), so any number of
+them may run concurrently; a fact load *writes* the EDB and bumps the
+epoch, so it must run exclusively.  :class:`RWLock` implements exactly
+that discipline: shared ``read_locked`` sections, exclusive
+``write_locked`` sections, writer preference so a steady stream of
+queries cannot starve fact loads.
+
+The lock is not reentrant in either direction -- the session never
+nests request handling.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class RWLock:
+    """A writer-preference reader-writer lock."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # -- reader side --------------------------------------------------
+
+    def acquire_read(self) -> None:
+        """Enter a shared section (blocks while a writer is in or waiting)."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        """Leave a shared section."""
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """``with`` form of the shared section."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # -- writer side --------------------------------------------------
+
+    def acquire_write(self) -> None:
+        """Enter the exclusive section (blocks out readers and writers)."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        """Leave the exclusive section."""
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """``with`` form of the exclusive section."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # -- inspection (tests and health reporting) ----------------------
+
+    def state(self) -> dict:
+        """A point-in-time view of the lock's occupancy."""
+        with self._cond:
+            return {
+                "readers": self._readers,
+                "writer_active": self._writer_active,
+                "writers_waiting": self._writers_waiting,
+            }

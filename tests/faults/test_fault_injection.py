@@ -73,11 +73,34 @@ class TestFaultSpecParsing:
             "delay:site:not-a-number",
             "fail:site:zero",
             "pressure:site:unknown_resource*2",
+            "delay:site:0.1:extra",
+            "fail::",
+            "fail:site:-1",
+            "fail:site:1:0",
+            "fail:site:1:sometimes",
+            "delay:site:-0.5",
+            "delay:site:inf",
+            "pressure:site:facts*0",
+            "pressure:site:*3",
         ],
     )
     def test_malformed_specs_are_usage_errors(self, spec):
         with pytest.raises(UsageError):
             FaultPlan.from_spec(spec)
+
+    def test_malformed_spec_names_the_offending_token(self):
+        with pytest.raises(UsageError, match="not-a-number"):
+            FaultPlan.from_spec("delay:site:not-a-number")
+        with pytest.raises(UsageError, match="extra"):
+            FaultPlan.from_spec("delay:site:0.1:extra")
+
+    def test_fail_times_spec(self):
+        (fault,) = FaultPlan.from_spec("fail:site:2:3").faults
+        assert (fault.nth, fault.times) == (2, 3)
+
+    def test_fail_unlimited_times_spec(self):
+        (fault,) = FaultPlan.from_spec("fail:site:1:*").faults
+        assert fault.times is None
 
     def test_unknown_kind_rejected_at_construction(self):
         with pytest.raises(UsageError):

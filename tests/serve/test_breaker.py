@@ -1,0 +1,173 @@
+"""The circuit breaker state machine, driven by a fake clock.
+
+Every transition -- closed to open at the failure threshold, open to
+half-open at cooldown expiry, the half-open probe closing or
+re-opening -- is exercised deterministically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CircuitOpenError
+from repro.serve.breaker import (
+    BreakerRegistry,
+    CircuitBreaker,
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    counts_as_trip,
+)
+from repro.service.session import Response
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _breaker(threshold=3, cooldown=10.0):
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        threshold=threshold, cooldown=cooldown, clock=clock
+    )
+    return breaker, clock
+
+
+OK = Response(kind="answers")
+WIDENED = Response(kind="answers", completeness="approximated")
+BUDGET = Response(
+    kind="error", error_code="REPRO_BUDGET", error_message="x"
+)
+FAULT = Response(
+    kind="error", error_code="REPRO_FAULT", error_message="x"
+)
+
+
+class TestTripClassification:
+    def test_budget_errors_trip(self):
+        assert counts_as_trip(BUDGET)
+
+    def test_transient_faults_do_not_trip(self):
+        assert not counts_as_trip(FAULT)
+
+    def test_successes_do_not_trip(self):
+        assert not counts_as_trip(OK)
+
+
+class TestStateMachine:
+    def test_stays_closed_below_threshold(self):
+        breaker, _ = _breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = _breaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success(OK)
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_threshold_consecutive_failures_open(self):
+        breaker, _ = _breaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_open_refuses_until_cooldown(self):
+        breaker, clock = _breaker(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert breaker.retry_after() == pytest.approx(10.0)
+        clock.advance(6.0)
+        assert not breaker.allow()
+        assert breaker.retry_after() == pytest.approx(4.0)
+
+    def test_cooldown_expiry_admits_one_probe(self):
+        breaker, clock = _breaker(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()  # the probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow()  # only one probe in flight
+
+    def test_probe_success_closes(self):
+        breaker, clock = _breaker(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success(OK)
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_for_a_full_cooldown(self):
+        breaker, clock = _breaker(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(9.0)
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()
+
+    def test_transitions_are_recorded(self):
+        breaker, clock = _breaker(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        breaker.allow()
+        breaker.record_success(OK)
+        assert [
+            (before, after)
+            for _, before, after in breaker.transitions
+        ] == [
+            (CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED)
+        ]
+
+    def test_widened_success_is_kept_as_fallback(self):
+        breaker, _ = _breaker()
+        breaker.record_success(WIDENED)
+        assert breaker.fallback is WIDENED
+        breaker.record_success(OK)  # exact answers are not a fallback
+        assert breaker.fallback is WIDENED
+
+    def test_refusal_error_carries_form_and_retry_after(self):
+        breaker, _ = _breaker(threshold=1, cooldown=7.0)
+        breaker.record_failure()
+        error = breaker.refuse("p($0)^bf")
+        assert isinstance(error, CircuitOpenError)
+        assert error.code == "REPRO_CIRCUIT_OPEN"
+        assert "p($0)^bf" in str(error)
+        assert error.retry_after == pytest.approx(7.0)
+
+    def test_invalid_settings_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=-1.0)
+
+
+class TestRegistry:
+    def test_one_breaker_per_form(self):
+        registry = BreakerRegistry(threshold=1)
+        first = registry.get("p^b")
+        assert registry.get("p^b") is first
+        assert registry.get("q^f") is not first
+
+    def test_states_and_open_count(self):
+        clock = FakeClock()
+        registry = BreakerRegistry(threshold=1, clock=clock)
+        registry.get("p^b").record_failure()
+        registry.get("q^f")
+        assert registry.states() == {"p^b": OPEN, "q^f": CLOSED}
+        assert registry.open_count() == 1

@@ -1,0 +1,89 @@
+"""Batch exit-status semantics (``degraded_status``).
+
+The contract (``docs/service.md``): errors and truncations always
+fail; an ``approximated`` answer is the *requested* outcome under an
+explicit ``--on-limit widen`` (exit 0) and a degradation under any
+other policy (exit 1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.batch import degraded_status, run_batch
+from repro.service.engine import Engine
+from repro.service.session import Response
+
+
+def _answers(completeness: str) -> Response:
+    return Response(kind="answers", completeness=completeness)
+
+
+class TestDegradedStatus:
+    @pytest.mark.parametrize(
+        "on_limit", ["fail", "truncate", "widen"]
+    )
+    def test_complete_answers_pass(self, on_limit):
+        assert degraded_status(_answers("complete"), on_limit) == 0
+
+    @pytest.mark.parametrize(
+        "on_limit", ["fail", "truncate", "widen"]
+    )
+    def test_errors_always_fail(self, on_limit):
+        error = Response(
+            kind="error", error_code="REPRO_BUDGET",
+            error_message="x",
+        )
+        assert degraded_status(error, on_limit) == 1
+
+    @pytest.mark.parametrize(
+        "on_limit", ["fail", "truncate", "widen"]
+    )
+    def test_truncations_always_fail(self, on_limit):
+        response = _answers("truncated:facts")
+        assert degraded_status(response, on_limit) == 1
+
+    def test_approximated_passes_only_under_widen(self):
+        response = _answers("approximated")
+        assert degraded_status(response, "widen") == 0
+        assert degraded_status(response, "truncate") == 1
+        assert degraded_status(response, "fail") == 1
+
+    @pytest.mark.parametrize(
+        "on_limit", ["fail", "truncate", "widen"]
+    )
+    def test_fact_loads_pass(self, on_limit):
+        response = Response(kind="facts", added=2)
+        assert degraded_status(response, on_limit) == 0
+
+
+class TestRunBatchStatus:
+    PROGRAM = """
+    p(X) :- e(X), X >= 1.
+    e(1).
+    e(2).
+    """
+
+    def _run(self, lines, **options):
+        import io
+
+        engine = Engine.from_text(self.PROGRAM, **options)
+        out = io.StringIO()
+        return run_batch(engine, lines, out)
+
+    def test_all_good_exits_zero(self):
+        assert self._run(["?- p(X).", "e(3)."]) == 0
+
+    def test_any_error_exits_one(self):
+        assert self._run(["?- p(X).", "?- p(X"]) == 1
+
+    def test_approximated_widen_exits_zero(self):
+        # Under an explicitly requested widen policy an approximated
+        # answer is the expected degraded outcome, not a failure.
+        status = degraded_status(
+            Response(kind="answers", completeness="approximated"),
+            Engine.from_text(
+                self.PROGRAM, on_limit="widen"
+            ).session.on_limit,
+        )
+        assert status == 0

@@ -1,0 +1,126 @@
+"""The N-thread hammer: one engine, many threads, zero wrong answers.
+
+The session's reader-writer discipline claims that queries interleaved
+with fact loads from many threads can never produce an answer a
+sequential execution could not.  This test hammers one
+:class:`~repro.service.engine.Engine` directly (no supervisor in the
+way) and checks the two load-bearing invariants:
+
+* every concurrent answer set is a subset of the final one (the
+  program is monotone, so anything else is a torn read), and
+* no fact-load epoch is lost -- the final epoch equals the number of
+  effective loads, and the final answers equal the sequential run's.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+from repro.service.engine import Engine
+
+PROGRAM = """
+reach(X, Y, C) :- edge(X, Y, C).
+reach(X, Z, C) :- reach(X, Y, C1), edge(Y, Z, C2), C = C1 + C2,
+    C <= 1000.
+edge(n0, n1, 1).
+"""
+
+QUERY = "?- reach(n0, X, C)."
+
+#: Chain facts loaded while queries run: edge(n1, n2, 1) ... -- each
+#: one extends the reachable set, so progress is observable.
+CHAIN = [
+    f"edge(n{index}, n{index + 1}, 1)." for index in range(1, 13)
+]
+
+LOADERS = 3
+QUERIERS = 4
+QUERIES_EACH = 8
+
+
+def _sequential_answers() -> list[str]:
+    engine = Engine.from_text(PROGRAM)
+    for spec in CHAIN:
+        assert engine.add_facts(spec).ok
+    return sorted(engine.query(QUERY).answer_strings)
+
+
+def test_hammer_matches_sequential_and_loses_no_epochs():
+    engine = Engine.from_text(PROGRAM)
+    errors: list[str] = []
+    observed: list[list[str]] = []
+    lock = threading.Lock()
+    start = threading.Barrier(LOADERS + QUERIERS)
+
+    def loader(chunk: list[str]) -> None:
+        start.wait()
+        for spec in chunk:
+            response = engine.add_facts(spec)
+            if not response.ok or response.added != 1:
+                with lock:
+                    errors.append(
+                        f"load {spec!r}: {response.error_message} "
+                        f"(added={response.added})"
+                    )
+
+    def querier() -> None:
+        start.wait()
+        for _ in range(QUERIES_EACH):
+            response = engine.query(QUERY)
+            if not response.ok:
+                with lock:
+                    errors.append(
+                        f"query: {response.error_message}"
+                    )
+                continue
+            with lock:
+                observed.append(sorted(response.answer_strings))
+
+    chunks = [CHAIN[index::LOADERS] for index in range(LOADERS)]
+    threads = [
+        threading.Thread(target=loader, args=(chunk,))
+        for chunk in chunks
+    ] + [
+        threading.Thread(target=querier) for _ in range(QUERIERS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=90)
+        assert not thread.is_alive(), "hammer thread hung"
+
+    assert errors == []
+    # No lost epochs: every effective load bumped the epoch exactly
+    # once.
+    assert engine.session.epoch == len(CHAIN)
+    final = sorted(engine.query(QUERY).answer_strings)
+    assert final == _sequential_answers()
+    # Monotone program + consistent snapshots: every concurrent
+    # answer set must be a subset of the final one.
+    final_set = set(final)
+    for answers in observed:
+        assert set(answers) <= final_set
+    assert len(observed) == QUERIERS * QUERIES_EACH
+
+
+def test_hammer_through_the_supervisor():
+    """The same interleaving submitted through the worker pool."""
+    from repro.serve.supervisor import ServeConfig, Supervisor
+
+    engine = Engine.from_text(PROGRAM)
+    lines = []
+    for index, spec in enumerate(CHAIN):
+        lines.append(spec)
+        if index % 2:
+            lines.append(QUERY)
+    with Supervisor(
+        engine, ServeConfig(workers=6, queue_depth=64)
+    ) as supervisor:
+        requests = [supervisor.submit(line) for line in lines]
+        responses = [
+            request.result(timeout=60) for request in requests
+        ]
+    assert all(response.ok for response in responses)
+    final = sorted(engine.query(QUERY).answer_strings)
+    assert final == _sequential_answers()

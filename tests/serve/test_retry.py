@@ -1,0 +1,95 @@
+"""The retry policy: deterministic backoff schedule and transience.
+
+The rng and sleeper are injected, so the full-jitter schedule is
+checked exactly -- no clock, no flakiness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.retry import RetryPolicy, is_transient
+from repro.service.session import Response
+
+
+def _error(code: str, budget: dict | None = None) -> Response:
+    return Response(
+        kind="error", error_code=code, error_message=code, budget=budget
+    )
+
+
+class TestTransience:
+    def test_injected_fault_is_transient(self):
+        assert is_transient(_error("REPRO_FAULT"))
+
+    def test_deadline_budget_trip_is_transient(self):
+        response = _error(
+            "REPRO_BUDGET", budget={"exhausted": "deadline"}
+        )
+        assert is_transient(response)
+
+    @pytest.mark.parametrize(
+        "exhausted", ["facts", "solver_calls", "rewrite_iterations"]
+    )
+    def test_deterministic_budget_trips_are_not(self, exhausted):
+        response = _error(
+            "REPRO_BUDGET", budget={"exhausted": exhausted}
+        )
+        assert not is_transient(response)
+
+    @pytest.mark.parametrize(
+        "code",
+        ["REPRO_PARSE", "REPRO_USAGE", "REPRO_NONTERMINATION",
+         "REPRO_CIRCUIT_OPEN", "REPRO_OVERLOAD"],
+    )
+    def test_deterministic_errors_are_not(self, code):
+        assert not is_transient(_error(code))
+
+    def test_success_is_not_transient(self):
+        assert not is_transient(Response(kind="answers"))
+
+    def test_budget_trip_without_snapshot_is_not_transient(self):
+        assert not is_transient(_error("REPRO_BUDGET", budget=None))
+
+
+class TestBackoffSchedule:
+    def test_exponential_caps_at_max_delay(self):
+        policy = RetryPolicy(
+            retries=5, base_delay=0.1, max_delay=0.4, rng=lambda: 1.0
+        )
+        assert [policy.delay(n) for n in range(5)] == pytest.approx(
+            [0.1, 0.2, 0.4, 0.4, 0.4]
+        )
+
+    def test_full_jitter_scales_by_rng(self):
+        policy = RetryPolicy(
+            retries=2, base_delay=0.1, max_delay=10.0, rng=lambda: 0.5
+        )
+        assert policy.delay(0) == pytest.approx(0.05)
+        assert policy.delay(2) == pytest.approx(0.2)
+
+    def test_zero_jitter_means_no_sleep(self):
+        slept: list[float] = []
+        policy = RetryPolicy(
+            base_delay=0.1, rng=lambda: 0.0, sleeper=slept.append
+        )
+        assert policy.backoff(0) == 0.0
+        assert slept == []
+
+    def test_backoff_sleeps_through_the_injected_sleeper(self):
+        slept: list[float] = []
+        policy = RetryPolicy(
+            base_delay=0.1,
+            max_delay=1.0,
+            rng=lambda: 1.0,
+            sleeper=slept.append,
+        )
+        for attempt in range(3):
+            policy.backoff(attempt)
+        assert slept == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_invalid_settings_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
