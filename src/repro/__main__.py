@@ -32,7 +32,11 @@ import argparse
 import sys
 
 from repro import __version__
-from repro.driver import ON_LIMIT_POLICIES, STRATEGIES, run_text
+from repro.driver import (
+    ON_LIMIT_POLICIES,
+    STRATEGY_CHOICES,
+    run_text,
+)
 from repro.errors import ReproError, exit_code_for
 
 
@@ -64,10 +68,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--strategy",
-        choices=STRATEGIES,
+        choices=STRATEGY_CHOICES,
         default="rewrite",
         help="transformation pipeline to apply (default: rewrite = "
-        "the paper's Constraint_rewrite)",
+        "the paper's Constraint_rewrite; auto = cost-based planner)",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="with --strategy auto, print the planner's full ranking "
+        "and chosen plan for each query",
     )
     parser.add_argument(
         "--max-iterations",
@@ -369,6 +379,15 @@ def main(argv: list[str] | None = None) -> int:
             print("--")
         if arguments.derivations:
             print(outcome.result.trace())
+        if arguments.explain:
+            if outcome.plan is not None:
+                print(outcome.plan.explain())
+            else:
+                print(
+                    "note: --explain shows a plan only with "
+                    "--strategy auto",
+                    file=sys.stderr,
+                )
         for note in outcome.notes:
             print(f"note: {note}", file=sys.stderr)
         if outcome.answers:

@@ -50,6 +50,10 @@ from repro.conformance.oracle import (
 )
 
 #: The configurations every case is pushed through, in report order.
+#: ``auto`` runs the cost-based planner end to end: collect EDB stats,
+#: rank the paper-ordered strategy sequences, then execute the chosen
+#: one -- whatever it picks must agree with the oracle like any fixed
+#: strategy.
 DEFAULT_CONFIGS = (
     "oracle",
     "none",
@@ -58,6 +62,7 @@ DEFAULT_CONFIGS = (
     "rewrite",
     "magic",
     "optimal",
+    "auto",
     "service",
 )
 
@@ -298,6 +303,32 @@ def _strategy_run(
     )
 
 
+def _auto_run(
+    case: GeneratedCase,
+    settings: CheckSettings,
+    domain: list[Fraction],
+) -> ConfigRun:
+    """The planner path: stats + bounded search pick the strategy.
+
+    The chosen strategy then runs exactly like a fixed config, so a
+    planner that picks an unsound sequence (or a cost model that
+    steers into a broken rewrite) surfaces as an ordinary mismatch.
+    The pick is recorded in ``detail`` for triage.
+    """
+    from repro.planner import collect_stats, plan_query
+
+    rules, edb = split_edb(case.program)
+    stats = collect_stats(edb)
+    plan = plan_query(rules, case.query, stats)
+    run = _strategy_run(case, plan.strategy, settings, domain)
+    detail = f"plan={plan.strategy}"
+    if run.detail:
+        detail = f"{detail},{run.detail}"
+    return ConfigRun(
+        "auto", run.answers, run.completeness, detail=detail
+    )
+
+
 def _service_runs(
     case: GeneratedCase,
     settings: CheckSettings,
@@ -367,6 +398,8 @@ def check_case(
             try:
                 if config == "oracle":
                     runs = [_oracle_run(case, settings)]
+                elif config == "auto":
+                    runs = [_auto_run(case, settings, domain)]
                 elif config == "service":
                     runs = _service_runs(case, settings, domain)
                 else:

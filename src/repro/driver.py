@@ -66,7 +66,25 @@ from repro.obs.recorder import span as obs_span
 
 STRATEGIES = ("none", "pred", "qrp", "rewrite", "magic", "optimal")
 
+#: The cost-based planner picks one of :data:`STRATEGIES` per query.
+AUTO_STRATEGY = "auto"
+STRATEGY_CHOICES = STRATEGIES + (AUTO_STRATEGY,)
+
 ON_LIMIT_POLICIES = ("fail", "truncate", "widen")
+
+
+def validate_strategy(strategy: str, allow_auto: bool = False) -> str:
+    """Check a strategy name, returning it; raises :class:`UsageError`.
+
+    ``allow_auto`` additionally admits :data:`AUTO_STRATEGY` for entry
+    points that resolve it through the planner before optimizing.
+    """
+    allowed = STRATEGY_CHOICES if allow_auto else STRATEGIES
+    if strategy not in allowed:
+        raise UsageError(
+            f"unknown strategy {strategy!r}; choose from {allowed}"
+        )
+    return strategy
 
 
 @dataclass
@@ -92,6 +110,10 @@ class QueryOutcome:
     completeness: str = "complete"
     fallbacks: list[str] = field(default_factory=list)
     budget: dict | None = None
+    #: The planner's :class:`~repro.planner.plan.Plan` when the run
+    #: was started with ``--strategy auto`` (``strategy`` then holds
+    #: the resolved choice).
+    plan: "object | None" = None
 
     @property
     def answer_strings(self) -> list[str]:
@@ -235,10 +257,7 @@ def optimize(
     follows the driver policy vocabulary: ``"widen"`` absorbs budget
     exhaustion inside a step, anything else propagates it.
     """
-    if strategy not in STRATEGIES:
-        raise UsageError(
-            f"unknown strategy {strategy!r}; choose from {STRATEGIES}"
-        )
+    validate_strategy(strategy)
     with obs_span("optimize", strategy=strategy):
         return _optimize_steps(
             program, query, strategy, max_iterations,
@@ -366,6 +385,18 @@ def _answer_query_governed(
 ) -> QueryOutcome:
     notes: list[str] = []
     fallbacks: list[str] = []
+    plan = None
+    if strategy == AUTO_STRATEGY:
+        plan, strategy = _plan_strategy(program, query, edb, meter)
+        runner_up = (
+            f"; next {plan.ranking[1][0]!r}"
+            if len(plan.ranking) > 1
+            else ""
+        )
+        notes.append(
+            f"auto: planner chose {strategy!r} "
+            f"(stats {plan.fingerprint}{runner_up})"
+        )
     with obs_span(
         "query", pred=query.literal.pred, strategy=strategy
     ):
@@ -437,7 +468,29 @@ def _answer_query_governed(
         completeness=completeness,
         fallbacks=fallbacks,
         budget=meter.snapshot() if meter is not None else None,
+        plan=plan,
     )
+
+
+def _plan_strategy(
+    program: Program,
+    query: Query,
+    edb: Database | None,
+    meter: BudgetMeter | None,
+):
+    """Resolve ``auto``: (plan, concrete strategy) for this query.
+
+    Planning is advisory work, not query work: it runs with the
+    request budget paused so an exhausted meter can still pick a
+    strategy for the fallback path.
+    """
+    from repro.planner import collect_stats, plan_query
+
+    with meter.paused() if meter is not None else _nullcontext():
+        with obs_span("planner.auto", pred=query.literal.pred):
+            stats = collect_stats(edb)
+            plan = plan_query(program, query, stats)
+    return plan, plan.strategy
 
 
 def run_text(
@@ -454,10 +507,7 @@ def run_text(
     per *run*, not per query).  The meter's consumption is recorded on
     a ``governor`` span and in each outcome's ``budget`` snapshot.
     """
-    if strategy not in STRATEGIES:
-        raise UsageError(
-            f"unknown strategy {strategy!r}; choose from {STRATEGIES}"
-        )
+    validate_strategy(strategy, allow_auto=True)
     if on_limit not in ON_LIMIT_POLICIES:
         raise UsageError(
             f"unknown on_limit policy {on_limit!r}; "

@@ -1,0 +1,45 @@
+"""Cost-based adaptive strategy planning (stats -> cost -> plan -> adapt).
+
+The paper's optimality results (Theorems 7.8/7.10) bound the useful
+rewrite sequences to subsequences of ``pred, qrp, mg``; this package
+picks among them automatically instead of relying on a hand-chosen
+``--strategy``:
+
+* :mod:`repro.planner.stats` collects EDB statistics (cardinalities,
+  per-column distinct counts, value intervals) that turn a constraint
+  selection into an estimated match count;
+* :mod:`repro.planner.cost` estimates, per candidate strategy, the
+  derivation / projection / satisfiability-check counters the obs layer
+  records, plus the rewrite's own compile cost;
+* :mod:`repro.planner.plan` searches the bounded strategy space and
+  returns a :class:`~repro.planner.plan.Plan` with its full ranking;
+* :mod:`repro.planner.adaptive` folds observed per-execution costs back
+  into per-query-form records so a long-lived session converges on the
+  measured-fastest plan and re-plans when the estimate goes stale.
+"""
+
+from repro.planner.adaptive import AdaptivePlanner, PlanRecord
+from repro.planner.cost import CostModel, CostVector, STRATEGY_SEQUENCES
+from repro.planner.plan import Plan, plan_query
+from repro.planner.stats import (
+    ColumnStats,
+    EdbStats,
+    RelationStats,
+    Restriction,
+    collect_stats,
+)
+
+__all__ = [
+    "AdaptivePlanner",
+    "ColumnStats",
+    "CostModel",
+    "CostVector",
+    "EdbStats",
+    "Plan",
+    "PlanRecord",
+    "RelationStats",
+    "Restriction",
+    "STRATEGY_SEQUENCES",
+    "collect_stats",
+    "plan_query",
+]

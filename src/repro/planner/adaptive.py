@@ -1,0 +1,365 @@
+"""The feedback loop: observed executions correct the cost model.
+
+The model in :mod:`repro.planner.cost` is calibrated but still a model;
+the obs layer records what actually happened.  An
+:class:`AdaptivePlanner` closes the loop per *query form* (the same
+normalized key the service's ``FormCache`` uses):
+
+1. **Plan** -- on first sight of a form, run the bounded search and
+   keep the top-``k`` candidates as worth measuring.
+2. **Probe** -- serve the next requests with each candidate in ranked
+   order until every candidate has ``probe_runs`` *warm* observations
+   (the first post-compile run of each strategy is recorded but
+   excluded from the comparison -- it pays the compile bill the cache
+   amortizes away).
+3. **Converge** -- switch to the candidate with the lowest mean
+   observed scalar (:func:`~repro.planner.cost.observed_scalar`) and
+   stay there.
+4. **Re-plan** -- if the converged strategy's EWMA drifts past
+   ``divergence`` times its at-convergence baseline, or the EDB grows
+   past ``growth`` times the planned-against snapshot, mark the record
+   stale: the next ``decide`` re-collects stats and re-plans.
+
+All state lives behind one lock, so the planner is safe under the
+serve supervisor's reader--writer locking (readers of different forms
+contend only on this lock, never on engine state).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.engine.database import Database
+from repro.lang.ast import Program, Query
+from repro.obs.recorder import count as obs_count, span as obs_span
+from repro.planner.cost import CostModel, observed_scalar
+from repro.planner.plan import Plan, plan_query
+from repro.planner.stats import EdbStats, collect_stats
+
+#: Warm observations each candidate gets before the comparison.
+PROBE_RUNS = 2
+#: Candidates (by model ranking) worth measuring at all.
+TOP_K = 3
+#: Converged-EWMA drift (vs. the at-convergence baseline) that forces
+#: a re-plan.
+DIVERGENCE_FACTOR = 4.0
+#: EDB growth (vs. the planned-against snapshot) that forces a re-plan.
+GROWTH_REPLAN_FACTOR = 2.0
+#: Smoothing of the converged strategy's observed scalar.
+EWMA_ALPHA = 0.4
+#: Sessions reuse compiled forms, so compile cost is spread over this
+#: many expected executions when planning.
+SESSION_AMORTIZATION = 8.0
+#: A candidate whose *unamortized* (cold) scalar exceeds this multiple
+#: of the cheapest candidate's is never probed: amortization may rank
+#: it competitive eventually, but the one compile needed to find out
+#: would dwarf anything the probe could save (generator recursion can
+#: make a single ``pred`` pass take seconds).
+PROBE_PRUNE_FACTOR = 3.0
+#: Divergence is judged against at least this baseline (scalar units;
+#: ~5 ms of pure wall clock).  A sub-millisecond warm hit's EWMA
+#: crosses ``DIVERGENCE_FACTOR`` times its baseline on any scheduler
+#: hiccup or GC pause, and the re-plan it would trigger re-probes
+#: every candidate -- orders of magnitude more expensive than anything
+#: the re-plan could recover at that scale.
+REPLAN_NOISE_FLOOR = 50.0
+
+
+@dataclass
+class StrategyObservation:
+    """Accumulated measurements of one strategy on one form."""
+
+    runs: int = 0
+    cold_runs: int = 0
+    total_scalar: float = 0.0
+    total_seconds: float = 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.total_scalar / self.runs if self.runs else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "runs": self.runs,
+            "cold_runs": self.cold_runs,
+            "mean_scalar": round(self.mean, 1),
+            "mean_seconds": round(
+                self.total_seconds / self.runs if self.runs else 0.0,
+                6,
+            ),
+        }
+
+
+@dataclass
+class PlanRecord:
+    """Everything the planner knows about one query form."""
+
+    form: str
+    query: Query
+    plan: Plan
+    state: str  # "probing" | "converged"
+    candidates: tuple[str, ...]
+    chosen: str
+    observations: dict[str, StrategyObservation] = field(
+        default_factory=dict
+    )
+    baseline: float | None = None
+    ewma: float | None = None
+    replans: int = 0
+    stale: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "state": self.state,
+            "chosen": self.chosen,
+            "candidates": list(self.candidates),
+            "model_choice": self.plan.strategy,
+            "ranking": [
+                {"strategy": name, "scalar": round(scalar, 1)}
+                for name, scalar in self.plan.ranking
+            ],
+            "observations": {
+                name: observation.as_dict()
+                for name, observation in sorted(
+                    self.observations.items()
+                )
+            },
+            "baseline": (
+                round(self.baseline, 1)
+                if self.baseline is not None
+                else None
+            ),
+            "ewma": (
+                round(self.ewma, 1) if self.ewma is not None else None
+            ),
+            "replans": self.replans,
+            "stale": self.stale,
+        }
+
+
+class AdaptivePlanner:
+    """Per-form strategy decisions that improve with observations."""
+
+    def __init__(
+        self,
+        program: Program,
+        database: Database | None = None,
+        stats: EdbStats | None = None,
+        *,
+        probe_runs: int = PROBE_RUNS,
+        top_k: int = TOP_K,
+        divergence: float = DIVERGENCE_FACTOR,
+        growth: float = GROWTH_REPLAN_FACTOR,
+        amortization: float = SESSION_AMORTIZATION,
+    ) -> None:
+        self._program = program
+        self._database = database
+        self._stats = (
+            stats if stats is not None else collect_stats(database)
+        )
+        self._model = CostModel(program, self._stats)
+        self._probe_runs = max(1, probe_runs)
+        self._top_k = max(1, top_k)
+        self._divergence = divergence
+        self._growth = growth
+        self._amortization = amortization
+        self._records: dict[str, PlanRecord] = {}
+        self._pending_facts = 0
+        self._refreshes = 0
+        self._lock = threading.Lock()
+
+    # -- decisions ----------------------------------------------------
+
+    def decide(self, form: str, query: Query) -> str:
+        """The strategy to run this form with, right now."""
+        with self._lock:
+            self._maybe_refresh()
+            record = self._records.get(form)
+            if record is None or record.stale:
+                record = self._plan(form, query, record)
+            if record.state == "converged":
+                return record.chosen
+            for name in record.candidates:
+                observation = record.observations.get(name)
+                if (
+                    observation is None
+                    or observation.runs < self._probe_runs
+                ):
+                    record.chosen = name
+                    return name
+            return self._converge(record)
+
+    def observe(
+        self,
+        form: str,
+        strategy: str,
+        eval_stats: object | None,
+        seconds: float,
+        cold: bool,
+    ) -> PlanRecord | None:
+        """Fold one real execution back into the form's record.
+
+        ``eval_stats`` is the evaluation's
+        :class:`~repro.engine.fixpoint.EvalStats` (or ``None`` for a
+        warm cache hit with no evaluation); ``cold`` marks the first
+        run after a (re)compile, which is recorded but kept out of the
+        warm comparison.  Returns the form's record so callers on the
+        hot path do not need a second lookup.
+        """
+        derivations = float(
+            getattr(eval_stats, "derivations", 0) or 0
+        )
+        scalar = observed_scalar(derivations, seconds)
+        with self._lock:
+            record = self._records.get(form)
+            if record is None:
+                return None
+            observation = record.observations.setdefault(
+                strategy, StrategyObservation()
+            )
+            if cold:
+                observation.cold_runs += 1
+                return record
+            observation.runs += 1
+            observation.total_scalar += scalar
+            observation.total_seconds += seconds
+            if (
+                record.state == "converged"
+                and strategy == record.chosen
+            ):
+                previous = (
+                    record.ewma if record.ewma is not None else scalar
+                )
+                record.ewma = (
+                    EWMA_ALPHA * scalar
+                    + (1.0 - EWMA_ALPHA) * previous
+                )
+                baseline = record.baseline
+                if (
+                    baseline is not None
+                    and baseline > 0.0
+                    and record.ewma
+                    > self._divergence
+                    * max(baseline, REPLAN_NOISE_FLOOR)
+                ):
+                    record.stale = True
+                    record.replans += 1
+                    obs_count("planner.replans")
+            return record
+
+    def note_facts(self, added: int) -> None:
+        """Tell the planner the session's EDB grew by ``added`` facts."""
+        if added > 0:
+            with self._lock:
+                self._pending_facts += added
+
+    # -- introspection ------------------------------------------------
+
+    def record(self, form: str) -> PlanRecord | None:
+        with self._lock:
+            return self._records.get(form)
+
+    def snapshot(self) -> EdbStats:
+        """The stats snapshot decisions are currently based on."""
+        with self._lock:
+            return self._stats
+
+    def stats(self) -> dict:
+        """A JSON-ready summary for service/serve stats endpoints."""
+        with self._lock:
+            converged = sum(
+                1
+                for record in self._records.values()
+                if record.state == "converged"
+            )
+            return {
+                "forms": len(self._records),
+                "converged": converged,
+                "probing": len(self._records) - converged,
+                "replans": sum(
+                    record.replans
+                    for record in self._records.values()
+                ),
+                "stats_refreshes": self._refreshes,
+                "edb_fingerprint": self._stats.fingerprint(),
+                "records": {
+                    form: record.as_dict()
+                    for form, record in sorted(
+                        self._records.items()
+                    )
+                },
+            }
+
+    # -- internals (lock held) ----------------------------------------
+
+    def _plan(
+        self,
+        form: str,
+        query: Query,
+        previous: PlanRecord | None,
+    ) -> PlanRecord:
+        with obs_span("planner.adapt", form=form):
+            plan = plan_query(
+                self._program,
+                query,
+                self._stats,
+                amortization=self._amortization,
+                model=self._model,
+            )
+        cold = {
+            name: self._model.estimate(query, name).scalar(1.0)
+            for name, __ in plan.ranking
+        }
+        cutoff = PROBE_PRUNE_FACTOR * min(
+            cold.values(), default=0.0
+        )
+        candidates = tuple(
+            name
+            for name, __ in plan.ranking[: self._top_k]
+            if name == plan.strategy or cold[name] <= cutoff
+        )
+        record = PlanRecord(
+            form=form,
+            query=query,
+            plan=plan,
+            state="probing",
+            candidates=candidates,
+            chosen=plan.strategy,
+            replans=previous.replans if previous is not None else 0,
+        )
+        self._records[form] = record
+        return record
+
+    def _converge(self, record: PlanRecord) -> str:
+        best = record.candidates[0]
+        best_mean: float | None = None
+        for name in record.candidates:
+            observation = record.observations.get(name)
+            if observation is None or not observation.runs:
+                continue
+            if best_mean is None or observation.mean < best_mean:
+                best, best_mean = name, observation.mean
+        record.state = "converged"
+        record.chosen = best
+        record.baseline = best_mean
+        record.ewma = best_mean
+        obs_count("planner.converged")
+        return best
+
+    def _maybe_refresh(self) -> None:
+        if self._database is None or self._pending_facts == 0:
+            return
+        before = max(self._stats.total_facts, 1)
+        if (
+            self._stats.total_facts + self._pending_facts
+            < self._growth * before
+        ):
+            return
+        self._stats = collect_stats(self._database)
+        self._model = CostModel(self._program, self._stats)
+        self._pending_facts = 0
+        self._refreshes += 1
+        obs_count("planner.stats_refresh")
+        for record in self._records.values():
+            record.stale = True

@@ -1,0 +1,132 @@
+"""Bounded plan search over the paper's optimal strategy ordering.
+
+Theorems 7.8/7.10 make the search space small and closed: the only
+rewrite sequences worth considering are subsequences of
+``pred, qrp, mg`` in that order, and each one the driver can execute
+has a strategy name (:data:`~repro.planner.cost.STRATEGY_SEQUENCES`).
+"Search" is therefore exhaustive enumeration: estimate every candidate
+with the :class:`~repro.planner.cost.CostModel`, rank, and keep the
+whole ranking in the returned :class:`Plan` so callers (the adaptive
+loop, ``--explain``) can see the runners-up, not just the winner.
+
+The ranking is deterministic for a fixed (program, stats snapshot):
+ties on the scalar break toward the shorter rewrite sequence (less
+compile machinery to go wrong), then toward the canonical strategy
+order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.ast import Program, Query
+from repro.obs.recorder import count as obs_count, span as obs_span
+from repro.planner.cost import (
+    CostModel,
+    CostVector,
+    STRATEGY_SEQUENCES,
+)
+from repro.planner.stats import EdbStats
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A chosen strategy plus the evidence it was chosen on."""
+
+    strategy: str
+    sequence: tuple[str, ...]
+    estimate: CostVector
+    scalar: float
+    #: Every candidate's scalar, best first (the full search result).
+    ranking: tuple[tuple[str, float], ...]
+    #: Fingerprint of the stats snapshot the estimates came from.
+    fingerprint: str
+    #: Executions the compile cost was amortized over.
+    amortization: float
+
+    def explain(self) -> str:
+        """A human-readable dump of the search, for ``--explain``."""
+        lines = [
+            f"plan: strategy={self.strategy} "
+            f"sequence={'+'.join(self.sequence) or '(no rewriting)'}",
+            f"  stats fingerprint: {self.fingerprint}  "
+            f"(compile amortized over {self.amortization:g} runs)",
+            "  estimate: "
+            + " ".join(
+                f"{key}={value:g}"
+                for key, value in self.estimate.as_dict().items()
+            ),
+            "  ranking:",
+        ]
+        for position, (name, scalar) in enumerate(self.ranking):
+            marker = "->" if name == self.strategy else "  "
+            lines.append(
+                f"  {marker} {position + 1}. {name:<8} "
+                f"cost={scalar:,.1f}"
+            )
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "sequence": list(self.sequence),
+            "estimate": self.estimate.as_dict(),
+            "scalar": round(self.scalar, 1),
+            "ranking": [
+                {"strategy": name, "scalar": round(scalar, 1)}
+                for name, scalar in self.ranking
+            ],
+            "fingerprint": self.fingerprint,
+            "amortization": self.amortization,
+        }
+
+
+def plan_query(
+    program: Program,
+    query: Query,
+    stats: EdbStats,
+    candidates: tuple[str, ...] = tuple(STRATEGY_SEQUENCES),
+    amortization: float = 1.0,
+    model: CostModel | None = None,
+) -> Plan:
+    """Pick a strategy for ``query`` against the stats snapshot.
+
+    ``amortization`` spreads each candidate's compile cost over the
+    executions the caller expects (1 for a one-shot CLI query; a
+    session planning a cached form passes more).  Pass a prebuilt
+    ``model`` to share its memoization across queries.
+    """
+    with obs_span("planner.plan", query=query.literal.pred):
+        obs_count("planner.plans")
+        if model is None:
+            model = CostModel(program, stats)
+        order = {
+            name: position
+            for position, name in enumerate(STRATEGY_SEQUENCES)
+        }
+        scored = []
+        for name in candidates:
+            estimate = model.estimate(query, name)
+            scored.append(
+                (
+                    estimate.scalar(amortization),
+                    len(STRATEGY_SEQUENCES[name]),
+                    order[name],
+                    name,
+                    estimate,
+                )
+            )
+        scored.sort()
+        best_scalar, __, __, best_name, best_estimate = scored[0]
+        return Plan(
+            strategy=best_name,
+            sequence=STRATEGY_SEQUENCES[best_name],
+            estimate=best_estimate,
+            scalar=best_scalar,
+            ranking=tuple(
+                (name, scalar)
+                for scalar, __, __, name, __ in scored
+            ),
+            fingerprint=stats.fingerprint(),
+            amortization=amortization,
+        )

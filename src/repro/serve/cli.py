@@ -32,7 +32,7 @@ from repro.config import (
     DEFAULT_EVAL_ITERATIONS,
     DEFAULT_REWRITE_ITERATIONS,
 )
-from repro.driver import ON_LIMIT_POLICIES, STRATEGIES
+from repro.driver import ON_LIMIT_POLICIES, STRATEGY_CHOICES
 from repro.errors import ReproError, exit_code_for
 from repro.governor import Budget
 from repro.serve.retry import RetryPolicy
@@ -130,9 +130,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--strategy",
-        choices=STRATEGIES,
+        choices=STRATEGY_CHOICES,
         default="rewrite",
-        help="transformation pipeline (default: rewrite)",
+        help="transformation pipeline, or 'auto' for the adaptive "
+        "cost-based planner (default: rewrite)",
     )
     parser.add_argument(
         "--max-iterations", type=int, default=None, metavar="N",

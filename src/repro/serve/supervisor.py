@@ -399,13 +399,22 @@ class Supervisor:
             )
         with self._breaker_lock:
             breakers_open = self._breakers.open_count()
-        return {
+        health = {
             "status": status,
             "workers_alive": alive,
             "queue_depth": self._queue.qsize(),
             "queue_capacity": self.config.queue_depth,
             "breakers_open": breakers_open,
         }
+        planner = self._engine.session.planner
+        if planner is not None:
+            summary = planner.stats()
+            health["planner"] = {
+                "forms": summary["forms"],
+                "converged": summary["converged"],
+                "replans": summary["replans"],
+            }
+        return health
 
     def stats(self) -> dict:
         """Supervisor counters plus the engine's own snapshot."""

@@ -55,6 +55,12 @@ class CacheEntry:
     lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
+    #: The adaptive planner's per-form cost record
+    #: (:class:`repro.planner.adaptive.PlanRecord`), when the session
+    #: runs with the ``auto`` strategy.
+    plan_record: object = field(
+        default=None, repr=False, compare=False
+    )
 
     def get_warm(self, seed: object) -> "WarmState | None":
         """The warm state for a seed, refreshing its recency."""

@@ -40,6 +40,7 @@ fact loads against the same state:
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import nullcontext as _nullcontext
 from dataclasses import dataclass, field
 from typing import Iterable
@@ -49,11 +50,12 @@ from repro.config import (
     DEFAULT_REWRITE_ITERATIONS,
 )
 from repro.driver import (
+    AUTO_STRATEGY,
     ON_LIMIT_POLICIES,
-    STRATEGIES,
     optimize,
     render_answers,
     split_edb,
+    validate_strategy,
 )
 from repro.engine import Database, EvaluationResult, evaluate, resume
 from repro.engine.facts import Fact
@@ -177,6 +179,10 @@ class Response:
     error_code: str | None = None
     error_message: str | None = None
     budget: dict | None = None
+    #: The raw :class:`~repro.engine.EvalStats` of the evaluation that
+    #: produced the answer (``None`` on a warm hit -- nothing was
+    #: evaluated).  Feeds the adaptive planner's observed-cost loop.
+    eval_stats: object = field(default=None, repr=False, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -231,10 +237,7 @@ class Session:
         on_limit: str = "truncate",
         cache_size: int = DEFAULT_CACHE_SIZE,
     ) -> None:
-        if strategy not in STRATEGIES:
-            raise UsageError(
-                f"unknown strategy {strategy!r}; choose from {STRATEGIES}"
-            )
+        validate_strategy(strategy, allow_auto=True)
         if on_limit not in ON_LIMIT_POLICIES:
             raise UsageError(
                 f"unknown on_limit policy {on_limit!r}; "
@@ -244,6 +247,12 @@ class Session:
             self._rules, self._edb = split_edb(program)
         self._derived = self._rules.derived_predicates()
         self._strategy = strategy
+        if strategy == AUTO_STRATEGY:
+            from repro.planner import AdaptivePlanner
+
+            self._planner = AdaptivePlanner(self._rules, self._edb)
+        else:
+            self._planner = None
         self._max_iterations = max_iterations
         self._eval_iterations = eval_iterations
         self._budget = budget
@@ -332,6 +341,8 @@ class Session:
             if added:
                 self._epoch += 1
                 self._fact_log.append((self._epoch, added))
+                if self._planner is not None:
+                    self._planner.note_facts(len(added))
             obs_count("service.facts_added", len(added))
             request_span.set("added", len(added))
             return Response(
@@ -371,24 +382,29 @@ class Session:
             )
 
     def _lookup_or_compile(
-        self, query: Query, form: QueryForm
+        self, query: Query, form: QueryForm, strategy: str
     ) -> tuple[CacheEntry, bool]:
         """The form's cache entry, compiling at most once per form.
 
         Concurrent first requests for one form are single-flight: the
         race winner compiles while the others wait on the form's lock
-        and then reuse the cached artifact.
+        and then reuse the cached artifact.  An entry compiled under a
+        different strategy (the adaptive planner switched) is replaced
+        the same single-flight way.
         """
         with self._mutex:
             entry = self._cache.get(form)
-        if entry is not None:
+        if entry is not None and entry.compiled.strategy == strategy:
             return entry, True
         with self._compile_lock(form):
             with self._mutex:
                 entry = self._cache.peek(form)
-            if entry is not None:
+            if (
+                entry is not None
+                and entry.compiled.strategy == strategy
+            ):
                 return entry, True  # a racer compiled it first
-            compiled = self._compile(query, form)
+            compiled = self._compile(query, form, strategy)
             if compiled.cacheable:
                 with self._mutex:
                     entry = self._cache.put(form, compiled)
@@ -400,17 +416,36 @@ class Session:
         self, query: Query, meter: BudgetMeter | None
     ) -> Response:
         form, params = canonicalize(query)
-        entry, cached = self._lookup_or_compile(query, form)
+        strategy = self._strategy
+        form_key = None
+        if self._planner is not None:
+            # Planner state has its own lock; safe under the shared
+            # (reader) side of the session's RW discipline.
+            form_key = str(form)
+            strategy = self._planner.decide(form_key, query)
+        entry, cached = self._lookup_or_compile(query, form, strategy)
         compiled = entry.compiled
         specialized, seed = compiled.specialize(query)
         # Evaluation against one entry is serialized by its lock, so a
         # warm database is never resumed by two threads at once;
         # different forms evaluate in parallel.
+        started = time.perf_counter()
         with entry.lock:
-            return self._evaluate_entry(
+            response = self._evaluate_entry(
                 query, form, params, entry, compiled, specialized,
                 seed, cached, meter,
             )
+        if self._planner is not None:
+            # The first run after a (re)compile pays the compile bill;
+            # the planner records it but keeps it out of warm means.
+            entry.plan_record = self._planner.observe(
+                form_key,
+                strategy,
+                response.eval_stats,
+                time.perf_counter() - started,
+                cold=not cached,
+            )
+        return response
 
     def _evaluate_entry(
         self,
@@ -520,9 +555,12 @@ class Session:
             warm=warm is not None,
             resumed=resumed,
             notes=list(compiled.notes),
+            eval_stats=result.stats if result is not None else None,
         )
 
-    def _compile(self, query: Query, form: QueryForm) -> CompiledForm:
+    def _compile(
+        self, query: Query, form: QueryForm, strategy: str
+    ) -> CompiledForm:
         """Run the strategy's rewrite once for this form."""
         obs_count("service.form_compiles")
         notes: list[str] = []
@@ -531,12 +569,12 @@ class Session:
             with obs_span(
                 "service.compile",
                 form=str(form),
-                strategy=self._strategy,
+                strategy=strategy,
             ):
                 optimized, query_pred, notes = optimize(
                     self._rules,
                     query,
-                    self._strategy,
+                    strategy,
                     self._max_iterations,
                     fallbacks,
                     self._on_limit,
@@ -567,7 +605,7 @@ class Session:
             template=template,
             query_pred=query_pred,
             seed_pred=seed_pred,
-            strategy=self._strategy,
+            strategy=strategy,
             notes=notes,
             fallbacks=fallbacks,
         )
@@ -632,11 +670,16 @@ class Session:
         """The session's degradation policy (``fail|truncate|widen``)."""
         return self._on_limit
 
+    @property
+    def planner(self) -> "object | None":
+        """The adaptive planner (``auto`` strategy only, else ``None``)."""
+        return self._planner
+
     def stats(self) -> dict:
         """A JSON-ready operational snapshot."""
         with self._mutex:
             requests, errors = self.requests, self.errors
-        return {
+        snapshot = {
             "strategy": self._strategy,
             "requests": requests,
             "errors": errors,
@@ -644,3 +687,6 @@ class Session:
             "edb_facts": self._edb.count(),
             "cache": self._cache.stats(),
         }
+        if self._planner is not None:
+            snapshot["planner"] = self._planner.stats()
+        return snapshot

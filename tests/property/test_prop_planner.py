@@ -1,0 +1,140 @@
+"""Property tests for the cost model's monotonicity and determinism.
+
+The model documents two structural guarantees (see
+:mod:`repro.planner.cost`):
+
+* **Binding monotonicity.**  Binding more query arguments only
+  tightens the pushed restrictions, and every estimate primitive is a
+  count, product, ``min`` or ``max`` of monotone pieces -- so a more
+  bound query never gets a *larger* estimate under any strategy.
+* **EDB monotonicity.**  Adding facts never lowers any count in
+  :mod:`repro.planner.stats`, so estimates never shrink as the
+  database grows.
+
+These are what make the planner's choices stable: a width-ratio
+selectivity model (the rejected design) violates both.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.driver import STRATEGIES, split_edb
+from repro.engine import Database
+from repro.lang.ast import Literal, Query
+from repro.lang.parser import parse_program
+from repro.lang.terms import Var, num
+from repro.planner import CostModel, collect_stats, plan_query
+
+PROGRAM = parse_program(
+    """
+    q(X, Y) :- a(X, Y), X <= 10, Y <= X.
+    a(X, Y) :- p(X, Y), Y <= X.
+    a(X, Y) :- a(X, Z), Z <= X, a(Z, Y), Y <= Z.
+    """
+).relabeled()
+RULES, __ = split_edb(PROGRAM)
+
+
+def edb_of(pairs: list[tuple[int, int]]) -> Database:
+    return Database.from_ground({"p": pairs})
+
+
+def query_with_bindings(
+    values: tuple[int | None, int | None]
+) -> Query:
+    """``?- q(.., ..)`` with each position a constant or a variable."""
+    args = tuple(
+        Var(f"Q{position}")
+        if value is None
+        else num(Fraction(value))
+        for position, value in enumerate(values)
+    )
+    return Query(Literal("q", args))
+
+
+pair_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=-20, max_value=20),
+        st.integers(min_value=-20, max_value=20),
+    ),
+    min_size=1,
+    max_size=24,
+    unique=True,
+)
+
+bindings = st.tuples(
+    st.one_of(st.none(), st.integers(min_value=-20, max_value=20)),
+    st.one_of(st.none(), st.integers(min_value=-20, max_value=20)),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(pairs=pair_lists, binding=bindings)
+def test_binding_more_arguments_never_raises_estimates(
+    pairs, binding
+):
+    """Free query vs the same query with constants bound."""
+    stats = collect_stats(edb_of(pairs))
+    model = CostModel(RULES, stats)
+    free = query_with_bindings((None, None))
+    bound = query_with_bindings(binding)
+    for strategy in STRATEGIES:
+        loose = model.estimate(free, strategy).scalar()
+        tight = model.estimate(bound, strategy).scalar()
+        assert tight <= loose + 1e-9, (
+            f"{strategy}: binding {binding} raised the estimate "
+            f"{loose} -> {tight}"
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pairs=pair_lists,
+    extra=st.lists(
+        st.tuples(
+            st.integers(min_value=-20, max_value=20),
+            st.integers(min_value=-20, max_value=20),
+        ),
+        min_size=1,
+        max_size=12,
+        unique=True,
+    ),
+    binding=bindings,
+)
+def test_growing_the_edb_never_lowers_estimates(
+    pairs, extra, binding
+):
+    small_stats = collect_stats(edb_of(pairs))
+    grown = edb_of(pairs)
+    from repro.engine.facts import Fact
+
+    grown.insert_many(
+        [Fact.ground("p", values) for values in extra]
+    )
+    large_stats = collect_stats(grown)
+    small_model = CostModel(RULES, small_stats)
+    large_model = CostModel(RULES, large_stats)
+    query = query_with_bindings(binding)
+    for strategy in STRATEGIES:
+        before = small_model.estimate(query, strategy).scalar()
+        after = large_model.estimate(query, strategy).scalar()
+        assert after >= before - 1e-9, (
+            f"{strategy}: growing the EDB lowered the estimate "
+            f"{before} -> {after}"
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(pairs=pair_lists, binding=bindings)
+def test_plan_search_is_deterministic(pairs, binding):
+    stats = collect_stats(edb_of(pairs))
+    query = query_with_bindings(binding)
+    first = plan_query(RULES, query, stats)
+    second = plan_query(RULES, query, stats)
+    assert first == second
+    assert first.strategy == first.ranking[0][0]
+    # The ranking covers exactly the driver strategies, best first.
+    scalars = [scalar for __, scalar in first.ranking]
+    assert scalars == sorted(scalars)
+    assert {name for name, __ in first.ranking} == set(STRATEGIES)

@@ -1,0 +1,244 @@
+"""Unit tests for the adaptive planner's probe/converge/re-plan loop.
+
+The loop is driven here two ways: synthetically (``decide``/``observe``
+called directly with fabricated measurements, so convergence and
+divergence are exact) and through a real ``Session(strategy="auto")``
+(so the service integration -- per-form records on cache entries,
+``note_facts`` refresh, the ``planner`` stats block -- is covered end
+to end).
+"""
+
+from types import SimpleNamespace
+
+from repro.driver import split_edb
+from repro.engine import Database
+from repro.lang.parser import parse_program, parse_query
+from repro.planner import AdaptivePlanner, collect_stats
+from repro.service.session import Session
+from repro.workloads.graphs import chain_edges
+
+
+def chain_setup():
+    program = parse_program(
+        """
+        path(X, Y) :- edge(X, Y).
+        path(X, Y) :- edge(X, Z), path(Z, Y).
+        """
+    ).relabeled()
+    edb = Database.from_ground({"edge": chain_edges(8)})
+    rules, __ = split_edb(program)
+    return rules, edb, parse_query("?- path(0, Y).")
+
+
+def eval_stats(derivations: int) -> SimpleNamespace:
+    return SimpleNamespace(derivations=derivations)
+
+
+def drive_to_convergence(
+    planner: AdaptivePlanner,
+    query,
+    costs: dict[str, float],
+    form: str = "f",
+    limit: int = 64,
+) -> str:
+    """Feed fabricated warm observations until the form converges."""
+    for __ in range(limit):
+        strategy = planner.decide(form, query)
+        record = planner.record(form)
+        if record.state == "converged":
+            return strategy
+        planner.observe(
+            form, strategy, eval_stats(0),
+            costs[strategy], cold=False,
+        )
+    raise AssertionError("planner never converged")
+
+
+class TestSyntheticLoop:
+    def planner(self, **options) -> tuple[AdaptivePlanner, object]:
+        rules, edb, query = chain_setup()
+        planner = AdaptivePlanner(
+            rules, edb, probe_runs=2, top_k=3, **options
+        )
+        return planner, query
+
+    def test_probes_every_candidate_then_converges_to_cheapest(self):
+        planner, query = self.planner()
+        first = planner.decide("f", query)
+        record = planner.record("f")
+        assert record.state == "probing"
+        assert first == record.plan.strategy  # model choice probes first
+        costs = {
+            name: 0.01 if name == record.candidates[-1] else 0.5
+            for name in record.candidates
+        }
+        chosen = drive_to_convergence(planner, query, costs)
+        assert chosen == record.candidates[-1]
+        record = planner.record("f")
+        assert record.state == "converged"
+        for name in record.candidates:
+            assert record.observations[name].runs == 2
+
+    def test_cold_runs_are_recorded_but_not_compared(self):
+        planner, query = self.planner()
+        strategy = planner.decide("f", query)
+        planner.observe("f", strategy, eval_stats(10), 99.0, cold=True)
+        record = planner.record("f")
+        observation = record.observations[strategy]
+        assert observation.cold_runs == 1
+        assert observation.runs == 0
+        assert record.state == "probing"
+
+    def test_divergence_marks_stale_and_replans(self):
+        planner, query = self.planner(divergence=2.0)
+        planner.decide("f", query)
+        costs = dict.fromkeys(
+            planner.record("f").candidates, 0.01
+        )
+        chosen = drive_to_convergence(planner, query, costs)
+        baseline_record = planner.record("f")
+        assert baseline_record.state == "converged"
+        # The converged strategy suddenly runs far over its baseline.
+        for __ in range(16):
+            planner.observe(
+                "f", chosen, eval_stats(0), 10.0, cold=False
+            )
+            if planner.record("f").stale:
+                break
+        record = planner.record("f")
+        assert record.stale
+        assert record.replans == 1
+        # The next decide re-plans: a fresh probing record.
+        planner.decide("f", query)
+        record = planner.record("f")
+        assert record.state == "probing"
+        assert not record.stale
+        assert record.replans == 1  # carried across the re-plan
+
+    def test_sub_millisecond_noise_never_triggers_replan(self):
+        # A warm cache hit's baseline is a few scalar units; scheduler
+        # hiccups routinely multiply that by far more than the
+        # divergence factor.  Below REPLAN_NOISE_FLOOR those spikes
+        # must not trip a re-plan -- re-probing would cost orders of
+        # magnitude more than any re-plan could recover.
+        planner, query = self.planner(divergence=2.0)
+        planner.decide("f", query)
+        costs = dict.fromkeys(
+            planner.record("f").candidates, 0.0002
+        )
+        chosen = drive_to_convergence(planner, query, costs)
+        for __ in range(32):
+            planner.observe(
+                "f", chosen, eval_stats(0), 0.002, cold=False
+            )
+        record = planner.record("f")
+        assert not record.stale
+        assert record.replans == 0
+        assert record.state == "converged"
+
+    def test_note_facts_refreshes_stats_past_growth(self):
+        rules, edb, query = chain_setup()
+        planner = AdaptivePlanner(rules, edb, growth=2.0)
+        planner.decide("f", query)
+        before = planner.stats()["edb_fingerprint"]
+        assert planner.stats()["stats_refreshes"] == 0
+        # Grow the EDB past the 2x threshold and tell the planner.
+        from repro.engine.facts import Fact
+
+        edb.insert_many(
+            [
+                Fact.ground("edge", (100 + i, 101 + i))
+                for i in range(99)
+            ]
+        )
+        planner.note_facts(99)
+        planner.decide("f", query)
+        summary = planner.stats()
+        assert summary["stats_refreshes"] == 1
+        assert summary["edb_fingerprint"] != before
+
+    def test_small_growth_does_not_refresh(self):
+        rules, edb, query = chain_setup()
+        planner = AdaptivePlanner(rules, edb, growth=2.0)
+        planner.decide("f", query)
+        planner.note_facts(1)
+        planner.decide("f", query)
+        assert planner.stats()["stats_refreshes"] == 0
+
+    def test_stats_block_is_json_ready(self):
+        import json
+
+        planner, query = self.planner()
+        planner.decide("f", query)
+        json.dumps(planner.stats())
+
+
+class TestSessionIntegration:
+    def program_text(self) -> str:
+        edges = "\n".join(
+            f"edge({a}, {b})." for a, b in chain_edges(8)
+        )
+        return (
+            """
+            path(X, Y) :- edge(X, Y).
+            path(X, Y) :- edge(X, Z), path(Z, Y).
+            """
+            + edges
+        )
+
+    def test_auto_session_converges_and_answers_stably(self):
+        program = parse_program(self.program_text()).relabeled()
+        session = Session(program, strategy="auto")
+        query = parse_query("?- path(0, Y).")
+        baseline = None
+        for __ in range(12):
+            response = session.query(query)
+            assert response.ok, response.error_message
+            answers = sorted(response.answer_strings)
+            if baseline is None:
+                baseline = answers
+            assert answers == baseline
+        summary = session.stats()["planner"]
+        assert summary["forms"] == 1
+        assert summary["converged"] == 1
+        # Fixed-strategy sessions carry no planner block.
+        fixed = Session(program, strategy="rewrite")
+        assert "planner" not in fixed.stats()
+        assert fixed.planner is None
+
+    def test_auto_matches_fixed_strategy_answers(self):
+        program = parse_program(self.program_text()).relabeled()
+        query = parse_query("?- path(0, Y).")
+        auto = Session(program, strategy="auto").query(query)
+        fixed = Session(program, strategy="rewrite").query(query)
+        assert auto.ok and fixed.ok
+        assert sorted(auto.answer_strings) == sorted(
+            fixed.answer_strings
+        )
+
+    def test_plan_record_lands_on_cache_entry(self):
+        program = parse_program(self.program_text()).relabeled()
+        session = Session(program, strategy="auto")
+        query = parse_query("?- path(0, Y).")
+        session.query(query)
+        entries = list(session.cache.entries())
+        assert len(entries) == 1
+        record = entries[0].plan_record
+        assert record is not None
+        assert record.plan.strategy in record.candidates
+
+    def test_add_facts_reaches_planner(self):
+        program = parse_program(self.program_text()).relabeled()
+        session = Session(program, strategy="auto")
+        query = parse_query("?- path(0, Y).")
+        first = session.query(query)
+        from repro.engine.facts import Fact
+
+        session.add_facts(
+            [Fact.ground("edge", (100 + i, 101 + i)) for i in range(40)]
+        )
+        second = session.query(query)
+        assert second.ok
+        summary = session.stats()["planner"]
+        assert summary["stats_refreshes"] >= 1
+        assert first.ok

@@ -1,0 +1,156 @@
+"""Unit tests for the planner's EDB statistics collector.
+
+The collector's contract is exactness where the cost model needs it:
+cardinalities and interval counts are true counts over the stored
+facts (not width-ratio estimates), the mode count really is the
+largest single-value frequency, and the snapshot fingerprint is a
+deterministic function of the collected shape.  The flights and graph
+workload generators give known distributions to pin those counts down.
+"""
+
+from fractions import Fraction
+
+from repro.engine import Database
+from repro.planner.stats import (
+    ColumnStats,
+    Restriction,
+    collect_stats,
+)
+from repro.workloads.flights import flight_network
+from repro.workloads.graphs import chain_edges
+
+
+def frac(value: int) -> Fraction:
+    return Fraction(value)
+
+
+class TestRestriction:
+    def test_trivial_admits_everything(self):
+        restriction = Restriction()
+        assert restriction.is_trivial
+        assert restriction.admits(frac(7))
+        assert restriction.admits("anything")
+
+    def test_interval_bounds(self):
+        restriction = Restriction(
+            lower=frac(2), upper=frac(5), upper_strict=True
+        )
+        assert restriction.admits(frac(2))
+        assert restriction.admits(frac(4))
+        assert not restriction.admits(frac(5))
+        assert not restriction.admits(frac(1))
+
+    def test_equal_pins_one_value(self):
+        restriction = Restriction(equal=frac(3))
+        assert restriction.admits(frac(3))
+        assert not restriction.admits(frac(4))
+
+    def test_conjoined_takes_tightest(self):
+        left = Restriction(lower=frac(1), upper=frac(10))
+        right = Restriction(lower=frac(3), upper=frac(8))
+        merged = left.conjoined(right)
+        assert merged.lower == frac(3)
+        assert merged.upper == frac(8)
+
+    def test_from_bounds_none_when_unbounded(self):
+        assert Restriction.from_bounds(None, False, None, False) is None
+        restriction = Restriction.from_bounds(frac(1), True, None, False)
+        assert restriction is not None
+        assert restriction.lower_strict
+
+
+class TestColumnStats:
+    def column(self, values) -> ColumnStats:
+        from repro.planner.stats import _column_stats
+
+        return _column_stats(values)
+
+    def test_counts_exact_on_chain(self):
+        values = [frac(v) for v, __ in chain_edges(10)]
+        column = self.column(values)
+        assert column.distinct == 10
+        assert column.minimum == frac(0)
+        assert column.maximum == frac(9)
+        assert column.count_in_range(frac(0), False, frac(4), False) == 5
+        assert column.count_in_range(frac(0), True, frac(4), True) == 3
+        assert column.count_equal(frac(3)) == 1
+
+    def test_mode_count_is_largest_frequency(self):
+        column = self.column(
+            [frac(1), frac(1), frac(1), frac(2), frac(3)]
+        )
+        assert column.mode_count == 3
+        assert column.count_equal(frac(1)) == 3
+
+    def test_restricted_count_monotone_in_facts(self):
+        small = self.column([frac(v) for v in range(5)])
+        large = self.column([frac(v) for v in range(10)])
+        restriction = Restriction(lower=frac(1), upper=frac(3))
+        assert large.count_restricted(restriction) >= (
+            small.count_restricted(restriction)
+        )
+
+
+class TestCollectStats:
+    def test_empty_database(self):
+        stats = collect_stats(None)
+        assert stats.total_facts == 0
+        assert stats.relations == {}
+        assert stats.cardinality("anything") == 0
+
+    def test_chain_graph_counts(self):
+        edb = Database.from_ground({"edge": chain_edges(12)})
+        stats = collect_stats(edb)
+        relation = stats.relation("edge")
+        assert relation is not None
+        assert relation.cardinality == 12
+        assert relation.arity == 2
+        assert stats.total_facts == 12
+        # Chain columns are all-distinct: equi-join fan-out is 1.
+        assert relation.join_fanout(0) == 1
+        assert relation.join_fanout(1) == 1
+        restricted = relation.restricted_count(
+            (Restriction(upper=frac(3)), None)
+        )
+        assert restricted == 4  # sources 0, 1, 2, 3
+        assert relation.tightness(
+            (Restriction(upper=frac(3)), None)
+        ) == 4 / 12
+
+    def test_flights_network_counts(self):
+        network = flight_network(n_layers=4, width=4, seed=1)
+        stats = collect_stats(network.database)
+        relation = stats.relation("singleleg")
+        assert relation is not None
+        # 3 inter-layer gaps x 4 sources x 4 destinations.
+        assert relation.cardinality == 48
+        assert relation.arity == 4
+        # City columns are symbolic; time/cost columns numeric.
+        assert relation.columns[0].symbolic_count == 48
+        assert relation.columns[0].numeric_count == 0
+        assert relation.columns[2].numeric_count == 48
+        assert relation.columns[2].minimum is not None
+        # Every source city appears once per destination of one gap.
+        assert relation.columns[0].mode_count == 4
+
+    def test_fingerprint_deterministic_and_shape_sensitive(self):
+        edb = Database.from_ground({"edge": chain_edges(8)})
+        again = Database.from_ground({"edge": chain_edges(8)})
+        grown = Database.from_ground({"edge": chain_edges(9)})
+        assert (
+            collect_stats(edb).fingerprint()
+            == collect_stats(again).fingerprint()
+        )
+        assert (
+            collect_stats(edb).fingerprint()
+            != collect_stats(grown).fingerprint()
+        )
+
+    def test_as_dict_is_json_ready(self):
+        import json
+
+        edb = Database.from_ground({"edge": chain_edges(3)})
+        document = collect_stats(edb).as_dict()
+        json.dumps(document)
+        assert document["total_facts"] == 3
+        assert document["relations"]["edge"]["cardinality"] == 3
