@@ -1,0 +1,561 @@
+"""Chaos-recovery harness: kill a serving process, damage its durable
+state, restart it, and verify the recovery contract.
+
+Each cycle runs ``repro serve`` as a real subprocess with a snapshot
+directory, feeds it fact loads over stdin, and SIGKILLs it at a
+randomized point -- optionally widened into a mid-append window with an
+injected ``delay:fs.write.wal`` fault, so the kill lands between the
+WAL write and the ack.  The cycle then optionally damages the durable
+files the way real disks do (a bit flip at a random offset, a
+truncation), restarts against the same directory, and checks:
+
+* **no ghosts** -- every fact the restarted server holds was actually
+  fed to the victim (at-most-once-ack allows an unacked in-flight fact
+  to survive, never an invented one);
+* **no silent acked-fact loss** -- a kill-only cycle must preserve
+  every acknowledged fact; a corrupted cycle may lose acked facts only
+  through the *reported* paths (``REPRO_CORRUPT`` + quarantine, or a
+  torn tail whose drop count bounds the loss);
+* **no silent replay of damage** -- whenever recovery reports
+  ``REPRO_CORRUPT``, the damaged file must actually sit in the
+  ``corrupt/`` sidecar, and corruption is never reported for a cycle
+  that injected none;
+* **oracle-exact answers** -- the restarted server's answers equal the
+  conformance oracle's answers over exactly the surviving EDB.
+
+The harness predicts what recovery *should* do by re-parsing the
+damaged files with the snapshot module's own record parser -- the
+prediction pins down whether damage is a tolerable torn tail or
+reportable corruption, and the subprocess run proves the end-to-end
+plumbing (quarantine, fallback, report, replay) honors it.
+
+Usage::
+
+    python benchmarks/chaos_recover.py --cycles 50 [--seed N]
+        [--artifacts DIR]
+
+Exits non-zero on any violation; failing cycles leave their snapshot
+directory (and the quarantined evidence inside it) under the artifacts
+directory, named after the cycle and the seed that reproduces it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from fractions import Fraction
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.conformance.oracle import oracle_answer_strings  # noqa: E402
+from repro.lang.parser import parse_program, parse_query  # noqa: E402
+from repro.serve.snapshot import (  # noqa: E402
+    LOG_NAME,
+    SCHEMA,
+    _canonical,
+    _crc,
+    _parse_log_line,
+)
+
+PROGRAM = """
+reach(X, Y) :- edge(X, Y, C).
+reach(X, Z) :- reach(X, Y), edge(Y, Z, C).
+edge(n0, n1, 0).
+"""
+
+#: The edge baked into the program text (always present).
+BASE_EDGE = ("n0", "n1", "0")
+#: Facts the victim is fed, one load (= one WAL record) each.
+LOADABLE = [(f"n{i}", f"n{i + 1}", str(i)) for i in range(1, 10)]
+
+EDGE_QUERY = "?- edge(X, Y, C)."
+REACH_QUERY = "?- reach(n0, X)."
+
+#: Damage modes a cycle draws from ("none" twice: half the cycles are
+#: pure kill/recover, the acceptance path for zero acked-fact loss).
+MODES = ("none", "none", "flip_wal", "truncate_wal", "flip_snapshot")
+
+#: Snapshot files start ``{"schema": "repro-snap/v2", "crc": ...`` --
+#: a flip inside that header makes an unknown-format file, which is a
+#: declared hard error (docs/serving.md), not silent damage.  The
+#: harness targets the checksummed body past it.
+SNAPSHOT_HEADER_BYTES = 48
+
+
+def fact_line(edge: tuple[str, str, str]) -> str:
+    return f"edge({edge[0]}, {edge[1]}, {edge[2]})."
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    return env
+
+
+def _serve_argv(program_path: str, *flags: str) -> list[str]:
+    return [
+        sys.executable, "-m", "repro", "serve", program_path, *flags
+    ]
+
+
+# -- answer canonicalization ------------------------------------------
+
+
+def canonical_answer(binding: str) -> str:
+    """A serve answer string in the oracle's canonical spelling.
+
+    ``repro serve`` renders ``"C = 1, X = n1"`` (query variables in
+    sorted name order); the oracle renders the same answer as
+    ``"#1|n1"``.  Constraint answers (``constrained`` positions) never
+    appear in this workload, so any unparseable binding is itself a
+    wrong answer.
+    """
+    parts = []
+    for piece in binding.split(", "):
+        name, sep, value = piece.partition(" = ")
+        if not sep:
+            raise ValueError(f"unparseable answer binding {binding!r}")
+        try:
+            parts.append(f"#{Fraction(value)}")
+        except ValueError:
+            parts.append(value)
+    return "|".join(parts)
+
+
+def edges_from_answers(bindings: list[str]) -> set[tuple]:
+    """Surviving ``edge(X, Y, C)`` tuples from the edge query answers."""
+    edges = set()
+    for binding in bindings:
+        values = {}
+        for piece in binding.split(", "):
+            name, __, value = piece.partition(" = ")
+            values[name] = value
+        edges.add((values["X"], values["Y"], values["C"]))
+    return edges
+
+
+def oracle_edge_and_reach(edges: set[tuple]) -> tuple[set, set]:
+    """The conformance oracle's answers over exactly ``edges``."""
+    text = PROGRAM + "".join(
+        fact_line(edge) + "\n"
+        for edge in sorted(edges)
+        if edge != BASE_EDGE
+    )
+    program = parse_program(text)
+    return (
+        set(oracle_answer_strings(program, parse_query(EDGE_QUERY))),
+        set(oracle_answer_strings(program, parse_query(REACH_QUERY))),
+    )
+
+
+# -- damage injection and prediction ----------------------------------
+
+
+def flip_byte(path: Path, rng: random.Random, lo: int = 0) -> bool:
+    """Flip one random byte of ``path`` (past ``lo``) to a new value."""
+    data = bytearray(path.read_bytes())
+    if len(data) <= lo:
+        return False
+    index = rng.randrange(lo, len(data))
+    new = rng.randrange(256)
+    while new == data[index]:
+        new = rng.randrange(256)
+    data[index] = new
+    path.write_bytes(bytes(data))
+    return True
+
+
+def truncate(path: Path, rng: random.Random) -> bool:
+    data = path.read_bytes()
+    if len(data) < 2:
+        return False
+    path.write_bytes(data[: rng.randrange(1, len(data))])
+    return True
+
+
+def predict_wal_damage(path: Path) -> dict:
+    """What recovery should find in the (possibly damaged) WAL.
+
+    Re-runs the snapshot module's own record parser over the file:
+    ``{"damaged": bool, "torn_tail": bool, "dropped": N}`` with the
+    same valid-prefix semantics recovery applies.
+    """
+    if not path.exists():
+        return {"damaged": False, "torn_tail": False, "dropped": 0}
+    lines = [
+        line
+        for line in path.read_bytes()
+        .decode("utf-8", errors="replace")
+        .splitlines()
+        if line.strip()
+    ]
+    for index, line in enumerate(lines):
+        try:
+            _parse_log_line(line)
+        except ValueError:
+            return {
+                "damaged": True,
+                "torn_tail": index == len(lines) - 1,
+                "dropped": len(lines) - index,
+            }
+    return {"damaged": False, "torn_tail": False, "dropped": 0}
+
+
+def snapshot_is_damaged(path: Path) -> bool:
+    """Whether recovery should quarantine this snapshot file."""
+    try:
+        payload = json.loads(path.read_bytes().decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return True
+    if not isinstance(payload, dict):
+        return True
+    if payload.get("schema") != SCHEMA:
+        return True  # header damage: recovery hard-errors, see MODES
+    body = {
+        key: value
+        for key, value in payload.items()
+        if key not in ("schema", "crc")
+    }
+    return payload.get("crc") != _crc(_canonical(body))
+
+
+def newest_snapshot(snapdir: Path) -> Path | None:
+    candidates = sorted(
+        name
+        for name in os.listdir(snapdir)
+        if name.startswith("snapshot-") and name.endswith(".json")
+    )
+    return snapdir / candidates[-1] if candidates else None
+
+
+# -- one chaos cycle --------------------------------------------------
+
+
+def run_cycle(
+    rng: random.Random,
+    workdir: Path,
+    mode: str | None = None,
+    snapshot_every: int | None = None,
+    kill_after: int | None = None,
+) -> dict:
+    """One kill/damage/recover cycle; returns a report with violations.
+
+    ``mode``/``snapshot_every``/``kill_after`` override the random
+    draws (for targeted tests); the default draws everything from
+    ``rng`` so a (seed, cycle) pair replays the exact cycle.
+    """
+    mode = mode or rng.choice(MODES)
+    snapshot_every = snapshot_every or rng.choice((1, 2, 3, 8))
+    kill_after = (
+        kill_after
+        if kill_after is not None
+        else rng.randint(0, len(LOADABLE))
+    )
+    delay = rng.choice((None, 0.02, 0.05))
+
+    program_path = workdir / "prog.cql"
+    program_path.write_text(PROGRAM)
+    snapdir = workdir / "snap"
+    report: dict = {
+        "mode": mode,
+        "snapshot_every": snapshot_every,
+        "kill_after": kill_after,
+        "wal_delay": delay,
+        "violations": [],
+    }
+
+    def violation(text: str) -> None:
+        report["violations"].append(text)
+
+    # -- phase 1: serve, feed, SIGKILL --------------------------------
+    # --queue-depth 1 forces the driver to flush each response before
+    # reading the next request line: every ack is on our pipe the
+    # moment it happens, so the acked set is exact at kill time.
+    flags = [
+        "--batch", "-",
+        "--snapshot-dir", str(snapdir),
+        "--snapshot-every", str(snapshot_every),
+        "--workers", "2",
+        "--queue-depth", "1",
+    ]
+    if delay is not None:
+        flags += ["--faults", f"delay:fs.write.wal:{delay}"]
+    victim = subprocess.Popen(
+        _serve_argv(str(program_path), *flags),
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True, env=_env(),
+    )
+    out_lines: list[str] = []
+
+    def read_stdout() -> None:
+        for line in victim.stdout:
+            out_lines.append(line)
+
+    reader = threading.Thread(target=read_stdout, daemon=True)
+    reader.start()
+    try:
+        try:
+            for edge in LOADABLE:
+                victim.stdin.write(fact_line(edge) + "\n")
+                victim.stdin.flush()
+        except BrokenPipeError:
+            violation("victim died before the batch was fed")
+        deadline = time.monotonic() + 45
+        while (
+            len(out_lines) < kill_after
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.005)
+        # A short extra beat so the kill can land *inside* the next
+        # append (the injected WAL delay holds that window open).
+        time.sleep(rng.uniform(0, 0.06))
+    finally:
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=30)
+    reader.join(timeout=10)
+    victim.stderr.read()
+
+    acked: set[tuple] = set()
+    for index, line in enumerate(out_lines):
+        try:
+            payload = json.loads(line)
+        except ValueError:
+            continue  # a response line torn by the kill: never acked
+        if payload.get("type") == "facts":
+            acked.add(LOADABLE[index])
+    report["acked"] = len(acked)
+
+    # -- phase 2: damage the durable files ----------------------------
+    log_path = snapdir / LOG_NAME
+    corrupted = False
+    loss_bound: int | None = 0  # None = any loss is contract-legal
+    expect_report = False
+    if mode == "flip_wal" and log_path.exists():
+        corrupted = flip_byte(log_path, rng)
+    elif mode == "truncate_wal" and log_path.exists():
+        corrupted = truncate(log_path, rng)
+    elif mode == "flip_snapshot":
+        target = newest_snapshot(snapdir) if snapdir.is_dir() else None
+        if target is not None:
+            corrupted = flip_byte(
+                target, rng, lo=SNAPSHOT_HEADER_BYTES
+            )
+            if corrupted:
+                expect_report = snapshot_is_damaged(target)
+                loss_bound = None if expect_report else 0
+    if mode in ("flip_wal", "truncate_wal") and corrupted:
+        prediction = predict_wal_damage(log_path)
+        report["wal_prediction"] = prediction
+        if mode == "truncate_wal":
+            # Records past the cut are gone from the file itself --
+            # no recovery policy can restore them, and a cut on a
+            # record boundary is indistinguishable from a log that
+            # never grew.  Silent loss past the cut is the documented
+            # limit of torn-tail detection.
+            loss_bound = None
+        elif prediction["torn_tail"]:
+            # Indistinguishable from a crash mid-append: dropped
+            # records bound the silent loss, nothing is reported.
+            loss_bound = prediction["dropped"]
+        elif prediction["damaged"]:
+            expect_report = True
+            loss_bound = None  # valid-prefix fallback: loss is legal
+    report["corrupted"] = corrupted
+    report["expect_report"] = expect_report
+
+    # -- phase 3: restart, recover, query -----------------------------
+    batch_path = workdir / "checks.txt"
+    batch_path.write_text(EDGE_QUERY + "\n" + REACH_QUERY + "\n")
+    revived = subprocess.run(
+        _serve_argv(
+            str(program_path),
+            "--batch", str(batch_path),
+            "--snapshot-dir", str(snapdir),
+            "--workers", "2",
+        ),
+        capture_output=True, text=True, timeout=120, env=_env(),
+    )
+    report["restart_returncode"] = revived.returncode
+    reported_corrupt = "REPRO_CORRUPT" in revived.stderr
+    report["reported_corrupt"] = reported_corrupt
+    if revived.returncode != 0:
+        violation(
+            f"restart exited {revived.returncode}: "
+            f"{revived.stderr.strip()}"
+        )
+        return report
+
+    answer_sets = [
+        payload["answers"]
+        for payload in map(json.loads, revived.stdout.splitlines())
+        if payload["type"] == "answers"
+    ]
+    if len(answer_sets) != 2:
+        violation(
+            f"expected 2 answer sets, got {len(answer_sets)}"
+        )
+        return report
+    survived = edges_from_answers(answer_sets[0])
+    report["survived"] = len(survived)
+
+    # -- phase 4: the recovery contract -------------------------------
+    fed = set(LOADABLE) | {BASE_EDGE}
+    ghosts = survived - fed
+    if ghosts:
+        violation(f"ghost facts never fed: {sorted(ghosts)}")
+    lost = (acked | {BASE_EDGE}) - survived
+    report["acked_lost"] = len(lost)
+    if loss_bound is not None and len(lost) > loss_bound:
+        violation(
+            f"{len(lost)} acked facts lost (allowed "
+            f"{loss_bound}, mode {mode}, "
+            f"reported_corrupt={reported_corrupt}): {sorted(lost)}"
+        )
+    if reported_corrupt and not corrupted:
+        violation("corruption reported for an undamaged cycle")
+    if expect_report and not reported_corrupt:
+        violation(
+            "damage should have been reported as REPRO_CORRUPT "
+            "but recovery stayed silent"
+        )
+    if reported_corrupt:
+        sidecar = snapdir / "corrupt"
+        if not (sidecar.is_dir() and os.listdir(sidecar)):
+            violation(
+                "REPRO_CORRUPT reported but corrupt/ sidecar is "
+                "empty: damaged file not quarantined"
+            )
+    oracle_edges, oracle_reach = oracle_edge_and_reach(survived)
+    served_edges = {
+        canonical_answer(binding) for binding in answer_sets[0]
+    }
+    served_reach = {
+        canonical_answer(binding) for binding in answer_sets[1]
+    }
+    if served_edges != oracle_edges:
+        violation(
+            f"edge answers diverge from the oracle: "
+            f"served {sorted(served_edges)} vs "
+            f"oracle {sorted(oracle_edges)}"
+        )
+    if served_reach != oracle_reach:
+        violation(
+            f"reach answers diverge from the oracle: "
+            f"served {sorted(served_reach)} vs "
+            f"oracle {sorted(oracle_reach)}"
+        )
+    return report
+
+
+# -- the driver -------------------------------------------------------
+
+
+def run_cycles(
+    cycles: int, seed: int, artifacts: Path | None = None
+) -> dict:
+    """Run ``cycles`` randomized cycles; returns the summary dict."""
+    summary: dict = {
+        "seed": seed,
+        "cycles": cycles,
+        "failures": [],
+        "modes": {},
+        "reported_corrupt": 0,
+        "acked_total": 0,
+    }
+    base = Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+    try:
+        for index in range(cycles):
+            rng = random.Random(f"{seed}:{index}")
+            workdir = base / f"cycle-{index:03d}"
+            workdir.mkdir()
+            report = run_cycle(rng, workdir)
+            report["cycle"] = index
+            mode = report["mode"]
+            summary["modes"][mode] = summary["modes"].get(mode, 0) + 1
+            summary["reported_corrupt"] += report["reported_corrupt"]
+            summary["acked_total"] += report["acked"]
+            if report["violations"]:
+                summary["failures"].append(report)
+                print(
+                    f"cycle {index}: FAIL "
+                    f"(replay: --seed {seed}, cycle {index}) "
+                    + "; ".join(report["violations"]),
+                    file=sys.stderr,
+                )
+                if artifacts is not None:
+                    keep = artifacts / f"cycle-{index:03d}-seed-{seed}"
+                    shutil.copytree(
+                        workdir, keep, dirs_exist_ok=True
+                    )
+            else:
+                print(
+                    f"cycle {index}: ok mode={mode} "
+                    f"acked={report['acked']} "
+                    f"survived={report.get('survived')} "
+                    f"corrupt_reported={report['reported_corrupt']}"
+                )
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+    return summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.split("\n\n")[0],
+    )
+    parser.add_argument(
+        "--cycles", type=int, default=50, metavar="N",
+        help="kill/damage/recover cycles to run (default 50)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="RNG seed (default: drawn from os.urandom, printed)",
+    )
+    parser.add_argument(
+        "--artifacts", metavar="DIR", default=None,
+        help="keep failing cycles' snapshot dirs under DIR",
+    )
+    arguments = parser.parse_args(argv)
+    seed = (
+        arguments.seed
+        if arguments.seed is not None
+        else int.from_bytes(os.urandom(4), "big")
+    )
+    artifacts = (
+        Path(arguments.artifacts) if arguments.artifacts else None
+    )
+    if artifacts is not None:
+        artifacts.mkdir(parents=True, exist_ok=True)
+    print(f"chaos_recover: {arguments.cycles} cycles, seed {seed}")
+    summary = run_cycles(arguments.cycles, seed, artifacts)
+    print(json.dumps(summary, default=str))
+    if summary["failures"]:
+        print(
+            f"chaos_recover: {len(summary['failures'])} of "
+            f"{arguments.cycles} cycles violated the recovery "
+            f"contract (seed {seed})",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"chaos_recover: all {arguments.cycles} cycles honored the "
+        f"recovery contract ({summary['acked_total']} acked loads, "
+        f"{summary['reported_corrupt']} corruptions reported and "
+        f"quarantined)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -497,6 +497,156 @@ def run_serve_benchmark(repeat: int, small: bool = False) -> dict:
     return best
 
 
+def run_recover_benchmark(repeat: int, small: bool = False) -> dict:
+    """The recover-cold workload (docs/serving.md, docs/planner.md).
+
+    Measures time-to-first-answer after crash recovery for an
+    ``auto``-strategy server, with vs. without the planner records the
+    checkpoint embeds.  One supervisor converges the adaptive planner
+    and drains (its final checkpoint persists the converged records);
+    a copy of the snapshot directory is rewritten with the records
+    stripped (CRC recomputed, so the copy is a *valid* snapshot that
+    simply predates planner persistence).  Restarting against each
+    directory shows what persistence buys: the with-records session is
+    converged before its first request (``probe_requests == 0`` -- the
+    probe phase is skipped entirely) and answers faster, while the
+    stripped session re-pays stats collection, planning, and the whole
+    probe phase.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.engine.facts import Fact
+    from repro.serve import ServeConfig, Supervisor
+    from repro.serve.snapshot import SCHEMA, _canonical, _crc
+    from repro.service import Engine
+
+    width = 2 if small else 3
+    network = flight_network(n_layers=4, width=width, seed=1)
+    src = network.layers[0][0]
+    dst = network.layers[-1][0]
+    request = f"?- cheaporshort({src}, {dst}, T, C)."
+    program_id = "bench-recover-cold"
+
+    def converged(engine: "Engine") -> bool:
+        return engine.stats()["planner"]["converged"] >= 1
+
+    def strip_planner_records(directory: str) -> None:
+        names = sorted(
+            name
+            for name in os.listdir(directory)
+            if name.startswith("snapshot-")
+            and name.endswith(".json")
+        )
+        path = os.path.join(directory, names[-1])
+        with open(path) as handle:
+            payload = json.load(handle)
+        body = {
+            key: value
+            for key, value in payload.items()
+            if key not in ("schema", "crc")
+        }
+        body["planner"] = []
+        with open(path, "w") as handle:
+            json.dump(
+                {
+                    "schema": SCHEMA,
+                    "crc": _crc(_canonical(body)),
+                    **body,
+                },
+                handle,
+            )
+
+    def restart(directory: str) -> tuple[dict, float, int]:
+        """Recover, answer once (timed), count probe requests."""
+        engine = Engine(flights_program(), strategy="auto")
+        supervisor = Supervisor(
+            engine,
+            ServeConfig(
+                workers=2,
+                snapshot_dir=directory,
+                snapshot_every=1000,
+            ),
+            program_id=program_id,
+        )
+        recovery = supervisor.recover()
+        supervisor.start()
+        started = time.perf_counter()
+        response = supervisor.submit(request).result(timeout=120)
+        first = time.perf_counter() - started
+        assert response.ok, response.error_message
+        probes = 0
+        while not converged(engine) and probes < 60:
+            supervisor.submit(request).result(timeout=120)
+            probes += 1
+        supervisor.drain()
+        return recovery, first, probes
+
+    best: dict = {}
+    best_first = None
+    for __ in range(repeat):
+        base = tempfile.mkdtemp(prefix="repro-recover-bench-")
+        try:
+            warm_dir = os.path.join(base, "with-records")
+            engine = Engine(flights_program(), strategy="auto")
+            engine.add_facts(
+                Fact.ground("singleleg", leg)
+                for leg in network.legs
+            )
+            supervisor = Supervisor(
+                engine,
+                ServeConfig(
+                    workers=2,
+                    snapshot_dir=warm_dir,
+                    snapshot_every=1000,
+                ),
+                program_id=program_id,
+            ).start()
+            rounds = 0
+            while not converged(engine) and rounds < 60:
+                supervisor.submit(request).result(timeout=120)
+                rounds += 1
+            assert converged(engine), "planner never converged"
+            supervisor.drain()
+
+            cold_dir = os.path.join(base, "without-records")
+            shutil.copytree(warm_dir, cold_dir)
+            strip_planner_records(cold_dir)
+
+            recovery, first_with, probes_with = restart(warm_dir)
+            __, first_without, probes_without = restart(cold_dir)
+        finally:
+            shutil.rmtree(base, ignore_errors=True)
+        # The restarted session must be converged before its first
+        # request -- persisted records skip the probe phase outright.
+        assert probes_with == 0, probes_with
+        assert recovery["planner_records_restored"] >= 1, recovery
+        if best_first is not None and first_with >= best_first:
+            continue
+        best_first = first_with
+        best = {
+            "name": "recover-cold",
+            "strategy": "auto",
+            "seconds": first_with,
+            "recover": {
+                "facts_restored": recovery["facts_restored"],
+                "planner_records_restored": recovery[
+                    "planner_records_restored"
+                ],
+                "first_answer_with_records_seconds": first_with,
+                "first_answer_without_records_seconds": (
+                    first_without
+                ),
+                "first_answer_speedup": first_without
+                / max(first_with, 1e-9),
+                "probe_requests_with_records": probes_with,
+                "probe_requests_without_records": probes_without,
+            },
+        }
+    return best
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the suite and write the results JSON."""
     parser = argparse.ArgumentParser(
@@ -529,7 +679,9 @@ def main(argv: list[str] | None = None) -> int:
     if arguments.smoke:
         arguments.repeat = 1
         if not arguments.only:
-            arguments.only = "example41,fib,service,planner,serve"
+            arguments.only = (
+                "example41,fib,service,planner,serve,recover"
+            )
     selected = (
         set(arguments.only.split(",")) if arguments.only else None
     )
@@ -564,6 +716,15 @@ def main(argv: list[str] | None = None) -> int:
         )
         results.append(
             run_serve_benchmark(
+                arguments.repeat, small=arguments.smoke
+            )
+        )
+    if selected is None or "recover" in selected:
+        print(
+            "running recover-cold [auto] ...", file=sys.stderr
+        )
+        results.append(
+            run_recover_benchmark(
                 arguments.repeat, small=arguments.smoke
             )
         )

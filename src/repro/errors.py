@@ -152,10 +152,32 @@ class SnapshotError(ReproError, RuntimeError):
 
     Raised for an unreadable or schema-incompatible snapshot file, a
     corrupt fact log, or a snapshot taken from a different program than
-    the one being recovered (see :mod:`repro.serve.snapshot`).
+    the one being recovered (see :mod:`repro.serve.snapshot`).  Also
+    the refusal code for fact loads while the supervisor is serving in
+    degraded read-only mode (durability lost mid-flight).
     """
 
     code = "REPRO_SNAPSHOT"
+    exit_code = 2
+
+
+class CorruptionError(SnapshotError):
+    """Durable state failed its integrity check (see
+    :mod:`repro.serve.snapshot`).
+
+    A WAL record or snapshot file whose CRC32 does not match its
+    payload, or a mid-log record that cannot be decoded at all, is
+    *corruption* -- damage beyond the single torn tail a crash can
+    legitimately leave.  Recovery never replays such a record: the
+    damaged segment is quarantined to a ``corrupt/`` sidecar and the
+    session falls back to the newest verifiable snapshot plus the valid
+    WAL prefix, reporting this code with the recovery summary.
+
+    Subclasses :class:`SnapshotError` so existing handlers keep
+    working; carries its own stable code for scripts and logs.
+    """
+
+    code = "REPRO_CORRUPT"
     exit_code = 2
 
 
@@ -218,6 +240,12 @@ ERROR_CODES: dict[str, tuple[int, str, str]] = {
         2,
         "repro.errors.SnapshotError",
         "a snapshot or fact log was unreadable, corrupt, or mismatched",
+    ),
+    "REPRO_CORRUPT": (
+        2,
+        "repro.errors.CorruptionError",
+        "durable state failed its CRC integrity check; the damaged "
+        "segment was quarantined and recovery fell back",
     ),
 }
 

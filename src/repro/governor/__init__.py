@@ -32,12 +32,18 @@ from repro.governor.budget import (
     set_meter,
     tick,
 )
-from repro.governor.faults import Fault, FaultPlan, FaultyRecorder
+from repro.governor.faults import (
+    FS_FAULT_SITES,
+    Fault,
+    FaultPlan,
+    FaultyRecorder,
+)
 
 __all__ = [
     "Budget",
     "BudgetExceeded",
     "BudgetMeter",
+    "FS_FAULT_SITES",
     "Fault",
     "FaultPlan",
     "FaultyRecorder",

@@ -16,7 +16,15 @@ pass through it:
   phase);
 * ``pressure`` -- charge the ambient budget meter extra consumption
   (simulates resource pressure; budgets trip earlier but still
-  deterministically).
+  deterministically);
+* ``write`` / ``fsync`` -- raise ``OSError(EIO)`` at a *filesystem*
+  site (simulates a full or failing disk exactly where the durability
+  layer touches it).  The snapshotter announces every write and fsync
+  through the recorder seam as ``fs.write.<site>`` / ``fs.fsync.<site>``
+  events; the site classes are closed (:data:`FS_FAULT_SITES`:
+  ``wal``, ``snapshot``, ``compact``, ``dir``) and an unknown class is
+  a parse error, so a typo'd chaos spec fails loudly instead of
+  silently never firing.
 
 Faults are matched by ``fnmatch`` pattern against the event name and
 fire on occurrence counts, so a run with a fixed program and plan is
@@ -27,6 +35,7 @@ fully reproducible.  Plans parse from compact text specs
 
 from __future__ import annotations
 
+import errno
 import math
 import threading
 import time
@@ -39,6 +48,15 @@ from repro.errors import InjectedFault, UsageError
 from repro.governor import budget as governor
 from repro.obs.recorder import NULL_RECORDER
 
+#: The closed set of filesystem fault site classes the durability
+#: layer announces (``fs.write.<site>`` / ``fs.fsync.<site>`` events
+#: in :mod:`repro.serve.snapshot`): ``wal`` -- fact-log appends;
+#: ``snapshot`` -- checkpoint file writes; ``compact`` -- log
+#: compaction/rewrite; ``dir`` -- directory fsyncs after renames.
+FS_FAULT_SITES = ("wal", "snapshot", "compact", "dir")
+
+_FAULT_KINDS = ("delay", "fail", "pressure", "write", "fsync")
+
 
 @dataclass(frozen=True)
 class Fault:
@@ -50,7 +68,7 @@ class Fault:
     to ``times`` total firings (``None`` = unlimited).
     """
 
-    kind: str                       # "delay" | "fail" | "pressure"
+    kind: str                       # one of _FAULT_KINDS
     site: str
     nth: int = 1
     times: int | None = None
@@ -59,7 +77,7 @@ class Fault:
     amount: int = 1                 # pressure amount
 
     def __post_init__(self) -> None:
-        if self.kind not in ("delay", "fail", "pressure"):
+        if self.kind not in _FAULT_KINDS:
             raise UsageError(f"unknown fault kind {self.kind!r}")
 
 
@@ -79,7 +97,17 @@ class FaultPlan:
         * ``fail:<site>[:<nth>[:<times>]]`` -- from the nth occurrence
           (default 1), firing ``times`` total (default 1; ``*`` =
           unlimited);
-        * ``pressure:<site>:<resource>*<amount>`` -- every occurrence.
+        * ``pressure:<site>:<resource>*<amount>`` -- every occurrence;
+        * ``write:<site>[:<nth>[:<times>]]`` / ``fsync:<site>[:<nth>
+          [:<times>]]`` -- raise ``OSError(EIO)`` at the named
+          filesystem site class (one of :data:`FS_FAULT_SITES`, or
+          ``*`` for all).  Unlike ``fail``, the default firing count
+          is unlimited: a failed disk stays failed, which is what the
+          degraded-mode machinery must survive.
+
+        Filesystem sites are a *closed* class set: an unknown site is
+        a parse error here, never a pattern that silently matches
+        nothing.
 
         Every malformed spec raises a ``REPRO_USAGE``
         :class:`~repro.errors.UsageError` naming the offending token.
@@ -107,12 +135,37 @@ class FaultPlan:
                 raise malformed(f"{what} must be >= 0, got {token!r}")
             return value
 
+        def parse_occurrences(
+            args: list[str], default_times: int | None
+        ) -> tuple[int, int | None]:
+            nth = (
+                parse_number(args[0], "occurrence", integer=True)
+                if args and args[0] else 1
+            )
+            if nth < 1:
+                raise malformed(
+                    f"occurrence must be >= 1, got {args[0]!r}"
+                )
+            times = default_times
+            if len(args) > 1 and args[1]:
+                if args[1] == "*":
+                    times = None
+                else:
+                    times = parse_number(
+                        args[1], "firing count", integer=True
+                    )
+                    if times < 1:
+                        raise malformed(
+                            f"firing count must be >= 1, got {args[1]!r}"
+                        )
+            return nth, times
+
         pieces = [piece.strip() for piece in part.split(":")]
         kind = pieces[0]
-        if kind not in ("delay", "fail", "pressure"):
+        if kind not in _FAULT_KINDS:
             raise malformed(
                 f"unknown fault kind {kind!r} "
-                "(expected delay, fail, or pressure)"
+                f"(expected one of {', '.join(_FAULT_KINDS)})"
             )
         if len(pieces) < 2 or not pieces[1]:
             raise malformed("missing site pattern")
@@ -129,27 +182,18 @@ class FaultPlan:
         if kind == "fail":
             if len(args) > 2:
                 raise malformed(f"unexpected token {args[2]!r}")
-            nth = (
-                parse_number(args[0], "occurrence", integer=True)
-                if args and args[0] else 1
-            )
-            if nth < 1:
-                raise malformed(
-                    f"occurrence must be >= 1, got {args[0]!r}"
-                )
-            times: int | None = 1
-            if len(args) > 1 and args[1]:
-                if args[1] == "*":
-                    times = None
-                else:
-                    times = parse_number(
-                        args[1], "firing count", integer=True
-                    )
-                    if times < 1:
-                        raise malformed(
-                            f"firing count must be >= 1, got {args[1]!r}"
-                        )
+            nth, times = parse_occurrences(args, default_times=1)
             return Fault(kind, site, nth=nth, times=times)
+        if kind in ("write", "fsync"):
+            if len(args) > 2:
+                raise malformed(f"unexpected token {args[2]!r}")
+            if site != "*" and site not in FS_FAULT_SITES:
+                raise malformed(
+                    f"unknown filesystem fault site {site!r} (expected "
+                    f"one of {', '.join(FS_FAULT_SITES)}, or *)"
+                )
+            nth, times = parse_occurrences(args, default_times=None)
+            return Fault(kind, f"fs.{kind}.{site}", nth=nth, times=times)
         # pressure
         if len(args) != 1 or not args[0]:
             raise malformed(
@@ -248,7 +292,7 @@ class FaultyRecorder:
                     (fault.kind, fault.site, name, occurrence)
                 )
                 firing.append(fault)
-                if fault.kind == "fail":
+                if fault.kind in ("fail", "write", "fsync"):
                     # A raise abandons the event; later faults in the
                     # plan are not charged a firing for it.
                     break
@@ -258,5 +302,11 @@ class FaultyRecorder:
             elif fault.kind == "pressure":
                 governor.charge(fault.resource, fault.amount,
                                 phase=f"fault:{name}")
+            elif fault.kind in ("write", "fsync"):
+                raise OSError(
+                    errno.EIO,
+                    f"injected {fault.kind} fault at {name!r} "
+                    f"(occurrence {occurrence})",
+                )
             else:  # fail
                 raise InjectedFault(name, occurrence)

@@ -254,6 +254,133 @@ class AdaptivePlanner:
             with self._lock:
                 self._pending_facts += added
 
+    # -- persistence (see repro.serve.snapshot) -----------------------
+
+    def export_records(self) -> list[dict]:
+        """JSON-ready converged records, for snapshot embedding.
+
+        Only converged, non-stale records are worth persisting: a
+        probing record's measurements are incomplete and a stale one
+        is already scheduled for re-planning.  Each carries the
+        *current* EDB fingerprint (recollected, not the possibly-stale
+        planning snapshot), so :meth:`restore_records` can tell
+        whether the restored EDB is the one the measurements were
+        taken against.
+        """
+        with self._lock:
+            fingerprint = (
+                collect_stats(self._database).fingerprint()
+                if self._database is not None
+                else self._stats.fingerprint()
+            )
+            exported = []
+            for form, record in sorted(self._records.items()):
+                if record.state != "converged" or record.stale:
+                    continue
+                exported.append({
+                    "form": form,
+                    "query": str(record.query),
+                    "strategy": record.chosen,
+                    "fingerprint": fingerprint,
+                    "baseline": record.baseline,
+                    "ewma": record.ewma,
+                    "replans": record.replans,
+                    "observations": {
+                        name: {
+                            "runs": observation.runs,
+                            "cold_runs": observation.cold_runs,
+                            "total_scalar": observation.total_scalar,
+                            "total_seconds": observation.total_seconds,
+                        }
+                        for name, observation in sorted(
+                            record.observations.items()
+                        )
+                    },
+                })
+            return exported
+
+    def restore_records(self, records: list[dict]) -> tuple[int, int]:
+        """Reinstall exported records; returns ``(restored, discarded)``.
+
+        Call after the recovered EDB is in place but *before* WAL
+        replay: the fingerprint each record carries is compared
+        against the current EDB's, so a record measured against a
+        different database (the program changed its facts, the
+        snapshot is from another lineage) is discarded rather than
+        trusted.  Restored records re-enter as converged -- the
+        session serves their strategy immediately, skipping the probe
+        phase -- with the plan re-ranked against fresh statistics so
+        ``explain`` output stays honest.  Malformed records are
+        discarded, never fatal: planner state is an optimization, not
+        correctness.
+        """
+        from repro.lang.parser import parse_query
+
+        restored = discarded = 0
+        with self._lock:
+            if self._database is not None:
+                # The EDB just changed under us (restore_state); later
+                # decisions must plan against what was restored.
+                self._stats = collect_stats(self._database)
+                self._model = CostModel(self._program, self._stats)
+                self._pending_facts = 0
+            current = self._stats.fingerprint()
+            for payload in records:
+                try:
+                    form = payload["form"]
+                    strategy = payload["strategy"]
+                    if payload.get("fingerprint") != current:
+                        discarded += 1
+                        continue
+                    query = parse_query(payload["query"])
+                    plan = plan_query(
+                        self._program,
+                        query,
+                        self._stats,
+                        amortization=self._amortization,
+                        model=self._model,
+                    )
+                    observations = {
+                        name: StrategyObservation(
+                            runs=int(entry.get("runs", 0)),
+                            cold_runs=int(entry.get("cold_runs", 0)),
+                            total_scalar=float(
+                                entry.get("total_scalar", 0.0)
+                            ),
+                            total_seconds=float(
+                                entry.get("total_seconds", 0.0)
+                            ),
+                        )
+                        for name, entry in dict(
+                            payload.get("observations") or {}
+                        ).items()
+                    }
+                    baseline = payload.get("baseline")
+                    ewma = payload.get("ewma")
+                    self._records[form] = PlanRecord(
+                        form=form,
+                        query=query,
+                        plan=plan,
+                        state="converged",
+                        candidates=(strategy,),
+                        chosen=strategy,
+                        observations=observations,
+                        baseline=(
+                            float(baseline)
+                            if baseline is not None else None
+                        ),
+                        ewma=float(ewma) if ewma is not None else None,
+                        replans=int(payload.get("replans", 0)),
+                    )
+                    restored += 1
+                except (KeyError, TypeError, ValueError):
+                    discarded += 1
+        if restored:
+            obs_count("planner.records_restored", restored)
+        if discarded:
+            obs_count("planner.records_discarded", discarded)
+        return restored, discarded
+
     # -- introspection ------------------------------------------------
 
     def record(self, form: str) -> PlanRecord | None:

@@ -176,7 +176,8 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SPEC",
         help="inject faults at observability sites; serve-stage "
         "sites: serve.dispatch (retried), serve.worker "
-        "(kills the worker) (docs/serving.md)",
+        "(kills the worker); filesystem sites: write:/fsync: on "
+        "wal, snapshot, compact, dir (docs/serving.md)",
     )
     parser.add_argument(
         "--summary",
@@ -287,15 +288,32 @@ def main(argv: list[str] | None = None) -> int:
     try:
         with obs.recording(recorder):
             recovery = supervisor.recover()
+            if recovery and recovery.get("corrupt"):
+                print(
+                    f"repro serve: [{recovery['code']}] corrupt "
+                    f"durable state quarantined "
+                    f"({recovery['log_records_dropped']} log records "
+                    f"dropped, {len(recovery['quarantined'])} files "
+                    f"moved to corrupt/); recovery fell back to the "
+                    f"newest verifiable state",
+                    file=sys.stderr,
+                )
             if recovery and (
                 recovery["facts_restored"] or recovery["replayed"]
             ):
+                planner_note = ""
+                if recovery.get("planner_records_restored"):
+                    planner_note = (
+                        f", {recovery['planner_records_restored']} "
+                        f"planner records restored"
+                    )
                 print(
                     f"repro serve: recovered epoch "
                     f"{recovery['epoch']} "
                     f"({recovery['facts_restored']} facts from "
                     f"snapshot {recovery['snapshot_epoch']}, "
-                    f"{recovery['replayed']} log epochs replayed)",
+                    f"{recovery['replayed']} log epochs replayed"
+                    f"{planner_note})",
                     file=sys.stderr,
                 )
             supervisor.start()

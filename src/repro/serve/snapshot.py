@@ -11,16 +11,56 @@ classic checkpoint + write-ahead-log pair:
   snapshot under the final name.  A small trailing window of old
   snapshots is retained as fallback against a corrupt latest file.
 * The **fact log** (``facts.log``) is an append-only JSON-lines file;
-  the supervisor appends one entry per *acknowledged* fact load
-  (``{"epoch": N, "facts": [...]}``) and fsyncs before the response is
-  returned, so an acked load survives a crash even between snapshots.
-  After each snapshot the log is compacted down to the entries the
-  snapshot does not cover.
-* **Recovery** loads the newest readable snapshot whose program hash
-  matches the running program, restores it into a fresh session, and
-  replays the log entries with epochs past the snapshot point -- in
-  order, through :meth:`Session.add_facts`, so replayed state is
-  *exactly* the state a warm database would have been resumed against.
+  the supervisor appends one checksummed record per *acknowledged*
+  fact load and fsyncs before the response is returned, so an acked
+  load survives a crash even between snapshots.  After each snapshot
+  the log is compacted down to the entries the snapshot does not
+  cover.
+* **Recovery** loads the newest *verifiable* snapshot whose program
+  hash matches the running program, restores it into a fresh session
+  (including any persisted planner records -- see below), and replays
+  the log entries with epochs past the snapshot point -- in order,
+  through :meth:`Session.add_facts`, so replayed state is *exactly*
+  the state a warm database would have been resumed against.
+
+**Integrity.**  Every WAL record and snapshot carries a CRC32 over its
+canonical JSON body plus a format version, so recovery distinguishes
+three kinds of damage:
+
+* a *torn tail* -- a truncated final log line, the expected residue of
+  a crash mid-append.  The partial line was never acknowledged (the
+  fsync that precedes the ack did not complete), so dropping it loses
+  nothing acked.  Recovery rewrites the log to the valid prefix so a
+  later append cannot concatenate onto the stump;
+* *mid-log corruption* -- a record before the tail that fails to
+  decode or fails its CRC.  Everything from the damaged record on is
+  untrusted; recovery quarantines the whole log file into a
+  ``corrupt/`` sidecar (evidence for the operator), rewrites the valid
+  prefix in place, and reports :class:`~repro.errors.CorruptionError`'s
+  ``REPRO_CORRUPT`` code in the recovery summary;
+* a *corrupt snapshot* -- unreadable JSON or a CRC mismatch.  The file
+  is quarantined and recovery falls back to the next-newest verifiable
+  snapshot (that is what the retention window is for).
+
+Legacy v1 files (no CRC) are still read -- an upgraded binary must
+recover a pre-upgrade directory -- and every compaction rewrites
+records in the current checksummed format.
+
+**Fault sites.**  Every write and fsync announces itself through the
+observability seam first (``fs.write.<site>`` / ``fs.fsync.<site>``
+counters, sites ``wal``/``snapshot``/``compact``/``dir``), so the
+governor's fault injector (``write:wal``, ``fsync:snapshot``, ...) can
+turn any of them into a deterministic ``OSError(EIO)`` -- the seam the
+supervisor's degraded read-only mode is tested through.
+
+**Planner persistence.**  Snapshots optionally embed the adaptive
+planner's converged per-form records (strategy choice, observed
+scalars, the EDB stats fingerprint they were measured against).
+Recovery hands them to :meth:`Session.restore_planner` *before* WAL
+replay -- at that point the session's EDB is exactly the snapshot-time
+EDB, so the fingerprint check is meaningful: matching records are
+reinstalled as converged (the restarted session skips the probe
+phase), stale ones are discarded and counted in the summary.
 
 Facts round-trip through an explicit codec (symbols, exact
 :class:`~fractions.Fraction` numbers, PENDING positions, and the
@@ -35,6 +75,7 @@ import hashlib
 import json
 import os
 import re
+import zlib
 from fractions import Fraction
 from typing import TYPE_CHECKING, Iterable, Iterator
 
@@ -42,15 +83,21 @@ from repro.constraints.atom import Atom, Op
 from repro.constraints.conjunction import Conjunction
 from repro.constraints.linexpr import LinearExpr
 from repro.engine.facts import Fact, PENDING
-from repro.errors import SnapshotError
+from repro.errors import CorruptionError, SnapshotError
 from repro.lang.terms import Sym
 from repro.obs.recorder import count as obs_count, span as obs_span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.service.session import Session
 
-SCHEMA = "repro-snap/v1"
+SCHEMA = "repro-snap/v2"
+#: Pre-CRC snapshots (still readable; rewritten on the next snapshot).
+LEGACY_SCHEMA = "repro-snap/v1"
+#: Checksummed WAL record format version.
+LOG_VERSION = 2
 LOG_NAME = "facts.log"
+#: Sidecar directory quarantined (damaged) files are moved into.
+CORRUPT_DIR = "corrupt"
 SNAPSHOT_PATTERN = re.compile(r"^snapshot-(\d{8})\.json$")
 
 #: Old snapshots kept as fallback behind the newest one.
@@ -60,6 +107,67 @@ RETAIN_SNAPSHOTS = 3
 def program_sha(text: str) -> str:
     """The identity of a program text, for snapshot compatibility."""
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+# -- integrity framing ------------------------------------------------
+
+
+def _canonical(payload: object) -> str:
+    """The canonical JSON rendering checksums are computed over.
+
+    Sorted keys and fixed separators: two semantically equal payloads
+    always serialize to the same bytes, so a CRC match means the body
+    decoded is the body written.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _crc(text: str) -> str:
+    return format(zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF, "08x")
+
+
+def _frame_record(epoch: int, facts: list) -> str:
+    """One checksummed WAL line for an acknowledged epoch."""
+    body = {"epoch": epoch, "facts": facts}
+    return json.dumps({
+        "v": LOG_VERSION,
+        "crc": _crc(_canonical(body)),
+        "epoch": epoch,
+        "facts": facts,
+    })
+
+
+def _parse_log_line(line: str) -> dict:
+    """Decode one WAL line (checksummed v2 or legacy v1).
+
+    Returns the ``{"epoch": ..., "facts": [...]}`` body; raises
+    :class:`ValueError` with a reason on any damage (malformed JSON,
+    unknown version, missing fields, CRC mismatch) -- the caller
+    decides whether the damage is a tolerable torn tail or corruption.
+    """
+    record = json.loads(line)
+    if not isinstance(record, dict):
+        raise ValueError("record is not an object")
+    if "v" not in record and "crc" not in record:
+        # Legacy v1 line: bare body, no checksum to verify.
+        if "epoch" not in record or "facts" not in record:
+            raise ValueError("record is missing epoch/facts")
+        return {"epoch": record["epoch"], "facts": record["facts"]}
+    if record.get("v") != LOG_VERSION:
+        raise ValueError(
+            f"unknown record version {record.get('v')!r}"
+        )
+    body = {
+        "epoch": record.get("epoch"),
+        "facts": record.get("facts"),
+    }
+    expected = _crc(_canonical(body))
+    if record.get("crc") != expected:
+        raise ValueError(
+            f"crc mismatch (stored {record.get('crc')!r}, "
+            f"computed {expected})"
+        )
+    return body
 
 
 # -- the fact codec ---------------------------------------------------
@@ -144,6 +252,7 @@ def decode_fact(payload: dict) -> Fact:
 
 def _fsync_dir(directory: str) -> None:
     """Make a rename/creation in ``directory`` durable."""
+    obs_count("fs.fsync.dir")
     fd = os.open(directory, os.O_RDONLY)
     try:
         os.fsync(fd)
@@ -159,31 +268,48 @@ class Snapshotter:
         self.program_id = program_id
         os.makedirs(directory, exist_ok=True)
         self._log_path = os.path.join(directory, LOG_NAME)
+        #: Paths (in ``corrupt/``) damaged files were moved to, in
+        #: quarantine order, for reports and operator forensics.
+        self.quarantined: list[str] = []
 
     # -- writing ------------------------------------------------------
 
-    def snapshot(self, epoch: int, facts: Iterable[Fact]) -> str:
+    def snapshot(
+        self,
+        epoch: int,
+        facts: Iterable[Fact],
+        planner_records: list | None = None,
+    ) -> str:
         """Write one atomic checkpoint; returns its path.
 
         The payload lands under a temporary name first and is moved
         into place with :func:`os.replace`, so readers only ever see
         complete snapshots.  The fact log is then compacted down to
         the epochs this snapshot does not cover, and snapshots beyond
-        the retention window are dropped.
+        the retention window are dropped.  ``planner_records`` are the
+        adaptive planner's exported converged records (JSON-ready),
+        embedded for :meth:`Session.restore_planner` at recovery.
         """
-        payload = {
-            "schema": SCHEMA,
+        body = {
             "program_sha": self.program_id,
             "epoch": epoch,
             "facts": [encode_fact(fact) for fact in facts],
+            "planner": list(planner_records or []),
+        }
+        payload = {
+            "schema": SCHEMA,
+            "crc": _crc(_canonical(body)),
+            **body,
         }
         name = f"snapshot-{epoch:08d}.json"
         path = os.path.join(self.directory, name)
         tmp_path = path + ".tmp"
         with obs_span("serve.snapshot", epoch=epoch):
+            obs_count("fs.write.snapshot")
             with open(tmp_path, "w") as handle:
                 json.dump(payload, handle)
                 handle.flush()
+                obs_count("fs.fsync.snapshot")
                 os.fsync(handle.fileno())
             os.replace(tmp_path, path)
             _fsync_dir(self.directory)
@@ -194,15 +320,32 @@ class Snapshotter:
 
     def append_log(self, epoch: int, facts: Iterable[Fact]) -> None:
         """Durably record one acknowledged fact-load epoch."""
-        line = json.dumps({
-            "epoch": epoch,
-            "facts": [encode_fact(fact) for fact in facts],
-        })
+        line = _frame_record(
+            epoch, [encode_fact(fact) for fact in facts]
+        )
+        obs_count("fs.write.wal")
         with open(self._log_path, "a") as handle:
             handle.write(line + "\n")
             handle.flush()
+            obs_count("fs.fsync.wal")
             os.fsync(handle.fileno())
         obs_count("serve.log_appends")
+
+    def _rewrite_log(self, entries: list[dict]) -> None:
+        """Atomically replace the log with ``entries`` (current format)."""
+        tmp_path = self._log_path + ".tmp"
+        obs_count("fs.write.compact")
+        with open(tmp_path, "w") as handle:
+            for entry in entries:
+                handle.write(
+                    _frame_record(entry["epoch"], entry["facts"])
+                    + "\n"
+                )
+            handle.flush()
+            obs_count("fs.fsync.compact")
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self._log_path)
+        _fsync_dir(self.directory)
 
     def _compact_log(self, through_epoch: int) -> None:
         """Drop log entries a fresh snapshot now covers (atomically)."""
@@ -211,14 +354,7 @@ class Snapshotter:
             for entry in self._read_log()
             if entry["epoch"] > through_epoch
         ]
-        tmp_path = self._log_path + ".tmp"
-        with open(tmp_path, "w") as handle:
-            for entry in keep:
-                handle.write(json.dumps(entry) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, self._log_path)
-        _fsync_dir(self.directory)
+        self._rewrite_log(keep)
 
     def _prune_snapshots(self) -> None:
         for _, name in self._snapshot_files()[:-RETAIN_SNAPSHOTS]:
@@ -226,6 +362,29 @@ class Snapshotter:
                 os.remove(os.path.join(self.directory, name))
             except OSError:  # pragma: no cover - best-effort cleanup
                 pass
+
+    def _quarantine(self, path: str) -> str:
+        """Move a damaged file into the ``corrupt/`` sidecar.
+
+        The file is preserved (evidence beats deletion when diagnosing
+        a bad disk or a torn write) under its own name, suffixed with
+        a sequence number on collision.  Both directories are fsynced
+        so the quarantine itself survives a crash.
+        """
+        corrupt_dir = os.path.join(self.directory, CORRUPT_DIR)
+        os.makedirs(corrupt_dir, exist_ok=True)
+        base = os.path.basename(path)
+        target = os.path.join(corrupt_dir, base)
+        sequence = 0
+        while os.path.exists(target):
+            sequence += 1
+            target = os.path.join(corrupt_dir, f"{base}.{sequence}")
+        os.replace(path, target)
+        _fsync_dir(corrupt_dir)
+        _fsync_dir(self.directory)
+        obs_count("serve.quarantined")
+        self.quarantined.append(target)
+        return target
 
     # -- reading ------------------------------------------------------
 
@@ -238,47 +397,116 @@ class Snapshotter:
                 found.append((int(match.group(1)), name))
         return sorted(found)
 
+    def _scan_log(self) -> tuple[list[dict], dict | None]:
+        """The valid log prefix plus a damage report.
+
+        Returns ``(entries, damage)``: every record up to (not
+        including) the first damaged line, and ``None`` when the log
+        is clean, or a dict describing the damage -- 1-based ``line``,
+        the decode ``reason``, whether it is a tolerable ``torn_tail``
+        (damage on the final line only: the expected residue of a
+        crash mid-append, never acknowledged), and how many records
+        (``records_dropped``, the damaged line and everything after
+        it) the valid-prefix policy discards.  A missing or empty log
+        is clean.
+        """
+        if not os.path.exists(self._log_path):
+            return [], None
+        # Binary read + replacing decode: every legitimately-written
+        # byte is ASCII (json with ensure_ascii), so an undecodable
+        # byte is disk damage -- it must land in the per-line damage
+        # path below, not escape as a UnicodeDecodeError.
+        with open(self._log_path, "rb") as handle:
+            raw = handle.read()
+        lines = raw.decode("utf-8", errors="replace").splitlines()
+        entries: list[dict] = []
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                entries.append(_parse_log_line(line))
+            except ValueError as error:
+                dropped = sum(
+                    1 for later in lines[index:] if later.strip()
+                )
+                return entries, {
+                    "line": index + 1,
+                    "reason": str(error),
+                    "torn_tail": index == len(lines) - 1,
+                    "records_dropped": dropped,
+                }
+        return entries, None
+
     def _read_log(self) -> Iterator[dict]:
         """The fact-log entries, tolerating a torn final line.
 
         A crash mid-append can leave a truncated last line; everything
         before it was fsynced whole, so a decode failure on the *last*
-        line is expected damage while one mid-file is real corruption.
+        line is expected damage while one mid-file is real corruption
+        and raises :class:`~repro.errors.CorruptionError` (use
+        :meth:`recover` for the quarantine-and-fall-back path).
         """
-        if not os.path.exists(self._log_path):
+        entries, damage = self._scan_log()
+        yield from entries
+        if damage is None:
             return
-        with open(self._log_path) as handle:
-            lines = handle.read().splitlines()
-        for index, line in enumerate(lines):
-            if not line.strip():
-                continue
-            try:
-                yield json.loads(line)
-            except json.JSONDecodeError as error:
-                if index == len(lines) - 1:
-                    obs_count("serve.log_torn_tail")
-                    return
-                raise SnapshotError(
-                    f"corrupt fact log at line {index + 1}: {error}"
-                ) from error
+        if damage["torn_tail"]:
+            obs_count("serve.log_torn_tail")
+            return
+        raise CorruptionError(
+            f"corrupt fact log at line {damage['line']}: "
+            f"{damage['reason']}"
+        )
+
+    def _verify_snapshot(self, payload: dict) -> None:
+        """Raise ``ValueError`` when a snapshot payload is damaged."""
+        if not isinstance(payload, dict):
+            raise ValueError("snapshot is not an object")
+        schema = payload.get("schema")
+        if schema == LEGACY_SCHEMA:
+            return  # pre-CRC format: nothing to verify against
+        if schema != SCHEMA:
+            # Not damage -- a genuinely unknown format is a hard
+            # error, not a fallback candidate (handled by the caller).
+            return
+        body = {
+            key: value
+            for key, value in payload.items()
+            if key not in ("schema", "crc")
+        }
+        expected = _crc(_canonical(body))
+        if payload.get("crc") != expected:
+            raise ValueError(
+                f"crc mismatch (stored {payload.get('crc')!r}, "
+                f"computed {expected})"
+            )
 
     def latest(self) -> dict | None:
-        """The newest readable, compatible snapshot payload (or None).
+        """The newest verifiable, compatible snapshot payload (or None).
 
-        Walks backward through retained snapshots past unreadable
-        files; a snapshot for a *different program* is an error, not a
-        fallback candidate -- replaying another program's facts would
-        silently corrupt the session.
+        Walks backward through retained snapshots; an unreadable file
+        or one failing its CRC is quarantined to ``corrupt/`` and the
+        walk falls back to the next-newest.  A snapshot for a
+        *different program* is an error, not a fallback candidate --
+        replaying another program's facts would silently corrupt the
+        session.
         """
         for epoch, name in reversed(self._snapshot_files()):
             path = os.path.join(self.directory, name)
             try:
                 with open(path) as handle:
                     payload = json.load(handle)
-            except (OSError, json.JSONDecodeError):
+                self._verify_snapshot(payload)
+            except OSError:
                 obs_count("serve.snapshot_skipped")
                 continue
-            if payload.get("schema") != SCHEMA:
+            except ValueError:
+                # Damaged beyond reading or checksum-mismatched:
+                # preserve the evidence, fall back to an older one.
+                obs_count("serve.snapshot_skipped")
+                self._quarantine(path)
+                continue
+            if payload.get("schema") not in (SCHEMA, LEGACY_SCHEMA):
                 raise SnapshotError(
                     f"{name}: unknown snapshot schema "
                     f"{payload.get('schema')!r}"
@@ -298,24 +526,61 @@ class Snapshotter:
         return None
 
     def recover(self, session: "Session") -> dict:
-        """Restore the latest snapshot + log tail into a session.
+        """Restore the latest verifiable snapshot + log tail.
 
-        Returns a summary dict (``snapshot_epoch``, ``replayed``,
-        ``facts_restored``, ``epoch``).  Safe on an empty or missing
-        directory: recovery of nothing is a no-op.
+        Returns a summary dict: ``snapshot_epoch``, ``facts_restored``
+        and ``replayed`` (as before), the session's resulting
+        ``epoch``, the planner records ``planner_records_restored`` /
+        ``planner_records_discarded`` (fingerprint-stale or malformed),
+        ``log_records_dropped`` by the valid-prefix policy (a torn
+        tail counts -- it was never acked), the ``quarantined`` paths
+        this recovery produced, and ``corrupt`` -- True (with ``code``
+        = ``REPRO_CORRUPT``) when any damage *beyond* a torn tail was
+        found.  Safe on an empty or missing directory: recovery of
+        nothing is a no-op.  A missing or empty ``facts.log`` next to
+        a valid snapshot is normal (a checkpoint right before the
+        crash compacts the log to nothing).
         """
         with obs_span("serve.recover"):
+            already_quarantined = len(self.quarantined)
             payload = self.latest()
+            # Any quarantine latest() performed was a damaged
+            # snapshot -- corruption by definition.
+            corrupt = len(self.quarantined) > already_quarantined
             snapshot_epoch = 0
             restored = 0
+            planner_restored = planner_discarded = 0
             if payload is not None:
                 facts = [
                     decode_fact(entry) for entry in payload["facts"]
                 ]
                 snapshot_epoch = payload["epoch"]
                 restored = session.restore_state(facts, snapshot_epoch)
+                # Planner records must be validated against the
+                # snapshot-time EDB -- i.e. before WAL replay grows
+                # it past the fingerprint they were exported under.
+                planner_restored, planner_discarded = (
+                    session.restore_planner(
+                        payload.get("planner") or []
+                    )
+                )
+            entries, damage = self._scan_log()
+            dropped = 0
+            if damage is not None:
+                dropped = damage["records_dropped"]
+                if damage["torn_tail"]:
+                    obs_count("serve.log_torn_tail")
+                else:
+                    corrupt = True
+                    obs_count("serve.log_corrupt")
+                    self._quarantine(self._log_path)
+                # Rewrite the valid prefix either way: a torn stump
+                # left in place would be concatenated onto by the
+                # next append, turning expected tail damage into
+                # mid-log corruption one crash later.
+                self._rewrite_log(entries)
             replayed = 0
-            for entry in self._read_log():
+            for entry in entries:
                 if entry["epoch"] <= snapshot_epoch:
                     continue
                 facts = [
@@ -328,10 +593,19 @@ class Snapshotter:
                         f"{entry['epoch']}: {response.error_message}"
                     )
                 replayed += 1
+            quarantined = self.quarantined[already_quarantined:]
         obs_count("serve.recoveries")
-        return {
+        report = {
             "snapshot_epoch": snapshot_epoch,
             "facts_restored": restored,
             "replayed": replayed,
             "epoch": session.epoch,
+            "planner_records_restored": planner_restored,
+            "planner_records_discarded": planner_discarded,
+            "log_records_dropped": dropped,
+            "quarantined": quarantined,
+            "corrupt": corrupt,
         }
+        if report["corrupt"]:
+            report["code"] = CorruptionError.code
+        return report

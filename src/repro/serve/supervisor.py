@@ -23,9 +23,21 @@ robustness machinery this package exists for:
   answer instead of an error.
 * **Crash safety** -- with a snapshot directory configured, every
   acknowledged fact load is appended to the write-ahead fact log
-  before the response is released, and a full EDB checkpoint is taken
-  every ``snapshot_every`` loads (and at drain); see
-  :mod:`repro.serve.snapshot` and :meth:`recover`.
+  before the response is released, and a full EDB checkpoint
+  (embedding the adaptive planner's converged records, when the
+  session has one) is taken every ``snapshot_every`` loads and at
+  drain; see :mod:`repro.serve.snapshot` and :meth:`recover`.
+* **Degraded read-only mode** -- when the snapshot directory itself
+  fails (disk full, EIO -- injectable via the ``write:``/``fsync:``
+  fault sites), the supervisor does not crash workers: it flips to an
+  explicit no-durability mode in which queries keep being served but
+  fact loads are *refused* with ``REPRO_SNAPSHOT`` (an un-logged load
+  would silently void the at-most-once-ack contract).  The load whose
+  WAL append failed is reported as an error -- it was never
+  acknowledged as durable -- and :meth:`healthz` reports
+  ``durability: degraded`` with the reason.  The mode is one-way for
+  the process lifetime: a disk that failed once cannot be trusted to
+  have kept everything since.
 * **Supervision** -- a worker that dies unexpectedly fails its current
   request, is counted (``serve.worker_deaths``), and is replaced.
   The injected-fault site ``serve.worker`` kills workers on purpose in
@@ -41,7 +53,12 @@ import queue
 import threading
 from dataclasses import dataclass, field, replace
 
-from repro.errors import OverloadError, ReproError, UsageError
+from repro.errors import (
+    OverloadError,
+    ReproError,
+    SnapshotError,
+    UsageError,
+)
 from repro.lang.parser import parse_query
 from repro.obs.recorder import count as obs_count, span as obs_span
 from repro.serve.breaker import BreakerRegistry, counts_as_trip
@@ -137,6 +154,8 @@ class Supervisor:
         self._retries = 0
         self._worker_deaths = 0
         self._loads_since_snapshot = 0
+        self._degraded = False
+        self._degraded_reason: str | None = None
         self.snapshotter: Snapshotter | None = None
         if self.config.snapshot_dir is not None:
             self.snapshotter = Snapshotter(
@@ -190,9 +209,16 @@ class Supervisor:
             self._queue.put(_STOP)
         for thread in workers:
             thread.join(timeout)
-        if self.snapshotter is not None:
-            epoch, facts = self._engine.session.export_state()
-            self.snapshotter.snapshot(epoch, facts)
+        if self.snapshotter is not None and not self._degraded:
+            try:
+                self._checkpoint()
+            except OSError as error:
+                # Shutting down anyway; the WAL already holds every
+                # acked epoch, so losing the final checkpoint only
+                # costs the next recovery some replay time.
+                self._enter_degraded(
+                    f"final checkpoint failed: {error}"
+                )
         obs_count("serve.drains")
 
     def __enter__(self) -> "Supervisor":
@@ -360,6 +386,19 @@ class Supervisor:
     def _serve_facts(self, line: str) -> Response:
         # Never retried: a fault firing after the epoch committed
         # would make a retry double-load (see module docstring).
+        if self.snapshotter is not None:
+            with self._lock:
+                degraded, reason = (
+                    self._degraded, self._degraded_reason
+                )
+            if degraded:
+                # Refuse before touching the session: an un-logged
+                # load would be acked state the WAL never saw.
+                obs_count("serve.readonly_refusals")
+                return self._error(SnapshotError(
+                    f"fact load refused: durability lost ({reason}); "
+                    "serving read-only"
+                ))
         try:
             with obs_span("serve.dispatch", kind="facts"):
                 response = self._engine.add_facts(line)
@@ -368,9 +407,19 @@ class Supervisor:
         if response.ok and response.loaded and self.snapshotter:
             # Durable before acknowledged: the log entry hits disk
             # before the caller sees the response.
-            self.snapshotter.append_log(
-                response.epoch, response.loaded
-            )
+            try:
+                self.snapshotter.append_log(
+                    response.epoch, response.loaded
+                )
+            except OSError as error:
+                # The facts are in the live session (sound -- same as
+                # an unacked in-flight load at crash time) but were
+                # never made durable, so the load is NOT acknowledged.
+                self._enter_degraded(f"WAL append failed: {error}")
+                return self._error(SnapshotError(
+                    f"fact load not durable (WAL append failed: "
+                    f"{error}); supervisor now read-only"
+                ))
             with self._lock:
                 self._loads_since_snapshot += 1
                 checkpoint = (
@@ -380,9 +429,34 @@ class Supervisor:
                 if checkpoint:
                     self._loads_since_snapshot = 0
             if checkpoint:
-                epoch, facts = self._engine.session.export_state()
-                self.snapshotter.snapshot(epoch, facts)
+                try:
+                    self._checkpoint()
+                except OSError as error:
+                    # The ack stands -- this epoch is already in the
+                    # fsynced WAL -- but the disk can no longer be
+                    # trusted with future loads.
+                    self._enter_degraded(
+                        f"checkpoint failed: {error}"
+                    )
         return response
+
+    def _checkpoint(self) -> None:
+        """One full snapshot: EDB + converged planner records."""
+        assert self.snapshotter is not None
+        session = self._engine.session
+        epoch, facts = session.export_state()
+        self.snapshotter.snapshot(
+            epoch, facts, planner_records=session.export_planner()
+        )
+
+    def _enter_degraded(self, reason: str) -> None:
+        """Flip to read-only/no-durability mode (one-way)."""
+        with self._lock:
+            if self._degraded:
+                return
+            self._degraded = True
+            self._degraded_reason = reason
+        obs_count("serve.degraded")
 
     # -- inspection ----------------------------------------------------
 
@@ -397,6 +471,9 @@ class Supervisor:
                 else "ok" if self._started and alive
                 else "stopped"
             )
+            degraded, degraded_reason = (
+                self._degraded, self._degraded_reason
+            )
         with self._breaker_lock:
             breakers_open = self._breakers.open_count()
         health = {
@@ -405,7 +482,14 @@ class Supervisor:
             "queue_depth": self._queue.qsize(),
             "queue_capacity": self.config.queue_depth,
             "breakers_open": breakers_open,
+            "durability": (
+                "none" if self.snapshotter is None
+                else "degraded" if degraded
+                else "ok"
+            ),
         }
+        if degraded:
+            health["durability_reason"] = degraded_reason
         planner = self._engine.session.planner
         if planner is not None:
             summary = planner.stats()
@@ -425,6 +509,7 @@ class Supervisor:
                 "shed": self._shed,
                 "retries": self._retries,
                 "worker_deaths": self._worker_deaths,
+                "degraded": self._degraded,
             }
         with self._breaker_lock:
             breakers = self._breakers.states()

@@ -643,6 +643,29 @@ class Session:
             self._epoch = max(self._epoch, epoch)
             return len(added)
 
+    def export_planner(self) -> list[dict]:
+        """The adaptive planner's converged records, JSON-ready.
+
+        Empty for the fixed-strategy sessions (nothing to persist);
+        see :meth:`~repro.planner.AdaptivePlanner.export_records`.
+        """
+        if self._planner is None:
+            return []
+        return self._planner.export_records()
+
+    def restore_planner(self, records: list[dict]) -> tuple[int, int]:
+        """Reinstall snapshot-persisted planner records.
+
+        Call between :meth:`restore_state` and WAL replay (so the
+        fingerprint validation sees the snapshot-time EDB).  Returns
+        ``(restored, discarded)``; both 0 for fixed-strategy sessions,
+        which ignore the records -- they are an optimization for the
+        ``auto`` strategy, never a correctness input.
+        """
+        if self._planner is None or not records:
+            return (0, 0)
+        return self._planner.restore_records(list(records))
+
     # -- inspection ---------------------------------------------------
 
     @property

@@ -9,6 +9,7 @@ still reported, and traces/reports stay intact.
 
 from __future__ import annotations
 
+import errno
 import json
 
 import pytest
@@ -105,6 +106,83 @@ class TestFaultSpecParsing:
     def test_unknown_kind_rejected_at_construction(self):
         with pytest.raises(UsageError):
             Fault(kind="explode", site="x")
+
+
+class TestFilesystemFaults:
+    """``write:``/``fsync:`` sites: the disk-failure seam."""
+
+    def test_write_spec_maps_to_fs_event_and_stays_failed(self):
+        (fault,) = FaultPlan.from_spec("write:wal").faults
+        assert fault.kind == "write"
+        assert fault.site == "fs.write.wal"
+        assert fault.nth == 1
+        assert fault.times is None  # a failed disk stays failed
+
+    def test_fsync_spec_with_nth_and_times(self):
+        (fault,) = FaultPlan.from_spec("fsync:snapshot:3:1").faults
+        assert fault.site == "fs.fsync.snapshot"
+        assert (fault.nth, fault.times) == (3, 1)
+
+    def test_star_site_matches_every_class(self):
+        (fault,) = FaultPlan.from_spec("write:*").faults
+        assert fault.site == "fs.write.*"
+
+    @pytest.mark.parametrize(
+        "spec", ["write:disk", "fsync:log", "write:fs.write.wal"]
+    )
+    def test_unknown_site_class_is_a_parse_error(self, spec):
+        with pytest.raises(UsageError, match="filesystem fault site"):
+            FaultPlan.from_spec(spec)
+
+    def test_unknown_site_error_names_the_classes(self):
+        with pytest.raises(UsageError, match="wal, snapshot"):
+            FaultPlan.from_spec("write:disk")
+
+    def test_write_fault_raises_eio_at_matching_event(self):
+        recorder = FaultyRecorder(FaultPlan.from_spec("write:wal"))
+        recorder.count("serve.log_appends")  # other sites untouched
+        with pytest.raises(OSError) as caught:
+            recorder.count("fs.write.wal")
+        assert caught.value.errno == errno.EIO
+        # Unlimited firings: the disk does not heal.
+        with pytest.raises(OSError):
+            recorder.count("fs.write.wal")
+
+    def test_fsync_fault_fires_from_nth_occurrence(self):
+        recorder = FaultyRecorder(
+            FaultPlan.from_spec("fsync:wal:2")
+        )
+        recorder.count("fs.fsync.wal")  # first occurrence passes
+        with pytest.raises(OSError):
+            recorder.count("fs.fsync.wal")
+
+    def test_snapshotter_append_hits_the_wal_write_site(
+        self, tmp_path
+    ):
+        from repro.engine.facts import Fact
+        from repro.serve.snapshot import Snapshotter
+
+        snap = Snapshotter(str(tmp_path), "prog1")
+        recorder = FaultyRecorder(FaultPlan.from_spec("write:wal"))
+        with recording(recorder):
+            with pytest.raises(OSError):
+                snap.append_log(1, [Fact.ground("e", ["a"])])
+        # The fault fired before the write syscall: no torn record.
+        assert list(snap._read_log()) == []
+
+    def test_snapshotter_checkpoint_hits_the_snapshot_fsync_site(
+        self, tmp_path
+    ):
+        from repro.serve.snapshot import Snapshotter
+
+        snap = Snapshotter(str(tmp_path), "prog1")
+        recorder = FaultyRecorder(
+            FaultPlan.from_spec("fsync:snapshot")
+        )
+        with recording(recorder):
+            with pytest.raises(OSError):
+                snap.snapshot(1, [])
+        assert snap._snapshot_files() == []  # tmp never promoted
 
 
 class TestFaultyRecorder:

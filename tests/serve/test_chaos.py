@@ -1,0 +1,72 @@
+"""Chaos-recovery cycles: SIGKILL, damage, restart, verify.
+
+Drives the ``benchmarks/chaos_recover.py`` harness (the same one CI's
+chaos job runs at 50 cycles) through targeted single cycles -- one per
+damage mode -- plus a small randomized sweep.  Each cycle runs the
+serve CLI as a real subprocess, kills it mid-batch, optionally
+bit-flips or truncates the WAL/snapshot, restarts against the same
+directory, and checks the recovery contract: no ghost facts, no
+silent acked-fact loss, damage quarantined whenever it is reported,
+and answers exactly equal to the conformance oracle over the
+surviving EDB.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(ROOT / "benchmarks"))
+
+import chaos_recover  # noqa: E402
+
+
+def run(tmp_path, seed: str, **overrides) -> dict:
+    rng = random.Random(seed)
+    workdir = tmp_path / "cycle"
+    workdir.mkdir()
+    return chaos_recover.run_cycle(rng, workdir, **overrides)
+
+
+class TestChaosCycles:
+    def test_kill_only_cycle_loses_no_acked_fact(self, tmp_path):
+        report = run(tmp_path, "kill-only", mode="none")
+        assert report["violations"] == []
+        assert report["acked_lost"] == 0
+        assert not report["reported_corrupt"]
+
+    def test_wal_flip_cycle_honors_the_contract(self, tmp_path):
+        # snapshot_every past the batch keeps every record in the WAL,
+        # so the flip has the whole log to land in.
+        report = run(
+            tmp_path, "wal-flip", mode="flip_wal",
+            snapshot_every=100, kill_after=len(chaos_recover.LOADABLE),
+        )
+        assert report["violations"] == []
+        assert report["corrupted"]
+        if report["expect_report"]:
+            assert report["reported_corrupt"]
+
+    def test_wal_truncation_cycle_honors_the_contract(self, tmp_path):
+        report = run(
+            tmp_path, "wal-cut", mode="truncate_wal",
+            snapshot_every=100, kill_after=len(chaos_recover.LOADABLE),
+        )
+        assert report["violations"] == []
+        assert report["corrupted"]
+
+    def test_snapshot_flip_cycle_honors_the_contract(self, tmp_path):
+        # snapshot_every=1 guarantees checkpoints exist to damage.
+        report = run(
+            tmp_path, "snap-flip", mode="flip_snapshot",
+            snapshot_every=1, kill_after=len(chaos_recover.LOADABLE),
+        )
+        assert report["violations"] == []
+        assert report["corrupted"]
+
+    def test_randomized_sweep(self):
+        summary = chaos_recover.run_cycles(4, seed=20260807)
+        assert summary["failures"] == []
+        assert summary["acked_total"] > 0

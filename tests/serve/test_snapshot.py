@@ -135,6 +135,187 @@ class TestSnapshotter:
         assert [e["epoch"] for e in snap._read_log()] == [2]
 
 
+class TestIntegrity:
+    """CRC framing, quarantine, and the valid-prefix fallback."""
+
+    def test_log_records_carry_a_verified_checksum(self, tmp_path):
+        snap = Snapshotter(str(tmp_path), "prog1")
+        snap.append_log(1, [Fact.ground("e", ["a"])])
+        with open(tmp_path / "facts.log") as fh:
+            record = json.loads(fh.read())
+        assert record["v"] == 2
+        assert len(record["crc"]) == 8
+        # The body decodes back through the normal reader.
+        assert [e["epoch"] for e in snap._read_log()] == [1]
+
+    def test_a_bit_flip_in_a_record_fails_its_crc(self, tmp_path):
+        snap = Snapshotter(str(tmp_path), "prog1")
+        snap.append_log(1, [Fact.ground("e", ["a"])])
+        snap.append_log(2, [Fact.ground("e", ["b"])])
+        with open(tmp_path / "facts.log") as fh:
+            first, second = fh.read().splitlines()
+        # Flip a payload character in the *first* record: the line is
+        # still valid JSON, so only the checksum can catch it.
+        damaged = first.replace('"a"', '"z"')
+        assert damaged != first
+        with open(tmp_path / "facts.log", "w") as fh:
+            fh.write(damaged + "\n" + second + "\n")
+        with pytest.raises(SnapshotError, match="crc mismatch"):
+            list(snap._read_log())
+
+    def test_legacy_v1_log_lines_are_still_readable(self, tmp_path):
+        snap = Snapshotter(str(tmp_path), "prog1")
+        with open(tmp_path / "facts.log", "w") as fh:
+            fh.write(json.dumps({
+                "epoch": 1,
+                "facts": [encode_fact(Fact.ground("e", ["a"]))],
+            }) + "\n")
+        entries = list(snap._read_log())
+        assert [e["epoch"] for e in entries] == [1]
+        assert decode_fact(entries[0]["facts"][0]) == Fact.ground(
+            "e", ["a"]
+        )
+
+    def test_recover_quarantines_a_corrupt_mid_log_record(
+        self, tmp_path
+    ):
+        sha = program_sha(PROGRAM)
+        first = Engine.from_text(PROGRAM)
+        snap = Snapshotter(str(tmp_path), sha)
+        for spec in ("edge(c, d, 5).", "edge(d, e, 6).",
+                     "edge(e, f, 7)."):
+            response = first.add_facts(spec)
+            snap.append_log(response.epoch, response.loaded)
+        with open(tmp_path / "facts.log") as fh:
+            lines = fh.read().splitlines()
+        # Corrupt the middle record: epoch 1 is the valid prefix,
+        # epochs 2-3 are untrusted and must be dropped.
+        lines[1] = lines[1][:20] + "X" + lines[1][21:]
+        with open(tmp_path / "facts.log", "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+
+        recovered = Engine.from_text(PROGRAM)
+        summary = Snapshotter(str(tmp_path), sha).recover(
+            recovered.session
+        )
+        assert summary["corrupt"] is True
+        assert summary["code"] == "REPRO_CORRUPT"
+        assert summary["replayed"] == 1
+        assert summary["log_records_dropped"] == 2
+        assert summary["epoch"] == 1
+        [quarantined] = summary["quarantined"]
+        assert os.path.exists(quarantined)
+        assert os.path.dirname(quarantined).endswith("corrupt")
+        # The log was rewritten to the valid prefix: a second
+        # recovery is clean and reproduces the same state.
+        again = Engine.from_text(PROGRAM)
+        second = Snapshotter(str(tmp_path), sha).recover(
+            again.session
+        )
+        assert second["corrupt"] is False
+        assert second["replayed"] == 1
+
+    def test_non_utf8_bytes_mid_log_are_corruption_not_a_crash(
+        self, tmp_path
+    ):
+        sha = program_sha(PROGRAM)
+        first = Engine.from_text(PROGRAM)
+        snap = Snapshotter(str(tmp_path), sha)
+        for spec in ("edge(c, d, 5).", "edge(d, e, 6).",
+                     "edge(e, f, 7)."):
+            response = first.add_facts(spec)
+            snap.append_log(response.epoch, response.loaded)
+        # A disk can hand back arbitrary bytes, not just mangled
+        # text: an undecodable byte mid-log must take the quarantine
+        # path, never escape as a UnicodeDecodeError.
+        with open(tmp_path / "facts.log", "rb") as fh:
+            raw = fh.read().splitlines()
+        raw[1] = raw[1][:10] + b"\x80\xff" + raw[1][12:]
+        with open(tmp_path / "facts.log", "wb") as fh:
+            fh.write(b"\n".join(raw) + b"\n")
+
+        recovered = Engine.from_text(PROGRAM)
+        summary = Snapshotter(str(tmp_path), sha).recover(
+            recovered.session
+        )
+        assert summary["corrupt"] is True
+        assert summary["replayed"] == 1
+        assert len(summary["quarantined"]) == 1
+
+    def test_recover_quarantines_a_crc_mismatched_snapshot(
+        self, tmp_path
+    ):
+        sha = program_sha(PROGRAM)
+        first = Engine.from_text(PROGRAM)
+        snap = Snapshotter(str(tmp_path), sha)
+        response = first.add_facts("edge(c, d, 5).")
+        epoch, facts = first.session.export_state()
+        snap.snapshot(epoch, facts)
+        first.add_facts("edge(d, e, 6).")
+        epoch, facts = first.session.export_state()
+        path = snap.snapshot(epoch, facts)
+        # Flip a fact inside the newest snapshot; it stays valid JSON
+        # with a valid schema, so only the CRC can reject it.
+        with open(path) as fh:
+            text = fh.read()
+        with open(path, "w") as fh:
+            fh.write(text.replace('"d"', '"z"', 1))
+
+        recovered = Engine.from_text(PROGRAM)
+        summary = Snapshotter(str(tmp_path), sha).recover(
+            recovered.session
+        )
+        assert summary["corrupt"] is True
+        assert summary["snapshot_epoch"] == 1  # fell back
+        assert len(summary["quarantined"]) == 1
+        answers = recovered.query("?- edge(X, Y, C).").answer_strings
+        assert any("c" in answer for answer in answers)
+
+    def test_torn_tail_is_rewritten_away_not_flagged_corrupt(
+        self, tmp_path
+    ):
+        sha = program_sha(PROGRAM)
+        first = Engine.from_text(PROGRAM)
+        snap = Snapshotter(str(tmp_path), sha)
+        response = first.add_facts("edge(c, d, 5).")
+        snap.append_log(response.epoch, response.loaded)
+        with open(tmp_path / "facts.log", "a") as fh:
+            fh.write('{"v": 2, "crc": "00')  # crash mid-append
+
+        recovered = Engine.from_text(PROGRAM)
+        summary = Snapshotter(str(tmp_path), sha).recover(
+            recovered.session
+        )
+        assert summary["corrupt"] is False
+        assert summary["replayed"] == 1
+        assert summary["log_records_dropped"] == 1
+        assert summary["quarantined"] == []
+        # The stump is gone: appending now cannot concatenate onto it
+        # (the latent mid-log-corruption-one-crash-later bug).
+        snap2 = Snapshotter(str(tmp_path), sha)
+        snap2.append_log(2, [Fact.ground("edge", ["x", "y", 1])])
+        assert [e["epoch"] for e in snap2._read_log()] == [1, 2]
+
+    def test_recover_tolerates_missing_log_beside_snapshot(
+        self, tmp_path
+    ):
+        sha = program_sha(PROGRAM)
+        first = Engine.from_text(PROGRAM)
+        snap = Snapshotter(str(tmp_path), sha)
+        first.add_facts("edge(c, d, 5).")
+        epoch, facts = first.session.export_state()
+        snap.snapshot(epoch, facts)
+        os.remove(tmp_path / "facts.log")
+
+        recovered = Engine.from_text(PROGRAM)
+        summary = Snapshotter(str(tmp_path), sha).recover(
+            recovered.session
+        )
+        assert summary["snapshot_epoch"] == 1
+        assert summary["replayed"] == 0
+        assert summary["corrupt"] is False
+
+
 class TestRecovery:
     def test_recover_into_empty_dir_is_a_noop(self, tmp_path):
         engine = Engine.from_text(PROGRAM)
@@ -145,6 +326,11 @@ class TestRecovery:
             "facts_restored": 0,
             "replayed": 0,
             "epoch": 0,
+            "planner_records_restored": 0,
+            "planner_records_discarded": 0,
+            "log_records_dropped": 0,
+            "quarantined": [],
+            "corrupt": False,
         }
 
     def test_snapshot_plus_log_replay_reproduces_state(self, tmp_path):

@@ -321,6 +321,35 @@ class TestDurability:
             restarted.drain()
         assert sorted(answer.answer_strings) == expected
 
+    def test_checkpoint_embeds_planner_records(self, tmp_path):
+        config = ServeConfig(
+            workers=1, snapshot_dir=str(tmp_path), snapshot_every=100
+        )
+        engine = Engine.from_text(PROGRAM, strategy="auto")
+        with Supervisor(
+            engine, config, program_id="prog"
+        ) as supervisor:
+            # Enough repeats to drive the form past its probe phase.
+            responses = _run(
+                supervisor, ["?- reach(a, X, C)."] * 12
+            )
+            assert all(response.ok for response in responses)
+        # Drain checkpointed; the snapshot carries converged records.
+        payload = supervisor.snapshotter.latest()
+        assert payload["planner"], "no planner records persisted"
+
+        fresh = Engine.from_text(PROGRAM, strategy="auto")
+        restarted = Supervisor(
+            fresh, ServeConfig(snapshot_dir=str(tmp_path)),
+            program_id="prog",
+        )
+        summary = restarted.recover()
+        assert summary["planner_records_restored"] >= 1
+        assert summary["planner_records_discarded"] == 0
+        # The restored form is converged before any request runs.
+        planner = fresh.session.planner
+        assert planner.stats()["converged"] >= 1
+
     def test_log_is_written_before_acknowledgement(self, tmp_path):
         config = ServeConfig(
             workers=1,
@@ -337,5 +366,77 @@ class TestDurability:
             # Acked implies logged -- no drain, no snapshot yet.
             entries = list(supervisor.snapshotter._read_log())
             assert [entry["epoch"] for entry in entries] == [1]
+        finally:
+            supervisor.drain()
+
+
+class TestDegradedMode:
+    """Durability loss flips to read-only instead of crashing."""
+
+    def _supervisor(self, tmp_path, snapshot_every=100):
+        config = ServeConfig(
+            workers=1,
+            snapshot_dir=str(tmp_path),
+            snapshot_every=snapshot_every,
+        )
+        engine = Engine.from_text(PROGRAM)
+        return Supervisor(engine, config, program_id="prog")
+
+    def test_wal_failure_errors_the_load_and_flips_read_only(
+        self, tmp_path
+    ):
+        supervisor = self._supervisor(tmp_path).start()
+        recorder = FaultyRecorder(FaultPlan.from_spec("write:wal"))
+        try:
+            with recording(recorder):
+                (response,) = _run(supervisor, ["edge(c, d, 5)."])
+                assert not response.ok
+                assert response.error_code == "REPRO_SNAPSHOT"
+                assert "not durable" in response.error_message
+                # Later loads are refused outright -- the session is
+                # never touched, so no acked-but-unlogged state.
+                (refused,) = _run(supervisor, ["edge(d, e, 6)."])
+                assert refused.error_code == "REPRO_SNAPSHOT"
+                assert "read-only" in refused.error_message
+                # Queries keep being served.
+                (answer,) = _run(supervisor, ["?- reach(a, X, C)."])
+                assert answer.ok
+            health = supervisor.healthz()
+            assert health["durability"] == "degraded"
+            assert "WAL append" in health["durability_reason"]
+        finally:
+            supervisor.drain()
+
+    def test_checkpoint_failure_keeps_the_ack(self, tmp_path):
+        supervisor = self._supervisor(
+            tmp_path, snapshot_every=1
+        ).start()
+        recorder = FaultyRecorder(
+            FaultPlan.from_spec("fsync:snapshot")
+        )
+        try:
+            with recording(recorder):
+                (response,) = _run(supervisor, ["edge(c, d, 5)."])
+            # The epoch hit the fsynced WAL before the checkpoint
+            # attempt, so the ack stands...
+            assert response.ok
+            entries = list(supervisor.snapshotter._read_log())
+            assert [entry["epoch"] for entry in entries] == [1]
+            # ...but the disk is no longer trusted for future loads.
+            assert supervisor.healthz()["durability"] == "degraded"
+        finally:
+            supervisor.drain()  # must not raise despite broken disk
+
+    def test_healthz_durability_states(self, tmp_path):
+        without = Supervisor(
+            Engine.from_text(PROGRAM), ServeConfig(workers=1)
+        ).start()
+        try:
+            assert without.healthz()["durability"] == "none"
+        finally:
+            without.drain()
+        supervisor = self._supervisor(tmp_path).start()
+        try:
+            assert supervisor.healthz()["durability"] == "ok"
         finally:
             supervisor.drain()

@@ -242,3 +242,97 @@ class TestSessionIntegration:
         summary = session.stats()["planner"]
         assert summary["stats_refreshes"] >= 1
         assert first.ok
+
+
+class TestPersistence:
+    """export_records/restore_records: the probe phase survives restart."""
+
+    def converged_planner(self) -> tuple[AdaptivePlanner, object]:
+        rules, edb, query = chain_setup()
+        planner = AdaptivePlanner(rules, edb, probe_runs=1, top_k=2)
+        planner.decide("f", query)
+        costs = dict.fromkeys(planner.record("f").candidates, 0.2)
+        drive_to_convergence(planner, query, costs)
+        return planner, query
+
+    def fresh_planner(self) -> AdaptivePlanner:
+        rules, edb, __ = chain_setup()
+        return AdaptivePlanner(rules, edb, probe_runs=1, top_k=2)
+
+    def test_only_converged_records_export(self):
+        planner, query = self.converged_planner()
+        planner.decide("g", parse_query("?- path(1, Y)."))  # probing
+        exported = planner.export_records()
+        assert [record["form"] for record in exported] == ["f"]
+        record = exported[0]
+        assert record["strategy"] == planner.record("f").chosen
+        assert record["fingerprint"]
+        assert record["observations"]
+
+    def test_exported_records_are_json_round_trippable(self):
+        import json
+
+        planner, __ = self.converged_planner()
+        exported = planner.export_records()
+        assert json.loads(json.dumps(exported)) == exported
+
+    def test_restore_skips_the_probe_phase(self):
+        planner, query = self.converged_planner()
+        exported = planner.export_records()
+        chosen = planner.record("f").chosen
+
+        restarted = self.fresh_planner()
+        assert restarted.restore_records(exported) == (1, 0)
+        record = restarted.record("f")
+        assert record.state == "converged"
+        assert record.chosen == chosen
+        # The very first decision serves the converged strategy --
+        # no probing of runners-up.
+        assert restarted.decide("f", query) == chosen
+
+    def test_fingerprint_mismatch_discards_the_record(self):
+        planner, __ = self.converged_planner()
+        exported = planner.export_records()
+
+        from repro.engine.facts import Fact
+
+        rules, edb, __ = chain_setup()
+        edb.insert_many([Fact.ground("edge", (50, 51))])
+        restarted = AdaptivePlanner(rules, edb, probe_runs=1)
+        assert restarted.restore_records(exported) == (0, 1)
+        assert restarted.record("f") is None
+
+    def test_malformed_records_are_discarded_not_fatal(self):
+        restarted = self.fresh_planner()
+        fingerprint = restarted.export_records  # just to have planner
+        current = restarted.snapshot().fingerprint()
+        mangled = [
+            {"form": "x"},  # missing everything else
+            {"form": "y", "strategy": "rewrite",
+             "fingerprint": current, "query": "not a query"},
+            "not even a dict",
+        ]
+        restored, discarded = restarted.restore_records(mangled)
+        assert restored == 0
+        assert discarded == 3
+        assert fingerprint() == []
+
+    def test_restored_ewma_still_drives_divergence(self):
+        planner, query = self.converged_planner()
+        exported = planner.export_records()
+
+        rules, edb, __ = chain_setup()
+        restarted = AdaptivePlanner(
+            rules, edb, probe_runs=1, divergence=2.0
+        )
+        restarted.restore_records(exported)
+        chosen = restarted.record("f").chosen
+        # Feed observations far above the restored baseline: the
+        # divergence watchdog must still fire on persisted state.
+        for __ in range(64):
+            restarted.observe(
+                "f", chosen, eval_stats(0), 1000.0, cold=False
+            )
+            if restarted.record("f").stale:
+                break
+        assert restarted.record("f").stale
