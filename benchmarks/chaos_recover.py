@@ -29,10 +29,16 @@ prediction pins down whether damage is a tolerable torn tail or
 reportable corruption, and the subprocess run proves the end-to-end
 plumbing (quarantine, fallback, report, replay) honors it.
 
+With ``--sharded N`` each cycle instead runs ``repro serve --shards
+N``, SIGKILLs one *shard worker* mid-load (the coordinator must
+isolate the failure, respawn, and WAL-recover), then kills or drains
+the whole process and verifies that restart converges every shard to
+a consistent cluster epoch with zero acked-fact loss.
+
 Usage::
 
     python benchmarks/chaos_recover.py --cycles 50 [--seed N]
-        [--artifacts DIR]
+        [--artifacts DIR] [--sharded N]
 
 Exits non-zero on any violation; failing cycles leave their snapshot
 directory (and the quarantined evidence inside it) under the artifacts
@@ -458,16 +464,259 @@ def run_cycle(
     return report
 
 
+# -- one sharded chaos cycle ------------------------------------------
+
+
+def run_sharded_cycle(
+    rng: random.Random,
+    workdir: Path,
+    shards: int = 2,
+    kill_after: int | None = None,
+) -> dict:
+    """One sharded kill/recover cycle against ``--shards N``.
+
+    SIGKILLs one shard *worker* mid-load (the coordinator must isolate
+    the failure, respawn the worker, and WAL-recover its acked facts),
+    then either closes the server gracefully or SIGKILLs the whole
+    process, and restarts against the same snapshot directory.  The
+    contract: recovery converges every shard to a consistent epoch
+    (no ``inconsistent cluster recovery`` report), no ghosts appear,
+    no acked fact is lost (kill-only cycles have a zero loss bound --
+    every shard's WAL append precedes its ack), and the restarted
+    answers equal the oracle's over exactly the surviving EDB.
+    """
+    kill_after = (
+        kill_after
+        if kill_after is not None
+        else rng.randint(1, len(LOADABLE) - 2)
+    )
+    snapshot_every = rng.choice((1, 2, 3, 8))
+    delay = rng.choice((None, 0.02, 0.05))
+    crash_exit = rng.random() < 0.5
+    mode = "sharded-crash" if crash_exit else "sharded-kill"
+
+    program_path = workdir / "prog.cql"
+    program_path.write_text(PROGRAM)
+    snapdir = workdir / "snap"
+    report: dict = {
+        "mode": mode,
+        "shards": shards,
+        "snapshot_every": snapshot_every,
+        "kill_after": kill_after,
+        "wal_delay": delay,
+        "violations": [],
+    }
+
+    def violation(text: str) -> None:
+        report["violations"].append(text)
+
+    flags = [
+        "--batch", "-",
+        "--shards", str(shards),
+        "--snapshot-dir", str(snapdir),
+        "--snapshot-every", str(snapshot_every),
+        "--workers", "2",
+        "--queue-depth", "1",
+    ]
+    if delay is not None:
+        flags += ["--faults", f"delay:fs.write.wal:{delay}"]
+    victim = subprocess.Popen(
+        _serve_argv(str(program_path), *flags),
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True, env=_env(),
+    )
+    out_lines: list[str] = []
+    err_lines: list[str] = []
+
+    def read_pipe(pipe, sink) -> None:
+        for line in pipe:
+            sink.append(line)
+
+    readers = [
+        threading.Thread(
+            target=read_pipe, args=(victim.stdout, out_lines),
+            daemon=True,
+        ),
+        threading.Thread(
+            target=read_pipe, args=(victim.stderr, err_lines),
+            daemon=True,
+        ),
+    ]
+    for reader in readers:
+        reader.start()
+
+    def shard_pids() -> dict[int, int]:
+        pids = {}
+        for line in err_lines:
+            if line.startswith("repro serve: shard "):
+                parts = line.split()
+                pids[int(parts[3])] = int(parts[5])
+        return pids
+
+    try:
+        deadline = time.monotonic() + 45
+        while (
+            len(shard_pids()) < shards
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.005)
+        if len(shard_pids()) < shards:
+            violation(
+                f"only {len(shard_pids())} of {shards} shard pid "
+                "lines appeared on stderr"
+            )
+        try:
+            for edge in LOADABLE[:kill_after]:
+                victim.stdin.write(fact_line(edge) + "\n")
+                victim.stdin.flush()
+            while (
+                len(out_lines) < kill_after
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.005)
+            # Mid-load worker kill: one shard dies between acks.
+            pids = shard_pids()
+            if pids:
+                target = rng.choice(sorted(pids))
+                report["killed_shard"] = target
+                try:
+                    os.kill(pids[target], signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+            for edge in LOADABLE[kill_after:]:
+                victim.stdin.write(fact_line(edge) + "\n")
+                victim.stdin.flush()
+            if not crash_exit:
+                victim.stdin.close()  # EOF: drain + final checkpoint
+                victim.wait(timeout=60)
+            else:
+                while (
+                    len(out_lines) < len(LOADABLE)
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.005)
+        except BrokenPipeError:
+            violation("victim died before the batch was fed")
+    finally:
+        if victim.poll() is None:
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=30)
+        # Orphaned shard workers die on stdin EOF when the
+        # coordinator's pipes close with it.
+    for reader in readers:
+        reader.join(timeout=10)
+
+    acked: set[tuple] = set()
+    for index, line in enumerate(out_lines):
+        try:
+            payload = json.loads(line)
+        except ValueError:
+            continue
+        if payload.get("type") == "facts":
+            acked.add(LOADABLE[index])
+    report["acked"] = len(acked)
+    report["load_errors"] = sum(
+        1
+        for line in out_lines
+        if '"type": "error"' in line or '"error_code"' in line
+    )
+
+    # -- restart, recover, query --------------------------------------
+    batch_path = workdir / "checks.txt"
+    batch_path.write_text(EDGE_QUERY + "\n" + REACH_QUERY + "\n")
+    revived = subprocess.run(
+        _serve_argv(
+            str(program_path),
+            "--batch", str(batch_path),
+            "--shards", str(shards),
+            "--snapshot-dir", str(snapdir),
+            "--workers", "2",
+        ),
+        capture_output=True, text=True, timeout=120, env=_env(),
+    )
+    report["restart_returncode"] = revived.returncode
+    if revived.returncode != 0:
+        violation(
+            f"restart exited {revived.returncode}: "
+            f"{revived.stderr.strip()}"
+        )
+        return report
+    if "inconsistent cluster recovery" in revived.stderr:
+        violation(
+            "restart reported an inconsistent cluster: "
+            f"{revived.stderr.strip()}"
+        )
+    if "REPRO_CORRUPT" in revived.stderr:
+        violation(
+            "corruption reported for an undamaged sharded cycle: "
+            f"{revived.stderr.strip()}"
+        )
+    if acked and "recovered cluster epoch" not in revived.stderr:
+        violation(
+            "restart never reported a recovered cluster epoch "
+            "despite acked loads"
+        )
+
+    answer_sets = [
+        payload["answers"]
+        for payload in map(json.loads, revived.stdout.splitlines())
+        if payload["type"] == "answers"
+    ]
+    if len(answer_sets) != 2:
+        violation(f"expected 2 answer sets, got {len(answer_sets)}")
+        return report
+    survived = edges_from_answers(answer_sets[0])
+    report["survived"] = len(survived)
+
+    fed = set(LOADABLE) | {BASE_EDGE}
+    ghosts = survived - fed
+    if ghosts:
+        violation(f"ghost facts never fed: {sorted(ghosts)}")
+    lost = (acked | {BASE_EDGE}) - survived
+    report["acked_lost"] = len(lost)
+    if lost:
+        # Kill-only cycles: every ack follows the owning shard's WAL
+        # append, so the per-shard loss bound is zero.
+        violation(
+            f"{len(lost)} acked facts lost in mode {mode}: "
+            f"{sorted(lost)}"
+        )
+    oracle_edges, oracle_reach = oracle_edge_and_reach(survived)
+    served_edges = {
+        canonical_answer(binding) for binding in answer_sets[0]
+    }
+    served_reach = {
+        canonical_answer(binding) for binding in answer_sets[1]
+    }
+    if served_edges != oracle_edges:
+        violation(
+            f"edge answers diverge from the oracle: "
+            f"served {sorted(served_edges)} vs "
+            f"oracle {sorted(oracle_edges)}"
+        )
+    if served_reach != oracle_reach:
+        violation(
+            f"reach answers diverge from the oracle: "
+            f"served {sorted(served_reach)} vs "
+            f"oracle {sorted(oracle_reach)}"
+        )
+    return report
+
+
 # -- the driver -------------------------------------------------------
 
 
 def run_cycles(
-    cycles: int, seed: int, artifacts: Path | None = None
+    cycles: int,
+    seed: int,
+    artifacts: Path | None = None,
+    sharded: int | None = None,
 ) -> dict:
     """Run ``cycles`` randomized cycles; returns the summary dict."""
     summary: dict = {
         "seed": seed,
         "cycles": cycles,
+        "sharded": sharded,
         "failures": [],
         "modes": {},
         "reported_corrupt": 0,
@@ -479,11 +728,18 @@ def run_cycles(
             rng = random.Random(f"{seed}:{index}")
             workdir = base / f"cycle-{index:03d}"
             workdir.mkdir()
-            report = run_cycle(rng, workdir)
+            if sharded is not None:
+                report = run_sharded_cycle(
+                    rng, workdir, shards=sharded
+                )
+            else:
+                report = run_cycle(rng, workdir)
             report["cycle"] = index
             mode = report["mode"]
             summary["modes"][mode] = summary["modes"].get(mode, 0) + 1
-            summary["reported_corrupt"] += report["reported_corrupt"]
+            summary["reported_corrupt"] += report.get(
+                "reported_corrupt", 0
+            )
             summary["acked_total"] += report["acked"]
             if report["violations"]:
                 summary["failures"].append(report)
@@ -503,7 +759,8 @@ def run_cycles(
                     f"cycle {index}: ok mode={mode} "
                     f"acked={report['acked']} "
                     f"survived={report.get('survived')} "
-                    f"corrupt_reported={report['reported_corrupt']}"
+                    f"corrupt_reported="
+                    f"{report.get('reported_corrupt', 0)}"
                 )
     finally:
         shutil.rmtree(base, ignore_errors=True)
@@ -526,6 +783,11 @@ def main(argv: list[str] | None = None) -> int:
         "--artifacts", metavar="DIR", default=None,
         help="keep failing cycles' snapshot dirs under DIR",
     )
+    parser.add_argument(
+        "--sharded", type=int, default=None, metavar="N",
+        help="run sharded cycles against --shards N (SIGKILL one "
+        "shard worker mid-load) instead of single-session cycles",
+    )
     arguments = parser.parse_args(argv)
     seed = (
         arguments.seed
@@ -537,8 +799,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     if artifacts is not None:
         artifacts.mkdir(parents=True, exist_ok=True)
-    print(f"chaos_recover: {arguments.cycles} cycles, seed {seed}")
-    summary = run_cycles(arguments.cycles, seed, artifacts)
+    flavor = (
+        f" (sharded x{arguments.sharded})"
+        if arguments.sharded is not None
+        else ""
+    )
+    print(
+        f"chaos_recover: {arguments.cycles} cycles, seed {seed}"
+        f"{flavor}"
+    )
+    summary = run_cycles(
+        arguments.cycles, seed, artifacts, sharded=arguments.sharded
+    )
     print(json.dumps(summary, default=str))
     if summary["failures"]:
         print(

@@ -647,6 +647,131 @@ def run_recover_benchmark(repeat: int, small: bool = False) -> dict:
     return best
 
 
+def run_sharded_benchmark(repeat: int, small: bool = False) -> dict:
+    """The serve-sharded scaling workload (docs/serving.md).
+
+    Measures what hash-partitioned multi-process serving buys on
+    *partitioned* work: durable fact ingest, where every inserted
+    fact costs real per-fact work on exactly one shard.  Because the
+    suite runs on small CI machines (often one core), the per-fact
+    cost is modelled with an injected ``delay:relation.inserts``
+    fault inside the worker processes -- sleeps overlap across
+    processes the way I/O- or solver-bound work would, so the scaling
+    signal is about the *partitioning* (each shard inserts only its
+    1/N share, concurrently), not about how many cores the runner
+    happens to have.  Loads are durable (per-shard WALs under a
+    temporary directory) and a sample of shard-key-bound queries
+    verifies the routed data answers correctly -- with the scatter
+    pruned to the owner shard.
+    """
+    import shutil
+    import tempfile
+
+    from repro.shard import ShardedEngine
+
+    program = "\n".join(
+        [
+            "reach(X, Y) :- edge(X, Y, C).",
+            "reach(X, Z) :- reach(X, Y), edge(Y, Z, C).",
+            # Enough baked facts that the planner keeps ``edge``
+            # hash-partitioned rather than demoting it to broadcast
+            # as a small relation.
+            *(
+                f"edge(seed{index}, seed{index + 1}, 1)."
+                for index in range(8)
+            ),
+        ]
+    )
+    shard_counts = (1, 2, 4) if small else (1, 2, 4, 8)
+    n_facts = 64 if small else 240
+    batch_size = 16 if small else 60
+    fault_spec = (
+        "delay:relation.inserts:0.003; delay:fs.write.wal:0.001"
+    )
+    lines = [
+        f"edge(s{index}, t{index}, 1)." for index in range(n_facts)
+    ]
+    batches = [
+        "\n".join(lines[index:index + batch_size])
+        for index in range(0, len(lines), batch_size)
+    ]
+    probe = [0, n_facts // 2, n_facts - 1]
+
+    ingest: dict[str, float] = {}
+    pruned_query: dict[str, float] = {}
+    balance: dict[str, dict] = {}
+    for shards in shard_counts:
+        best_elapsed = None
+        for __ in range(repeat):
+            base = tempfile.mkdtemp(prefix="repro-shard-bench-")
+            engine = ShardedEngine.from_text(
+                program,
+                shards,
+                snapshot_dir=base,
+                snapshot_every=1000,
+                faults=fault_spec,
+            )
+            try:
+                engine.coordinator.start()
+                engine.coordinator.recover()
+                started = time.perf_counter()
+                for batch in batches:
+                    response = engine.add_facts(batch)
+                    assert response.ok, response.error_message
+                elapsed = time.perf_counter() - started
+                probe_started = time.perf_counter()
+                for index in probe:
+                    response = engine.session.query(
+                        parse_query(f"?- edge(s{index}, T, C).")
+                    )
+                    assert response.ok, response.error_message
+                    answers = sorted(response.answer_strings)
+                    assert len(answers) == 1 and (
+                        f"t{index}" in answers[0]
+                    ), answers
+                probe_elapsed = (
+                    time.perf_counter() - probe_started
+                ) / len(probe)
+                health = engine.coordinator.healthz()
+                counts = [
+                    entry["edb_facts"]
+                    for entry in health["shards"]
+                ]
+            finally:
+                engine.coordinator.close(drain=False)
+                shutil.rmtree(base, ignore_errors=True)
+            if best_elapsed is None or elapsed < best_elapsed:
+                best_elapsed = elapsed
+                ingest[str(shards)] = elapsed
+                pruned_query[str(shards)] = probe_elapsed
+                balance[str(shards)] = {
+                    "max_shard_facts": max(counts),
+                    "min_shard_facts": min(counts),
+                    "ideal_per_shard": (n_facts + 8) / shards,
+                }
+    baseline = ingest[str(shard_counts[0])]
+    speedup = {
+        key: baseline / max(seconds, 1e-9)
+        for key, seconds in ingest.items()
+        if key != str(shard_counts[0])
+    }
+    return {
+        "name": "serve-sharded",
+        "strategy": "rewrite",
+        "seconds": ingest[str(shard_counts[-1])],
+        "sharded": {
+            "facts_loaded": n_facts,
+            "batch_size": batch_size,
+            "fault_spec": fault_spec,
+            "shard_counts": list(shard_counts),
+            "ingest_seconds": ingest,
+            "ingest_speedup_vs_1": speedup,
+            "pruned_query_mean_seconds": pruned_query,
+            "balance": balance,
+        },
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the suite and write the results JSON."""
     parser = argparse.ArgumentParser(
@@ -725,6 +850,15 @@ def main(argv: list[str] | None = None) -> int:
         )
         results.append(
             run_recover_benchmark(
+                arguments.repeat, small=arguments.smoke
+            )
+        )
+    if selected is None or "serve-sharded" in selected:
+        print(
+            "running serve-sharded [rewrite] ...", file=sys.stderr
+        )
+        results.append(
+            run_sharded_benchmark(
                 arguments.repeat, small=arguments.smoke
             )
         )

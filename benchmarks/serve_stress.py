@@ -15,10 +15,22 @@ the serving layer (docs/serving.md) and exits non-zero when any fails:
   (bounded, immediate ``REPRO_OVERLOAD``), and every admitted request
   must still complete once the lock is released -- load shedding must
   never lose admitted work.
+
+With ``--shards N`` both phases run against a sharded cluster
+(:class:`repro.shard.ShardedEngine`) instead of a single session, and
+the stress phase additionally SIGKILLs one shard worker mid-run: the
+coordinator must isolate the failure to the requests that touched the
+dead shard, the supervisor's retry loop must absorb them (a
+``REPRO_SHARD`` error is transient -- the next attempt respawns and
+WAL-recovers the worker), and the completion and zero-wrong-answer
+bars stay exactly where the single-session run puts them.
 """
 
 from __future__ import annotations
 
+import argparse
+import os
+import signal
 import sys
 import time
 from pathlib import Path
@@ -31,6 +43,7 @@ from repro.governor import FaultPlan, FaultyRecorder  # noqa: E402
 from repro.obs.recorder import recording  # noqa: E402
 from repro.serve import RetryPolicy, ServeConfig, Supervisor  # noqa: E402
 from repro.service import Engine  # noqa: E402
+from repro.shard import ShardedEngine  # noqa: E402
 
 PROGRAM = """
 reach(X, Y, C) :- edge(X, Y, C).
@@ -75,34 +88,59 @@ def sequential_answers() -> dict:
     }
 
 
-def stress_phase() -> None:
+def make_engine(shards: int | None):
+    """One single-session or sharded engine plus its closer."""
+    if shards is None:
+        return Engine.from_text(PROGRAM), lambda: None
+    engine = ShardedEngine.from_text(PROGRAM, shards)
+    engine.coordinator.start()
+    return engine, lambda: engine.coordinator.close(drain=False)
+
+
+def stress_phase(shards: int | None = None) -> None:
     expected = sequential_answers()
-    engine = Engine.from_text(PROGRAM)
+    engine, close = make_engine(shards)
     config = ServeConfig(
         workers=4,
         queue_depth=256,
         retry=RetryPolicy(retries=3, base_delay=0.005),
     )
     plan = FaultPlan.from_spec(FAULT_SPEC)
-    with recording(FaultyRecorder(plan)):
-        with Supervisor(engine, config) as supervisor:
-            fact_requests = [
-                supervisor.submit(line) for line in FACTS
-            ]
-            for request in fact_requests:
-                response = request.result(timeout=120)
-                if not response.ok:
-                    fail(f"fact load failed: {response.error_message}")
-            query_lines = [
-                QUERY_FORMS[index % len(QUERY_FORMS)]
-                for index in range(N_QUERIES)
-            ]
-            requests = [
-                supervisor.submit(line) for line in query_lines
-            ]
-            responses = [
-                request.result(timeout=120) for request in requests
-            ]
+    try:
+        with recording(FaultyRecorder(plan)):
+            with Supervisor(engine, config) as supervisor:
+                fact_requests = [
+                    supervisor.submit(line) for line in FACTS
+                ]
+                for request in fact_requests:
+                    response = request.result(timeout=120)
+                    if not response.ok:
+                        fail(
+                            "fact load failed: "
+                            f"{response.error_message}"
+                        )
+                query_lines = [
+                    QUERY_FORMS[index % len(QUERY_FORMS)]
+                    for index in range(N_QUERIES)
+                ]
+                requests = [
+                    supervisor.submit(line) for line in query_lines
+                ]
+                if shards is not None:
+                    # Kill a shard worker while queries are in
+                    # flight: the coordinator respawns it and the
+                    # supervisor's retries absorb the REPRO_SHARD
+                    # failures of the requests that touched it.
+                    os.kill(
+                        engine.coordinator.pids()[shards - 1],
+                        signal.SIGKILL,
+                    )
+                responses = [
+                    request.result(timeout=120)
+                    for request in requests
+                ]
+    finally:
+        close()
     stats = supervisor.stats()["serve"]
     total = len(FACTS) + len(responses)
     ok = len(FACTS) + sum(
@@ -126,20 +164,34 @@ def stress_phase() -> None:
             )
     if wrong:
         fail(f"{wrong} answers differ from the sequential run")
+    respawns = (
+        f", shard_respawns="
+        f"{engine.coordinator.counters['respawns']}"
+        if shards is not None
+        else ""
+    )
     print(
         f"serve-stress: stress OK: {ok}/{total} completed, "
         f"retries={stats['retries']}, "
         f"worker_deaths={stats['worker_deaths']}, shed=0, "
-        "zero wrong answers"
+        f"zero wrong answers{respawns}"
     )
 
 
-def overload_phase() -> None:
-    engine = Engine.from_text(PROGRAM)
+def overload_phase(shards: int | None = None) -> None:
+    engine, close = make_engine(shards)
+    # Holding the writer lock stalls every query attempt -- the
+    # session's own lock in single-session mode, the coordinator's
+    # in sharded mode.
+    lock = (
+        engine.coordinator._rw
+        if shards is not None
+        else engine.session._rw
+    )
     config = ServeConfig(workers=2, queue_depth=16)
     flood = 120
     with Supervisor(engine, config) as supervisor:
-        engine.session._rw.acquire_write()  # stall every worker
+        lock.acquire_write()  # stall every worker
         try:
             started = time.perf_counter()
             requests = [
@@ -161,7 +213,7 @@ def overload_phase() -> None:
                 if request.result().error_code != "REPRO_OVERLOAD":
                     fail("shed request missing REPRO_OVERLOAD")
         finally:
-            engine.session._rw.release_write()
+            lock.release_write()
         deadline = time.monotonic() + 60
         for request in requests:
             remaining = max(0.1, deadline - time.monotonic())
@@ -173,6 +225,7 @@ def overload_phase() -> None:
                     "admitted request lost under overload: "
                     f"{response.error_code}"
                 )
+    close()
     stats = supervisor.stats()["serve"]
     if stats["completed"] + stats["shed"] < flood:
         fail(
@@ -185,10 +238,27 @@ def overload_phase() -> None:
     )
 
 
-def main() -> int:
-    stress_phase()
-    overload_phase()
-    print("serve-stress: all phases OK")
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="serve_stress")
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run both phases against an N-shard cluster instead "
+        "of a single session (adds a mid-run shard SIGKILL)",
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.shards is not None and arguments.shards < 1:
+        parser.error("--shards: expected a positive integer")
+    stress_phase(arguments.shards)
+    overload_phase(arguments.shards)
+    mode = (
+        f"sharded x{arguments.shards}"
+        if arguments.shards is not None
+        else "single-session"
+    )
+    print(f"serve-stress: all phases OK ({mode})")
     return 0
 
 

@@ -24,6 +24,7 @@ from pathlib import Path
 
 from repro.conformance.differ import (
     DEFAULT_CONFIGS,
+    EXTRA_CONFIGS,
     CheckSettings,
     INJECTIONS,
     check_case,
@@ -64,7 +65,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--configs",
         default=",".join(DEFAULT_CONFIGS),
         help="comma-separated configurations to compare "
-        f"(default {','.join(DEFAULT_CONFIGS)})",
+        f"(default {','.join(DEFAULT_CONFIGS)}; opt-in extras: "
+        f"{','.join(EXTRA_CONFIGS)})",
     )
     parser.add_argument(
         "--deadline",
@@ -140,11 +142,14 @@ def main(argv: list[str] | None = None) -> int:
         for name in arguments.configs.split(",")
         if name.strip()
     )
-    unknown = set(configs) - set(DEFAULT_CONFIGS)
+    unknown = (
+        set(configs) - set(DEFAULT_CONFIGS) - set(EXTRA_CONFIGS)
+    )
     if unknown:
         print(
             f"repro conformance: unknown configs {sorted(unknown)} "
-            f"(choose from {', '.join(DEFAULT_CONFIGS)})",
+            f"(choose from "
+            f"{', '.join(DEFAULT_CONFIGS + EXTRA_CONFIGS)})",
             file=sys.stderr,
         )
         return 2

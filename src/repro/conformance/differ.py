@@ -66,6 +66,12 @@ DEFAULT_CONFIGS = (
     "service",
 )
 
+#: Opt-in configurations, valid for ``--configs`` but excluded from
+#: the default sweep: ``sharded`` spawns a 2-shard worker-subprocess
+#: cluster per case (:func:`_sharded_run`), far too heavy to run on
+#: every seed by default.
+EXTRA_CONFIGS = ("sharded",)
+
 #: A program-mutating bug injection: (strategy to corrupt, mutation).
 Injection = "tuple[str, Callable[[Program], Program]]"
 
@@ -375,6 +381,53 @@ def _service_runs(
     return runs
 
 
+def _sharded_run(
+    case: GeneratedCase,
+    settings: CheckSettings,
+    domain: list[Fraction],
+    shards: int = 2,
+) -> ConfigRun:
+    """One query through a real multi-process shard cluster.
+
+    Spawns ``shards`` worker subprocesses over the case's program,
+    runs the distributed delta-exchange fixpoint, and canonicalizes
+    the gathered answers exactly like every other config -- the differ
+    then proves the sharded evaluation answer-identical to the oracle
+    and the single-session runs.  Not in :data:`DEFAULT_CONFIGS`
+    (subprocess spawns per case are expensive); opt in with
+    ``--configs ...,sharded``.
+    """
+    from repro.shard import ShardedEngine
+
+    text = "\n".join(str(rule) for rule in case.program)
+    engine = ShardedEngine.from_text(
+        text,
+        shards,
+        strategy="rewrite",
+        max_iterations=settings.max_iterations,
+        eval_iterations=settings.eval_iterations,
+        budget=settings.budget(),
+        on_limit="truncate",
+    )
+    try:
+        engine.coordinator.start()
+        response = engine.session.query(case.query)
+    finally:
+        engine.coordinator.close(drain=False)
+    if response.kind == "error":
+        return ConfigRun(
+            "sharded",
+            None,
+            f"error:{response.error_code}",
+            detail=response.error_message or "",
+        )
+    if response.completeness.startswith("truncated"):
+        return ConfigRun("sharded", None, response.completeness)
+    return ConfigRun(
+        "sharded", canonical_answers(response.answers, domain)
+    )
+
+
 def check_case(
     case: GeneratedCase,
     configs: tuple[str, ...] = DEFAULT_CONFIGS,
@@ -402,6 +455,8 @@ def check_case(
                     runs = [_auto_run(case, settings, domain)]
                 elif config == "service":
                     runs = _service_runs(case, settings, domain)
+                elif config == "sharded":
+                    runs = [_sharded_run(case, settings, domain)]
                 else:
                     mutate = None
                     if inject is not None and inject[0] == config:

@@ -319,6 +319,7 @@ def resume(
     use_range_index: bool = True,
     backward_subsumption: bool = False,
     budget: "governor.BudgetMeter | None" = None,
+    assume_delta: bool = False,
 ) -> EvaluationResult:
     """Fold new EDB facts into an evaluated database and continue.
 
@@ -338,6 +339,14 @@ def resume(
     cover only the resumed portion.  If the facts were all duplicates
     or subsumed, the database is already a fixpoint and no iteration
     runs.  ``max_iterations`` caps the *additional* iterations.
+
+    ``assume_delta`` runs the iteration loop even when ``new_facts``
+    added nothing: the caller asserts the database already holds an
+    unprocessed delta at ``start_stamp`` (facts a previous bounded run
+    derived but never joined from).  The sharded exchange loop
+    (:mod:`repro.shard.exchange`) uses this with ``max_iterations=1``
+    to step the semi-naive fixpoint one round at a time, folding in
+    remote shards' derivations between rounds.
     """
     meter = budget if budget is not None else governor.current_meter()
     with obs_span("normalize"):
@@ -364,7 +373,7 @@ def resume(
     except BudgetExceeded as error:
         tripped = error.resource
     reached_fixpoint = tripped is None
-    if added and tripped is None:
+    if (added or assume_delta) and tripped is None:
         with obs_span(
             "fixpoint", strategy="seminaive", rules=len(normalized),
             resumed=True, delta=added,

@@ -181,6 +181,21 @@ class CorruptionError(SnapshotError):
     exit_code = 2
 
 
+class ShardError(ReproError, RuntimeError):
+    """A shard worker process failed or its transport broke.
+
+    Raised when a worker subprocess dies mid-request, its pipe closes,
+    or it answers with a malformed frame (see :mod:`repro.shard`).  The
+    coordinator isolates the failure to the requests touching that
+    shard -- other shards keep serving -- and attempts a respawn; the
+    request that observed the death is *not* silently retried (a fact
+    load may have committed on the shard before it died).
+    """
+
+    code = "REPRO_SHARD"
+    exit_code = 3
+
+
 #: code -> (exit code, raising class, one-line description).  The
 #: classes defined in deeper layers are named by dotted path (resolved
 #: lazily by :func:`taxonomy` to avoid import cycles).
@@ -246,6 +261,11 @@ ERROR_CODES: dict[str, tuple[int, str, str]] = {
         "repro.errors.CorruptionError",
         "durable state failed its CRC integrity check; the damaged "
         "segment was quarantined and recovery fell back",
+    ),
+    "REPRO_SHARD": (
+        3,
+        "repro.errors.ShardError",
+        "a shard worker process died or its transport broke",
     ),
 }
 

@@ -33,7 +33,7 @@ from repro.config import (
     DEFAULT_REWRITE_ITERATIONS,
 )
 from repro.driver import ON_LIMIT_POLICIES, STRATEGY_CHOICES
-from repro.errors import ReproError, exit_code_for
+from repro.errors import ReproError, UsageError, exit_code_for
 from repro.governor import Budget
 from repro.serve.retry import RetryPolicy
 from repro.serve.snapshot import program_sha
@@ -41,6 +41,26 @@ from repro.serve.supervisor import ServeConfig, Supervisor
 from repro.service.batch import degraded_status
 from repro.service.cache import DEFAULT_CACHE_SIZE
 from repro.service.engine import Engine
+
+
+def positive_int(text: str) -> int:
+    """Argparse type for flags that must be a positive integer.
+
+    Rejecting at parse time turns ``--workers 0`` into a clean usage
+    error (exit 2 with the offending flag named) instead of a
+    ``ValueError`` surfacing from ``ServeConfig``.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,14 +89,14 @@ def build_parser() -> argparse.ArgumentParser:
     pool = parser.add_argument_group("worker pool")
     pool.add_argument(
         "--workers",
-        type=int,
+        type=positive_int,
         default=4,
         metavar="N",
         help="worker threads serving requests (default 4)",
     )
     pool.add_argument(
         "--queue-depth",
-        type=int,
+        type=positive_int,
         default=64,
         metavar="N",
         help="admission-queue bound; requests beyond it are shed "
@@ -123,10 +143,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     durability.add_argument(
         "--snapshot-every",
-        type=int,
+        type=positive_int,
         default=8,
         metavar="N",
         help="full checkpoint every N fact loads (default 8)",
+    )
+    sharding = parser.add_argument_group("sharding")
+    sharding.add_argument(
+        "--shards",
+        type=positive_int,
+        default=None,
+        metavar="N",
+        help="partition the EDB across N worker processes and run "
+        "queries as a distributed fixpoint with delta exchange "
+        "(docs/serving.md); with --snapshot-dir each shard keeps "
+        "its own WAL under DIR/shard-NN and checkpoints are "
+        "consistent cross-shard cuts",
+    )
+    sharding.add_argument(
+        "--partition-key",
+        action="append",
+        metavar="PRED=COL[@B1,B2,...]",
+        help="shard-key column for a relation (default column 0); "
+        "an @-suffixed ascending bound list switches the relation "
+        "to range partitioning (repeatable)",
     )
     parser.add_argument(
         "--strategy",
@@ -197,6 +237,63 @@ def _build_budget(arguments) -> Budget | None:
     return None if budget.is_unlimited() else budget
 
 
+def _start_shards(engine, err) -> None:
+    """Spawn the shard fleet, recover it, and report what happened.
+
+    The ``shard K pid P`` lines give the chaos harness a handle to
+    SIGKILL one specific worker; the corruption and consistency lines
+    mirror the single-session recovery report (same ``REPRO_CORRUPT``
+    vocabulary) but per shard and against the cluster manifest.
+    """
+    coordinator = engine.coordinator
+    recovery = coordinator.recover()
+    for shard, pid in sorted(coordinator.pids().items()):
+        print(f"repro serve: shard {shard} pid {pid}", file=err)
+    corrupt = recovery.get("corrupt", 0)
+    quarantined_manifests = recovery.get("quarantined_manifests", [])
+    if corrupt or quarantined_manifests:
+        print(
+            f"repro serve: [REPRO_CORRUPT] corrupt durable state "
+            f"quarantined across shards ({corrupt} shard files, "
+            f"{len(quarantined_manifests)} cluster manifests moved "
+            f"to corrupt/); recovery fell back to the newest "
+            f"verifiable state",
+            file=err,
+        )
+    manifest = recovery.get("manifest", {})
+    if not manifest.get("consistent", True):
+        behind = ", ".join(
+            f"shard {entry['shard']} epoch "
+            f"{entry['recovered_epoch']} < "
+            f"{entry['manifest_epoch']}"
+            for entry in manifest.get("behind", ())
+        )
+        print(
+            f"repro serve: [REPRO_CORRUPT] inconsistent cluster "
+            f"recovery against manifest generation "
+            f"{manifest.get('generation')}: {behind}",
+            file=err,
+        )
+    restored = sum(
+        (summary or {}).get("facts_restored", 0)
+        + (summary or {}).get("replayed", 0)
+        for summary in recovery.get("shards", {}).values()
+    )
+    if restored:
+        per_shard = ", ".join(
+            f"shard {shard} epoch {summary.get('epoch', 0)}"
+            for shard, summary in sorted(
+                recovery.get("shards", {}).items()
+            )
+            if summary
+        )
+        print(
+            f"repro serve: recovered cluster epoch "
+            f"{recovery.get('epoch', 0)} ({per_shard})",
+            file=err,
+        )
+
+
 def _serve(arguments, supervisor: Supervisor, lines, out) -> int:
     """Pump request lines through the pool, printing in order."""
     status = 0
@@ -232,9 +329,13 @@ def main(argv: list[str] | None = None) -> int:
     except OSError as error:
         print(f"repro serve: {error}", file=sys.stderr)
         return 2
+    sharded = arguments.shards is not None
     try:
-        engine = Engine.from_text(
-            text,
+        if arguments.partition_key and not sharded:
+            raise UsageError(
+                "--partition-key requires --shards"
+            )
+        session_options = dict(
             strategy=arguments.strategy,
             max_iterations=(
                 arguments.max_iterations
@@ -254,6 +355,27 @@ def main(argv: list[str] | None = None) -> int:
                 else DEFAULT_CACHE_SIZE
             ),
         )
+        if sharded:
+            from repro.shard import (
+                ShardedEngine,
+                parse_partition_keys,
+            )
+
+            keys, ranges = parse_partition_keys(
+                arguments.partition_key or []
+            )
+            engine = ShardedEngine.from_text(
+                text,
+                arguments.shards,
+                snapshot_dir=arguments.snapshot_dir,
+                snapshot_every=arguments.snapshot_every,
+                faults=arguments.faults,
+                partition_keys=keys,
+                partition_ranges=ranges,
+                **session_options,
+            )
+        else:
+            engine = Engine.from_text(text, **session_options)
         config = ServeConfig(
             workers=arguments.workers,
             queue_depth=arguments.queue_depth,
@@ -263,7 +385,12 @@ def main(argv: list[str] | None = None) -> int:
             ),
             breaker_threshold=arguments.breaker_threshold,
             breaker_cooldown=arguments.breaker_cooldown,
-            snapshot_dir=arguments.snapshot_dir,
+            # In sharded mode durability belongs to the shards: each
+            # worker WALs its own loads and the coordinator writes
+            # the cluster manifest, so the supervisor keeps none.
+            snapshot_dir=(
+                None if sharded else arguments.snapshot_dir
+            ),
             snapshot_every=arguments.snapshot_every,
         )
     except (ReproError, ValueError) as error:
@@ -287,7 +414,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     try:
         with obs.recording(recorder):
-            recovery = supervisor.recover()
+            if sharded:
+                _start_shards(engine, sys.stderr)
+                recovery = None
+            else:
+                recovery = supervisor.recover()
             if recovery and recovery.get("corrupt"):
                 print(
                     f"repro serve: [{recovery['code']}] corrupt "
@@ -329,6 +460,8 @@ def main(argv: list[str] | None = None) -> int:
                         )
             finally:
                 supervisor.drain()
+                if sharded:
+                    engine.coordinator.close()
     except OSError as error:
         print(f"repro serve: {error}", file=sys.stderr)
         return 2

@@ -29,8 +29,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.service.session import Response
 
 #: Error codes that are always worth retrying: deterministic fault
-#: injection aside, these model crashed or interrupted workers.
-TRANSIENT_CODES = frozenset({"REPRO_FAULT"})
+#: injection aside, these model crashed or interrupted workers.  A
+#: dead shard worker (``REPRO_SHARD``) is respawned and WAL-recovered
+#: by the coordinator on the next request that touches it, so a
+#: retried attempt lands on a healthy cluster.
+TRANSIENT_CODES = frozenset({"REPRO_FAULT", "REPRO_SHARD"})
 
 
 def is_transient(response: "Response") -> bool:

@@ -129,6 +129,28 @@ class CompiledForm:
 
 
 @dataclass
+class PreparedQuery:
+    """A query compiled and specialized, evaluation left to the caller.
+
+    What :meth:`Session.prepare` returns: the shard worker
+    (:mod:`repro.shard.worker`) uses the session's compile-once cache
+    and seed specialization but drives the fixpoint itself, one
+    exchange round at a time, so the evaluation can be interleaved
+    with remote shards' deltas.  ``specialized`` is the optimized
+    program with the magic seed (if any) re-attached for this call's
+    constants; ``seed`` identifies the warm slot the evaluation may be
+    cached under.
+    """
+
+    form: QueryForm
+    params: tuple[str, ...]
+    compiled: CompiledForm
+    specialized: Program
+    seed: Rule | None
+    cached: bool
+
+
+@dataclass
 class WarmState:
     """A form's evaluated database, reusable across requests.
 
@@ -618,6 +640,34 @@ class Session:
             for epoch, facts in self._fact_log
             if epoch > floor
         ]
+
+    # -- sharded evaluation hook (see repro.shard.worker) -------------
+
+    def prepare(self, query: Query) -> PreparedQuery:
+        """Compile and specialize a query without evaluating it.
+
+        Same single-flight form cache as :meth:`query` (a repeat call
+        for the form reuses the compiled template), but evaluation is
+        the caller's job -- the sharded worker steps the fixpoint in
+        exchange rounds instead of running it to completion locally.
+        Raises :class:`~repro.errors.ReproError` on compile failures;
+        the caller owns the error-to-response conversion.
+        """
+        form, params = canonicalize(query)
+        strategy = self._strategy
+        if self._planner is not None:
+            strategy = self._planner.decide(str(form), query)
+        entry, cached = self._lookup_or_compile(query, form, strategy)
+        compiled = entry.compiled
+        specialized, seed = compiled.specialize(query)
+        return PreparedQuery(
+            form=form,
+            params=params,
+            compiled=compiled,
+            specialized=specialized,
+            seed=seed,
+            cached=cached,
+        )
 
     # -- snapshot hooks (see repro.serve.snapshot) --------------------
 

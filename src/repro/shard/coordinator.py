@@ -1,0 +1,789 @@
+"""Scatter-gather over shard workers: the cluster behind one session.
+
+:class:`ShardCoordinator` spawns ``N`` worker subprocesses
+(:mod:`repro.shard.worker`), hands each the program text plus the
+routing plan (:func:`repro.shard.partition.build_plan`), and then
+presents the whole cluster behind the single-session surface the
+serve supervisor already speaks: :class:`ShardedEngine` /
+:class:`ShardedSession` duck-type ``Engine``/``Session`` closely
+enough that :class:`repro.serve.supervisor.Supervisor` needs no
+changes -- admission queue, retries, and the per-form circuit breaker
+wrap the sharded engine exactly as they wrap a local one.
+
+Request discipline mirrors the session's reader-writer rules
+(:class:`~repro.service.sync.RWLock`): queries scatter under the
+shared lock (any number in flight, multiplexed over the worker pipes
+by query id), fact loads and checkpoint barriers run exclusively --
+which is precisely what makes the cross-shard checkpoint a consistent
+cut (:mod:`repro.shard.snapshot`).  A query is routed to the one
+shard owning its bound key when the plan can prove that
+(:meth:`~repro.shard.partition.ShardPlan.seed_shards` -- the magic
+seed's constants picking the shard), and broadcast otherwise; rounds
+then run the delta-exchange loop (:mod:`repro.shard.exchange`) and
+answers are gathered, deduplicated, and deterministically ordered.
+
+Failure policy: a dead worker pipe raises
+:class:`~repro.errors.ShardError`, which fails only the requests
+touching that shard; the next request respawns the worker and (when
+durable) replays its per-shard WAL before serving.  Loads are never
+silently retried -- the caller sees the error and decides, exactly as
+with the single-session WAL ack.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import subprocess
+import sys
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, replace
+from typing import Iterable, Mapping
+
+from repro.driver import split_edb
+from repro.engine.facts import Fact
+from repro.errors import ReproError, ShardError, UsageError
+from repro.governor import Budget
+from repro.lang.ast import Query
+from repro.lang.parser import parse_program_and_queries
+from repro.obs.recorder import count as obs_count
+from repro.obs.recorder import span as obs_span
+from repro.serve.snapshot import decode_fact, encode_fact, program_sha
+from repro.service.session import Response
+from repro.service.sync import RWLock
+from repro.shard import snapshot as cluster_snapshot
+from repro.shard.exchange import (
+    WorkerReplyError,
+    fact_key,
+    run_exchange,
+)
+from repro.shard.partition import build_plan
+from repro.shard.protocol import FrameError, read_frame, write_frame
+
+
+def _checked(replies: Mapping[int, dict]) -> None:
+    for shard, reply in sorted(replies.items()):
+        if not reply.get("ok"):
+            raise WorkerReplyError(
+                shard,
+                reply.get("error_code", "REPRO_INTERNAL"),
+                reply.get("error_message", "shard op failed"),
+            )
+
+
+class ShardClient:
+    """One worker subprocess and its frame pipe, spawnable anew."""
+
+    def __init__(self, shard: int, hello: dict) -> None:
+        self.shard = shard
+        self._hello = dict(hello, op="hello", shard=shard)
+        self._lock = threading.Lock()
+        self.process: subprocess.Popen | None = None
+        self.alive = False
+        self.deaths = 0
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid if self.process is not None else None
+
+    def spawn(self) -> dict:
+        """Start (or restart) the worker and complete the handshake."""
+        # The worker must import ``repro`` even when the coordinator
+        # found it through sys.path manipulation (tests, benchmark
+        # scripts) rather than an installed package or PYTHONPATH.
+        package_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        env = dict(os.environ)
+        paths = env.get("PYTHONPATH", "").split(os.pathsep)
+        if package_root not in paths:
+            env["PYTHONPATH"] = os.pathsep.join(
+                [package_root] + [path for path in paths if path]
+            )
+        self.process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.shard.worker",
+                "--shard",
+                str(self.shard),
+            ],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=None,  # workers share the coordinator's stderr
+            env=env,
+        )
+        try:
+            write_frame(self.process.stdin, self._hello)
+            reply = read_frame(self.process.stdout)
+        except (OSError, FrameError) as error:
+            self._mark_dead()
+            raise ShardError(
+                f"shard {self.shard} worker failed to start: {error}"
+            ) from None
+        if reply is None or not reply.get("ok"):
+            detail = (
+                "died during handshake"
+                if reply is None
+                else f"rejected handshake: {reply.get('error_message')}"
+            )
+            self._mark_dead()
+            raise ShardError(
+                f"shard {self.shard} worker {detail}"
+            )
+        self.alive = True
+        return reply
+
+    def _mark_dead(self) -> None:
+        if self.alive:
+            self.deaths += 1
+            obs_count("shard.worker_deaths")
+        self.alive = False
+
+    def call(self, payload: dict) -> dict:
+        """One request frame, one reply frame, serialized per pipe."""
+        with self._lock:
+            if not self.alive or self.process is None:
+                raise ShardError(
+                    f"shard {self.shard} worker is down"
+                )
+            try:
+                write_frame(self.process.stdin, payload)
+                reply = read_frame(self.process.stdout)
+            except (OSError, FrameError) as error:
+                self._mark_dead()
+                raise ShardError(
+                    f"shard {self.shard} worker transport failed "
+                    f"(pid {self.pid}): {error}"
+                ) from None
+            if reply is None:
+                self._mark_dead()
+                raise ShardError(
+                    f"shard {self.shard} worker died (pid {self.pid})"
+                )
+            return reply
+
+    def close(self, graceful: bool = True) -> None:
+        """Shut the worker down; escalate to SIGKILL if it lingers."""
+        process = self.process
+        if process is None:
+            return
+        if graceful and self.alive:
+            try:
+                self.call({"op": "shutdown"})
+            except ShardError:
+                pass
+        self.alive = False
+        for stream in (process.stdin, process.stdout):
+            try:
+                if stream is not None:
+                    stream.close()
+            except OSError:
+                pass
+        try:
+            process.wait(timeout=5)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+
+
+class ShardCoordinator:
+    """The cluster: routing plan, worker fleet, and request surface."""
+
+    def __init__(
+        self,
+        text: str,
+        shards: int,
+        *,
+        strategy: str = "rewrite",
+        max_iterations: int = 20,
+        eval_iterations: int = 200,
+        cache_size: int = 64,
+        on_limit: str = "truncate",
+        budget: Budget | None = None,
+        snapshot_dir: str | None = None,
+        snapshot_every: int = 8,
+        faults: str | None = None,
+        partition_keys: dict[str, int] | None = None,
+        partition_ranges: dict[str, tuple] | None = None,
+    ) -> None:
+        if shards < 1:
+            raise UsageError(f"shard count must be >= 1: {shards}")
+        program, __ = parse_program_and_queries(text)
+        rules, edb = split_edb(program)
+        self.plan, self.plan_notes = build_plan(
+            rules,
+            edb,
+            shards,
+            keys=partition_keys,
+            ranges=partition_ranges,
+        )
+        self.shards = shards
+        self.program_id = program_sha(text)
+        self.snapshot_dir = snapshot_dir
+        self.snapshot_every = snapshot_every
+        self.eval_iterations = eval_iterations
+        self.cache_size = cache_size
+        self.on_limit = on_limit
+        program_text = "\n".join(str(rule) for rule in program)
+        budget_spec = (
+            None
+            if budget is None or budget.is_unlimited()
+            else asdict(budget)
+        )
+        hello = {
+            "program": program_text,
+            "plan": self.plan.describe(),
+            "strategy": strategy,
+            "max_iterations": max_iterations,
+            "eval_iterations": eval_iterations,
+            "cache_size": cache_size,
+            "on_limit": on_limit,
+            "budget": budget_spec,
+            "program_id": self.program_id,
+            "faults": faults,
+        }
+        self._clients = [
+            ShardClient(
+                shard,
+                dict(
+                    hello,
+                    snapshot_dir=(
+                        cluster_snapshot.shard_directory(
+                            snapshot_dir, shard
+                        )
+                        if snapshot_dir
+                        else None
+                    ),
+                ),
+            )
+            for shard in range(shards)
+        ]
+        self._pool = ThreadPoolExecutor(
+            max_workers=shards, thread_name_prefix="shard-scatter"
+        )
+        self._rw = RWLock()
+        self._cache_lock = threading.Lock()
+        self._answers: OrderedDict[str, tuple[int, Response]] = (
+            OrderedDict()
+        )
+        self._qids = itertools.count(1)
+        self._epochs = {shard: 0 for shard in range(shards)}
+        self._generation = 0
+        self._loads = 0
+        self._started = False
+        self.counters = {
+            "queries": 0,
+            "warm_hits": 0,
+            "scatter_pruned": 0,
+            "scatter_broadcast": 0,
+            "rounds": 0,
+            "exchanged": 0,
+            "loads": 0,
+            "load_facts": 0,
+            "checkpoints": 0,
+            "checkpoint_failures": 0,
+            "respawns": 0,
+        }
+
+    @property
+    def durable(self) -> bool:
+        return self.snapshot_dir is not None
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the whole fleet (handshakes run in parallel)."""
+        if self._started:
+            return
+        list(self._pool.map(
+            lambda client: client.spawn(), self._clients
+        ))
+        self._started = True
+
+    def pids(self) -> dict[int, int | None]:
+        """Worker pids by shard (the chaos harness aims SIGKILL here)."""
+        return {
+            client.shard: client.pid for client in self._clients
+        }
+
+    def recover(self) -> dict:
+        """Restore every shard, then reconcile against the manifest."""
+        self.start()
+        with self._rw.write_locked(), obs_span("shard.recover"):
+            replies = self._scatter({
+                shard: {"op": "recover"}
+                for shard in range(self.shards)
+            })
+            _checked(replies)
+            summaries = {}
+            for shard, reply in sorted(replies.items()):
+                self._epochs[shard] = reply.get("epoch", 0)
+                summaries[shard] = reply.get("recovery")
+            if self.durable:
+                manifest, quarantined = (
+                    cluster_snapshot.latest_manifest(
+                        self.snapshot_dir, self.program_id
+                    )
+                )
+            else:
+                manifest, quarantined = None, []
+            status = cluster_snapshot.reconcile(manifest, self._epochs)
+            if manifest is not None:
+                self._generation = int(manifest.get("generation", 0))
+            corrupt = sum(
+                (summary or {}).get("corrupt", 0)
+                for summary in summaries.values()
+            )
+            return {
+                "shards": summaries,
+                "manifest": status,
+                "quarantined_manifests": quarantined,
+                "corrupt": corrupt,
+                "epoch": self.epoch,
+            }
+
+    def close(self, drain: bool = True) -> None:
+        """Final checkpoint barrier (when durable), then shut down."""
+        with self._rw.write_locked():
+            if drain and self.durable and self._started:
+                try:
+                    self._checkpoint_locked()
+                except (ShardError, WorkerReplyError):
+                    pass  # per-shard WALs already hold every ack
+            for client in self._clients:
+                client.close(graceful=drain)
+        self._pool.shutdown(wait=False)
+
+    # -- plumbing -----------------------------------------------------
+
+    def _scatter(
+        self, payloads: Mapping[int, dict]
+    ) -> dict[int, dict]:
+        if len(payloads) == 1:
+            ((shard, payload),) = payloads.items()
+            return {shard: self._clients[shard].call(payload)}
+        futures = {
+            shard: self._pool.submit(
+                self._clients[shard].call, payload
+            )
+            for shard, payload in payloads.items()
+        }
+        replies: dict[int, dict] = {}
+        first_error: ShardError | None = None
+        for shard, future in futures.items():
+            try:
+                replies[shard] = future.result()
+            except ShardError as error:
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
+        return replies
+
+    def _ensure_alive(self) -> None:
+        if all(client.alive for client in self._clients):
+            return
+        with self._rw.write_locked():
+            for client in self._clients:
+                if client.alive:
+                    continue
+                try:
+                    client.close(graceful=False)
+                    client.spawn()
+                    if self.durable:
+                        reply = client.call({"op": "recover"})
+                        if reply.get("ok"):
+                            self._epochs[client.shard] = reply.get(
+                                "epoch", 0
+                            )
+                    self.counters["respawns"] += 1
+                    obs_count("shard.respawns")
+                except ShardError:
+                    pass  # stays down; its requests keep failing fast
+
+    def _error(
+        self, query: Query | None, code: str, message: str
+    ) -> Response:
+        return Response(
+            kind="error",
+            query=query,
+            error_code=code,
+            error_message=message,
+        )
+
+    @property
+    def epoch(self) -> int:
+        """The cluster epoch: the sum of per-shard load epochs."""
+        return sum(self._epochs.values())
+
+    # -- queries ------------------------------------------------------
+
+    def query(self, query: Query) -> Response:
+        """Scatter one query, exchange deltas, gather the answer."""
+        self._ensure_alive()
+        text = str(query)
+        self.counters["queries"] += 1
+        with self._rw.read_locked(), obs_span("shard.query"):
+            epoch = self.epoch
+            with self._cache_lock:
+                hit = self._answers.get(text)
+                if hit is not None and hit[0] == epoch:
+                    self._answers.move_to_end(text)
+                    self.counters["warm_hits"] += 1
+                    obs_count("shard.warm_hits")
+                    return replace(hit[1], cached=True, warm=True)
+            try:
+                response = self._query_locked(query, text)
+            except WorkerReplyError as error:
+                return self._error(query, error.code, error.message)
+            except ShardError as error:
+                return self._error(query, "REPRO_SHARD", str(error))
+            if response.ok and response.completeness == "complete":
+                with self._cache_lock:
+                    self._answers[text] = (epoch, response)
+                    self._answers.move_to_end(text)
+                    while len(self._answers) > self.cache_size:
+                        self._answers.popitem(last=False)
+            return response
+
+    def _query_locked(self, query: Query, text: str) -> Response:
+        participants = self.plan.seed_shards(query)
+        if participants is None:
+            participants = list(range(self.shards))
+            self.counters["scatter_broadcast"] += 1
+            obs_count("shard.scatter_broadcast")
+        else:
+            self.counters["scatter_pruned"] += 1
+            obs_count("shard.scatter_pruned")
+        qid = f"q{next(self._qids)}"
+        starts = self._scatter({
+            shard: {"op": "q_start", "qid": qid, "query": text}
+            for shard in participants
+        })
+        _checked(starts)
+        all_warm = all(
+            reply.get("warm") for reply in starts.values()
+        )
+        try:
+            outcome = None
+            if not all_warm:
+                outcome = run_exchange(
+                    self._scatter,
+                    participants,
+                    qid,
+                    self.eval_iterations,
+                )
+                self.counters["rounds"] += outcome.rounds
+                self.counters["exchanged"] += outcome.exchanged
+            with obs_span("shard.gather"):
+                gathered = self._scatter({
+                    shard: {
+                        "op": "q_answers",
+                        "qid": qid,
+                        "query": text,
+                    }
+                    for shard in participants
+                })
+            _checked(gathered)
+        except BaseException:
+            try:
+                self._scatter({
+                    shard: {"op": "q_finish", "qid": qid}
+                    for shard in participants
+                })
+            except (ShardError, WorkerReplyError):
+                pass
+            raise
+        truncated = outcome.truncated if outcome else None
+        for reply in gathered.values():
+            if reply.get("exhausted") and truncated is None:
+                truncated = str(reply["exhausted"])
+        complete = truncated is None
+        try:
+            self._scatter({
+                shard: {
+                    "op": "q_finish",
+                    "qid": qid,
+                    "keep_warm": complete,
+                }
+                for shard in participants
+            })
+        except (ShardError, WorkerReplyError):
+            pass  # warm state is an optimization, never correctness
+        if truncated is not None and self.on_limit == "fail":
+            return self._error(
+                query,
+                "REPRO_BUDGET",
+                f"{truncated} budget exhausted during evaluate",
+            )
+        merged: dict[str, dict] = {}
+        for shard in sorted(gathered):
+            for entry in gathered[shard].get("answers", ()):
+                merged.setdefault(fact_key(entry), entry)
+        answers = [
+            decode_fact(entry)
+            for __, entry in sorted(merged.items())
+        ]
+        first = starts[min(starts)]
+        if truncated is not None:
+            completeness = f"truncated:{truncated}"
+        elif first.get("fallbacks"):
+            completeness = "approximated"
+        else:
+            completeness = "complete"
+        return Response(
+            kind="answers",
+            query=query,
+            answers=answers,
+            completeness=completeness,
+            form=first.get("form"),
+            cached=all(
+                reply.get("cached") for reply in starts.values()
+            ),
+            warm=all_warm,
+            notes=list(first.get("notes", ())),
+            epoch=self.epoch,
+        )
+
+    # -- loads and durability -----------------------------------------
+
+    def add_facts(self, facts: Iterable[Fact]) -> Response:
+        """Route a fact batch to owner shards under the write lock."""
+        self._ensure_alive()
+        facts = list(facts)
+        with self._rw.write_locked(), obs_span("shard.load"):
+            targets: dict[int, list[dict]] = {}
+            for fact in facts:
+                owner = self.plan.route(fact)
+                shards = (
+                    range(self.shards) if owner is None else (owner,)
+                )
+                for shard in shards:
+                    targets.setdefault(shard, []).append(
+                        encode_fact(fact)
+                    )
+            if not targets:
+                return Response(
+                    kind="facts", added=0, epoch=self.epoch
+                )
+            try:
+                replies = self._scatter({
+                    shard: {"op": "load", "facts": payload}
+                    for shard, payload in targets.items()
+                })
+            except ShardError as error:
+                return self._error(None, "REPRO_SHARD", str(error))
+            for shard, reply in sorted(replies.items()):
+                if reply.get("ok"):
+                    self._epochs[shard] = reply.get(
+                        "epoch", self._epochs[shard]
+                    )
+            failed = [
+                (shard, reply)
+                for shard, reply in sorted(replies.items())
+                if not reply.get("ok")
+            ]
+            if failed:
+                shard, reply = failed[0]
+                return self._error(
+                    None,
+                    reply.get("error_code", "REPRO_INTERNAL"),
+                    f"shard {shard}: {reply.get('error_message')}",
+                )
+            new_keys: set[str] = set()
+            for reply in replies.values():
+                new_keys.update(
+                    fact_key(entry)
+                    for entry in reply.get("new", ())
+                )
+            self._loads += 1
+            self.counters["loads"] += 1
+            self.counters["load_facts"] += len(facts)
+            obs_count("shard.loads")
+            obs_count("shard.load_facts", len(facts))
+            if (
+                self.durable
+                and self._loads % self.snapshot_every == 0
+            ):
+                try:
+                    self._checkpoint_locked()
+                except (ShardError, WorkerReplyError):
+                    # The acks are already WAL-durable per shard; a
+                    # failed barrier only delays the next manifest.
+                    self.counters["checkpoint_failures"] += 1
+                    obs_count("shard.checkpoint_failures")
+            return Response(
+                kind="facts",
+                added=len(new_keys),
+                epoch=self.epoch,
+            )
+
+    def checkpoint(self) -> dict:
+        """A consistent cross-shard checkpoint (public entry point)."""
+        with self._rw.write_locked():
+            return self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> dict:
+        with obs_span("shard.checkpoint"):
+            replies = self._scatter({
+                shard: {"op": "checkpoint"}
+                for shard in range(self.shards)
+            })
+            _checked(replies)
+            for shard, reply in sorted(replies.items()):
+                self._epochs[shard] = reply.get(
+                    "epoch", self._epochs[shard]
+                )
+            self._generation += 1
+            if self.durable:
+                cluster_snapshot.write_manifest(
+                    self.snapshot_dir,
+                    self.program_id,
+                    self._generation,
+                    self.shards,
+                    self._epochs,
+                )
+            self.counters["checkpoints"] += 1
+            obs_count("shard.checkpoints")
+            return {
+                "generation": self._generation,
+                "epochs": dict(self._epochs),
+                "epoch": self.epoch,
+            }
+
+    # -- inspection ---------------------------------------------------
+
+    def healthz(self) -> dict:
+        """Per-shard liveness, durability and epoch report."""
+        per_shard = []
+        for client in self._clients:
+            entry: dict = {
+                "shard": client.shard,
+                "pid": client.pid,
+                "deaths": client.deaths,
+            }
+            if not client.alive:
+                entry["status"] = "down"
+            else:
+                try:
+                    reply = client.call({"op": "healthz"})
+                    entry.update(
+                        status=reply.get("status", "ok"),
+                        epoch=reply.get("epoch"),
+                        edb_facts=reply.get("edb_facts"),
+                        durability=reply.get("durability"),
+                    )
+                except ShardError:
+                    entry["status"] = "down"
+            per_shard.append(entry)
+        healthy = all(
+            entry.get("status") == "ok" for entry in per_shard
+        )
+        return {
+            "status": "ok" if healthy else "degraded",
+            "shards": per_shard,
+            "epoch": self.epoch,
+            "generation": self._generation,
+        }
+
+    def stats(self) -> dict:
+        """Coordinator counters, the plan, and per-shard stats."""
+        per_shard = []
+        for client in self._clients:
+            if not client.alive:
+                per_shard.append(
+                    {"shard": client.shard, "status": "down"}
+                )
+                continue
+            try:
+                per_shard.append(client.call({"op": "stats"}))
+            except ShardError:
+                per_shard.append(
+                    {"shard": client.shard, "status": "down"}
+                )
+        return {
+            "shards": self.shards,
+            "epoch": self.epoch,
+            "coordinator": dict(self.counters),
+            "worker_deaths": sum(
+                client.deaths for client in self._clients
+            ),
+            "plan": self.plan.describe(),
+            "plan_notes": [
+                {"pred": note.pred, "reason": note.reason}
+                for note in self.plan_notes
+            ],
+            "answer_cache": len(self._answers),
+            "generation": self._generation,
+            "per_shard": per_shard,
+            "healthz": self.healthz(),
+        }
+
+
+class ShardedSession:
+    """The ``Session`` face of the cluster (what the supervisor sees)."""
+
+    def __init__(
+        self, coordinator: ShardCoordinator, on_limit: str
+    ) -> None:
+        self._coordinator = coordinator
+        self.on_limit = on_limit
+        #: The supervisor surfaces planner stats when present; shard
+        #: planners live inside the workers (see per-shard stats).
+        self.planner = None
+
+    @property
+    def epoch(self) -> int:
+        return self._coordinator.epoch
+
+    def query(self, query: Query) -> Response:
+        return self._coordinator.query(query)
+
+    def add_facts(self, facts: Iterable[Fact]) -> Response:
+        return self._coordinator.add_facts(facts)
+
+    def stats(self) -> dict:
+        return self._coordinator.stats()
+
+
+class ShardedEngine:
+    """The ``Engine`` face of the cluster (drop-in for serve)."""
+
+    def __init__(self, coordinator: ShardCoordinator) -> None:
+        self.coordinator = coordinator
+        self.session = ShardedSession(
+            coordinator, coordinator.on_limit
+        )
+
+    @classmethod
+    def from_text(
+        cls, text: str, shards: int, **options: object
+    ) -> "ShardedEngine":
+        return cls(ShardCoordinator(text, shards, **options))
+
+    def add_facts(self, facts: "str | Iterable[Fact]") -> Response:
+        if isinstance(facts, str):
+            from repro.lang.parser import parse_program
+            from repro.service.engine import _facts_from_program
+
+            try:
+                facts = _facts_from_program(parse_program(facts))
+            except ReproError as error:
+                return Response(
+                    kind="error",
+                    error_code=error.code,
+                    error_message=str(error),
+                )
+            except ValueError as error:
+                return Response(
+                    kind="error",
+                    error_code="REPRO_USAGE",
+                    error_message=str(error),
+                )
+        return self.coordinator.add_facts(facts)
+
+    def stats(self) -> dict:
+        return self.coordinator.stats()

@@ -1,0 +1,79 @@
+"""Length-prefixed JSON frames between coordinator and shard workers.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON.  The explicit length (rather than line framing)
+makes a half-written frame detectable: a worker killed mid-write
+leaves a short read, which surfaces as :class:`FrameError` instead of
+a parse of garbage.  Frames are capped at :data:`MAX_FRAME` so a
+corrupted length prefix cannot make the reader allocate gigabytes.
+
+The coordinator speaks this protocol over each worker's stdin/stdout
+pipe pair; workers answer one reply frame per request frame, in
+order.  Fact payloads ride the snapshot codec
+(:func:`repro.serve.snapshot.encode_fact`) so constraint facts
+round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import BinaryIO
+
+#: Upper bound on one frame's JSON payload (64 MiB).
+MAX_FRAME = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class FrameError(Exception):
+    """The stream ended mid-frame or carried an invalid frame."""
+
+
+def write_frame(stream: BinaryIO, payload: dict) -> None:
+    """Serialize one frame and flush it."""
+    data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(data) > MAX_FRAME:
+        raise FrameError(
+            f"frame of {len(data)} bytes exceeds cap {MAX_FRAME}"
+        )
+    stream.write(_LENGTH.pack(len(data)) + data)
+    stream.flush()
+
+
+def _read_exact(stream: BinaryIO, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            raise FrameError(
+                f"stream closed {remaining} bytes short of a frame"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(stream: BinaryIO) -> dict | None:
+    """The next frame, or ``None`` at a clean end of stream."""
+    header = stream.read(_LENGTH.size)
+    if not header:
+        return None  # clean EOF between frames
+    if len(header) < _LENGTH.size:
+        raise FrameError("stream closed inside a frame header")
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME:
+        raise FrameError(
+            f"frame length {length} exceeds cap {MAX_FRAME}"
+        )
+    data = _read_exact(stream, length)
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise FrameError(f"undecodable frame: {error}") from None
+    if not isinstance(payload, dict):
+        raise FrameError(
+            f"frame payload must be an object, got {type(payload)}"
+        )
+    return payload

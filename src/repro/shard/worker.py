@@ -1,0 +1,504 @@
+"""The shard worker: one subprocess, one Session, one EDB partition.
+
+``python -m repro.shard.worker`` is spawned by the coordinator with a
+``hello`` frame naming its shard index, the program text, the routing
+plan, session options, and (optionally) a snapshot directory and a
+fault spec.  The worker keeps only the EDB facts the plan places on
+its shard (owned + broadcast), builds a full
+:class:`~repro.service.session.Session` over them, and then serves
+frames (:mod:`repro.shard.protocol`) until EOF -- which is also how it
+dies with its parent: a SIGKILLed coordinator closes the pipe and the
+worker exits instead of lingering.
+
+Queries are evaluated *in rounds* (:mod:`repro.shard.exchange`): the
+coordinator steps every participating shard one semi-naive iteration
+at a time (``q_round``), forwarding each round's newly derived tuples
+to the shards that did not derive them, and gathers answers
+(``q_answers``) once the round barrier reports a global fixpoint.
+Each query runs under its own per-shard budget meter built from the
+handshake's budget spec, and every request is error-isolated: a
+``REPRO_*`` failure becomes an error reply, never a dead worker.
+
+Durability reuses the serve machinery verbatim: the worker owns a
+:class:`~repro.serve.snapshot.Snapshotter` over its per-shard
+directory, appends every accepted load to its own WAL *before*
+replying (the ack the coordinator forwards is the durable one), and
+checkpoints on the coordinator's epoch barrier.  A failed append
+flips the shard read-only, exactly like the single-session
+supervisor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from contextlib import nullcontext
+
+from repro import obs
+from repro.driver import split_edb
+from repro.engine import evaluate, resume
+from repro.engine.query import answers as raw_answers
+from repro.errors import ReproError, SnapshotError, UsageError
+from repro.governor import Budget
+from repro.governor import budget as governor
+from repro.lang.ast import Query
+from repro.lang.parser import parse_program, parse_query
+from repro.obs.recorder import count as obs_count
+from repro.serve.snapshot import Snapshotter, decode_fact, encode_fact
+from repro.service.session import Session
+from repro.shard.partition import ShardPlan
+from repro.shard.protocol import FrameError, read_frame, write_frame
+
+_BUDGET_FIELDS = (
+    "deadline",
+    "max_iterations",
+    "max_rewrite_iterations",
+    "max_facts",
+    "max_solver_calls",
+)
+
+
+class _EvalState:
+    """One in-flight query's evaluation on this shard."""
+
+    __slots__ = (
+        "prepared", "meter", "database", "stamp", "warm_ok", "rounds",
+    )
+
+    def __init__(self, prepared, meter, warm_ok: bool) -> None:
+        self.prepared = prepared
+        self.meter = meter
+        self.database = None
+        self.stamp = 0
+        self.warm_ok = warm_ok
+        self.rounds = 0
+
+
+class _WarmSlot:
+    """A completed distributed evaluation kept for repeat queries."""
+
+    __slots__ = ("database", "epoch")
+
+    def __init__(self, database, epoch: int) -> None:
+        self.database = database
+        self.epoch = epoch
+
+
+class ShardWorker:
+    """The per-process request handler behind the frame loop."""
+
+    def __init__(self, hello: dict) -> None:
+        self.shard = int(hello["shard"])
+        self.plan = ShardPlan.from_description(hello["plan"])
+        program = parse_program(hello["program"])
+        rules, edb = split_edb(program)
+        owned = [
+            fact
+            for fact in edb.all_facts()
+            if self.plan.placed_on(fact, self.shard)
+        ]
+        budget_spec = hello.get("budget") or None
+        if budget_spec is not None:
+            unknown = set(budget_spec) - set(_BUDGET_FIELDS)
+            if unknown:
+                raise UsageError(
+                    f"unknown budget fields {sorted(unknown)}"
+                )
+            self.budget: Budget | None = Budget(**budget_spec)
+        else:
+            self.budget = None
+        self.session = Session(
+            rules,
+            strategy=hello.get("strategy", "rewrite"),
+            max_iterations=int(hello.get("max_iterations", 20)),
+            eval_iterations=int(hello.get("eval_iterations", 200)),
+            budget=None,  # metering is per round, not per Session call
+            on_limit=hello.get("on_limit", "truncate"),
+            cache_size=int(hello.get("cache_size", 64)),
+        )
+        self.session.restore_state(owned, 0)
+        self.eval_iterations = int(hello.get("eval_iterations", 200))
+        self.snapshotter: Snapshotter | None = None
+        if hello.get("snapshot_dir"):
+            self.snapshotter = Snapshotter(
+                hello["snapshot_dir"], hello.get("program_id", "?")
+            )
+        self._evals: dict[str, _EvalState] = {}
+        self._warm: dict[tuple[str, str], _WarmSlot] = {}
+        self._degraded: str | None = None
+        self.counters = {
+            "queries": 0,
+            "rounds": 0,
+            "emitted": 0,
+            "received": 0,
+            "warm_hits": 0,
+            "loads": 0,
+        }
+        self._ops = {
+            "recover": self._op_recover,
+            "load": self._op_load,
+            "checkpoint": self._op_checkpoint,
+            "q_start": self._op_q_start,
+            "q_round": self._op_q_round,
+            "q_answers": self._op_q_answers,
+            "q_finish": self._op_q_finish,
+            "stats": self._op_stats,
+            "healthz": self._op_healthz,
+            "shutdown": self._op_shutdown,
+        }
+
+    def hello_reply(self) -> dict:
+        return {
+            "ok": True,
+            "shard": self.shard,
+            "edb_facts": self.session.edb.count(),
+        }
+
+    # -- dispatch -----------------------------------------------------
+
+    def handle(self, frame: dict) -> dict:
+        op = frame.get("op")
+        handler = self._ops.get(op)
+        if handler is None:
+            return self._error(UsageError(f"unknown op {op!r}"))
+        try:
+            return handler(frame)
+        except ReproError as error:
+            return self._error(error)
+        except ValueError as error:
+            # Mirror Session.query: bad query shapes (e.g. a magic
+            # rewrite of an EDB predicate) are usage errors.
+            return self._error(UsageError(str(error)))
+        except Exception as error:  # isolation: reply, don't die
+            return {
+                "ok": False,
+                "error_code": "REPRO_INTERNAL",
+                "error_message": (
+                    f"shard {self.shard} {op} failed: {error}"
+                ),
+            }
+
+    def _error(self, error: ReproError) -> dict:
+        return {
+            "ok": False,
+            "error_code": error.code,
+            "error_message": str(error),
+        }
+
+    # -- durability ---------------------------------------------------
+
+    def _op_recover(self, frame: dict) -> dict:
+        if self.snapshotter is None:
+            return {
+                "ok": True, "recovery": None,
+                "epoch": self.session.epoch,
+            }
+        summary = self.snapshotter.recover(self.session)
+        return {
+            "ok": True,
+            "recovery": summary,
+            "epoch": self.session.epoch,
+        }
+
+    def _op_load(self, frame: dict) -> dict:
+        if self._degraded is not None:
+            return self._error(SnapshotError(
+                f"fact load refused: shard {self.shard} durability "
+                f"lost ({self._degraded}); serving read-only"
+            ))
+        facts = [decode_fact(entry) for entry in frame["facts"]]
+        response = self.session.add_facts(facts)
+        if not response.ok:
+            return {
+                "ok": False,
+                "error_code": response.error_code,
+                "error_message": response.error_message,
+            }
+        self.counters["loads"] += 1
+        if response.loaded and self.snapshotter is not None:
+            try:
+                self.snapshotter.append_log(
+                    response.epoch, response.loaded
+                )
+            except OSError as error:
+                self._degraded = f"WAL append failed: {error}"
+                return self._error(SnapshotError(
+                    f"fact load not durable on shard {self.shard} "
+                    f"(WAL append failed: {error}); shard read-only"
+                ))
+        return {
+            "ok": True,
+            "added": response.added,
+            "new": [encode_fact(fact) for fact in response.loaded],
+            "epoch": response.epoch,
+        }
+
+    def _op_checkpoint(self, frame: dict) -> dict:
+        if self.snapshotter is None:
+            return {"ok": True, "epoch": self.session.epoch}
+        if self._degraded is not None:
+            return self._error(SnapshotError(
+                f"checkpoint refused: shard {self.shard} degraded "
+                f"({self._degraded})"
+            ))
+        epoch, facts = self.session.export_state()
+        try:
+            self.snapshotter.snapshot(
+                epoch,
+                facts,
+                planner_records=self.session.export_planner(),
+            )
+        except OSError as error:
+            self._degraded = f"checkpoint failed: {error}"
+            return self._error(SnapshotError(
+                f"checkpoint failed on shard {self.shard}: {error}"
+            ))
+        return {"ok": True, "epoch": epoch}
+
+    # -- query evaluation ---------------------------------------------
+
+    def _meter(self):
+        return self.budget.meter() if self.budget is not None else None
+
+    def _governed(self, meter):
+        return (
+            governor.governed(meter)
+            if meter is not None
+            else nullcontext()
+        )
+
+    def _op_q_start(self, frame: dict) -> dict:
+        query = parse_query(frame["query"])
+        meter = self._meter()
+        with self._governed(meter):
+            prepared = self.session.prepare(query)
+        key = (str(prepared.form), str(prepared.seed or ""))
+        slot = self._warm.get(key)
+        warm_ok = (
+            slot is not None and slot.epoch == self.session.epoch
+        )
+        self._evals[frame["qid"]] = _EvalState(
+            prepared, meter, warm_ok
+        )
+        self.counters["queries"] += 1
+        obs_count("shard.worker_queries")
+        return {
+            "ok": True,
+            "warm": warm_ok,
+            "form": str(prepared.form),
+            "cached": prepared.cached,
+            "notes": list(prepared.compiled.notes),
+            "fallbacks": list(prepared.compiled.fallbacks),
+        }
+
+    def _state(self, frame: dict) -> _EvalState:
+        state = self._evals.get(frame["qid"])
+        if state is None:
+            raise UsageError(
+                f"unknown query id {frame['qid']!r} on shard "
+                f"{self.shard}"
+            )
+        return state
+
+    def _op_q_round(self, frame: dict) -> dict:
+        state = self._state(frame)
+        number = int(frame["round"])
+        incoming = [
+            decode_fact(entry) for entry in frame.get("facts", ())
+        ]
+        self.counters["received"] += len(incoming)
+        self.counters["rounds"] += 1
+        state.rounds += 1
+        with self._governed(state.meter):
+            if number == 0 or state.database is None:
+                # Round 0: one cold iteration over the local
+                # partition; the specialized seed rule fires here.
+                result = evaluate(
+                    state.prepared.specialized,
+                    self.session.edb,
+                    max_iterations=1,
+                    budget=state.meter,
+                )
+                state.database = result.database
+                state.stamp = 1
+            else:
+                result = resume(
+                    state.prepared.specialized,
+                    state.database,
+                    incoming,
+                    start_stamp=state.stamp,
+                    max_iterations=1,
+                    budget=state.meter,
+                    assume_delta=True,
+                )
+                state.stamp += 1
+        fresh = [
+            fact
+            for log in result.iterations
+            for fact in log.new_facts()
+        ]
+        self.counters["emitted"] += len(fresh)
+        exhausted = (
+            state.meter.exhausted if state.meter is not None else None
+        )
+        return {
+            "ok": True,
+            "new": [encode_fact(fact) for fact in fresh],
+            "count": len(fresh),
+            "exhausted": exhausted,
+        }
+
+    def _op_q_answers(self, frame: dict) -> dict:
+        state = self._state(frame)
+        prepared = state.prepared
+        if state.database is None:
+            key = (str(prepared.form), str(prepared.seed or ""))
+            slot = self._warm.get(key)
+            if not state.warm_ok or slot is None:
+                raise UsageError(
+                    f"q_answers before any round on shard "
+                    f"{self.shard} (no warm state)"
+                )
+            database = slot.database
+            self.counters["warm_hits"] += 1
+            obs_count("shard.worker_warm_hits")
+        else:
+            database = state.database
+        meter = state.meter
+        paused = (
+            meter.paused() if meter is not None else self._governed(None)
+        )
+        with paused:
+            found = raw_answers(
+                database,
+                self._effective_query(frame["query"], prepared),
+            )
+        return {
+            "ok": True,
+            "answers": [encode_fact(fact) for fact in found],
+            "exhausted": (
+                meter.exhausted if meter is not None else None
+            ),
+        }
+
+    def _effective_query(self, text: str, prepared) -> Query:
+        query = parse_query(text)
+        return Query(
+            query.literal.with_pred(prepared.compiled.query_pred),
+            query.constraint,
+        )
+
+    def _op_q_finish(self, frame: dict) -> dict:
+        state = self._evals.pop(frame["qid"], None)
+        if (
+            state is not None
+            and state.database is not None
+            and frame.get("keep_warm")
+        ):
+            key = (
+                str(state.prepared.form),
+                str(state.prepared.seed or ""),
+            )
+            self._warm[key] = _WarmSlot(
+                state.database, self.session.epoch
+            )
+            # Bound the slot table: warm states are per (form, seed).
+            while len(self._warm) > 4 * self.session.cache.capacity:
+                self._warm.pop(next(iter(self._warm)))
+        return {"ok": True}
+
+    # -- inspection ---------------------------------------------------
+
+    def _op_stats(self, frame: dict) -> dict:
+        return {
+            "ok": True,
+            "shard": self.shard,
+            "counters": dict(self.counters),
+            "degraded": self._degraded,
+            "session": self.session.stats(),
+        }
+
+    def _op_healthz(self, frame: dict) -> dict:
+        return {
+            "ok": True,
+            "shard": self.shard,
+            "status": "degraded" if self._degraded else "ok",
+            "epoch": self.session.epoch,
+            "edb_facts": self.session.edb.count(),
+            "durability": (
+                "none" if self.snapshotter is None
+                else "degraded" if self._degraded
+                else "ok"
+            ),
+        }
+
+    def _op_shutdown(self, frame: dict) -> dict:
+        if self.snapshotter is not None and self._degraded is None:
+            try:
+                self._op_checkpoint(frame)
+            except OSError:
+                pass  # shutting down anyway; the WAL has every epoch
+        return {"ok": True, "shard": self.shard, "stopping": True}
+
+
+def serve_frames(stdin, stdout) -> int:
+    """The worker loop: handshake, then one reply per request."""
+    hello = read_frame(stdin)
+    if hello is None or hello.get("op") != "hello":
+        print(
+            "repro shard worker: expected hello frame",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        worker = ShardWorker(hello)
+    except (ReproError, ValueError) as error:
+        write_frame(stdout, {
+            "ok": False,
+            "error_code": getattr(error, "code", "REPRO_USAGE"),
+            "error_message": str(error),
+        })
+        return 2
+    recorder = obs.get_recorder()
+    if hello.get("faults"):
+        from repro.governor import FaultPlan, FaultyRecorder
+
+        recorder = FaultyRecorder(
+            FaultPlan.from_spec(hello["faults"]), inner=recorder
+        )
+    write_frame(stdout, worker.hello_reply())
+    with obs.recording(recorder):
+        while True:
+            try:
+                frame = read_frame(stdin)
+            except FrameError as error:
+                print(
+                    f"repro shard worker {worker.shard}: {error}",
+                    file=sys.stderr,
+                )
+                return 1
+            if frame is None:
+                return 0  # coordinator gone: die with the parent
+            reply = worker.handle(frame)
+            try:
+                write_frame(stdout, reply)
+            except (OSError, FrameError):
+                return 1
+            if frame.get("op") == "shutdown":
+                return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.shard.worker")
+    parser.add_argument(
+        "--shard",
+        type=int,
+        default=-1,
+        help="shard index (cosmetic: makes the process findable)",
+    )
+    parser.parse_args(argv)
+    return serve_frames(sys.stdin.buffer, sys.stdout.buffer)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,299 @@
+"""End-to-end tests for the sharded cluster (real worker processes).
+
+The acceptance bar for sharded serving is answer-identity: whatever a
+single :class:`~repro.service.session.Session` answers, the cluster
+must answer, for broadcast and pruned scatter alike, before and after
+fact loads, cold and warm.  On top of that ride the operational
+contracts: per-shard WAL durability with consistent cross-shard
+manifests, recovery after SIGKILL, worker respawn with the failure
+isolated to the requests that touched the dead shard, and the
+positive-integer/usage validation of the serve CLI flags.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.lang.parser import parse_program, parse_query
+from repro.service.session import Session
+from repro.shard import ShardedEngine
+from repro.shard.snapshot import (
+    build_manifest,
+    latest_manifest,
+    reconcile,
+    shard_directory,
+    write_manifest,
+)
+
+PROGRAM = """
+edge(n1, n2, 1). edge(n2, n3, 1). edge(n3, n4, 2). edge(n4, n5, 1).
+edge(n5, n6, 3). edge(n2, n5, 2). edge(n6, n7, 1). edge(n1, n4, 5).
+label(n1, start). label(n7, goal).
+reach(X, Y) :- edge(X, Y, C).
+reach(X, Z) :- reach(X, Y), edge(Y, Z, C).
+goalpath(X) :- reach(X, Y), label(Y, goal).
+"""
+
+QUERIES = [
+    "?- reach(n1, Y).",
+    "?- reach(X, Y).",
+    "?- reach(X, n7).",
+    "?- goalpath(X).",
+    "?- edge(n2, Y, C).",
+    "?- edge(zzz, Y, C).",
+    "?- label(n1, L).",
+]
+
+
+def answers_of(response):
+    return sorted(str(fact) for fact in response.answers)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    engine = ShardedEngine.from_text(PROGRAM, 3)
+    engine.coordinator.start()
+    yield engine
+    engine.coordinator.close(drain=False)
+
+
+@pytest.fixture(scope="module")
+def single():
+    return Session(parse_program(PROGRAM))
+
+
+@pytest.mark.parametrize("query_text", QUERIES)
+def test_cluster_matches_single_session(cluster, single, query_text):
+    query = parse_query(query_text)
+    mine = cluster.session.query(query)
+    reference = single.query(query)
+    assert mine.ok == reference.ok
+    assert mine.error_code == reference.error_code
+    assert answers_of(mine) == answers_of(reference)
+    if reference.ok:
+        assert mine.completeness == reference.completeness
+
+
+def test_warm_repeat_hits_coordinator_cache(cluster):
+    query = parse_query("?- reach(n3, Y).")
+    cold = cluster.session.query(query)
+    warm = cluster.session.query(query)
+    assert answers_of(warm) == answers_of(cold)
+    assert warm.warm and warm.cached
+
+
+def test_pruned_scatter_touches_one_shard(cluster):
+    before = dict(cluster.coordinator.counters)
+    response = cluster.session.query(parse_query("?- edge(n4, Y, C)."))
+    assert response.ok
+    after = cluster.coordinator.counters
+    assert (
+        after["scatter_pruned"] == before["scatter_pruned"] + 1
+    )
+
+
+def test_load_reaches_owner_and_queries_see_it():
+    engine = ShardedEngine.from_text(PROGRAM, 2)
+    engine.coordinator.start()
+    try:
+        single = Session(parse_program(PROGRAM))
+        load = engine.add_facts("edge(n7, n8, 1).")
+        assert load.ok and load.added == 1 and load.epoch == 1
+        # Duplicate load: acknowledged, nothing new, epoch advances
+        # exactly as in the single session.
+        again = engine.add_facts("edge(n7, n8, 1).")
+        assert again.ok and again.added == 0
+        single.add_facts(
+            [f for f in _parse_facts("edge(n7, n8, 1).")]
+        )
+        query = parse_query("?- reach(n1, Y).")
+        assert answers_of(engine.session.query(query)) == answers_of(
+            single.query(query)
+        )
+        # IDB facts are rejected by every shard, like one session.
+        bad = engine.add_facts("reach(n1, n9).")
+        assert not bad.ok and bad.error_code == "REPRO_USAGE"
+    finally:
+        engine.coordinator.close(drain=False)
+
+
+def _parse_facts(text):
+    from repro.service.engine import _facts_from_program
+
+    return _facts_from_program(parse_program(text))
+
+
+def test_durable_cycle_recovers_cluster(tmp_path):
+    snapdir = str(tmp_path / "snap")
+    engine = ShardedEngine.from_text(
+        PROGRAM, 2, snapshot_dir=snapdir, snapshot_every=2
+    )
+    engine.coordinator.recover()
+    for index in range(5):
+        response = engine.add_facts(f"edge(x{index}, y{index}, 1).")
+        assert response.ok
+    assert engine.coordinator.epoch == 5
+    engine.coordinator.close()  # drain checkpoint + manifest
+
+    revived = ShardedEngine.from_text(
+        PROGRAM, 2, snapshot_dir=snapdir, snapshot_every=2
+    )
+    summary = revived.coordinator.recover()
+    try:
+        assert summary["epoch"] == 5
+        assert summary["manifest"]["consistent"]
+        response = revived.session.query(
+            parse_query("?- edge(x3, Y, C).")
+        )
+        assert response.ok and len(response.answers) == 1
+    finally:
+        revived.coordinator.close(drain=False)
+
+
+def test_sigkill_one_shard_isolates_then_recovers(tmp_path):
+    snapdir = str(tmp_path / "snap")
+    engine = ShardedEngine.from_text(
+        PROGRAM, 2, snapshot_dir=snapdir, snapshot_every=100
+    )
+    engine.coordinator.recover()
+    try:
+        for index in range(4):
+            assert engine.add_facts(
+                f"edge(k{index}, m{index}, 1)."
+            ).ok
+        os.kill(engine.coordinator.pids()[1], signal.SIGKILL)
+        query = parse_query("?- reach(n1, Y).")
+        failed = engine.session.query(query)
+        assert not failed.ok and failed.error_code == "REPRO_SHARD"
+        # Next request respawns the worker and replays its WAL: the
+        # acknowledged loads survive the kill.
+        recovered = engine.session.query(query)
+        assert recovered.ok
+        assert engine.coordinator.epoch == 4
+        assert engine.coordinator.counters["respawns"] == 1
+        check = engine.session.query(parse_query("?- edge(k2, Y, C)."))
+        assert check.ok and len(check.answers) == 1
+    finally:
+        engine.coordinator.close(drain=False)
+
+
+def test_manifest_roundtrip_and_quarantine(tmp_path):
+    directory = str(tmp_path)
+    write_manifest(directory, "prog1", 1, 2, {0: 3, 1: 4})
+    write_manifest(directory, "prog1", 2, 2, {0: 5, 1: 4})
+    manifest, quarantined = latest_manifest(directory, "prog1")
+    assert quarantined == []
+    assert manifest["generation"] == 2
+    assert manifest["global_epoch"] == 9
+    # Consistency: a shard short of its manifest epoch is flagged.
+    assert reconcile(manifest, {0: 5, 1: 4})["consistent"]
+    assert reconcile(manifest, {0: 5, 1: 9})["consistent"]
+    status = reconcile(manifest, {0: 2, 1: 4})
+    assert not status["consistent"]
+    assert status["behind"][0]["shard"] == 0
+    # Damage the newest file: it is quarantined and the walk falls
+    # back to generation 1.
+    path = os.path.join(directory, "manifest-00000002.json")
+    data = bytearray(open(path, "rb").read())
+    data[len(data) // 2] ^= 0xFF
+    open(path, "wb").write(bytes(data))
+    manifest, quarantined = latest_manifest(directory, "prog1")
+    assert manifest["generation"] == 1
+    assert quarantined == ["manifest-00000002.json"]
+    assert os.path.exists(
+        os.path.join(directory, "corrupt", "manifest-00000002.json")
+    )
+
+
+def test_manifest_for_other_program_is_hard_error(tmp_path):
+    from repro.errors import SnapshotError
+
+    write_manifest(str(tmp_path), "prog1", 1, 2, {0: 1, 1: 1})
+    with pytest.raises(SnapshotError):
+        latest_manifest(str(tmp_path), "prog2")
+
+
+def test_manifest_retention(tmp_path):
+    for generation in range(1, 6):
+        write_manifest(
+            str(tmp_path), "p", generation, 1, {0: generation}
+        )
+    kept = sorted(
+        name
+        for name in os.listdir(str(tmp_path))
+        if name.startswith("manifest-")
+    )
+    assert kept == [
+        "manifest-00000003.json",
+        "manifest-00000004.json",
+        "manifest-00000005.json",
+    ]
+
+
+def test_shard_directory_layout():
+    assert shard_directory("/snap", 0).endswith("shard-00")
+    assert shard_directory("/snap", 11).endswith("shard-11")
+    payload = build_manifest("p", 1, 2, {0: 1, 1: 2})
+    assert payload["shards"] == {"0": 1, "1": 2}
+
+
+def _run_serve(tmp_path, *flags, batch_lines=()):
+    program = tmp_path / "prog.cql"
+    program.write_text(PROGRAM)
+    batch = tmp_path / "batch.txt"
+    batch.write_text("".join(line + "\n" for line in batch_lines))
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    return subprocess.run(
+        [
+            sys.executable, "-m", "repro", "serve", str(program),
+            "--batch", str(batch), *flags,
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+
+
+def test_serve_cli_sharded_end_to_end(tmp_path):
+    result = _run_serve(
+        tmp_path,
+        "--shards", "2",
+        batch_lines=["edge(n7, n8, 1).", "?- reach(n6, Y)."],
+    )
+    assert result.returncode == 0, result.stderr
+    lines = [json.loads(line) for line in result.stdout.splitlines()]
+    assert lines[0]["type"] == "facts" and lines[0]["added"] == 1
+    assert sorted(lines[1]["answers"]) == ["Y = n7", "Y = n8"]
+    pid_lines = [
+        line
+        for line in result.stderr.splitlines()
+        if line.startswith("repro serve: shard ")
+    ]
+    assert len(pid_lines) == 2
+
+
+@pytest.mark.parametrize(
+    "flags, fragment",
+    [
+        (("--workers", "0"), "--workers"),
+        (("--queue-depth", "-1"), "--queue-depth"),
+        (("--shards", "0"), "--shards"),
+        (("--shards", "two"), "--shards"),
+        (("--snapshot-every", "0"), "--snapshot-every"),
+        (("--partition-key", "edge=0"), "--partition-key"),
+    ],
+)
+def test_serve_cli_rejects_bad_flags(tmp_path, flags, fragment):
+    result = _run_serve(tmp_path, *flags)
+    assert result.returncode == 2
+    assert fragment in result.stderr
+    assert "Traceback" not in result.stderr

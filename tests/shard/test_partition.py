@@ -1,0 +1,230 @@
+"""Property and unit tests for the shard-key router.
+
+The router is the correctness keystone of sharded serving: if routing
+were nondeterministic, partial, or unstable across restarts, facts
+would silently land on (or be recovered to) the wrong shard and
+queries would lose answers.  The properties pin exactly that contract:
+``route`` is a pure function of the fact (deterministic), every fact
+gets exactly one owner or is broadcast to all (total), and a plan
+rebuilt from its own wire description -- what a restarted cluster
+does -- routes identically (restart-stable).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.facts import Fact, make_fact
+from repro.errors import UsageError
+from repro.lang.parser import parse_program, parse_query
+from repro.driver import split_edb
+from repro.shard.partition import (
+    PartitionSpec,
+    ShardPlan,
+    build_plan,
+    parse_partition_keys,
+    stable_hash,
+)
+
+symbols = st.text(alphabet="abcdefgnxyz_", min_size=1, max_size=8)
+numbers = st.builds(
+    Fraction,
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.integers(min_value=1, max_value=1000),
+)
+values = st.one_of(symbols, numbers)
+
+
+def ground(pred: str, args) -> Fact:
+    return Fact.ground(pred, args)
+
+
+@st.composite
+def facts(draw):
+    pred = draw(st.sampled_from(["edge", "node", "cost"]))
+    arity = draw(st.integers(min_value=1, max_value=4))
+    return ground(pred, [draw(values) for _ in range(arity)])
+
+
+@st.composite
+def plans(draw):
+    shards = draw(st.integers(min_value=1, max_value=8))
+    specs = {}
+    for pred in ("edge", "node", "cost"):
+        kind = draw(
+            st.sampled_from(["hash", "range", "broadcast"])
+        )
+        column = draw(st.integers(min_value=0, max_value=2))
+        bounds = ()
+        if kind == "range":
+            raw = draw(
+                st.lists(
+                    st.integers(min_value=-50, max_value=50),
+                    max_size=4,
+                )
+            )
+            bounds = tuple(Fraction(b) for b in sorted(set(raw)))
+        specs[pred] = PartitionSpec(kind, column, bounds)
+    return ShardPlan(shards, specs)
+
+
+@given(plan=plans(), fact=facts())
+@settings(max_examples=200, deadline=None)
+def test_route_deterministic_and_total(plan, fact):
+    """Same fact, same owner -- and the owner is always in range."""
+    first = plan.route(fact)
+    second = plan.route(fact)
+    assert first == second
+    if first is not None:
+        assert 0 <= first < plan.shards
+    # Totality: the fact is placed on exactly one shard, or on all.
+    placements = [
+        shard
+        for shard in range(plan.shards)
+        if plan.placed_on(fact, shard)
+    ]
+    if first is None:
+        assert placements == list(range(plan.shards))
+    else:
+        assert placements == [first]
+
+
+@given(plan=plans(), fact=facts())
+@settings(max_examples=200, deadline=None)
+def test_route_stable_across_restart(plan, fact):
+    """A plan rebuilt from its wire description routes identically."""
+    rebuilt = ShardPlan.from_description(plan.describe())
+    assert rebuilt.route(fact) == plan.route(fact)
+
+
+@given(value=values)
+@settings(max_examples=100, deadline=None)
+def test_stable_hash_is_stable(value):
+    assert stable_hash(value) == stable_hash(value)
+
+
+def test_stable_hash_known_values():
+    """crc32-based, so values are pinned across processes and runs."""
+    import zlib
+
+    assert stable_hash(make_fact("p", ["a"]).args[0]) == zlib.crc32(
+        b"s:a"
+    )
+    assert stable_hash(Fraction(3, 2)) == zlib.crc32(b"n:3/2")
+
+
+def test_range_partitioning_orders_keys():
+    plan = ShardPlan(
+        3,
+        {"cost": PartitionSpec("range", 0, (Fraction(10), Fraction(20)))},
+    )
+    assert plan.route(ground("cost", [Fraction(5)])) == 0
+    assert plan.route(ground("cost", [Fraction(15)])) == 1
+    assert plan.route(ground("cost", [Fraction(25)])) == 2
+
+
+PROGRAM = """
+edge(n1, n2, 1). edge(n2, n3, 1). edge(n3, n4, 2). edge(n4, n5, 1).
+edge(n5, n6, 3). edge(n2, n5, 2).
+label(n1, a). label(n2, b).
+reach(X, Y) :- edge(X, Y, C).
+reach(X, Z) :- reach(X, Y), edge(Y, Z, C).
+"""
+
+
+def _plan(text=PROGRAM, shards=3, **kwargs):
+    rules, edb = split_edb(parse_program(text))
+    return build_plan(rules, edb, shards, **kwargs)
+
+
+def test_small_relations_broadcast():
+    """Tiny relations are replicated, not exchanged against."""
+    plan, notes = _plan()
+    assert plan.spec_for("edge").kind == "hash"
+    assert plan.spec_for("label").kind == "broadcast"
+    assert any(
+        note.pred == "label" and "small" in note.reason
+        for note in notes
+    )
+
+
+def test_self_join_demotes_to_broadcast():
+    text = PROGRAM + "\npair(X, Y) :- edge(X, M, C), edge(M, Y, D)."
+    plan, notes = _plan(text)
+    assert plan.spec_for("edge").kind == "broadcast"
+    assert any(note.pred == "edge" for note in notes)
+
+
+def test_join_conflict_keeps_largest_relation():
+    text = """
+    big(a1, b). big(a2, b). big(a3, b). big(a4, b). big(a5, b).
+    big(a6, b). big(a7, b).
+    sml(b, c1). sml(b, c2). sml(b, c3). sml(b, c4). sml(b, c5).
+    sml(b, c6).
+    j(X, Z) :- big(X, Y), sml(Y, Z).
+    """
+    plan, notes = _plan(text, small_threshold=2)
+    assert plan.spec_for("big").kind == "hash"
+    assert plan.spec_for("sml").kind == "broadcast"
+    assert any(note.pred == "sml" for note in notes)
+
+
+def test_plan_is_restart_stable():
+    """Two builds from the same program produce identical plans."""
+    first, __ = _plan()
+    second, __ = _plan()
+    assert first.describe() == second.describe()
+
+
+def test_seed_pruning_bound_key_routes_to_owner():
+    plan, __ = _plan()
+    query = parse_query("?- edge(n2, Y, C).")
+    shards = plan.seed_shards(query)
+    assert shards is not None and len(shards) == 1
+    owner = shards[0]
+    for fact in (
+        ground("edge", ["n2", "n3", Fraction(1)]),
+        ground("edge", ["n2", "n5", Fraction(2)]),
+    ):
+        assert plan.route(fact) == owner
+
+
+def test_seed_pruning_falls_back_to_broadcast():
+    plan, __ = _plan()
+    # IDB predicate: derivations may touch any shard.
+    assert plan.seed_shards(parse_query("?- reach(n1, Y).")) is None
+    # Unbound key column: answers may live anywhere.
+    assert plan.seed_shards(parse_query("?- edge(X, n3, C).")) is None
+    # Broadcast relation: every shard holds it anyway.
+    assert plan.seed_shards(parse_query("?- label(n1, L).")) is None
+
+
+def test_partition_key_override_changes_column():
+    plan, __ = _plan(keys={"edge": 1})
+    spec = plan.spec_for("edge")
+    assert spec.kind == "hash" and spec.column == 1
+    query = parse_query("?- edge(X, n3, C).")
+    assert plan.seed_shards(query) is not None
+
+
+def test_parse_partition_keys():
+    keys, ranges = parse_partition_keys(
+        ["edge=1", "cost=0@10,20"]
+    )
+    assert keys == {"edge": 1, "cost": 0}
+    assert ranges == {"cost": (Fraction(10), Fraction(20))}
+    for bad in ("edge", "edge=x", "edge=-1", "cost=0@20,10"):
+        with pytest.raises(UsageError):
+            parse_partition_keys([bad])
+
+
+def test_bad_partition_specs_rejected():
+    with pytest.raises(UsageError):
+        PartitionSpec("modulo")
+    with pytest.raises(UsageError):
+        PartitionSpec("hash", column=-1)
+    with pytest.raises(UsageError):
+        ShardPlan(0, {})
