@@ -138,7 +138,17 @@ def _phase_seconds(root: obs.Span) -> dict[str, float]:
 
 
 def run_benchmark(bench: Benchmark, repeat: int) -> dict:
-    """Measure one benchmark; returns its JSON-ready result row."""
+    """Measure one benchmark; returns its JSON-ready result row.
+
+    The solver memo is cleared once per row (not per repeat), so rows
+    are order-independent and, with ``repeat > 1``, the kept
+    best-of-N measurement is a deterministic warm-memo run -- the
+    steady state a long-lived process sees.  The cold/warm split
+    itself is measured by the ``constraint-ops`` row.
+    """
+    from repro.constraints import cache as solver_cache
+
+    solver_cache.clear()
     program, query, edb = bench.build()
     rules, extra_edb = split_edb(program)
     if extra_edb.count():
@@ -177,6 +187,139 @@ def run_benchmark(bench: Benchmark, repeat: int) -> dict:
                 ),
                 "notes": list(outcome.notes),
             }
+    return best
+
+
+def run_constraint_ops_benchmark(
+    repeat: int, small: bool = False
+) -> dict:
+    """Microbenchmark of the constraint layer itself (docs/constraints.md).
+
+    Runs a fixed, deterministic mix of projection / satisfiability /
+    implication queries over a pool of interned conjunctions twice per
+    measurement: a *cold* pass on a cleared solver memo (every answer
+    computed by integer-scaled Fourier-Motzkin) and a *warm* pass
+    repeating the same queries (answers come from the memo and the
+    per-form lazy fields).  Reports both wall-clocks, the warm/cold
+    speedup, the solver-op counters of each pass, and the warm-pass
+    cache hit rate -- the row perf PRs diff when they touch
+    ``repro.constraints``.
+    """
+    import gc
+    from fractions import Fraction
+
+    from repro.constraints import cache as solver_cache
+    from repro.constraints.atom import Atom
+    from repro.constraints.conjunction import Conjunction
+    from repro.constraints.cset import ConstraintSet
+    from repro.constraints.linexpr import LinearExpr
+
+    pool_size = 40 if small else 120
+
+    def build_pool() -> tuple[list, "ConstraintSet"]:
+        conjunctions = []
+        for index in range(pool_size):
+            a = (index % 7) - 3 or 1
+            b = (index % 5) - 2 or 1
+            atoms = [
+                Atom.make(
+                    LinearExpr({"X": 1, "Y": Fraction(a)}),
+                    "<=",
+                    LinearExpr.const(index % 11),
+                ),
+                Atom.make(
+                    LinearExpr({"Y": 1, "Z": Fraction(b)}),
+                    ">=",
+                    LinearExpr.const(-(index % 9)),
+                ),
+                Atom.make(
+                    LinearExpr({"X": 1, "Z": -1}),
+                    "<=",
+                    LinearExpr.const(index % 13),
+                ),
+                Atom.make(
+                    LinearExpr({"X": 1}),
+                    ">=",
+                    LinearExpr.const((index % 4) - 1),
+                ),
+            ]
+            conjunctions.append(Conjunction(atoms))
+        return conjunctions, ConstraintSet(conjunctions[:4])
+
+    def run_ops(conjunctions, targets) -> int:
+        checksum = 0
+        for conjunction in conjunctions:
+            checksum += conjunction.is_satisfiable()
+            checksum += len(conjunction.project({"X", "Y"}).atoms)
+            checksum += len(conjunction.project({"Z"}).atoms)
+            checksum += conjunction.implies_set(targets)
+        return checksum
+
+    def timed_pass(label, conjunctions, targets):
+        tracer = obs.Tracer()
+        started = time.perf_counter()
+        with obs.recording(tracer):
+            with obs.span(label):
+                checksum = run_ops(conjunctions, targets)
+        elapsed = time.perf_counter() - started
+        tracer.finish()
+        return elapsed, checksum, tracer.metrics.counters
+
+    best: dict = {}
+    best_cold = None
+    conjunctions = targets = None
+    for __ in range(repeat):
+        # A genuinely cold pass needs fresh forms: the intern tables
+        # hold weak references, so dropping the previous pool and
+        # collecting leaves nothing with a warm per-instance memo.
+        conjunctions = targets = None
+        gc.collect()
+        solver_cache.configure(
+            enabled=True, max_size=solver_cache.DEFAULT_MAX_SIZE
+        )
+        solver_cache.clear()
+        solver_cache.CACHE.reset_stats()
+        conjunctions, targets = build_pool()
+        cold_seconds, cold_sum, cold_counters = timed_pass(
+            "constraint-ops-cold", conjunctions, targets
+        )
+        warm_seconds, warm_sum, warm_counters = timed_pass(
+            "constraint-ops-warm", conjunctions, targets
+        )
+        assert warm_sum == cold_sum, "warm pass changed answers"
+        if best_cold is not None and cold_seconds >= best_cold:
+            continue
+        best_cold = cold_seconds
+        warm_hits = warm_counters.get("constraint.cache_hits", 0)
+        warm_misses = warm_counters.get("constraint.cache_misses", 0)
+        best = {
+            "name": "constraint-ops",
+            "strategy": "none",
+            "seconds": cold_seconds,
+            "counters": dict(sorted(cold_counters.items())),
+            "constraint_ops": {
+                "pool_size": pool_size,
+                "queries": 4 * pool_size,
+                "cold_seconds": cold_seconds,
+                "warm_seconds": warm_seconds,
+                "warm_speedup": cold_seconds
+                / max(warm_seconds, 1e-9),
+                "cold_projections": cold_counters.get(
+                    "constraint.projections", 0
+                ),
+                "cold_sat_checks": cold_counters.get(
+                    "constraint.sat_checks", 0
+                ),
+                "warm_projections": warm_counters.get(
+                    "constraint.projections", 0
+                ),
+                "warm_sat_checks": warm_counters.get(
+                    "constraint.sat_checks", 0
+                ),
+                "warm_cache_hit_rate": warm_hits
+                / max(warm_hits + warm_misses, 1),
+            },
+        }
     return best
 
 
@@ -805,7 +948,8 @@ def main(argv: list[str] | None = None) -> int:
         arguments.repeat = 1
         if not arguments.only:
             arguments.only = (
-                "example41,fib,service,planner,serve,recover"
+                "example41,fib,constraint-ops,service,planner,"
+                "serve,recover"
             )
     selected = (
         set(arguments.only.split(",")) if arguments.only else None
@@ -819,6 +963,13 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         results.append(run_benchmark(bench, arguments.repeat))
+    if selected is None or "constraint-ops" in selected:
+        print("running constraint-ops [none] ...", file=sys.stderr)
+        results.append(
+            run_constraint_ops_benchmark(
+                arguments.repeat, small=arguments.smoke
+            )
+        )
     if selected is None or "service" in selected:
         print("running service-repeat [rewrite] ...", file=sys.stderr)
         results.append(

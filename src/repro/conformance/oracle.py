@@ -118,7 +118,7 @@ def numeric_domain(program: Program, query: Query) -> list[Fraction]:
 
     def visit_atoms(atoms: tuple[Atom, ...]) -> None:
         for atom in atoms:
-            values.add(-atom.expr.constant)
+            values.add(Fraction(-atom.expr.constant))
 
     for rule in program:
         visit_literal(rule.head)

@@ -9,17 +9,29 @@ inequalities), and *constraint sets* -- disjunctions of conjunctions
 (Definition 2.3) -- with the implication test the paper writes
 ``C1 (implies) C2``.
 
-All arithmetic is exact (``fractions.Fraction``), which the paper's
-correctness proofs require ("quantifier elimination of linear arithmetic
-constraint sets can be done exactly").
+All arithmetic is exact, which the paper's correctness proofs require
+("quantifier elimination of linear arithmetic constraint sets can be
+done exactly").  Internally atoms are normalized once to coprime
+*integer* coefficient vectors (:mod:`repro.constraints.atom`) so the hot
+paths are pure integer multiply-adds; ``fractions.Fraction`` appears
+only where division is inherent.  Atoms and conjunctions are
+hash-consed (:mod:`repro.constraints.intern`): semantically equal forms
+are the *same object*, so equality and hashing are pointer operations.
+Projection and implication results are memoized in a bounded global
+cache (:mod:`repro.constraints.cache`, tunable via the
+``REPRO_CONSTRAINT_CACHE`` environment variable).  The pre-overhaul
+pure-``Fraction``, unmemoized algorithms survive as
+:mod:`repro.constraints._reference` for differential testing.
 """
 
-from repro.constraints.linexpr import LinearExpr
+from repro.constraints.linexpr import LinearExpr, as_fraction
 from repro.constraints.atom import Atom, Op
 from repro.constraints.conjunction import Conjunction
 from repro.constraints.cset import ConstraintSet
 from repro.constraints.project import eliminate_variables
 from repro.constraints.disjoint import make_disjoint
+from repro.constraints import cache as solver_cache
+from repro.constraints.intern import table_stats as intern_stats
 
 __all__ = [
     "LinearExpr",
@@ -27,6 +39,9 @@ __all__ = [
     "Op",
     "Conjunction",
     "ConstraintSet",
+    "as_fraction",
     "eliminate_variables",
     "make_disjoint",
+    "solver_cache",
+    "intern_stats",
 ]

@@ -1,0 +1,269 @@
+"""Reference constraint algorithms: pure ``Fraction``, no memoization.
+
+This module preserves the pre-overhaul solver semantics in the
+simplest, most obviously-correct form: every coefficient is an explicit
+:class:`fractions.Fraction`, every operation recomputes from scratch,
+nothing is interned, pruned, or cached.  It exists **only** as the
+oracle side of the differential solver tests
+(``tests/property/test_prop_solver_oracle.py``): the production solver
+(integer-scaled arithmetic, hash-consed forms, memoized
+projection/satisfiability) must agree with it on every generated input.
+
+It deliberately shares no algorithmic shortcuts with
+:mod:`repro.constraints.project`:
+
+* constraints are plain ``(coeffs, constant, op)`` triples over
+  ``Fraction``, extracted from atoms through the public accessors;
+* Fourier-Motzkin combines bounds by explicit rational division, the
+  way the textbook states it;
+* DNF implication expands the negation product exhaustively instead of
+  branching with pruning.
+
+Keep it slow and boring; its only job is to be right.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+from typing import Iterable, Mapping
+
+from repro.constraints.atom import Atom
+
+#: One reference constraint: ``sum(coeffs[v] * v) + constant (op) 0``
+#: with ``op`` one of ``"<="``, ``"<"``, ``"="``.
+Vec = tuple[dict[str, Fraction], Fraction, str]
+
+_NEGATED_OP = {"<=": "<", "<": "<="}
+
+
+def from_atom(atom: Atom) -> Vec:
+    """Extract a reference vector from a production atom."""
+    coeffs = {
+        var: Fraction(coeff) for var, coeff in atom.expr.coeffs.items()
+    }
+    return (coeffs, Fraction(atom.expr.constant), atom.op.value)
+
+
+def from_atoms(atoms: Iterable[Atom]) -> list[Vec]:
+    """Extract reference vectors from production atoms."""
+    return [from_atom(atom) for atom in atoms]
+
+
+def _scale(vec: Vec, factor: Fraction) -> Vec:
+    coeffs, constant, op = vec
+    return (
+        {var: coeff * factor for var, coeff in coeffs.items()},
+        constant * factor,
+        op,
+    )
+
+
+def _add(left: Vec, right: Vec, op: str) -> Vec:
+    coeffs = dict(left[0])
+    for var, coeff in right[0].items():
+        coeffs[var] = coeffs.get(var, Fraction(0)) + coeff
+    coeffs = {var: c for var, c in coeffs.items() if c != 0}
+    return (coeffs, left[1] + right[1], op)
+
+
+def _truth(vec: Vec) -> bool | None:
+    coeffs, constant, op = vec
+    if any(coeff != 0 for coeff in coeffs.values()):
+        return None
+    if op == "<=":
+        return constant <= 0
+    if op == "<":
+        return constant < 0
+    return constant == 0
+
+
+def _substitute(vec: Vec, var: str, replacement: Vec) -> Vec:
+    """Replace ``var`` by the (op-less) expression of ``replacement``."""
+    coeffs, constant, op = vec
+    coeff = coeffs.get(var, Fraction(0))
+    if coeff == 0:
+        return vec
+    rest = {v: c for v, c in coeffs.items() if v != var}
+    base: Vec = (rest, constant, op)
+    return _add(base, _scale((replacement[0], replacement[1], op), coeff), op)
+
+
+def eliminate(vecs: list[Vec], elim: Iterable[str]) -> list[Vec] | None:
+    """Textbook Gaussian + Fourier-Motzkin elimination over Fractions.
+
+    Returns the projected vectors or ``None`` on detected
+    unsatisfiability.
+    """
+    current: list[Vec] = []
+    for vec in vecs:
+        truth = _truth(vec)
+        if truth is False:
+            return None
+        if truth is None:
+            current.append(vec)
+    for var in sorted(set(elim)):
+        if not any(var in vec[0] and vec[0][var] != 0 for vec in current):
+            continue
+        # Prefer an equality: solve for var and substitute everywhere.
+        equality = next(
+            (
+                vec
+                for vec in current
+                if vec[2] == "=" and vec[0].get(var, Fraction(0)) != 0
+            ),
+            None,
+        )
+        survivors: list[Vec] = []
+        if equality is not None:
+            coeff = equality[0][var]
+            solved: Vec = (
+                {
+                    v: -c / coeff
+                    for v, c in equality[0].items()
+                    if v != var
+                },
+                -equality[1] / coeff,
+                "=",
+            )
+            for vec in current:
+                if vec is equality:
+                    continue
+                survivors.append(_substitute(vec, var, solved))
+        else:
+            uppers: list[Vec] = []
+            lowers: list[Vec] = []
+            for vec in current:
+                coeff = vec[0].get(var, Fraction(0))
+                if coeff == 0:
+                    survivors.append(vec)
+                elif coeff > 0:
+                    uppers.append(vec)
+                else:
+                    lowers.append(vec)
+            for upper in uppers:
+                a_up = upper[0][var]
+                bound_up = _scale(
+                    ({v: c for v, c in upper[0].items() if v != var},
+                     upper[1], upper[2]),
+                    Fraction(-1) / a_up,
+                )
+                for lower in lowers:
+                    a_lo = lower[0][var]
+                    bound_lo = _scale(
+                        ({v: c for v, c in lower[0].items() if v != var},
+                         lower[1], lower[2]),
+                        Fraction(-1) / a_lo,
+                    )
+                    op = "<" if "<" in (upper[2], lower[2]) else "<="
+                    survivors.append(
+                        _add(bound_lo, _scale(bound_up, Fraction(-1)), op)
+                    )
+        current = []
+        for vec in survivors:
+            truth = _truth(vec)
+            if truth is False:
+                return None
+            if truth is None:
+                current.append(vec)
+    return current
+
+
+def satisfiable_vecs(vecs: list[Vec]) -> bool:
+    """Exact satisfiability by full elimination."""
+    variables: set[str] = set()
+    for vec in vecs:
+        variables |= {v for v, c in vec[0].items() if c != 0}
+    return eliminate(vecs, variables) is not None
+
+
+def satisfiable(atoms: Iterable[Atom]) -> bool:
+    """Reference satisfiability of production atoms."""
+    return satisfiable_vecs(from_atoms(atoms))
+
+
+def project(atoms: Iterable[Atom], keep: Iterable[str]) -> list[Vec] | None:
+    """Reference projection of production atoms onto ``keep``."""
+    vecs = from_atoms(atoms)
+    variables: set[str] = set()
+    for vec in vecs:
+        variables |= set(vec[0])
+    return eliminate(vecs, variables - set(keep))
+
+
+def _negations(vec: Vec) -> list[Vec]:
+    coeffs, constant, op = vec
+    negated = {var: -coeff for var, coeff in coeffs.items()}
+    if op == "=":
+        return [(dict(coeffs), constant, "<"), (negated, -constant, "<")]
+    return [(negated, -constant, _NEGATED_OP[op])]
+
+
+def implies_vec(vecs: list[Vec], vec: Vec) -> bool:
+    """Does the conjunction imply one constraint?  Via negation-unsat."""
+    if not satisfiable_vecs(vecs):
+        return True
+    return all(
+        not satisfiable_vecs(vecs + [negated])
+        for negated in _negations(vec)
+    )
+
+
+def implies_vecs(left: list[Vec], right: list[Vec]) -> bool:
+    """Conjunction-to-conjunction implication."""
+    return all(implies_vec(left, vec) for vec in right)
+
+
+def implies_set(
+    conj_atoms: Iterable[Atom],
+    disjunct_atom_lists: Iterable[Iterable[Atom]],
+) -> bool:
+    """Does a conjunction imply a DNF set?  Exhaustive product expansion.
+
+    ``conj implies (d1 or ... or dn)`` iff ``conj and not(d1) and ...
+    and not(dn)`` is unsatisfiable.  Each ``not(di)`` is a disjunction
+    of negated atoms; the product over all disjuncts is expanded in
+    full, one satisfiability check per combination.  Exponential -- the
+    oracle is only ever run on small generated inputs.
+    """
+    base = from_atoms(conj_atoms)
+    if not satisfiable_vecs(base):
+        return True
+    choice_lists: list[list[Vec]] = []
+    for disjunct in disjunct_atom_lists:
+        choices: list[Vec] = []
+        for atom in disjunct:
+            choices.extend(_negations(from_atom(atom)))
+        choice_lists.append(choices)
+    if not choice_lists:
+        return False
+    for combo in product(*choice_lists):
+        if satisfiable_vecs(base + list(combo)):
+            return False
+    return True
+
+
+def satisfied_by(vecs: list[Vec], point: Mapping[str, Fraction]) -> bool:
+    """Evaluate reference vectors under a total assignment."""
+    for coeffs, constant, op in vecs:
+        total = constant
+        for var, coeff in coeffs.items():
+            total += coeff * Fraction(point[var])
+        if op == "<=" and not total <= 0:
+            return False
+        if op == "<" and not total < 0:
+            return False
+        if op == "=" and total != 0:
+            return False
+    return True
+
+
+def equivalent_vecs(left: list[Vec], right: list[Vec]) -> bool:
+    """Mutual implication of two reference conjunctions."""
+    left_sat = satisfiable_vecs(left)
+    right_sat = satisfiable_vecs(right)
+    if left_sat != right_sat:
+        return False
+    if not left_sat:
+        return True
+    return implies_vecs(left, right) and implies_vecs(right, left)

@@ -4,24 +4,32 @@ An :class:`Atom` is a constraint ``expr op 0`` in *normalized* form:
 
 * ``op`` is one of ``<=``, ``<`` or ``=`` (``>=``/``>`` are normalized by
   negating the expression at construction);
-* the expression's coefficients are scaled to coprime integers with the
-  lexicographically-first variable's coefficient positive (for ``=``) --
-  scaling for inequalities keeps the direction, i.e. only positive
-  factors are applied.
+* the expression's coefficients are scaled to coprime **machine
+  integers** with the lexicographically-first variable's coefficient
+  positive (for ``=``) -- scaling for inequalities keeps the direction,
+  i.e. only positive factors are applied.
 
 Normalization makes syntactically-different spellings of the same
-constraint (``2X <= 4`` vs ``X <= 2``) compare and hash equal, which the
-fact-dedup machinery of the evaluation engine relies on.
+constraint (``2X <= 4`` vs ``X <= 2``) compare and hash equal, and --
+because the scaling happens exactly once, here -- downstream arithmetic
+(Fourier-Motzkin combination, parallel pruning, tightness comparison)
+runs on plain integers instead of re-normalizing ``Fraction`` values at
+every operation.
+
+Atoms are additionally *hash-consed*: construction returns the one
+canonical instance per normalized form from a global weak intern table
+(:mod:`repro.constraints.intern`), so live atoms are semantically equal
+iff identical, hashes are precomputed, and pickling or deep-copying an
+atom re-interns it on the way back in.
 """
 
 from __future__ import annotations
 
 import enum
-from fractions import Fraction
-from functools import reduce
 from math import gcd
 from typing import Mapping
 
+from repro.constraints.intern import InternTable
 from repro.constraints.linexpr import Coefficient, LinearExpr
 
 
@@ -47,41 +55,89 @@ _INPUT_OPS = {
     ">": (Op.LT, True),
 }
 
+_OPS_BY_SYMBOL = {op.value: op for op in Op}
 
-def _normalize_scale(expr: LinearExpr, op: Op) -> tuple[LinearExpr, Op]:
-    """Scale coefficients to coprime integers; fix sign for equalities."""
-    values = [expr.constant, *expr.coeffs.values()]
-    denominators = [value.denominator for value in values]
-    lcm = reduce(lambda a, b: a * b // gcd(a, b), denominators, 1)
-    scaled = expr * lcm
-    numerators = [
-        abs(value.numerator)
-        for value in (scaled.constant, *scaled.coeffs.values())
-        if value != 0
-    ]
-    if numerators:
-        divisor = reduce(gcd, numerators)
-        if divisor > 1:
-            scaled = scaled * Fraction(1, divisor)
+
+def _normalize_scale(expr: LinearExpr, op: Op) -> LinearExpr:
+    """Scale to coprime integer coefficients; fix sign for equalities."""
+    coeffs = dict(expr.coeffs)
+    constant = expr.constant
+    # Clear denominators (ints report denominator 1, so the common
+    # all-integer case never touches Fraction arithmetic).
+    lcm = constant.denominator
+    for value in coeffs.values():
+        den = value.denominator
+        if den != 1:
+            lcm = lcm * den // gcd(lcm, den)
+    if lcm != 1:
+        constant = int(constant * lcm)
+        coeffs = {var: int(value * lcm) for var, value in coeffs.items()}
+    else:
+        constant = int(constant)
+        coeffs = {var: int(value) for var, value in coeffs.items()}
+    # Divide out the common factor (gcd ignores zeros).
+    divisor = abs(constant)
+    for value in coeffs.values():
+        divisor = gcd(divisor, value)
+    if divisor > 1:
+        constant //= divisor
+        coeffs = {var: value // divisor for var, value in coeffs.items()}
     if op is Op.EQ:
-        terms = scaled.sorted_terms()
-        if terms and terms[0][1] < 0:
-            scaled = -scaled
-        elif not terms and scaled.constant < 0:
-            scaled = -scaled
-    return scaled, op
+        if coeffs:
+            lead = coeffs[min(coeffs)]
+            negate = lead < 0
+        else:
+            negate = constant < 0
+        if negate:
+            constant = -constant
+            coeffs = {var: -value for var, value in coeffs.items()}
+    return LinearExpr(coeffs, constant)
+
+
+_ATOMS = InternTable("atoms")
+
+
+def _rebuild_atom(op_symbol: str, terms: tuple, constant: Coefficient):
+    """Pickle/deepcopy reconstructor: re-normalizes and re-interns."""
+    return Atom(LinearExpr(dict(terms), constant), _OPS_BY_SYMBOL[op_symbol])
 
 
 class Atom:
-    """A normalized linear arithmetic constraint ``expr op 0``."""
+    """A normalized, interned linear arithmetic constraint ``expr op 0``."""
 
-    __slots__ = ("_expr", "_op", "_hash")
+    __slots__ = ("_expr", "_op", "_hash", "_dir", "__weakref__")
 
-    def __init__(self, expr: LinearExpr, op: Op) -> None:
+    def __new__(cls, expr: LinearExpr, op: Op) -> "Atom":
         if not isinstance(op, Op):
             raise TypeError(f"op must be an Op, got {op!r}")
-        self._expr, self._op = _normalize_scale(expr, op)
-        self._hash: int | None = None
+        scaled = _normalize_scale(expr, op)
+        key = (op, scaled.constant, tuple(scaled.sorted_terms()))
+
+        def build() -> "Atom":
+            self = object.__new__(cls)
+            self._expr = scaled
+            self._op = op
+            self._hash = hash(key)
+            self._dir = None
+            return self
+
+        return _ATOMS.intern(key, build)
+
+    def __init__(self, expr: LinearExpr, op: Op) -> None:
+        # All construction work happens (once) in __new__; __init__ runs
+        # on every constructor call, including cache hits, and must not
+        # touch the shared interned instance.
+        pass
+
+    def __reduce__(self):
+        return (
+            _rebuild_atom,
+            (
+                self._op.value,
+                tuple(self._expr.sorted_terms()),
+                self._expr.constant,
+            ),
+        )
 
     # -- constructors -------------------------------------------------
 
@@ -157,6 +213,34 @@ class Atom:
         """Is this an equality atom?"""
         return self._op is Op.EQ
 
+    def direction(self) -> tuple[tuple, int]:
+        """The atom's coprime direction vector and signed scale (cached).
+
+        Returns ``(terms, k)`` where ``terms`` is the variable terms
+        divided by ``k``, and ``k`` is the gcd of the variable
+        coefficients signed so that the *direction's* leading
+        coefficient is positive.  Atoms bounding the same halfspace
+        direction share ``terms`` and the sign of ``k``; their relative
+        tightness is ``Fraction(constant, abs(k))``.  Ground atoms
+        return ``((), 1)``.
+        """
+        cached = self._dir
+        if cached is None:
+            terms = self._expr.sorted_terms()
+            scale = 0
+            for __, coeff in terms:
+                scale = gcd(scale, coeff if coeff >= 0 else -coeff)
+            if not terms:
+                scale = 1
+            elif terms[0][1] < 0:
+                scale = -scale
+            direction = tuple(
+                (var, coeff // scale) for var, coeff in terms
+            )
+            cached = (direction, scale)
+            self._dir = cached
+        return cached
+
     # -- logic --------------------------------------------------------
 
     def negations(self) -> tuple["Atom", ...]:
@@ -192,13 +276,15 @@ class Atom:
         return (self._op, self._expr)
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Atom):
             return NotImplemented
+        # Live atoms are interned, so reaching here means "not equal";
+        # compare structurally anyway for robustness.
         return self._key() == other._key()
 
     def __hash__(self) -> int:
-        if self._hash is None:
-            self._hash = hash(self._key())
         return self._hash
 
     def sort_key(self) -> tuple:

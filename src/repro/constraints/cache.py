@@ -1,0 +1,190 @@
+"""Bounded memoization of solver results, keyed on interned forms.
+
+The constraint solver's unit results -- projection, satisfiability,
+atom/set implication -- are pure functions of canonical (interned)
+inputs, so they memoize perfectly: the cache key is a small tuple of
+interned objects whose hashes are precomputed, and a hit replaces a
+Fourier-Motzkin elimination with one dict probe.  Across semi-naive
+delta rounds and ``fixpoint.resume`` calls the engine re-derives the
+same constraint conjunctions constantly (duplicate derivations are
+30-40%% of every benchmark), which is exactly the reuse this cache
+captures.
+
+One global LRU (:class:`OrderedDict` under a lock; the serve
+supervisor calls the solver from worker threads) holds every result
+kind, bounded by ``max_size`` with least-recently-used eviction.
+Lookups are observable: ``constraint.cache_hits`` /
+``constraint.cache_misses`` obs counters, plus :func:`stats` for
+programmatic access.
+
+Configuration: the ``REPRO_CONSTRAINT_CACHE`` environment variable is
+read at import -- ``0`` or ``off`` disables memoization entirely (the
+conformance CI job replays the corpus both ways), any other integer
+sets the entry bound.  :func:`configure` changes both at runtime;
+:func:`clear` empties the cache (tests, benchmarks measuring cold
+paths).
+
+Fault injection: :func:`inject_fault` deliberately corrupts cache
+*hits* (``"sat-flip"`` inverts satisfiability answers, ``"drop-atom"``
+weakens projection results).  It exists so the test suite can prove
+the conformance differ would catch a poisoned memo -- see
+``tests/unit/test_constraint_cache.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Callable, Hashable, TypeVar
+
+from repro.obs.recorder import count as obs_count
+
+T = TypeVar("T")
+
+DEFAULT_MAX_SIZE = 1 << 16
+
+_FAULT_MODES = ("sat-flip", "drop-atom")
+
+
+def _env_config() -> tuple[bool, int]:
+    raw = os.environ.get("REPRO_CONSTRAINT_CACHE", "").strip().lower()
+    if raw in ("", "1", "on", "true"):
+        return True, DEFAULT_MAX_SIZE
+    if raw in ("0", "off", "false"):
+        return False, DEFAULT_MAX_SIZE
+    try:
+        size = int(raw)
+    except ValueError:
+        return True, DEFAULT_MAX_SIZE
+    if size <= 0:
+        return False, DEFAULT_MAX_SIZE
+    return True, size
+
+
+class SolverCache:
+    """A locked LRU mapping ``(kind, *interned forms) -> result``."""
+
+    def __init__(self, max_size: int = DEFAULT_MAX_SIZE,
+                 enabled: bool = True) -> None:
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.max_size = max_size
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._fault: str | None = None
+
+    def lookup(self, key: Hashable, compute: Callable[[], T]) -> T:
+        """The memoized result for ``key``, computing it on a miss."""
+        if not self.enabled:
+            return compute()
+        with self._lock:
+            try:
+                value = self._data[key]
+                self._data.move_to_end(key)
+                hit = True
+            except KeyError:
+                hit = False
+        if hit:
+            self.hits += 1
+            obs_count("constraint.cache_hits")
+            if self._fault is not None:
+                value = self._corrupt(key, value)
+            return value  # type: ignore[return-value]
+        self.misses += 1
+        obs_count("constraint.cache_misses")
+        value = compute()
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.max_size:
+                self._data.popitem(last=False)
+                self.evictions += 1
+        return value
+
+    def _corrupt(self, key: Hashable, value: object) -> object:
+        """Deliberately wrong memo answers (poisoned-cache self-check)."""
+        kind = key[0] if isinstance(key, tuple) and key else None
+        if self._fault == "sat-flip" and isinstance(value, bool):
+            return not value
+        if (
+            self._fault == "drop-atom"
+            and kind == "project"
+            and hasattr(value, "atoms")
+            and len(value.atoms) > 0  # type: ignore[attr-defined]
+        ):
+            # Weaken the memoized projection by dropping an atom.
+            return type(value)(value.atoms[:-1])  # type: ignore[attr-defined]
+        return value
+
+    def clear(self) -> None:
+        """Drop every memoized entry (counters keep accumulating)."""
+        with self._lock:
+            self._data.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def stats(self) -> dict[str, int | bool]:
+        return {
+            "enabled": self.enabled,
+            "size": len(self._data),
+            "max_size": self.max_size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+_enabled, _max_size = _env_config()
+
+#: The process-global solver memo.
+CACHE = SolverCache(max_size=_max_size, enabled=_enabled)
+
+
+def lookup(key: Hashable, compute: Callable[[], T]) -> T:
+    """Memoize ``compute()`` under ``key`` in the global cache."""
+    return CACHE.lookup(key, compute)
+
+
+def configure(enabled: bool | None = None,
+              max_size: int | None = None) -> None:
+    """Adjust the global cache; shrinking evicts immediately."""
+    if enabled is not None:
+        CACHE.enabled = enabled
+        if not enabled:
+            CACHE.clear()
+    if max_size is not None:
+        if max_size <= 0:
+            raise ValueError("max_size must be positive")
+        CACHE.max_size = max_size
+        with CACHE._lock:
+            while len(CACHE._data) > max_size:
+                CACHE._data.popitem(last=False)
+                CACHE.evictions += 1
+
+
+def clear() -> None:
+    """Empty the global cache (cold-path measurements, test isolation)."""
+    CACHE.clear()
+
+
+def stats() -> dict[str, int | bool]:
+    """A snapshot of the global cache's counters."""
+    return CACHE.stats()
+
+
+def inject_fault(mode: str | None) -> None:
+    """Arm (or with ``None`` disarm) deliberate memo corruption."""
+    if mode is not None and mode not in _FAULT_MODES:
+        raise ValueError(
+            f"unknown cache fault {mode!r}; use one of {_FAULT_MODES}"
+        )
+    CACHE._fault = mode

@@ -10,6 +10,14 @@ bottom-up evaluator needs (Section 2 of the paper):
 * extraction of forced ground values (used to recognize when a
   "constraint fact" is really a ground fact),
 * canonicalization for cheap syntactic deduplication.
+
+Conjunctions are hash-consed like atoms (one canonical instance per
+normalized atom tuple, :mod:`repro.constraints.intern`), which makes
+the per-instance lazy fields below -- satisfiability, the variable
+set, the canonical form -- global memo tables keyed by identity.
+Projection and implication results, which additionally depend on a
+second argument, go through the bounded LRU of
+:mod:`repro.constraints.cache` keyed on the interned operands.
 """
 
 from __future__ import annotations
@@ -17,8 +25,10 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
+from repro.constraints import cache as solver_cache
 from repro.constraints.atom import FALSE_ATOM, Atom, Op
-from repro.constraints.linexpr import Coefficient, LinearExpr
+from repro.constraints.intern import InternTable
+from repro.constraints.linexpr import Coefficient, LinearExpr, as_fraction
 from repro.constraints.project import (
     eliminate_variables,
     is_satisfiable,
@@ -29,13 +39,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.constraints.cset import ConstraintSet
 
 
+_CONJUNCTIONS = InternTable("conjunctions")
+
+
+def _rebuild_conjunction(atoms: tuple) -> "Conjunction":
+    """Pickle/deepcopy reconstructor: atoms re-intern, then the tuple."""
+    return Conjunction(atoms)
+
+
 class Conjunction:
-    """An immutable conjunction of normalized atoms."""
+    """An immutable, interned conjunction of normalized atoms."""
 
-    __slots__ = ("_atoms", "_hash", "_sat")
+    __slots__ = (
+        "_atoms", "_hash", "_sat", "_vars", "_canon", "__weakref__"
+    )
 
-    def __init__(self, atoms: Iterable[Atom] = ()) -> None:
-        kept = []
+    def __new__(cls, atoms: Iterable[Atom] = ()) -> "Conjunction":
+        kept: list[Atom] = []
         seen: set[Atom] = set()
         false = False
         for atom in atoms:
@@ -51,11 +71,26 @@ class Conjunction:
                 kept.append(atom)
         if false:
             kept = [FALSE_ATOM]
-        self._atoms: tuple[Atom, ...] = tuple(
-            sorted(kept, key=Atom.sort_key)
-        )
-        self._hash: int | None = None
-        self._sat: bool | None = False if false else None
+        key = tuple(sorted(kept, key=Atom.sort_key))
+
+        def build() -> "Conjunction":
+            self = object.__new__(cls)
+            self._atoms = key
+            self._hash = hash(key)
+            self._sat = False if false else None
+            self._vars = None
+            self._canon = None
+            return self
+
+        return _CONJUNCTIONS.intern(key, build)
+
+    def __init__(self, atoms: Iterable[Atom] = ()) -> None:
+        # Construction happens (once) in __new__; __init__ runs on
+        # every call, including intern hits, and must stay a no-op.
+        pass
+
+    def __reduce__(self):
+        return (_rebuild_conjunction, (self._atoms,))
 
     # -- constructors -------------------------------------------------
 
@@ -77,18 +112,27 @@ class Conjunction:
         return self._atoms
 
     def variables(self) -> frozenset[str]:
-        """The variable names occurring in this object."""
-        result: set[str] = set()
-        for atom in self._atoms:
-            result |= atom.variables()
-        return frozenset(result)
+        """The variable names occurring in this object (cached)."""
+        cached = self._vars
+        if cached is None:
+            result: set[str] = set()
+            for atom in self._atoms:
+                result |= atom.variables()
+            cached = frozenset(result)
+            self._vars = cached
+        return cached
 
     def is_true(self) -> bool:
         """Syntactically true (no atoms)."""
         return not self._atoms
 
     def is_satisfiable(self) -> bool:
-        """Exact satisfiability over the rationals (cached)."""
+        """Exact satisfiability over the rationals (memoized).
+
+        Interning makes this per-instance field a global memo: every
+        syntactic respelling of the conjunction shares the one cached
+        decision.
+        """
         if self._sat is None:
             self._sat = is_satisfiable(self._atoms)
         return self._sat
@@ -104,9 +148,15 @@ class Conjunction:
     def conjoin(self, other: "Conjunction | Iterable[Atom]") -> "Conjunction":
         """Conjunction with more atoms or another conjunction."""
         if isinstance(other, Conjunction):
+            if not other._atoms:
+                return self
+            if not self._atoms:
+                return other
             extra: Sequence[Atom] = other._atoms
         else:
             extra = tuple(other)
+            if not extra:
+                return self
         return Conjunction((*self._atoms, *extra))
 
     def add(self, atom: Atom) -> "Conjunction":
@@ -128,17 +178,29 @@ class Conjunction:
     def project(self, keep: Iterable[str]) -> "Conjunction":
         """Project onto ``keep``: exact existential quantifier elimination.
 
-        Returns the *false* conjunction when unsatisfiable.
+        Returns the *false* conjunction when unsatisfiable.  Results
+        are memoized on ``(self, eliminated variables)`` in the global
+        solver cache -- across semi-naive delta rounds the same
+        interned conjunction is projected onto the same head variables
+        over and over, and every repeat is a cache probe instead of a
+        Fourier-Motzkin run.
         """
         keep_set = set(keep)
-        elim = self.variables() - keep_set
-        result = eliminate_variables(self._atoms, elim)
-        if result is None:
-            return Conjunction.false()
-        # Note: a non-None result only means no contradiction was *found*
-        # during elimination; the residual atoms over the kept variables
-        # may still be jointly unsatisfiable, so satisfiability stays lazy.
-        return Conjunction(result)
+        elim = frozenset(self.variables() - keep_set)
+        if not self._atoms:
+            return self
+
+        def compute() -> "Conjunction":
+            result = eliminate_variables(self._atoms, elim)
+            if result is None:
+                return Conjunction.false()
+            # Note: a non-None result only means no contradiction was
+            # *found* during elimination; the residual atoms over the
+            # kept variables may still be jointly unsatisfiable, so
+            # satisfiability stays lazy.
+            return Conjunction(result)
+
+        return solver_cache.lookup(("project", self, elim), compute)
 
     def eliminate(self, drop: Iterable[str]) -> "Conjunction":
         """Eliminate exactly the given variables."""
@@ -153,13 +215,19 @@ class Conjunction:
         """
         if not self.is_satisfiable():
             return True
-        for negated in atom.negations():
-            if is_satisfiable((*self._atoms, negated)):
-                return False
-        return True
+
+        def compute() -> bool:
+            for negated in atom.negations():
+                if Conjunction((*self._atoms, negated)).is_satisfiable():
+                    return False
+            return True
+
+        return solver_cache.lookup(("implies_atom", self, atom), compute)
 
     def implies(self, other: "Conjunction") -> bool:
         """Conjunction-to-conjunction implication."""
+        if self is other:
+            return True
         return all(self.implies_atom(atom) for atom in other._atoms)
 
     def implies_set(self, cset: "ConstraintSet") -> bool:
@@ -170,9 +238,15 @@ class Conjunction:
         """
         if not self.is_satisfiable():
             return True
-        return not _negation_branches_satisfiable(
-            list(self._atoms), [d.atoms for d in cset.disjuncts]
-        )
+        if self in cset.disjuncts:
+            return True
+
+        def compute() -> bool:
+            return not _negation_branches_satisfiable(
+                list(self._atoms), [d.atoms for d in cset.disjuncts]
+            )
+
+        return solver_cache.lookup(("implies_set", self, cset), compute)
 
     def equivalent(self, other: "Conjunction") -> bool:
         """Mutual implication."""
@@ -198,7 +272,7 @@ class Conjunction:
             coeff = atom.expr.coeff(var)
             if coeff == 0:
                 continue
-            bound = -atom.expr.constant / coeff
+            bound = as_fraction(-atom.expr.constant) / coeff
             if atom.op is Op.EQ:
                 return (bound, False, bound, False)
             if coeff > 0:
@@ -252,30 +326,39 @@ class Conjunction:
     def canonical(self) -> "Conjunction":
         """A cheaper-to-compare form: parallel pruning plus full
         redundant-atom elimination (each atom implied by the others is
-        dropped, scanning in sorted order for determinism)."""
+        dropped, scanning in sorted order for determinism).  Memoized
+        per interned instance; the canonical form is its own canonical
+        form."""
+        cached = self._canon
+        if cached is not None:
+            return cached
         if not self.is_satisfiable():
-            return Conjunction.false()
-        atoms = list(prune_parallel(self._atoms))
-        atoms.sort(key=Atom.sort_key)
-        kept: list[Atom] = []
-        for index, atom in enumerate(atoms):
-            others = kept + atoms[index + 1 :]
-            if not Conjunction(others).implies_atom(atom):
-                kept.append(atom)
-        result = Conjunction(kept)
-        result._sat = True
+            result = Conjunction.false()
+        else:
+            atoms = list(prune_parallel(self._atoms))
+            atoms.sort(key=Atom.sort_key)
+            kept: list[Atom] = []
+            for index, atom in enumerate(atoms):
+                others = kept + atoms[index + 1 :]
+                if not Conjunction(others).implies_atom(atom):
+                    kept.append(atom)
+            result = Conjunction(kept)
+            result._sat = True
+        result._canon = result
+        self._canon = result
         return result
 
     # -- comparisons --------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Conjunction):
             return NotImplemented
+        # Live conjunctions are interned; structural fallback for safety.
         return self._atoms == other._atoms
 
     def __hash__(self) -> int:
-        if self._hash is None:
-            self._hash = hash(self._atoms)
         return self._hash
 
     def __repr__(self) -> str:
@@ -300,12 +383,16 @@ def _negation_branches_satisfiable(
     ``not d``) is dropped without branching at all -- on pairwise
     disjoint sets, where at most one disjunct intersects any branch,
     this turns an exponential tree into a near-linear scan.
+
+    Every satisfiability decision goes through interned conjunctions,
+    so recurring subproblems (shared branch prefixes, re-checked
+    disjunct intersections) are answered from the memo.
     """
-    if not is_satisfiable(base):
+    if not Conjunction(base).is_satisfiable():
         return False
     index = 0
     while index < len(disjuncts):
-        if is_satisfiable(base + list(disjuncts[index])):
+        if Conjunction(base + list(disjuncts[index])).is_satisfiable():
             break
         index += 1
     else:

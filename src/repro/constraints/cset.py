@@ -125,6 +125,13 @@ class ConstraintSet:
 
     def implies(self, other: "ConstraintSet") -> bool:
         """The paper's constraint-set implication (Definition 2.3)."""
+        if self is other:
+            return True
+        # Interned disjuncts make the syntactic-subset fast path a few
+        # pointer-set operations; the rewrite fixpoints spend most of
+        # their convergence checks on exactly this case.
+        if set(self._disjuncts) <= set(other._disjuncts):
+            return True
         return all(
             disjunct.implies_set(other) for disjunct in self._disjuncts
         )

@@ -10,7 +10,12 @@ is a possibly-exponential increase in the number of disjuncts.
 :func:`make_disjoint` implements the standard splitting scheme: disjunct
 ``d_i`` is replaced by the DNF of ``d_i and not(d_1) and ... and
 not(d_{i-1})``, which covers exactly the points of the original set while
-making the pieces pairwise disjoint.
+making the pieces pairwise disjoint.  Pairs that do not overlap are
+recognized first -- syntactically where possible, through the atoms'
+integer-scaled direction vectors (no solver call, no throwaway
+``Fraction`` churn), falling back to one memoized satisfiability check
+-- and skipped without splitting at all, which keeps the output linear
+on already-disjoint inputs.
 
 The second remedy -- collapsing to a single (non-minimal) disjunct -- is
 :func:`single_disjunct_relaxation`; it keeps only the atoms common to
@@ -19,9 +24,82 @@ The second remedy -- collapsing to a single (non-minimal) disjunct -- is
 
 from __future__ import annotations
 
-from repro.constraints.atom import Atom
+from fractions import Fraction
+
+from repro.constraints.atom import Atom, Op
 from repro.constraints.conjunction import Conjunction
 from repro.constraints.cset import ConstraintSet
+
+#: Per-direction bounds: ``(lower, lower_strict, upper, upper_strict)``.
+_Bounds = tuple[Fraction | None, bool, Fraction | None, bool]
+
+
+def _direction_bounds(conjunction: Conjunction) -> dict[tuple, _Bounds]:
+    """Bounds each atom places on its own direction vector.
+
+    A normalized atom reads ``k*(d·x̄) + c op 0`` with ``d`` the coprime
+    direction (:meth:`Atom.direction`); ``k > 0`` bounds ``d·x̄`` above
+    by ``-c/k``, ``k < 0`` below, and an equality pins it.  Purely
+    syntactic -- one integer-division-free pass over the atoms.
+    """
+    bounds: dict[tuple, _Bounds] = {}
+    for atom in conjunction.atoms:
+        direction, scale = atom.direction()
+        if not direction:
+            continue
+        value = Fraction(-atom.expr.constant, scale)
+        lower, lower_strict, upper, upper_strict = bounds.get(
+            direction, (None, False, None, False)
+        )
+        strict = atom.op is Op.LT
+        if atom.op is Op.EQ or scale > 0:
+            if upper is None or value < upper or (
+                value == upper and strict
+            ):
+                upper, upper_strict = value, strict
+        if atom.op is Op.EQ or scale < 0:
+            if lower is None or value > lower or (
+                value == lower and strict
+            ):
+                lower, lower_strict = value, strict
+        bounds[direction] = (lower, lower_strict, upper, upper_strict)
+    return bounds
+
+
+def _bounds_exclude(first: _Bounds, second: _Bounds) -> bool:
+    """Does ``first``'s upper bound contradict ``second``'s lower bound?"""
+    __, __, upper, upper_strict = first
+    lower, lower_strict, __, __ = second
+    if upper is None or lower is None:
+        return False
+    if lower > upper:
+        return True
+    return lower == upper and (lower_strict or upper_strict)
+
+
+def obviously_disjoint(first: Conjunction, second: Conjunction) -> bool:
+    """A sound, solver-free disjointness test via shared directions.
+
+    True when some direction vector is bounded above by one conjunction
+    and below by the other with an empty gap.  Sufficient but not
+    necessary -- the caller falls back to the solver on ``False``.
+    """
+    mine = _direction_bounds(first)
+    theirs = _direction_bounds(second)
+    for direction, bounds in mine.items():
+        other = theirs.get(direction)
+        if other is None:
+            continue
+        if _bounds_exclude(bounds, other) or _bounds_exclude(other, bounds):
+            return True
+    return False
+
+
+def _disjoint_pair(first: Conjunction, second: Conjunction) -> bool:
+    """Disjointness of two disjuncts: syntactic check, then the solver."""
+    if obviously_disjoint(first, second):
+        return True
+    return not first.conjoin(second).is_satisfiable()
 
 
 def _minus(disjunct: Conjunction, removed: Conjunction) -> list[Conjunction]:
@@ -46,7 +124,12 @@ def make_disjoint(cset: ConstraintSet) -> ConstraintSet:
         for previous in result:
             next_pieces: list[Conjunction] = []
             for piece in pieces:
-                next_pieces.extend(_minus(piece, previous))
+                if _disjoint_pair(piece, previous):
+                    # No overlap: ``piece and not(previous)`` is just
+                    # ``piece`` -- keep it whole instead of splitting.
+                    next_pieces.append(piece)
+                else:
+                    next_pieces.extend(_minus(piece, previous))
             pieces = next_pieces
         result.extend(pieces)
     return ConstraintSet(result)
@@ -57,7 +140,7 @@ def are_disjoint(cset: ConstraintSet) -> bool:
     disjuncts = cset.disjuncts
     for i, first in enumerate(disjuncts):
         for second in disjuncts[i + 1 :]:
-            if first.conjoin(second).is_satisfiable():
+            if not _disjoint_pair(first, second):
                 return False
     return True
 

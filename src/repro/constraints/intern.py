@@ -1,0 +1,81 @@
+"""Hash-consing intern tables for canonical constraint forms.
+
+Atoms and conjunctions are *interned*: semantically equal values are
+represented by one shared object, held in a global
+:class:`weakref.WeakValueDictionary` keyed by the canonical structural
+key.  Two live constraint objects are therefore semantically equal iff
+they are the *same* object, which turns the equality, hashing and
+deduplication the evaluation engine performs millions of times into
+pointer comparisons, and makes per-object lazy fields (cached
+satisfiability, canonical forms, variable sets) act as global memo
+tables keyed by identity.
+
+Weak references keep the tables bounded by liveness: once the engine
+drops every reference to a form, the table entry is collected with it
+(`tests/property/test_prop_intern.py` pins this down).  Tables are
+guarded by a lock because the serve supervisor evaluates queries from
+worker threads.
+
+Pickling and :func:`copy.deepcopy` re-intern on the way in (the
+classes define ``__reduce__`` in terms of their public constructors),
+so forms that cross the shard-worker process boundary come back
+canonical on the other side.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Callable, Hashable, TypeVar
+
+T = TypeVar("T")
+
+
+class InternTable:
+    """A locked weak-value intern table with hit/miss accounting."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._table: "weakref.WeakValueDictionary[Hashable, object]" = (
+            weakref.WeakValueDictionary()
+        )
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        TABLES[name] = self
+
+    def intern(self, key: Hashable, build: Callable[[], T]) -> T:
+        """The canonical object for ``key``, building it on first use."""
+        with self._lock:
+            obj = self._table.get(key)
+            if obj is not None:
+                self.hits += 1
+                return obj  # type: ignore[return-value]
+            self.misses += 1
+            obj = build()
+            self._table[key] = obj
+            return obj
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear_stats(self) -> None:
+        """Reset the hit/miss counters (the table itself stays)."""
+        self.hits = 0
+        self.misses = 0
+
+
+#: Registry of live intern tables by name (``"atoms"``, ``"conjunctions"``).
+TABLES: dict[str, InternTable] = {}
+
+
+def table_stats() -> dict[str, dict[str, int]]:
+    """Size and hit/miss counts per intern table (for tests and obs)."""
+    return {
+        name: {
+            "size": len(table),
+            "hits": table.hits,
+            "misses": table.misses,
+        }
+        for name, table in sorted(TABLES.items())
+    }

@@ -1,9 +1,20 @@
 """Linear expressions over named variables with exact rational coefficients.
 
 A :class:`LinearExpr` represents ``c0 + c1*X1 + ... + cn*Xn`` where the
-``ci`` are :class:`fractions.Fraction` and the ``Xi`` are variable names
-(plain strings).  Expressions are immutable and hashable; all arithmetic
-is exact.
+``ci`` are exact rationals and the ``Xi`` are variable names (plain
+strings).  Expressions are immutable and hashable; all arithmetic is
+exact.
+
+Coefficients are stored as plain :class:`int` whenever they are
+integral and as :class:`fractions.Fraction` only otherwise.  The two
+representations are interchangeable (``Fraction(2) == 2`` and they hash
+equal), but integer arithmetic is an order of magnitude cheaper than
+``Fraction``'s normalizing arithmetic, and after atom normalization
+(:mod:`repro.constraints.atom` scales every atom to coprime integers)
+the hot paths -- Fourier-Motzkin combination, parallel-atom pruning,
+hashing -- run on machine integers.  Division is the one operation that
+can leave the integers; use :func:`as_fraction` (or
+``Fraction(a) / b``) at division sites, never bare ``/`` on two ints.
 
 Variables of the constraint layer are strings on purpose: the language
 layer maps rule variables to their names, and predicate-constraint
@@ -17,14 +28,25 @@ from typing import Iterable, Mapping, Union
 
 Coefficient = Union[int, Fraction]
 
-_ZERO = Fraction(0)
+_ZERO = 0
 
 
-def _as_fraction(value: Coefficient) -> Fraction:
+def as_fraction(value: Coefficient) -> Fraction:
+    """Coerce an exact rational (int or Fraction) to a ``Fraction``."""
     if isinstance(value, Fraction):
         return value
-    if isinstance(value, int):
-        return Fraction(value)
+    return Fraction(value)
+
+
+def _as_exact(value: Coefficient) -> Coefficient:
+    """Validate/canonicalize a coefficient: ints stay ints, integral
+    Fractions collapse to int, floats are rejected."""
+    if isinstance(value, int) and not isinstance(value, bool):
+        return value
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return value.numerator
+        return value
     if isinstance(value, float):
         raise TypeError(
             "float coefficients are not allowed; use Fraction for exactness"
@@ -45,11 +67,11 @@ class LinearExpr:
         items = {}
         if coeffs:
             for var, coeff in coeffs.items():
-                frac = _as_fraction(coeff)
-                if frac != 0:
-                    items[var] = frac
-        self._coeffs: dict[str, Fraction] = items
-        self._constant = _as_fraction(constant)
+                exact = _as_exact(coeff)
+                if exact != 0:
+                    items[var] = exact
+        self._coeffs: dict[str, Coefficient] = items
+        self._constant = _as_exact(constant)
         self._hash: int | None = None
 
     # -- constructors -------------------------------------------------
@@ -72,16 +94,16 @@ class LinearExpr:
     # -- inspection ---------------------------------------------------
 
     @property
-    def constant(self) -> Fraction:
-        """The constant term."""
+    def constant(self) -> Coefficient:
+        """The constant term (an exact rational: int or Fraction)."""
         return self._constant
 
     @property
-    def coeffs(self) -> Mapping[str, Fraction]:
+    def coeffs(self) -> Mapping[str, Coefficient]:
         """A copy of the variable-coefficient mapping."""
         return dict(self._coeffs)
 
-    def coeff(self, var: str) -> Fraction:
+    def coeff(self, var: str) -> Coefficient:
         """The coefficient of ``var`` (zero when absent)."""
         return self._coeffs.get(var, _ZERO)
 
@@ -93,7 +115,7 @@ class LinearExpr:
         """Does the object contain no variables?"""
         return not self._coeffs
 
-    def sorted_terms(self) -> list[tuple[str, Fraction]]:
+    def sorted_terms(self) -> list[tuple[str, Coefficient]]:
         """Variable terms in lexicographic variable order."""
         return sorted(self._coeffs.items())
 
@@ -130,10 +152,9 @@ class LinearExpr:
     def __mul__(self, scalar: Coefficient) -> "LinearExpr":
         if not isinstance(scalar, (int, Fraction)):
             return NotImplemented
-        frac = _as_fraction(scalar)
         return LinearExpr(
-            {var: coeff * frac for var, coeff in self._coeffs.items()},
-            self._constant * frac,
+            {var: coeff * scalar for var, coeff in self._coeffs.items()},
+            self._constant * scalar,
         )
 
     __rmul__ = __mul__
@@ -153,17 +174,22 @@ class LinearExpr:
 
     def rename(self, mapping: Mapping[str, str]) -> "LinearExpr":
         """Rename variables; unmapped variables are kept."""
-        coeffs: dict[str, Fraction] = {}
+        coeffs: dict[str, Coefficient] = {}
         for var, coeff in self._coeffs.items():
             new = mapping.get(var, var)
             coeffs[new] = coeffs.get(new, _ZERO) + coeff
         return LinearExpr(coeffs, self._constant)
 
-    def evaluate(self, assignment: Mapping[str, Coefficient]) -> Fraction:
+    def evaluate(self, assignment: Mapping[str, Coefficient]) -> Coefficient:
         """Evaluate under a full assignment of the expression's variables."""
         total = self._constant
         for var, coeff in self._coeffs.items():
-            total += coeff * _as_fraction(assignment[var])
+            value = assignment[var]
+            if isinstance(value, float):
+                raise TypeError(
+                    "float values are not allowed; use Fraction for exactness"
+                )
+            total += coeff * value
         return total
 
     # -- comparisons and hashing ---------------------------------------

@@ -7,6 +7,20 @@ conjunction of atoms by Gaussian elimination (for equalities) followed by
 Fourier-Motzkin elimination (for inequalities).  Lassez and Maher's
 Fourier-based algorithm cited as [8] in the paper is exactly this scheme.
 
+Arithmetic is *integer-scaled*: atom normalization
+(:mod:`repro.constraints.atom`) guarantees coprime integer coefficient
+vectors, so the Fourier-Motzkin combination of an upper atom
+``a*v + ru <= 0`` (``a > 0``) and a lower atom ``b*v + rl <= 0``
+(``b < 0``) is formed as the positive integer combination
+``(-b)*(a*v + ru) + a*(b*v + rl) = (-b)*ru + a*rl`` -- pure integer
+multiply-adds; exactness is preserved because the combination is exact
+and the resulting atom re-normalizes once at construction.  ``Fraction``
+appears only where division is inherent (solving an equality for a
+variable) and in tightness comparisons, via explicit
+``Fraction(numerator, denominator)`` construction.  The pre-overhaul
+pure-``Fraction`` algorithms survive as
+:mod:`repro.constraints._reference` for differential testing.
+
 The entry point is :func:`eliminate_variables`, which returns the projected
 atoms or ``None`` when the conjunction is detected to be unsatisfiable.
 """
@@ -34,38 +48,6 @@ def _fold_ground(atoms: Iterable[Atom]) -> list[Atom] | None:
     return kept
 
 
-def _direction_scale(atom: Atom) -> Fraction:
-    """The positive-lead coprime scale of the atom's variable terms."""
-    from math import gcd
-
-    terms = atom.expr.sorted_terms()
-    lead = terms[0][1]
-    scale = Fraction(0)
-    for __, coeff in terms:
-        scale = Fraction(
-            gcd(scale.numerator * coeff.denominator,
-                coeff.numerator * scale.denominator),
-            scale.denominator * coeff.denominator,
-        )
-    # Atom normalization makes coefficients coprime integers, so the
-    # gcd above is a positive integer; orient by the leading sign.
-    return scale if lead > 0 else -scale
-
-
-def _direction_key(atom: Atom) -> tuple:
-    """A key identifying atoms bounding the same direction the same way.
-
-    The atom ``k * (a1*X1 + ... + an*Xn) + c op 0`` is keyed by the
-    direction vector scaled to coprime integers with a positive leading
-    coefficient, plus the sign of ``k`` (upper vs. lower bound).
-    """
-    scale = _direction_scale(atom)
-    direction = tuple(
-        (var, coeff / scale) for var, coeff in atom.expr.sorted_terms()
-    )
-    return (direction, 1 if scale > 0 else -1)
-
-
 def _bound_of(atom: Atom) -> Fraction:
     """Tightness measure among atoms sharing a direction key.
 
@@ -73,7 +55,8 @@ def _bound_of(atom: Atom) -> Fraction:
     ``d·x̄ (op) -c/|k|`` in the same direction, so the larger scaled
     constant ``c / |k|`` is the tighter constraint.
     """
-    return atom.expr.constant / abs(_direction_scale(atom))
+    __, scale = atom.direction()
+    return Fraction(atom.expr.constant, abs(scale))
 
 
 def prune_parallel(atoms: Sequence[Atom]) -> list[Atom]:
@@ -98,9 +81,10 @@ def prune_parallel(atoms: Sequence[Atom]) -> list[Atom]:
                 seen_eq.add(atom)
                 equalities.append(atom)
             continue
-        key = _direction_key(atom)
+        direction, scale = atom.direction()
+        key = (direction, 1 if scale > 0 else -1)
         current = best.get(key)
-        if current is None:
+        if current is None or current is atom:
             best[key] = atom
             continue
         new_bound = _bound_of(atom)
@@ -116,7 +100,8 @@ def _solve_equality(atom: Atom, var: str) -> LinearExpr:
     """Solve the equality atom for ``var``: returns the replacing expr."""
     coeff = atom.expr.coeff(var)
     rest = atom.expr - LinearExpr.var(var, coeff)
-    return rest * Fraction(-1, 1) * (1 / coeff)
+    # The one inherent division of the pipeline: exact by construction.
+    return rest * (Fraction(-1) / coeff)
 
 
 def _substitute_all(
@@ -173,20 +158,21 @@ def _fourier_motzkin_step(atoms: list[Atom], var: str) -> list[Atom] | None:
     combined: list[Atom] = []
     for upper in uppers:
         a_up = upper.expr.coeff(var)
-        upper_bound = (
-            upper.expr - LinearExpr.var(var, a_up)
-        ) * Fraction(-1, a_up)
         for lower in lowers:
             a_lo = lower.expr.coeff(var)
-            lower_bound = (
-                lower.expr - LinearExpr.var(var, a_lo)
-            ) * Fraction(-1, a_lo)
+            # Positive integer combination cancelling var exactly:
+            # (-a_lo) * upper + a_up * lower.
             op = (
                 Op.LT
                 if Op.LT in (upper.op, lower.op)
                 else Op.LE
             )
-            combined.append(Atom(lower_bound - upper_bound, op))
+            combined.append(
+                Atom(
+                    upper.expr * (-a_lo) + lower.expr * a_up,
+                    op,
+                )
+            )
     folded = _fold_ground(combined)
     if folded is None:
         return None

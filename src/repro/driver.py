@@ -41,6 +41,7 @@ from __future__ import annotations
 from contextlib import nullcontext as _nullcontext
 from dataclasses import dataclass, field
 
+from repro.constraints import cache as solver_cache
 from repro.config import (
     DEFAULT_EVAL_ITERATIONS,
     DEFAULT_REWRITE_ITERATIONS,
@@ -508,6 +509,10 @@ def run_text(
     a ``governor`` span and in each outcome's ``budget`` snapshot.
     """
     validate_strategy(strategy, allow_auto=True)
+    # Each batch run starts from a cold solver memo so its counters and
+    # reports are deterministic regardless of what ran earlier in the
+    # process (the long-lived serve path deliberately keeps its warmth).
+    solver_cache.clear()
     if on_limit not in ON_LIMIT_POLICIES:
         raise UsageError(
             f"unknown on_limit policy {on_limit!r}; "

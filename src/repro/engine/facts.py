@@ -68,7 +68,7 @@ def _coerce_value(value: object) -> Value:
 class Fact:
     """An immutable, canonical (possibly constraint) fact."""
 
-    __slots__ = ("pred", "args", "constraint", "_hash")
+    __slots__ = ("pred", "args", "constraint", "_hash", "_full")
 
     def __init__(
         self,
@@ -81,6 +81,7 @@ class Fact:
         self.args = args
         self.constraint = constraint
         self._hash: int | None = None
+        self._full: Conjunction | None = None
 
     # -- constructors -------------------------------------------------
 
@@ -120,8 +121,12 @@ class Fact:
     def full_conjunction(self) -> Conjunction:
         """The fact's meaning over ``$1..$n`` with numeric fixes explicit.
 
-        Symbolic positions carry no arithmetic constraint.
+        Symbolic positions carry no arithmetic constraint.  Memoized:
+        subsumption checks call this repeatedly per stored fact, and the
+        interned result is a single shared object.
         """
+        if self._full is not None:
+            return self._full
         atoms: list[Atom] = list(self.constraint.atoms)
         for index, arg in enumerate(self.args, start=1):
             if isinstance(arg, Fraction):
@@ -131,7 +136,8 @@ class Fact:
                         LinearExpr.const(arg),
                     )
                 )
-        return Conjunction(atoms)
+        self._full = Conjunction(atoms)
+        return self._full
 
     # -- subsumption ----------------------------------------------------
 

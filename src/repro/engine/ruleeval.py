@@ -26,7 +26,7 @@ from typing import Callable, Iterable, Iterator
 
 from repro.constraints.atom import Atom, Op
 from repro.constraints.conjunction import Conjunction
-from repro.constraints.linexpr import LinearExpr
+from repro.constraints.linexpr import LinearExpr, as_fraction
 from repro.engine.database import Database
 from repro.engine.facts import Fact, PENDING, make_fact
 from repro.engine.relation import Range
@@ -63,7 +63,7 @@ class _State:
         """The constant a variable is bound to, if any."""
         expr = self.num_bind.get(name)
         if expr is not None and expr.is_constant():
-            return expr.constant
+            return as_fraction(expr.constant)
         return None
 
 
@@ -117,6 +117,13 @@ class RuleEvaluator:
             ]
             self._checks.append(here)
         self._deferred_atoms = pending_atoms
+        # Derivation memo: the semi-naive delta split re-derives the same
+        # (values, constraint) pair from different body-fact combinations
+        # in a large share of derivations; the head-side canonicalization
+        # (projection + forced-value freezing in ``make_fact``) is
+        # identical for all of them, so reuse it.  Keys are cheap to hash
+        # because atoms and conjunctions are interned.
+        self._fact_memo: dict[tuple, Fact | None] = {}
 
     def _static_ranges(self, literal: Literal) -> dict[int, Range]:
         """Range probes derivable from single-variable constraint atoms."""
@@ -130,7 +137,7 @@ class RuleEvaluator:
                 if atom.variables() != {arg.name}:
                     continue
                 coeff = atom.expr.coeff(arg.name)
-                value = -atom.expr.constant / coeff
+                value = as_fraction(-atom.expr.constant) / coeff
                 if atom.op is Op.EQ:
                     lower = upper = value
                     lower_strict = upper_strict = False
@@ -383,11 +390,20 @@ class RuleEvaluator:
                 )
         if not atoms and not head_atoms:
             return make_fact(self.rule.head.pred, values)
-        return make_fact(
-            self.rule.head.pred,
-            values,
-            Conjunction((*atoms, *head_atoms)),
-        )
+        constraint = Conjunction((*atoms, *head_atoms))
+        key = (tuple(values), constraint)
+        try:
+            cached = self._fact_memo[key]
+        except KeyError:
+            pass
+        else:
+            obs_count("engine.derivation_memo_hits")
+            return cached
+        fact = make_fact(self.rule.head.pred, values, constraint)
+        if len(self._fact_memo) >= 1 << 16:
+            self._fact_memo.clear()
+        self._fact_memo[key] = fact
+        return fact
 
 
 def _propagate_constants(
@@ -411,7 +427,7 @@ def _propagate_constants(
             if atom.op is Op.EQ and len(variables) == 1:
                 (name,) = variables
                 coeff = atom.expr.coeff(name)
-                value = -atom.expr.constant / coeff
+                value = as_fraction(-atom.expr.constant) / coeff
                 binding = (name, value)
                 next_residual.extend(residual[position + 1 :])
                 break

@@ -277,7 +277,7 @@ class _Parser:
                     raise self._error(
                         "division only by a nonzero constant"
                     )
-                expr = expr * Fraction(1, 1) * (1 / rhs.constant)
+                expr = expr * (Fraction(1) / rhs.constant)
         return expr
 
     def _arith_factor(self) -> LinearExpr:

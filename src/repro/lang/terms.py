@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Mapping, Union
 
-from repro.constraints.linexpr import Coefficient, LinearExpr
+from repro.constraints.linexpr import Coefficient, LinearExpr, as_fraction
 
 
 @dataclass(frozen=True)
@@ -64,7 +64,7 @@ class NumTerm:
         """The constant value; only valid when :meth:`is_constant`."""
         if not self.expr.is_constant():
             raise ValueError(f"{self} is not a numeric constant")
-        return self.expr.constant
+        return as_fraction(self.expr.constant)
 
 
 Term = Union[Var, Sym, NumTerm]

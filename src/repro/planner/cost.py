@@ -71,19 +71,27 @@ STRATEGY_SEQUENCES: dict[str, tuple[str, ...]] = {
 W_DERIVATION = 1.0
 W_PROJECTION = 0.25
 W_SAT = 0.25
-#: Empirical proxies from the committed benchmarks (flights/none: 948
-#: derivations, 1904 projections, 952 sat checks).
-PROJECTIONS_PER_DERIVATION = 2.0
-SAT_CHECKS_PER_DERIVATION = 1.0
+#: Empirical proxies from the committed benchmarks.  Since the
+#: constraint-layer overhaul (hash-consing + the solver memo,
+#: docs/constraints.md) the counters record *real* eliminations only:
+#: ground workloads run at 0 solver ops per derivation (constant
+#: propagation + memo hits) and the constrained rows sit between 0.05
+#: and 0.3 per derivation (flights/rewrite: 698 derivations, 35
+#: projections; example51/rewrite: 230 derivations, 46 projections).
+PROJECTIONS_PER_DERIVATION = 0.2
+SAT_CHECKS_PER_DERIVATION = 0.2
 #: Scalar units per wall-clock second of observed execution
-#: (flights/none: ~950 derivations in ~0.09s ~= 10k derivations/s).
-SECONDS_TO_UNITS = 10_000.0
+#: (flights/none: 948 derivations in ~0.13s ~= 7k derivations/s).
+SECONDS_TO_UNITS = 7_000.0
 
 #: Compile cost per pipeline step, in scalar units per proper rule per
-#: max-arity^1.5 -- the constraint fixpoints (pred/qrp) do
+#: max-arity^1.5.  The constraint fixpoints (pred/qrp) do
 #: Fourier-Motzkin work that grows with rule count and predicate
-#: width, while the magic templates (mg) are a cheap syntactic pass.
-COMPILE_UNIT_COSTS = {"pred": 30.0, "qrp": 40.0, "mg": 6.0}
+#: width; memoized projection collapsed their cost by ~9x (flights
+#: rewrite optimize: 0.24s -> 0.026s ~= 180 units over 4 rules x
+#: arity^1.5 = 8), putting them in the same band as the syntactic
+#: magic-template pass (mg).
+COMPILE_UNIT_COSTS = {"pred": 3.0, "qrp": 4.0, "mg": 2.5}
 COMPILE_ARITY_EXP = 1.5
 
 #: The ``pred`` fixpoint needs widening on value-generating recursion

@@ -249,7 +249,9 @@ class TestBenchmarkRunner:
         assert ("fib", "magic") in names
         for row in document["results"]:
             assert row["seconds"] > 0
+            # Solver counters are absent when interning and constant
+            # propagation resolve a workload without real solver work
+            # (fib, example41); engine counters always flow through.
             assert "engine.derivations" in row["counters"]
-            assert "constraint.sat_checks" in row["counters"]
             assert row["stats"]["derivations"] > 0
             assert "fixpoint" in row["phase_seconds"]

@@ -114,6 +114,26 @@ class TestCodecRoundTrip:
             return
         assert encode_fact(fact) == encode_fact(fact)
 
+    @given(mixed_facts())
+    @settings(max_examples=150, deadline=None)
+    def test_decoded_forms_reintern_to_canonical_instances(self, fact):
+        """Constraint forms survive the process boundary *canonically*.
+
+        A shard worker receives facts through this codec (over JSON),
+        never through pickle; the decoded constraint must be the one
+        interned instance so identity-based equality, precomputed
+        hashes, and the solver memo all work on the receiving side
+        exactly as they do on the sender.
+        """
+        if fact is None:
+            return
+        rebuilt = decode_fact(json.loads(json.dumps(encode_fact(fact))))
+        assert rebuilt.constraint is fact.constraint
+        for ours, theirs in zip(
+            fact.constraint.atoms, rebuilt.constraint.atoms
+        ):
+            assert theirs is ours
+
 
 class TestFramingIntegrity:
     @given(mixed_facts(), st.integers(min_value=0, max_value=10**6))

@@ -1,0 +1,170 @@
+"""Differential tests: production solver vs the pure-Fraction oracle.
+
+The production solver (:mod:`repro.constraints`) runs integer-scaled
+Fourier-Motzkin over hash-consed forms with memoized results.  The
+oracle (:mod:`repro.constraints._reference`) is the pre-overhaul
+algorithm in its plainest form: explicit ``Fraction`` arithmetic, no
+interning, no pruning, no caching.  They share no elimination code, so
+agreement on random inputs is evidence that the fast representation
+did not change semantics.
+
+Three surfaces are differenced -- ``project``, ``satisfiable`` and
+``implies_set`` -- each both with the global solver memo enabled and
+with it force-disabled, so a divergence introduced *by the cache
+layer* (rather than by the arithmetic) would also surface here.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints import _reference as ref
+from repro.constraints import cache as solver_cache
+from repro.constraints.atom import Atom
+from repro.constraints.conjunction import Conjunction
+from repro.constraints.cset import ConstraintSet
+from repro.constraints.linexpr import LinearExpr
+
+VARS = ["X", "Y", "Z"]
+
+coefficients = st.integers(min_value=-4, max_value=4)
+constants = st.integers(min_value=-6, max_value=6)
+operators = st.sampled_from(["<=", "<", ">=", ">", "="])
+
+
+@st.composite
+def linear_exprs(draw):
+    coeffs = {var: Fraction(draw(coefficients)) for var in VARS}
+    return LinearExpr(coeffs, Fraction(draw(constants)))
+
+
+@st.composite
+def random_atoms(draw):
+    expr = draw(linear_exprs())
+    op = draw(operators)
+    return Atom.make(expr, op, LinearExpr.const(draw(constants)))
+
+
+@st.composite
+def random_conjunctions(draw, max_atoms: int = 4):
+    n = draw(st.integers(min_value=0, max_value=max_atoms))
+    return Conjunction([draw(random_atoms()) for _ in range(n)])
+
+
+def _both_cache_modes(check):
+    """Run ``check()`` with the solver memo enabled and disabled."""
+    stats = solver_cache.stats()
+    was_enabled = bool(stats["enabled"])
+    try:
+        solver_cache.configure(enabled=True)
+        check()
+        solver_cache.configure(enabled=False)
+        check()
+    finally:
+        solver_cache.configure(enabled=was_enabled)
+
+
+class TestSatisfiable:
+    @given(random_conjunctions())
+    @settings(max_examples=250, deadline=None)
+    def test_matches_reference(self, conjunction):
+        expected = ref.satisfiable(conjunction.atoms)
+
+        def check():
+            assert conjunction.is_satisfiable() == expected
+
+        _both_cache_modes(check)
+
+    @given(st.lists(random_atoms(), max_size=4))
+    @settings(max_examples=250, deadline=None)
+    def test_matches_reference_on_raw_atoms(self, atoms):
+        # Route through a *fresh* conjunction each call so the lazy
+        # per-object satisfiability field starts cold too.
+        expected = ref.satisfiable(atoms)
+
+        def check():
+            assert Conjunction(atoms).is_satisfiable() == expected
+
+        _both_cache_modes(check)
+
+
+class TestProject:
+    @given(random_conjunctions(), st.sets(st.sampled_from(VARS)))
+    @settings(max_examples=250, deadline=None)
+    def test_matches_reference(self, conjunction, keep):
+        expected = ref.project(conjunction.atoms, keep)
+
+        def check():
+            projected = conjunction.project(keep)
+            if expected is None:
+                assert not projected.is_satisfiable()
+                return
+            assert projected.variables() <= set(keep)
+            produced = ref.from_atoms(projected.atoms)
+            assert ref.equivalent_vecs(produced, expected)
+
+        _both_cache_modes(check)
+
+    @given(random_conjunctions())
+    @settings(max_examples=100, deadline=None)
+    def test_project_everything_is_sat_check(self, conjunction):
+        projected = conjunction.project(())
+        assert projected.is_satisfiable() == ref.satisfiable(
+            conjunction.atoms
+        )
+        if projected.is_satisfiable():
+            assert projected.variables() == frozenset()
+
+
+class TestImpliesSet:
+    @given(
+        random_conjunctions(max_atoms=3),
+        st.lists(random_conjunctions(max_atoms=2), max_size=2),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_reference(self, conjunction, disjuncts):
+        cset = ConstraintSet(disjuncts)
+        # The oracle expands over the *same* disjuncts the production
+        # test sees (ConstraintSet drops unsatisfiable ones up front).
+        expected = ref.implies_set(
+            conjunction.atoms,
+            [d.atoms for d in cset.disjuncts],
+        )
+
+        def check():
+            assert conjunction.implies_set(cset) == expected
+
+        _both_cache_modes(check)
+
+    @given(random_conjunctions(max_atoms=3), random_atoms())
+    @settings(max_examples=200, deadline=None)
+    def test_implies_atom_matches_reference(self, conjunction, atom):
+        expected = ref.implies_vec(
+            ref.from_atoms(conjunction.atoms), ref.from_atom(atom)
+        )
+
+        def check():
+            assert conjunction.implies_atom(atom) == expected
+
+        _both_cache_modes(check)
+
+
+class TestMemoTransparency:
+    @given(random_conjunctions(), st.sets(st.sampled_from(VARS)))
+    @settings(max_examples=150, deadline=None)
+    def test_warm_lookup_equals_cold_compute(self, conjunction, keep):
+        """The second (memoized) answer is the first answer, exactly."""
+        stats = solver_cache.stats()
+        was_enabled = bool(stats["enabled"])
+        try:
+            solver_cache.configure(enabled=True)
+            solver_cache.clear()
+            cold = conjunction.project(keep)
+            warm = conjunction.project(keep)
+            assert warm is cold  # interning makes this identity
+            assert (
+                conjunction.is_satisfiable()
+                == conjunction.is_satisfiable()
+            )
+        finally:
+            solver_cache.configure(enabled=was_enabled)

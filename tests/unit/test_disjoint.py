@@ -1,5 +1,9 @@
 """Unit tests for nonoverlapping-disjunct rewriting (Section 4.6)."""
 
+import time
+from fractions import Fraction
+
+from repro.constraints import cache as solver_cache
 from repro.constraints.atom import Atom
 from repro.constraints.conjunction import Conjunction
 from repro.constraints.cset import ConstraintSet
@@ -61,6 +65,78 @@ class TestMakeDisjoint:
     def test_single_disjunct_identity(self):
         cset = ConstraintSet.of(Conjunction([Atom.le(T, const(3))]))
         assert make_disjoint(cset) == cset
+
+
+def _diag_atom(coeffs: dict[str, int], op: str, const_val: int) -> Atom:
+    expr = LinearExpr(
+        {var: Fraction(c) for var, c in coeffs.items()}, Fraction(0)
+    )
+    return Atom.make(expr, op, LinearExpr.const(Fraction(const_val)))
+
+
+class TestOverlappingSlabBlowup:
+    """Regression for the make_disjoint blowup class.
+
+    A chain of heavily-overlapping diagonal slabs (each disjunct shifted
+    one unit from its neighbours, so every pair overlaps) is the input
+    family where the original splitter went superlinear: every pairwise
+    overlap spawned ``_minus`` pieces that were re-split against every
+    other disjunct.  A property-test instance of this shape ran 600+
+    seconds before the syntactic disjointness pruning; the whole family
+    must now finish with room to spare.
+
+    Exact DNF equivalence checking on the ~45-piece output is itself
+    exponential, so equivalence is verified by witness-point sampling
+    over an integer grid covering the slabs instead.
+    """
+
+    BUDGET_SECONDS = 5.0
+
+    def _slabs(self) -> ConstraintSet:
+        disjuncts = []
+        for i in range(9):
+            disjuncts.append(
+                Conjunction(
+                    [
+                        _diag_atom({"X": 1, "Y": 1}, ">=", i - 4),
+                        _diag_atom({"X": 1, "Y": 1}, "<=", i + 4),
+                        _diag_atom({"Y": 1, "Z": -1}, ">=", -i - 3),
+                        _diag_atom({"Y": 1, "Z": -1}, "<=", 5 - i),
+                    ]
+                )
+            )
+        return ConstraintSet(disjuncts)
+
+    def test_split_completes_within_budget(self):
+        cset = self._slabs()
+        solver_cache.clear()
+        start = time.perf_counter()
+        split = make_disjoint(cset)
+        assert are_disjoint(split)
+        elapsed = time.perf_counter() - start
+        assert elapsed < self.BUDGET_SECONDS, (
+            f"make_disjoint + are_disjoint took {elapsed:.1f}s on the "
+            f"overlapping-slab input (budget {self.BUDGET_SECONDS}s)"
+        )
+
+    def test_split_preserves_solutions_at_grid_points(self):
+        cset = self._slabs()
+        split = make_disjoint(cset)
+        for x in range(-6, 7, 2):
+            for y in range(-6, 7, 2):
+                for z in range(-6, 7, 2):
+                    point = {
+                        "X": Fraction(x),
+                        "Y": Fraction(y),
+                        "Z": Fraction(z),
+                    }
+                    before = any(
+                        d.satisfied_by(point) for d in cset.disjuncts
+                    )
+                    after = any(
+                        d.satisfied_by(point) for d in split.disjuncts
+                    )
+                    assert before == after, point
 
 
 class TestSingleDisjunctRelaxation:
