@@ -30,10 +30,14 @@ reportable corruption, and the subprocess run proves the end-to-end
 plumbing (quarantine, fallback, report, replay) honors it.
 
 With ``--sharded N`` each cycle instead runs ``repro serve --shards
-N``, SIGKILLs one *shard worker* mid-load (the coordinator must
-isolate the failure, respawn, and WAL-recover), then kills or drains
-the whole process and verifies that restart converges every shard to
-a consistent cluster epoch with zero acked-fact loss.
+N`` with tight op deadlines and heartbeats, disrupts one *shard
+worker* mid-load -- SIGKILL, SIGSTOP, or an injected ``hang:load``
+fault, so crashes, silent wedges, and in-op hangs are all exercised
+-- and requires a liveness query at the batch tail to come back as
+answers (detection, SIGKILL + respawn, WAL re-recovery, and the
+supervisor's transient retry all on its path).  The cycle then kills
+or drains the whole process and verifies that restart converges
+every shard to a consistent cluster epoch with zero acked-fact loss.
 
 Usage::
 
@@ -467,39 +471,58 @@ def run_cycle(
 # -- one sharded chaos cycle ------------------------------------------
 
 
+#: How a sharded cycle disrupts its victim worker ("kill" twice: the
+#: crash path stays the majority).  ``kill`` SIGKILLs it (the reader
+#: thread sees EOF at once), ``stop`` SIGSTOPs it (alive but silent:
+#: only the heartbeat/op deadline can tell), ``hangfault`` starts the
+#: cluster with ``hang:load`` so a worker wedges *inside* an op while
+#: its pump thread keeps answering pings.
+DISRUPTIONS = ("kill", "kill", "stop", "hangfault")
+
+
 def run_sharded_cycle(
     rng: random.Random,
     workdir: Path,
     shards: int = 2,
     kill_after: int | None = None,
+    disrupt: str | None = None,
 ) -> dict:
-    """One sharded kill/recover cycle against ``--shards N``.
+    """One sharded disrupt/recover cycle against ``--shards N``.
 
-    SIGKILLs one shard *worker* mid-load (the coordinator must isolate
-    the failure, respawn the worker, and WAL-recover its acked facts),
-    then either closes the server gracefully or SIGKILLs the whole
-    process, and restarts against the same snapshot directory.  The
-    contract: recovery converges every shard to a consistent epoch
-    (no ``inconsistent cluster recovery`` report), no ghosts appear,
-    no acked fact is lost (kill-only cycles have a zero loss bound --
-    every shard's WAL append precedes its ack), and the restarted
-    answers equal the oracle's over exactly the surviving EDB.
+    Disrupts one shard *worker* mid-load -- SIGKILL, SIGSTOP, or an
+    injected ``hang:load`` fault (:data:`DISRUPTIONS`) -- so the
+    coordinator must detect the failure within its op deadline or
+    heartbeat interval, SIGKILL + respawn the worker, and WAL-recover
+    its acked facts.  A liveness query rides at the end of the batch:
+    it must come back as answers (the supervisor retries the transient
+    ``REPRO_SHARD`` it may hit first), proving the cluster converged
+    with the disruption still in play.  The cycle then either closes
+    the server gracefully (a stuck worker must not stall the shutdown
+    ladder) or SIGKILLs the whole process, and restarts against the
+    same snapshot directory.  The contract: recovery converges every
+    shard to a consistent epoch (no ``inconsistent cluster recovery``
+    report), no ghosts appear, no acked fact is lost (every shard's
+    WAL append precedes its ack; a load that failed fast on a hung
+    shard was never acked), and the restarted answers equal the
+    oracle's over exactly the surviving EDB.
     """
     kill_after = (
         kill_after
         if kill_after is not None
         else rng.randint(1, len(LOADABLE) - 2)
     )
+    disrupt = disrupt or rng.choice(DISRUPTIONS)
     snapshot_every = rng.choice((1, 2, 3, 8))
     delay = rng.choice((None, 0.02, 0.05))
     crash_exit = rng.random() < 0.5
-    mode = "sharded-crash" if crash_exit else "sharded-kill"
+    mode = f"sharded-{disrupt}"
 
     program_path = workdir / "prog.cql"
     program_path.write_text(PROGRAM)
     snapdir = workdir / "snap"
     report: dict = {
         "mode": mode,
+        "exit": "crash" if crash_exit else "drain",
         "shards": shards,
         "snapshot_every": snapshot_every,
         "kill_after": kill_after,
@@ -510,6 +533,14 @@ def run_sharded_cycle(
     def violation(text: str) -> None:
         report["violations"].append(text)
 
+    faults = []
+    if delay is not None:
+        faults.append(f"delay:fs.write.wal:{delay}")
+    if disrupt == "hangfault":
+        # Each worker's 4th load wedges its main loop forever (the
+        # pump thread still answers pings); only the coordinator's op
+        # deadline can notice, SIGKILL, and respawn it.
+        faults.append("hang:load:4:1")
     flags = [
         "--batch", "-",
         "--shards", str(shards),
@@ -517,9 +548,11 @@ def run_sharded_cycle(
         "--snapshot-every", str(snapshot_every),
         "--workers", "2",
         "--queue-depth", "1",
+        "--shard-op-timeout", "2",
+        "--heartbeat-interval", "0.5",
     ]
-    if delay is not None:
-        flags += ["--faults", f"delay:fs.write.wal:{delay}"]
+    if faults:
+        flags += ["--faults", ";".join(faults)]
     victim = subprocess.Popen(
         _serve_argv(str(program_path), *flags),
         stdin=subprocess.PIPE, stdout=subprocess.PIPE,
@@ -574,24 +607,37 @@ def run_sharded_cycle(
                 and time.monotonic() < deadline
             ):
                 time.sleep(0.005)
-            # Mid-load worker kill: one shard dies between acks.
+            # Mid-load disruption: one shard dies (SIGKILL), wedges
+            # silently (SIGSTOP), or is already armed to hang inside
+            # a later load (the injected fault needs no signal).
             pids = shard_pids()
-            if pids:
+            if pids and disrupt in ("kill", "stop"):
                 target = rng.choice(sorted(pids))
-                report["killed_shard"] = target
+                report["disrupted_shard"] = target
+                sig = (
+                    signal.SIGKILL if disrupt == "kill"
+                    else signal.SIGSTOP
+                )
                 try:
-                    os.kill(pids[target], signal.SIGKILL)
+                    os.kill(pids[target], sig)
                 except ProcessLookupError:
                     pass
             for edge in LOADABLE[kill_after:]:
                 victim.stdin.write(fact_line(edge) + "\n")
                 victim.stdin.flush()
+            # Liveness probe: with the disruption in play, a query at
+            # the tail of the batch must still come back as answers
+            # (hang detection + respawn + the supervisor's transient
+            # retry are all on its path).
+            victim.stdin.write(REACH_QUERY + "\n")
+            victim.stdin.flush()
             if not crash_exit:
                 victim.stdin.close()  # EOF: drain + final checkpoint
-                victim.wait(timeout=60)
+                victim.wait(timeout=90)
             else:
+                deadline = time.monotonic() + 60
                 while (
-                    len(out_lines) < len(LOADABLE)
+                    len(out_lines) < len(LOADABLE) + 1
                     and time.monotonic() < deadline
                 ):
                     time.sleep(0.005)
@@ -607,6 +653,7 @@ def run_sharded_cycle(
         reader.join(timeout=10)
 
     acked: set[tuple] = set()
+    lively = False
     for index, line in enumerate(out_lines):
         try:
             payload = json.loads(line)
@@ -614,12 +661,20 @@ def run_sharded_cycle(
             continue
         if payload.get("type") == "facts":
             acked.add(LOADABLE[index])
+        elif payload.get("type") == "answers":
+            lively = True
     report["acked"] = len(acked)
+    report["lively"] = lively
     report["load_errors"] = sum(
         1
         for line in out_lines
         if '"type": "error"' in line or '"error_code"' in line
     )
+    if not lively:
+        violation(
+            "liveness query was never answered: the disrupted "
+            "cluster did not converge within the deadline"
+        )
 
     # -- restart, recover, query --------------------------------------
     batch_path = workdir / "checks.txt"

@@ -89,12 +89,37 @@ def sequential_answers() -> dict:
 
 
 def make_engine(shards: int | None):
-    """One single-session or sharded engine plus its closer."""
+    """One single-session or sharded engine plus its closer.
+
+    The sharded cluster runs with a tight op deadline and a live
+    heartbeat so the SIGSTOP disruption below is detected in seconds,
+    not never -- the same configuration the chaos harness uses.  It
+    is also durable (per-shard WALs under a temp dir): the
+    zero-wrong-answer bar requires a respawned worker to recover the
+    facts it acked, and without a WAL a respawn is an amnesiac whose
+    recomputed answers would *legitimately* differ.
+    """
     if shards is None:
         return Engine.from_text(PROGRAM), lambda: None
-    engine = ShardedEngine.from_text(PROGRAM, shards)
-    engine.coordinator.start()
-    return engine, lambda: engine.coordinator.close(drain=False)
+    import shutil
+    import tempfile
+
+    snapdir = tempfile.mkdtemp(prefix="repro-stress-shard-")
+    engine = ShardedEngine.from_text(
+        PROGRAM,
+        shards,
+        snapshot_dir=snapdir,
+        snapshot_every=1000,
+        op_timeout=3.0,
+        heartbeat_interval=0.5,
+    )
+    engine.coordinator.recover()
+
+    def close() -> None:
+        engine.coordinator.close(drain=False)
+        shutil.rmtree(snapdir, ignore_errors=True)
+
+    return engine, close
 
 
 def stress_phase(shards: int | None = None) -> None:
@@ -131,10 +156,15 @@ def stress_phase(shards: int | None = None) -> None:
                     # flight: the coordinator respawns it and the
                     # supervisor's retries absorb the REPRO_SHARD
                     # failures of the requests that touched it.
-                    os.kill(
-                        engine.coordinator.pids()[shards - 1],
-                        signal.SIGKILL,
-                    )
+                    pids = engine.coordinator.pids()
+                    os.kill(pids[shards - 1], signal.SIGKILL)
+                    if shards > 1:
+                        # And wedge another without killing it: no
+                        # pipe closes, so only the heartbeat/op
+                        # deadline can notice before SIGKILL +
+                        # respawn.  The retry loop must absorb this
+                        # gray failure exactly like the crash.
+                        os.kill(pids[0], signal.SIGSTOP)
                 responses = [
                     request.result(timeout=120)
                     for request in requests

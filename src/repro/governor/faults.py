@@ -24,7 +24,17 @@ pass through it:
   events; the site classes are closed (:data:`FS_FAULT_SITES`:
   ``wal``, ``snapshot``, ``compact``, ``dir``) and an unknown class is
   a parse error, so a typo'd chaos spec fails loudly instead of
-  silently never firing.
+  silently never firing;
+* ``hang`` / ``garble`` -- *protocol-level* faults at the shard frame
+  seam (simulates gray failure: a worker that is alive but
+  unresponsive, or one whose replies arrive damaged).  Sites are the
+  closed set of shard ops (:data:`OP_FAULT_SITES`); a shard worker
+  announces ``shard.op.<op>`` before handling each op (where ``hang``
+  sleeps forever, pinning the worker until the coordinator's deadline
+  or heartbeat machinery SIGKILLs it) and consults
+  :meth:`FaultyRecorder.consume` at ``shard.reply.<op>`` before
+  writing each reply (where ``garble`` corrupts the reply frame so the
+  coordinator's CRC check must catch it).
 
 Faults are matched by ``fnmatch`` pattern against the event name and
 fire on occurrence counts, so a run with a fixed program and plan is
@@ -55,7 +65,31 @@ from repro.obs.recorder import NULL_RECORDER
 #: compaction/rewrite; ``dir`` -- directory fsyncs after renames.
 FS_FAULT_SITES = ("wal", "snapshot", "compact", "dir")
 
-_FAULT_KINDS = ("delay", "fail", "pressure", "write", "fsync")
+#: The closed set of shard protocol ops the ``hang``/``garble`` fault
+#: kinds can target (:mod:`repro.shard.worker` announces
+#: ``shard.op.<op>`` / ``shard.reply.<op>`` events at the frame seam).
+OP_FAULT_SITES = (
+    "recover",
+    "load",
+    "checkpoint",
+    "q_start",
+    "q_round",
+    "q_answers",
+    "q_finish",
+    "stats",
+    "healthz",
+    "ping",
+    "shutdown",
+)
+
+_FAULT_KINDS = (
+    "delay", "fail", "pressure", "write", "fsync", "hang", "garble",
+)
+
+#: How long one ``hang`` sleep chunk lasts.  A hung worker sleeps in
+#: chunks forever (it never returns); the chunking only matters for
+#: injectable test sleepers.
+HANG_CHUNK_SECONDS = 60.0
 
 
 @dataclass(frozen=True)
@@ -103,7 +137,16 @@ class FaultPlan:
           filesystem site class (one of :data:`FS_FAULT_SITES`, or
           ``*`` for all).  Unlike ``fail``, the default firing count
           is unlimited: a failed disk stays failed, which is what the
-          degraded-mode machinery must survive.
+          degraded-mode machinery must survive;
+        * ``hang:<op>[:<nth>[:<times>]]`` / ``garble:<op>[:<nth>
+          [:<times>]]`` -- protocol faults at a shard frame-seam op
+          (one of :data:`OP_FAULT_SITES`, or ``*``): ``hang`` sleeps
+          forever at the op's ``shard.op.<op>`` announcement (the
+          worker is alive but never replies -- the coordinator's
+          hang detection must SIGKILL and respawn it), ``garble``
+          corrupts the ``shard.reply.<op>`` frame so the reader's
+          CRC check rejects it.  Default firing count 1, like
+          ``fail``.
 
         Filesystem sites are a *closed* class set: an unknown site is
         a parse error here, never a pattern that silently matches
@@ -194,6 +237,17 @@ class FaultPlan:
                 )
             nth, times = parse_occurrences(args, default_times=None)
             return Fault(kind, f"fs.{kind}.{site}", nth=nth, times=times)
+        if kind in ("hang", "garble"):
+            if len(args) > 2:
+                raise malformed(f"unexpected token {args[2]!r}")
+            if site != "*" and site not in OP_FAULT_SITES:
+                raise malformed(
+                    f"unknown protocol fault op {site!r} (expected "
+                    f"one of {', '.join(OP_FAULT_SITES)}, or *)"
+                )
+            nth, times = parse_occurrences(args, default_times=1)
+            seam = "shard.op" if kind == "hang" else "shard.reply"
+            return Fault(kind, f"{seam}.{site}", nth=nth, times=times)
         # pressure
         if len(args) != 1 or not args[0]:
             raise malformed(
@@ -278,6 +332,8 @@ class FaultyRecorder:
             self.occurrences[name] += 1
             occurrence = self.occurrences[name]
             for index, fault in enumerate(self.plan.faults):
+                if fault.kind == "garble":
+                    continue  # consumed at the frame seam, never here
                 if not fnmatch(name, fault.site):
                     continue
                 if occurrence < fault.nth:
@@ -292,9 +348,10 @@ class FaultyRecorder:
                     (fault.kind, fault.site, name, occurrence)
                 )
                 firing.append(fault)
-                if fault.kind in ("fail", "write", "fsync"):
-                    # A raise abandons the event; later faults in the
-                    # plan are not charged a firing for it.
+                if fault.kind in ("fail", "write", "fsync", "hang"):
+                    # A raise (or an endless hang) abandons the event;
+                    # later faults in the plan are not charged a
+                    # firing for it.
                     break
         for fault in firing:
             if fault.kind == "delay":
@@ -302,6 +359,12 @@ class FaultyRecorder:
             elif fault.kind == "pressure":
                 governor.charge(fault.resource, fault.amount,
                                 phase=f"fault:{name}")
+            elif fault.kind == "hang":
+                # Alive but unresponsive, forever: the gray-failure
+                # mode deadline-bounded RPC must detect.  Only a
+                # signal (the coordinator's SIGKILL) ends it.
+                while True:
+                    self.sleeper(HANG_CHUNK_SECONDS)
             elif fault.kind in ("write", "fsync"):
                 raise OSError(
                     errno.EIO,
@@ -310,3 +373,34 @@ class FaultyRecorder:
                 )
             else:  # fail
                 raise InjectedFault(name, occurrence)
+
+    def consume(self, kind: str, name: str) -> bool:
+        """Whether a ``kind`` fault fires for this ``name`` occurrence.
+
+        The non-raising side channel for faults that must be *acted
+        on* by the announcing code rather than thrown through it --
+        today the ``garble`` kind, consulted by the shard worker
+        before writing each reply frame.  Counts an occurrence of
+        ``name`` and charges the firing exactly like :meth:`_event`.
+        """
+        with self._lock:
+            self.occurrences[name] += 1
+            occurrence = self.occurrences[name]
+            for index, fault in enumerate(self.plan.faults):
+                if fault.kind != kind:
+                    continue
+                if not fnmatch(name, fault.site):
+                    continue
+                if occurrence < fault.nth:
+                    continue
+                if (
+                    fault.times is not None
+                    and self._firings[index] >= fault.times
+                ):
+                    continue
+                self._firings[index] += 1
+                self.fired.append(
+                    (fault.kind, fault.site, name, occurrence)
+                )
+                return True
+        return False

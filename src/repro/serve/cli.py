@@ -168,6 +168,25 @@ def build_parser() -> argparse.ArgumentParser:
         "an @-suffixed ascending bound list switches the relation "
         "to range partitioning (repeatable)",
     )
+    sharding.add_argument(
+        "--shard-op-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="deadline per coordinator-worker op: a worker that "
+        "does not reply in time is declared hung, SIGKILLed and "
+        "respawned (default 30; 0 disables, leaving only "
+        "heartbeat detection)",
+    )
+    sharding.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="how often the coordinator pings each worker (and "
+        "probes during long ops) to tell slow from dead "
+        "(default 2; 0 disables heartbeats)",
+    )
     parser.add_argument(
         "--strategy",
         choices=STRATEGY_CHOICES,
@@ -372,6 +391,12 @@ def main(argv: list[str] | None = None) -> int:
                 faults=arguments.faults,
                 partition_keys=keys,
                 partition_ranges=ranges,
+                op_timeout=(
+                    arguments.shard_op_timeout or None
+                ),
+                heartbeat_interval=max(
+                    arguments.heartbeat_interval, 0.0
+                ),
                 **session_options,
             )
         else:

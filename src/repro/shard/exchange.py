@@ -28,6 +28,17 @@ mirroring the single-session governor's truncate-at-a-checkpoint
 behaviour.  The loop itself is transport-agnostic (it only needs a
 ``scatter`` callable), which is what the shard test suite exploits to
 drive it against in-process fakes.
+
+Stragglers are the transport's problem, and the transport solves it:
+the coordinator's ``scatter`` closure carries the request's remaining
+deadline on every round frame and bounds each call with an op
+timeout, so a participant that wedges mid-round fails the barrier
+with :class:`~repro.errors.ShardError` within that bound instead of
+stalling it forever.  The coordinator then respawns the dead
+participants inline and retries the whole query once from
+``q_start`` (every exchange round replays -- the fresh incarnations
+hold no query state), counting ``shard.round_retries``; a second
+failure surfaces as transient ``REPRO_SHARD``.
 """
 
 from __future__ import annotations

@@ -1,15 +1,25 @@
-"""Length-prefixed JSON frames between coordinator and shard workers.
+"""Checksummed length-prefixed JSON frames between coordinator and
+shard workers.
 
-One frame is a 4-byte big-endian payload length followed by that many
-bytes of UTF-8 JSON.  The explicit length (rather than line framing)
-makes a half-written frame detectable: a worker killed mid-write
-leaves a short read, which surfaces as :class:`FrameError` instead of
-a parse of garbage.  Frames are capped at :data:`MAX_FRAME` so a
-corrupted length prefix cannot make the reader allocate gigabytes.
+One frame is an 8-byte big-endian header -- a 4-byte payload length
+followed by the CRC32 of the payload -- and then that many bytes of
+UTF-8 JSON.  The explicit length (rather than line framing) makes a
+half-written frame detectable: a worker killed mid-write leaves a
+short read, which surfaces as :class:`FrameError` instead of a parse
+of garbage.  The CRC makes *damaged* frames detectable: a bit flipped
+anywhere in the stream (a garbling transport fault, a worker that
+scribbled on its own stdout) fails verification instead of parsing to
+a plausible-but-wrong payload.  Frames are capped at
+:data:`MAX_FRAME` so a corrupted length prefix cannot make the reader
+allocate gigabytes.
 
 The coordinator speaks this protocol over each worker's stdin/stdout
-pipe pair; workers answer one reply frame per request frame, in
-order.  Fact payloads ride the snapshot codec
+pipe pair.  Request frames carry a per-client ``id`` (echoed by the
+reply, so a multiplexed reader can route concurrent calls -- the
+heartbeat ``ping`` rides the same pipe as a long-running op) and the
+worker incarnation ``nonce`` (echoed so replies from a killed
+incarnation are fenced instead of being credited to its successor).
+Fact payloads ride the snapshot codec
 (:func:`repro.serve.snapshot.encode_fact`) so constraint facts
 round-trip exactly.
 """
@@ -18,12 +28,13 @@ from __future__ import annotations
 
 import json
 import struct
+import zlib
 from typing import BinaryIO
 
 #: Upper bound on one frame's JSON payload (64 MiB).
 MAX_FRAME = 64 * 1024 * 1024
 
-_LENGTH = struct.Struct(">I")
+_HEADER = struct.Struct(">II")  # payload length, payload CRC32
 
 
 class FrameError(Exception):
@@ -37,7 +48,7 @@ def write_frame(stream: BinaryIO, payload: dict) -> None:
         raise FrameError(
             f"frame of {len(data)} bytes exceeds cap {MAX_FRAME}"
         )
-    stream.write(_LENGTH.pack(len(data)) + data)
+    stream.write(_HEADER.pack(len(data), zlib.crc32(data)) + data)
     stream.flush()
 
 
@@ -57,17 +68,24 @@ def _read_exact(stream: BinaryIO, n: int) -> bytes:
 
 def read_frame(stream: BinaryIO) -> dict | None:
     """The next frame, or ``None`` at a clean end of stream."""
-    header = stream.read(_LENGTH.size)
+    header = stream.read(_HEADER.size)
     if not header:
         return None  # clean EOF between frames
-    if len(header) < _LENGTH.size:
-        raise FrameError("stream closed inside a frame header")
-    (length,) = _LENGTH.unpack(header)
+    while len(header) < _HEADER.size:
+        more = stream.read(_HEADER.size - len(header))
+        if not more:
+            raise FrameError("stream closed inside a frame header")
+        header += more
+    length, crc = _HEADER.unpack(header)
     if length > MAX_FRAME:
         raise FrameError(
             f"frame length {length} exceeds cap {MAX_FRAME}"
         )
     data = _read_exact(stream, length)
+    if zlib.crc32(data) != crc:
+        raise FrameError(
+            f"frame checksum mismatch over {length} bytes"
+        )
     try:
         payload = json.loads(data.decode("utf-8"))
     except (ValueError, UnicodeDecodeError) as error:
@@ -77,3 +95,17 @@ def read_frame(stream: BinaryIO) -> dict | None:
             f"frame payload must be an object, got {type(payload)}"
         )
     return payload
+
+
+def garbled_frame(payload: dict) -> bytes:
+    """A deliberately corrupted encoding of ``payload``.
+
+    Used by the ``garble:<op>`` protocol fault: the frame is built
+    normally and then one payload byte is flipped, so the reader's CRC
+    check must reject it -- exercising exactly the detection path a
+    real scribbled pipe would take.
+    """
+    data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    flipped = bytearray(data)
+    flipped[len(flipped) // 2] ^= 0xFF
+    return _HEADER.pack(len(data), zlib.crc32(data)) + bytes(flipped)

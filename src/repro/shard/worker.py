@@ -8,7 +8,13 @@ its shard (owned + broadcast), builds a full
 :class:`~repro.service.session.Session` over them, and then serves
 frames (:mod:`repro.shard.protocol`) until EOF -- which is also how it
 dies with its parent: a SIGKILLed coordinator closes the pipe and the
-worker exits instead of lingering.
+worker exits instead of lingering (with a force-exit watchdog in case
+the main thread is wedged when the EOF arrives).  A *pump* thread
+reads stdin and answers ``ping`` heartbeats immediately -- even while
+the main thread grinds through a long op -- so the coordinator can
+tell a slow worker from a dead one; every other frame is queued for
+the main loop, and every reply echoes the request's ``id`` and
+incarnation ``nonce`` for routing and fencing.
 
 Queries are evaluated *in rounds* (:mod:`repro.shard.exchange`): the
 coordinator steps every participating shard one semi-naive iteration
@@ -31,8 +37,12 @@ supervisor.
 from __future__ import annotations
 
 import argparse
+import os
+import queue
 import sys
+import threading
 from contextlib import nullcontext
+from dataclasses import replace
 
 from repro import obs
 from repro.driver import split_edb
@@ -47,7 +57,18 @@ from repro.obs.recorder import count as obs_count
 from repro.serve.snapshot import Snapshotter, decode_fact, encode_fact
 from repro.service.session import Session
 from repro.shard.partition import ShardPlan
-from repro.shard.protocol import FrameError, read_frame, write_frame
+from repro.shard.protocol import (
+    FrameError,
+    garbled_frame,
+    read_frame,
+    write_frame,
+)
+
+#: Seconds a worker whose stdin reached EOF (its coordinator is gone)
+#: waits for the main loop to drain before force-exiting.  Protects
+#: against leaking an *orphan* whose main thread is wedged (a ``hang``
+#: fault, a stuck op) and would otherwise never notice the EOF.
+ORPHAN_GRACE = 10.0
 
 _BUDGET_FIELDS = (
     "deadline",
@@ -144,6 +165,7 @@ class ShardWorker:
             "q_finish": self._op_q_finish,
             "stats": self._op_stats,
             "healthz": self._op_healthz,
+            "ping": self._op_ping,
             "shutdown": self._op_shutdown,
         }
 
@@ -257,8 +279,25 @@ class ShardWorker:
 
     # -- query evaluation ---------------------------------------------
 
-    def _meter(self):
-        return self.budget.meter() if self.budget is not None else None
+    def _meter(self, frame: dict | None = None):
+        """A fresh meter, clamped to the frame's propagated deadline.
+
+        The coordinator sends ``deadline_left`` -- the request's
+        remaining wall-clock budget minus slack -- on each query op,
+        so a query that arrives with most of its budget already spent
+        trips *here*, as a ``truncated:deadline`` reply, rather than
+        running to the full per-shard deadline and being declared
+        hung coordinator-side.
+        """
+        if self.budget is None:
+            return None
+        budget = self.budget
+        left = frame.get("deadline_left") if frame else None
+        if left is not None and budget.deadline is not None:
+            left = float(left)
+            if left < budget.deadline:
+                budget = replace(budget, deadline=left)
+        return budget.meter()
 
     def _governed(self, meter):
         return (
@@ -269,7 +308,7 @@ class ShardWorker:
 
     def _op_q_start(self, frame: dict) -> dict:
         query = parse_query(frame["query"])
-        meter = self._meter()
+        meter = self._meter(frame)
         with self._governed(meter):
             prepared = self.session.prepare(query)
         key = (str(prepared.form), str(prepared.seed or ""))
@@ -432,6 +471,10 @@ class ShardWorker:
             ),
         }
 
+    def _op_ping(self, frame: dict) -> dict:
+        """Liveness echo (normally answered by the pump thread)."""
+        return {"ok": True, "shard": self.shard, "pong": True}
+
     def _op_shutdown(self, frame: dict) -> dict:
         if self.snapshotter is not None and self._degraded is None:
             try:
@@ -441,7 +484,116 @@ class ShardWorker:
         return {"ok": True, "shard": self.shard, "stopping": True}
 
 
-def serve_frames(stdin, stdout) -> int:
+def _echo(frame: dict, reply: dict) -> dict:
+    """Tag a reply with the request's routing id and fencing nonce."""
+    if "id" in frame:
+        reply["id"] = frame["id"]
+    if "nonce" in frame:
+        reply["nonce"] = frame["nonce"]
+    return reply
+
+
+def _arm_orphan_watchdog(grace: float | None) -> None:
+    """Force-exit soon if the main loop never drains the EOF.
+
+    Armed by the pump thread when stdin closes: the coordinator is
+    gone, and a main thread wedged in an op (a ``hang`` fault, a
+    deadlock) would otherwise leak a headless worker forever.
+    ``None`` disables it (in-process tests share our interpreter).
+    """
+    if grace is None:
+        return
+    watchdog = threading.Timer(grace, os._exit, args=(0,))
+    watchdog.daemon = True
+    watchdog.start()
+
+
+def _write_reply(stdout, stdout_lock, frame: dict, reply: dict,
+                 recorder) -> bool:
+    """Write one reply frame; survivable encode failures stay alive.
+
+    A ``FrameError`` raised while *writing* (an answer payload over
+    the frame cap) is answered with a ``REPRO_USAGE`` error reply
+    instead of killing the worker -- the request was bad, the worker
+    is fine.  The ``garble:<op>`` fault fires here, corrupting the
+    encoded frame so the coordinator's CRC check must reject it.
+    """
+    op = frame.get("op", "?")
+    consume = getattr(recorder, "consume", None)
+    garble = consume is not None and consume(
+        "garble", f"shard.reply.{op}"
+    )
+    with stdout_lock:
+        try:
+            if garble:
+                stdout.write(garbled_frame(reply))
+                stdout.flush()
+            else:
+                write_frame(stdout, reply)
+            return True
+        except FrameError as error:
+            fallback = _echo(frame, {
+                "ok": False,
+                "error_code": "REPRO_USAGE",
+                "error_message": (
+                    f"reply to {op} is not encodable: {error}"
+                ),
+            })
+            try:
+                write_frame(stdout, fallback)
+                return True
+            except (OSError, FrameError):
+                return False
+        except OSError:
+            return False
+
+
+def _pump(worker: ShardWorker, stdin, stdout, stdout_lock,
+          frames: "queue.Queue",
+          orphan_grace: float | None) -> None:
+    """Read frames off stdin, answering pings in-line.
+
+    Runs as a daemon thread so ``ping`` gets an answer even while the
+    main thread is deep in a long op -- which is exactly what lets
+    the coordinator tell *slow* (pings answered, op deadline governs)
+    from *dead* (pings missed, SIGKILL now).  Everything else is
+    queued for the main loop; EOF and frame corruption are queued as
+    sentinels, with the orphan watchdog armed in case the main loop
+    never drains them.
+    """
+    while True:
+        try:
+            frame = read_frame(stdin)
+        except (OSError, ValueError) as error:
+            frames.put(FrameError(str(error)))
+            _arm_orphan_watchdog(orphan_grace)
+            return
+        except FrameError as error:
+            frames.put(error)
+            _arm_orphan_watchdog(orphan_grace)
+            return
+        if frame is None:
+            frames.put(None)
+            _arm_orphan_watchdog(orphan_grace)
+            return
+        if frame.get("op") == "ping":
+            obs_count("shard.op.ping")
+            reply = _echo(frame, {
+                "ok": True, "shard": worker.shard, "pong": True,
+            })
+            with stdout_lock:
+                try:
+                    write_frame(stdout, reply)
+                except (OSError, FrameError):
+                    frames.put(None)
+                    return
+            continue
+        frames.put(frame)
+
+
+def serve_frames(
+    stdin, stdout, orphan_grace: float | None = ORPHAN_GRACE
+) -> int:
     """The worker loop: handshake, then one reply per request."""
     hello = read_frame(stdin)
     if hello is None or hello.get("op") != "hello":
@@ -467,24 +619,37 @@ def serve_frames(stdin, stdout) -> int:
             FaultPlan.from_spec(hello["faults"]), inner=recorder
         )
     write_frame(stdout, worker.hello_reply())
+    stdout_lock = threading.Lock()
+    frames: "queue.Queue" = queue.Queue()
     with obs.recording(recorder):
+        pump = threading.Thread(
+            target=_pump,
+            args=(worker, stdin, stdout, stdout_lock, frames,
+                  orphan_grace),
+            name=f"shard-{worker.shard}-pump",
+            daemon=True,
+        )
+        pump.start()
         while True:
-            try:
-                frame = read_frame(stdin)
-            except FrameError as error:
+            frame = frames.get()
+            if frame is None:
+                return 0  # coordinator gone: die with the parent
+            if isinstance(frame, FrameError):
                 print(
-                    f"repro shard worker {worker.shard}: {error}",
+                    f"repro shard worker {worker.shard}: {frame}",
                     file=sys.stderr,
                 )
                 return 1
-            if frame is None:
-                return 0  # coordinator gone: die with the parent
-            reply = worker.handle(frame)
-            try:
-                write_frame(stdout, reply)
-            except (OSError, FrameError):
+            op = frame.get("op", "?")
+            # The frame-seam announcement: ``hang:<op>`` faults fire
+            # here, pinning this thread while pings stay answered.
+            obs_count(f"shard.op.{op}")
+            reply = _echo(frame, worker.handle(frame))
+            if not _write_reply(
+                stdout, stdout_lock, frame, reply, recorder
+            ):
                 return 1
-            if frame.get("op") == "shutdown":
+            if op == "shutdown":
                 return 0
 
 

@@ -327,3 +327,85 @@ class TestFaultedCLI:
         program = tmp_path / "p.cql"
         program.write_text(SMALL_TEXT)
         assert main([str(program), "--faults", "boom:x"]) == 2
+
+
+class TestProtocolFaults:
+    """The ``hang:<op>`` / ``garble:<op>`` grammar and firing modes."""
+
+    def test_hang_spec_maps_to_op_announcement_site(self):
+        (fault,) = FaultPlan.from_spec("hang:q_round").faults
+        assert fault.kind == "hang"
+        assert fault.site == "shard.op.q_round"
+        assert (fault.nth, fault.times) == (1, 1)
+
+    def test_garble_spec_maps_to_reply_seam(self):
+        (fault,) = FaultPlan.from_spec("garble:healthz:2:3").faults
+        assert fault.kind == "garble"
+        assert fault.site == "shard.reply.healthz"
+        assert (fault.nth, fault.times) == (2, 3)
+
+    def test_wildcard_op_accepted(self):
+        (fault,) = FaultPlan.from_spec("hang:*").faults
+        assert fault.site == "shard.op.*"
+
+    def test_unknown_op_rejected_naming_the_closed_set(self):
+        from repro.governor.faults import OP_FAULT_SITES
+
+        with pytest.raises(UsageError) as excinfo:
+            FaultPlan.from_spec("hang:frobnicate")
+        message = str(excinfo.value)
+        assert "frobnicate" in message
+        for op in OP_FAULT_SITES:
+            assert op in message
+
+    def test_hang_sleeps_forever_in_bounded_chunks(self):
+        # The firing loop must never issue one unbounded sleep (a
+        # SIGKILL mid-sleep should need to interrupt at most one
+        # chunk); the injectable sleeper escapes after a few rounds.
+        from repro.governor.faults import HANG_CHUNK_SECONDS
+
+        class Escape(Exception):
+            pass
+
+        naps: list[float] = []
+
+        def sleeper(seconds: float) -> None:
+            naps.append(seconds)
+            if len(naps) >= 3:
+                raise Escape
+
+        recorder = FaultyRecorder(
+            FaultPlan.from_spec("hang:q_start"), sleeper=sleeper
+        )
+        with pytest.raises(Escape):
+            recorder.count("shard.op.q_start")
+        assert naps == [HANG_CHUNK_SECONDS] * 3
+
+    def test_garble_never_fires_at_the_recorder_seam(self):
+        # ``garble`` corrupts bytes on the wire; only the worker's
+        # reply writer may consume it.  The ordinary recorder path
+        # must pass the announcement through untouched.
+        recorder = FaultyRecorder(FaultPlan.from_spec("garble:stats"))
+        recorder.count("shard.reply.stats")
+        assert recorder.fired == []
+
+    def test_consume_counts_occurrences_and_exhausts_times(self):
+        recorder = FaultyRecorder(
+            FaultPlan.from_spec("garble:stats:2:1")
+        )
+        assert not recorder.consume("garble", "shard.reply.stats")
+        assert recorder.consume("garble", "shard.reply.stats")
+        # times=1 is spent; later occurrences pass clean.
+        assert not recorder.consume("garble", "shard.reply.stats")
+        assert recorder.fired == [
+            ("garble", "shard.reply.stats", "shard.reply.stats", 2)
+        ]
+
+    def test_consume_filters_by_kind_and_site(self):
+        recorder = FaultyRecorder(
+            FaultPlan.from_spec("hang:q_start;garble:healthz")
+        )
+        # A hang fault is not consumable as garble, and vice versa.
+        assert not recorder.consume("garble", "shard.op.q_start")
+        assert not recorder.consume("hang", "shard.reply.healthz")
+        assert recorder.consume("garble", "shard.reply.healthz")

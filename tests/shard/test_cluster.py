@@ -168,11 +168,11 @@ def test_sigkill_one_shard_isolates_then_recovers(tmp_path):
                 f"edge(k{index}, m{index}, 1)."
             ).ok
         os.kill(engine.coordinator.pids()[1], signal.SIGKILL)
+        # The reader thread notices the death immediately, so the
+        # next request already finds the shard marked down, respawns
+        # it, and replays its WAL: the acknowledged loads survive the
+        # kill without a caller-visible error.
         query = parse_query("?- reach(n1, Y).")
-        failed = engine.session.query(query)
-        assert not failed.ok and failed.error_code == "REPRO_SHARD"
-        # Next request respawns the worker and replays its WAL: the
-        # acknowledged loads survive the kill.
         recovered = engine.session.query(query)
         assert recovered.ok
         assert engine.coordinator.epoch == 4
